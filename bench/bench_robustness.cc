@@ -1,0 +1,152 @@
+// Scaling benchmarks for Algorithm 1 (DESIGN.md E7): validates the PTIME
+// claim of Theorem 3.3 empirically by sweeping the number of transactions
+// |T|, the operations per transaction (the paper's l), and the contention
+// level, for robust and non-robust instances and for all three homogeneous
+// allocations plus a mixed one.
+#include <benchmark/benchmark.h>
+
+#include "core/analyzer.h"
+#include "core/robustness.h"
+#include "workloads/synthetic.h"
+
+namespace mvrob {
+namespace {
+
+TransactionSet MakeWorkload(int num_txns, int ops, double hotspot,
+                            uint64_t seed) {
+  SyntheticParams params;
+  params.num_txns = num_txns;
+  params.num_objects = std::max(4, num_txns * 2);
+  params.min_ops = ops;
+  params.max_ops = ops;
+  params.write_fraction = 0.4;
+  params.hotspot_fraction = hotspot;
+  params.num_hotspots = 2;
+  params.seed = seed;
+  return GenerateSynthetic(params);
+}
+
+// A worst-case family for Algorithm 1: every transaction read-modify-
+// writes a shared hot object plus `ops` private objects. The hot ww
+// conflict makes the set robust against A_SI (vulnerable edges need
+// disjoint write sets), so the checker must scan every triple with the
+// full operation loops — no early exit.
+TransactionSet MakeRmwClique(int num_txns, int ops) {
+  TransactionSet set;
+  ObjectId hot = set.InternObject("hot");
+  for (int t = 0; t < num_txns; ++t) {
+    std::vector<Operation> body{Operation::Read(hot), Operation::Write(hot)};
+    for (int k = 0; k < ops; ++k) {
+      ObjectId obj = set.InternObject("p" + std::to_string(t) + "_" +
+                                      std::to_string(k));
+      body.push_back(Operation::Read(obj));
+      body.push_back(Operation::Write(obj));
+    }
+    StatusOr<TxnId> id = set.AddTransaction("", std::move(body));
+    (void)id;
+  }
+  return set;
+}
+
+Allocation MixedThirds(size_t n) {
+  std::vector<IsolationLevel> levels(n);
+  for (size_t i = 0; i < n; ++i) levels[i] = kAllIsolationLevels[i % 3];
+  return Allocation(std::move(levels));
+}
+
+// Sweep |T| on the worst-case clique (robust: the algorithm scans all
+// triples and operation pairs).
+void BM_Robustness_ScaleTxns(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  TransactionSet txns = MakeRmwClique(n, 2);
+  Allocation alloc = Allocation::AllSI(txns.size());
+  uint64_t triples = 0;
+  for (auto _ : state) {
+    RobustnessResult result = CheckRobustness(txns, alloc);
+    triples = result.triples_examined;
+    benchmark::DoNotOptimize(result.robust);
+  }
+  state.counters["txns"] = n;
+  state.counters["triples"] = static_cast<double>(triples);
+}
+BENCHMARK(BM_Robustness_ScaleTxns)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Arg(128)->Unit(benchmark::kMicrosecond);
+
+// Sweep the transaction size l at fixed |T| on the worst-case clique.
+void BM_Robustness_ScaleOpsPerTxn(benchmark::State& state) {
+  const int ops = static_cast<int>(state.range(0));
+  TransactionSet txns = MakeRmwClique(12, ops / 2);
+  Allocation alloc = Allocation::AllSI(txns.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckRobustness(txns, alloc).robust);
+  }
+  state.counters["ops_per_txn"] = ops;
+}
+BENCHMARK(BM_Robustness_ScaleOpsPerTxn)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Arg(32)->Unit(benchmark::kMicrosecond);
+
+// High contention: non-robust instances exit early with a counterexample.
+void BM_Robustness_NonRobustEarlyExit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  TransactionSet txns = MakeWorkload(n, 4, 0.9, 3);
+  Allocation alloc = Allocation::AllRC(txns.size());
+  bool robust = true;
+  for (auto _ : state) {
+    RobustnessResult result = CheckRobustness(txns, alloc);
+    robust = result.robust;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["robust"] = robust ? 1 : 0;
+}
+BENCHMARK(BM_Robustness_NonRobustEarlyExit)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+// The three homogeneous allocations and a mixed allocation on the same
+// workload: SSI allocations prune triples via conditions (6)-(8).
+void BM_Robustness_ByAllocation(benchmark::State& state) {
+  TransactionSet txns = MakeWorkload(24, 4, 0.3, 11);
+  Allocation allocs[] = {
+      Allocation::AllRC(txns.size()), Allocation::AllSI(txns.size()),
+      Allocation::AllSSI(txns.size()), MixedThirds(txns.size())};
+  const Allocation& alloc = allocs[state.range(0)];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckRobustness(txns, alloc).robust);
+  }
+}
+BENCHMARK(BM_Robustness_ByAllocation)->DenseRange(0, 3)
+    ->Unit(benchmark::kMicrosecond);
+
+// Ablation: the matrix-cached analyzer vs the reference checker on the
+// worst-case clique (DESIGN.md design-choice: precomputed conflict
+// matrices + per-pivot components vs recomputation in the triple loop).
+void BM_Analyzer_ScaleTxns(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  TransactionSet txns = MakeRmwClique(n, 2);
+  RobustnessAnalyzer analyzer(txns);
+  Allocation alloc = Allocation::AllSI(txns.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.Check(alloc).robust);
+  }
+  state.counters["txns"] = n;
+}
+BENCHMARK(BM_Analyzer_ScaleTxns)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+// Construction cost of the analyzer (amortized over Algorithm 2's 2|T|
+// checks).
+void BM_Analyzer_Construction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  TransactionSet txns = MakeRmwClique(n, 2);
+  for (auto _ : state) {
+    RobustnessAnalyzer analyzer(txns);
+    benchmark::DoNotOptimize(&analyzer);
+  }
+  state.counters["txns"] = n;
+}
+BENCHMARK(BM_Analyzer_Construction)->Arg(16)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace mvrob
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Template subsystem benchmarks: instantiation size versus analysis time,
+// and the per-program allocations for the shipped template workloads.
+#include <benchmark/benchmark.h>
+
+#include "templates/instantiate.h"
+#include "templates/library.h"
+#include "templates/robustness.h"
+
+namespace mvrob {
+namespace {
+
+void BM_Template_InstantiateTpcc(benchmark::State& state) {
+  TemplateSet tpcc =
+      TpccTemplates(1, static_cast<int>(state.range(0)), 2, 2, 1);
+  size_t instances = 0;
+  for (auto _ : state) {
+    StatusOr<Instantiation> inst = InstantiateTemplates(tpcc);
+    if (inst.ok()) instances = inst->txns.size();
+    benchmark::DoNotOptimize(inst);
+  }
+  state.counters["instances"] = static_cast<double>(instances);
+}
+BENCHMARK(BM_Template_InstantiateTpcc)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Template_RobustnessTpcc(benchmark::State& state) {
+  TemplateSet tpcc =
+      TpccTemplates(1, static_cast<int>(state.range(0)), 2, 2, 1);
+  TemplateAllocation all_si(tpcc.size(), IsolationLevel::kSI);
+  bool robust = false;
+  for (auto _ : state) {
+    StatusOr<TemplateRobustnessResult> result =
+        CheckTemplateRobustness(tpcc, all_si);
+    if (result.ok()) robust = result->robust;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["robust"] = robust ? 1 : 0;
+}
+BENCHMARK(BM_Template_RobustnessTpcc)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Template_OptimalAllocation(benchmark::State& state) {
+  TemplateSet set =
+      state.range(0) == 0 ? SmallBankTemplates() : AuctionTemplates();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeOptimalTemplateAllocation(set));
+  }
+}
+BENCHMARK(BM_Template_OptimalAllocation)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mvrob
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Mixed execution: runs the auction workload on the MVCC engine under its
+// optimal mixed allocation and shows that (a) the committed trace is
+// always serializable, and (b) running everything at SI instead admits a
+// genuine write-skew anomaly — the end-to-end story of the paper.
+//
+//   $ ./mixed_execution [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/optimal_allocation.h"
+#include "iso/allowed.h"
+#include "mvcc/driver.h"
+#include "mvcc/trace.h"
+#include "schedule/serializability.h"
+#include "workloads/auction.h"
+
+namespace {
+
+void RunAndReport(const mvrob::TransactionSet& programs,
+                  const mvrob::Allocation& alloc, const char* label,
+                  uint64_t seed) {
+  using namespace mvrob;
+  Engine engine(programs.num_objects());
+  RandomRunOptions options;
+  options.concurrency = 4;
+  options.seed = seed;
+  DriverReport report = RunRandom(engine, programs, alloc, options);
+
+  StatusOr<ExportedRun> run = ExportCommittedRun(engine, programs);
+  if (!run.ok()) {
+    std::fprintf(stderr, "export: %s\n", run.status().ToString().c_str());
+    return;
+  }
+  StatusOr<Schedule> schedule = run->BuildSchedule();
+  if (!schedule.ok()) {
+    std::fprintf(stderr, "schedule: %s\n",
+                 schedule.status().ToString().c_str());
+    return;
+  }
+  std::printf("%-16s commits=%llu ssi_aborts=%llu fuw_aborts=%llu "
+              "serializable=%s\n",
+              label, static_cast<unsigned long long>(report.committed),
+              static_cast<unsigned long long>(engine.stats().aborts_ssi),
+              static_cast<unsigned long long>(
+                  engine.stats().aborts_write_conflict),
+              IsConflictSerializable(*schedule) ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mvrob;
+  uint64_t base_seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 0;
+
+  AuctionParams params;
+  params.items = 2;
+  params.bidders = 3;
+  Workload auction = MakeAuction(params);
+  std::printf("workload: %s (%zu transactions)\n",
+              auction.description.c_str(), auction.txns.size());
+
+  Allocation optimal = ComputeOptimalAllocation(auction.txns).allocation;
+  std::printf("optimal allocation: RC=%zu SI=%zu SSI=%zu\n\n",
+              optimal.CountAt(IsolationLevel::kRC),
+              optimal.CountAt(IsolationLevel::kSI),
+              optimal.CountAt(IsolationLevel::kSSI));
+
+  std::printf("20 random executions per allocation:\n");
+  for (uint64_t seed = base_seed; seed < base_seed + 20; ++seed) {
+    RunAndReport(auction.txns, optimal, "optimal mixed", seed);
+  }
+  std::printf("\nsame executions with every transaction at SI "
+              "(not robust -> anomalies possible):\n");
+  for (uint64_t seed = base_seed; seed < base_seed + 20; ++seed) {
+    RunAndReport(auction.txns, Allocation::AllSI(auction.txns.size()),
+                 "all SI", seed);
+  }
+  return 0;
+}

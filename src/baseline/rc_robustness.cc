@@ -1,0 +1,109 @@
+#include "baseline/rc_robustness.h"
+
+#include <deque>
+#include <vector>
+
+#include "txn/conflict.h"
+
+namespace mvrob {
+namespace {
+
+bool StaticallyConflict(const TransactionSet& txns, TxnId a, TxnId b) {
+  if (a == b) return false;
+  const Transaction& ta = txns.txn(a);
+  const Transaction& tb = txns.txn(b);
+  for (ObjectId obj : ta.write_set()) {
+    if (tb.Writes(obj) || tb.Reads(obj)) return true;
+  }
+  for (ObjectId obj : ta.read_set()) {
+    if (tb.Writes(obj)) return true;
+  }
+  return false;
+}
+
+// BFS reachability from t2 to tm through transactions that do not conflict
+// with t1 (t2/tm themselves excluded from the middle).
+bool Reaches(const TransactionSet& txns, TxnId t1, TxnId t2, TxnId tm) {
+  if (t2 == tm || StaticallyConflict(txns, t2, tm)) return true;
+  const size_t n = txns.size();
+  std::vector<bool> admissible(n, false);
+  for (TxnId t = 0; t < n; ++t) {
+    admissible[t] = t != t1 && t != t2 && t != tm &&
+                    !StaticallyConflict(txns, t, t1);
+  }
+  std::vector<bool> visited(n, false);
+  std::deque<TxnId> queue;
+  for (TxnId t = 0; t < n; ++t) {
+    if (admissible[t] && StaticallyConflict(txns, t2, t)) {
+      visited[t] = true;
+      queue.push_back(t);
+    }
+  }
+  while (!queue.empty()) {
+    TxnId node = queue.front();
+    queue.pop_front();
+    if (StaticallyConflict(txns, node, tm)) return true;
+    for (TxnId next = 0; next < n; ++next) {
+      if (admissible[next] && !visited[next] &&
+          StaticallyConflict(txns, node, next)) {
+        visited[next] = true;
+        queue.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+// True if no write of T1 at an index <= split ww-conflicts with T2 or Tm.
+bool PrefixWwFree(const TransactionSet& txns, TxnId t1, int split, TxnId t2,
+                  TxnId tm) {
+  const Transaction& txn1 = txns.txn(t1);
+  for (int i = 0; i <= split; ++i) {
+    const Operation& op = txn1.op(i);
+    if (!op.IsWrite()) continue;
+    if (txns.txn(t2).Writes(op.object) || txns.txn(tm).Writes(op.object)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool RcRobust(const TransactionSet& txns) {
+  const size_t n = txns.size();
+  for (TxnId t1 = 0; t1 < n; ++t1) {
+    const Transaction& txn1 = txns.txn(t1);
+    for (TxnId t2 = 0; t2 < n; ++t2) {
+      if (t2 == t1) continue;
+      for (TxnId tm = 0; tm < n; ++tm) {
+        if (tm == t1) continue;
+        for (int b1 = 0; b1 < txn1.num_ops(); ++b1) {
+          const Operation& op_b1 = txn1.op(b1);
+          if (!op_b1.IsRead() || !txns.txn(t2).Writes(op_b1.object)) continue;
+          if (!PrefixWwFree(txns, t1, b1, t2, tm)) continue;
+          for (int a1 = 0; a1 < txn1.num_ops(); ++a1) {
+            const Operation& op_a1 = txn1.op(a1);
+            if (op_a1.IsCommit()) continue;
+            // The counterflow case b1 <_T1 a1 admits any conflict kind;
+            // otherwise bm must read what a1 writes.
+            bool counterflow = b1 < a1;
+            const Transaction& txnm = txns.txn(tm);
+            bool found = false;
+            for (int bm = 0; bm < txnm.num_ops() && !found; ++bm) {
+              const Operation& op_bm = txnm.op(bm);
+              if (RwConflicting(op_bm, op_a1) ||
+                  (counterflow && Conflicting(op_bm, op_a1))) {
+                found = true;
+              }
+            }
+            if (found && Reaches(txns, t1, t2, tm)) return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace mvrob

@@ -1,0 +1,29 @@
+#ifndef MVROB_BASELINE_RC_ROBUSTNESS_H_
+#define MVROB_BASELINE_RC_ROBUSTNESS_H_
+
+#include "txn/transaction_set.h"
+
+namespace mvrob {
+
+/// Direct transaction-level test for robustness against the homogeneous
+/// allocation A_RC, following the characterization of Vandevoort et al.
+/// (PVLDB'21, [25] in the paper) by counterexample split schedules:
+///
+/// T is NOT robust against multiversion RC iff there are transactions
+/// T1, T2, Tm (T2, Tm != T1, possibly T2 = Tm) and operations b1, a1 in T1,
+/// such that
+///   - b1 is a read of an object that T2 writes;
+///   - no write of prefix_{b1}(T1) ww-conflicts with a write of T2 or Tm
+///     (writes after the split point are unconstrained — RC transactions
+///     tolerate concurrent writers that committed in between);
+///   - some operation bm of Tm conflicts with a1 and either bm is a read of
+///     an object a1 writes, or b1 precedes a1 in T1 (the counterflow case);
+///   - T2 reaches Tm through transactions that do not conflict with T1.
+///
+/// Independent implementation used to cross-check Algorithm 1 at A_RC and
+/// as the specialized-checker baseline in the benchmarks.
+bool RcRobust(const TransactionSet& txns);
+
+}  // namespace mvrob
+
+#endif  // MVROB_BASELINE_RC_ROBUSTNESS_H_

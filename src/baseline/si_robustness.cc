@@ -1,0 +1,130 @@
+#include "baseline/si_robustness.h"
+
+#include <vector>
+
+#include "txn/conflict.h"
+
+namespace mvrob {
+namespace {
+
+// Union-find over transaction ids.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t x, size_t y) { parent_[Find(x)] = Find(y); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+// conflict[i][j]: some operation of Ti conflicts with some of Tj.
+// rw[i][j]: Ti reads an object Tj writes.
+// ww[i][j]: write sets intersect.
+struct ConflictMatrices {
+  std::vector<std::vector<bool>> conflict;
+  std::vector<std::vector<bool>> rw;
+  std::vector<std::vector<bool>> ww;
+};
+
+ConflictMatrices BuildMatrices(const TransactionSet& txns) {
+  const size_t n = txns.size();
+  ConflictMatrices m;
+  m.conflict.assign(n, std::vector<bool>(n, false));
+  m.rw.assign(n, std::vector<bool>(n, false));
+  m.ww.assign(n, std::vector<bool>(n, false));
+  for (size_t i = 0; i < n; ++i) {
+    const Transaction& ti = txns.txn(static_cast<TxnId>(i));
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const Transaction& tj = txns.txn(static_cast<TxnId>(j));
+      for (ObjectId obj : ti.read_set()) {
+        if (tj.Writes(obj)) {
+          m.rw[i][j] = true;
+          break;
+        }
+      }
+      for (ObjectId obj : ti.write_set()) {
+        if (tj.Writes(obj)) {
+          m.ww[i][j] = true;
+          break;
+        }
+      }
+    }
+  }
+  // Second pass: rw in either direction or overlapping write sets. (Must
+  // run after all rw entries exist — conflict[i][j] reads rw[j][i].)
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      m.conflict[i][j] = m.rw[i][j] || m.rw[j][i] || m.ww[i][j];
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+SiRobustnessBaseline::SiRobustnessBaseline(const TransactionSet& txns)
+    : txns_(txns) {}
+
+bool SiRobustnessBaseline::Robust() const {
+  const size_t n = txns_.size();
+  ConflictMatrices m = BuildMatrices(txns_);
+
+  for (size_t pivot = 0; pivot < n; ++pivot) {
+    // Connect all transactions that neither conflict with the pivot nor are
+    // the pivot; components of this graph are the admissible inner chains.
+    DisjointSets components(n);
+    std::vector<bool> admissible(n, false);
+    for (size_t i = 0; i < n; ++i) {
+      admissible[i] = i != pivot && !m.conflict[i][pivot];
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (!admissible[i]) continue;
+      for (size_t j = i + 1; j < n; ++j) {
+        if (admissible[j] && m.conflict[i][j]) components.Union(i, j);
+      }
+    }
+
+    for (size_t t2 = 0; t2 < n; ++t2) {
+      // Outgoing vulnerable edge pivot -> t2.
+      if (t2 == pivot || !m.rw[pivot][t2] || m.ww[pivot][t2]) continue;
+      for (size_t tm = 0; tm < n; ++tm) {
+        // Incoming vulnerable edge tm -> pivot.
+        if (tm == pivot || !m.rw[tm][pivot] || m.ww[pivot][tm]) continue;
+        // Chain T2 ~> Tm.
+        bool chained = t2 == tm || m.conflict[t2][tm];
+        if (!chained) {
+          for (size_t via = 0; via < n && !chained; ++via) {
+            if (!admissible[via] || via == t2 || via == tm) continue;
+            if (!m.conflict[t2][via]) continue;
+            for (size_t out = 0; out < n && !chained; ++out) {
+              if (!admissible[out] || out == t2 || out == tm) continue;
+              if (m.conflict[out][tm] &&
+                  components.Find(via) == components.Find(out)) {
+                chained = true;
+              }
+            }
+          }
+        }
+        if (chained) return false;  // Dangerous pivot found.
+      }
+    }
+  }
+  return true;
+}
+
+bool SiRobust(const TransactionSet& txns) {
+  return SiRobustnessBaseline(txns).Robust();
+}
+
+}  // namespace mvrob

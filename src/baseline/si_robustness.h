@@ -1,0 +1,41 @@
+#ifndef MVROB_BASELINE_SI_ROBUSTNESS_H_
+#define MVROB_BASELINE_SI_ROBUSTNESS_H_
+
+#include "txn/transaction_set.h"
+
+namespace mvrob {
+
+/// Direct transaction-level test for robustness against the homogeneous
+/// allocation A_SI, in the style of Fekete's PODS'05 characterization
+/// ("Allocating isolation levels to transactions", [19] in the paper):
+///
+/// T is NOT robust against SI iff there is a pivot transaction T1 with
+///   - an outgoing *vulnerable* edge T1 -> T2: T1 reads an object T2
+///     writes, and T1 and T2 have disjoint write sets (otherwise SI's
+///     first-committer-wins forbids them to run concurrently);
+///   - an incoming vulnerable edge Tm -> T1: Tm reads an object T1 writes,
+///     with T1 and Tm write-disjoint; and
+///   - T2 = Tm, or a path of statically conflicting transactions from T2
+///     to Tm that avoids transactions conflicting with T1.
+///
+/// This coincides with Definition 3.1 specialized to A_SI; the class is an
+/// *independent* implementation (boolean conflict matrices + union-find)
+/// used to cross-check Algorithm 1 and as the specialized-checker baseline
+/// in the benchmarks.
+class SiRobustnessBaseline {
+ public:
+  explicit SiRobustnessBaseline(const TransactionSet& txns);
+
+  /// True iff the set is robust against A_SI.
+  bool Robust() const;
+
+ private:
+  const TransactionSet& txns_;
+};
+
+/// Convenience wrapper.
+bool SiRobust(const TransactionSet& txns);
+
+}  // namespace mvrob
+
+#endif  // MVROB_BASELINE_SI_ROBUSTNESS_H_

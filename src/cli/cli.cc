@@ -1,0 +1,642 @@
+#include "cli/cli.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "common/json.h"
+#include "common/string_util.h"
+#include "core/constrained_allocation.h"
+#include "core/explain.h"
+#include "core/incremental.h"
+#include "core/optimal_allocation.h"
+#include "core/rc_si_allocation.h"
+#include "core/robustness.h"
+#include "core/split_schedule.h"
+#include "iso/allowed.h"
+#include "iso/materialize.h"
+#include "mvcc/driver.h"
+#include "mvcc/trace.h"
+#include "oracle/brute_force.h"
+#include "oracle/split_enumerator.h"
+#include "oracle/statistics.h"
+#include "schedule/anomaly.h"
+#include "schedule/dot.h"
+#include "schedule/serializability.h"
+#include "templates/parser.h"
+#include "templates/robustness.h"
+#include "txn/parser.h"
+#include "workloads/registry.h"
+#include "workloads/stats.h"
+
+namespace mvrob {
+namespace {
+
+constexpr const char* kUsage = R"(mvrob — mixed isolation-level robustness & allocation
+
+usage: mvrob <command> [flags]
+
+commands:
+  check      decide robustness of an allocation (Algorithm 1)
+  allocate   compute the optimal robust allocation (Algorithm 2)
+  explore    analyze one schedule: dependencies, SeG, allowed-under
+  census     enumerate all interleavings: allowed / anomalous counts
+  templates  per-program allocation for a template workload
+  report     full markdown analysis of a workload
+  simulate   execute the workload on the MVCC engine and report outcomes
+  crosscheck validate Algorithm 1 against the exhaustive oracles
+  shell      interactive session: add transactions, watch the optimum move
+  help       this text
+
+common flags:
+  --txns <text|@file>      transaction DSL ("T1: R[x] W[y]" per line)
+  --workload <spec>        built-in workload instead of --txns, e.g.
+                           tpcc:w=2,d=3  smallbank:c=4  auction  ycsb:a
+                           synthetic:n=10,o=8,w=40,h=30,seed=3
+  --alloc <spec>           allocation "T1=RC T2=SI" (others: --default)
+  --default <RC|SI|SSI>    level for unmentioned transactions (default SI)
+  --schedule <text>        operation order "R1[x] W2[x] C2 C1" (explore)
+  --dot / --timeline       extra renderings (explore)
+  --rcsi                   restrict to {RC, SI} (allocate)
+  --explain                per-transaction obstacles (allocate)
+  --pin "T1=RC ..."        fix transactions to exact levels (allocate)
+  --atmost "T2=SI ..."     per-transaction upper bounds (allocate)
+  --max <n>                interleaving cap (census; default 2000000)
+  --templates <text|@file> template DSL (templates)
+  --json                   machine-readable output (check, allocate)
+  --runs <n>               engine executions (simulate; default 20)
+  --concurrency <n>        sessions in flight (simulate; default 4)
+  --seed <n>               base RNG seed (simulate; default 0)
+)";
+
+// Parsed flag map; flags are --name value pairs except boolean switches.
+struct Flags {
+  std::map<std::string, std::string> values;
+  bool Has(const std::string& name) const { return values.contains(name); }
+  std::string Get(const std::string& name) const {
+    auto it = values.find(name);
+    return it == values.end() ? std::string() : it->second;
+  }
+};
+
+bool IsSwitch(const std::string& flag) {
+  return flag == "dot" || flag == "timeline" || flag == "rcsi" ||
+         flag == "explain" || flag == "json";
+}
+// Note: --pin and --atmost take values and are not switches.
+
+StatusOr<Flags> ParseFlags(const std::vector<std::string>& args,
+                           size_t start) {
+  Flags flags;
+  for (size_t i = start; i < args.size(); ++i) {
+    if (!args[i].starts_with("--")) {
+      return Status::InvalidArgument(
+          StrCat("unexpected argument '", args[i], "'"));
+    }
+    std::string name = args[i].substr(2);
+    if (IsSwitch(name)) {
+      flags.values[name] = "1";
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      return Status::InvalidArgument(StrCat("--", name, " needs a value"));
+    }
+    flags.values[name] = args[++i];
+  }
+  return flags;
+}
+
+// Resolves "@path" arguments to file contents.
+StatusOr<std::string> LoadText(const std::string& value) {
+  if (!value.starts_with("@")) return value;
+  std::ifstream file(value.substr(1));
+  if (!file) {
+    return Status::NotFound(StrCat("cannot open ", value.substr(1)));
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  return text.str();
+}
+
+StatusOr<TransactionSet> LoadTxns(const Flags& flags) {
+  if (flags.Has("workload")) {
+    StatusOr<Workload> workload = MakeNamedWorkload(flags.Get("workload"));
+    if (!workload.ok()) return workload.status();
+    return std::move(workload->txns);
+  }
+  if (!flags.Has("txns")) {
+    return Status::InvalidArgument("--txns or --workload is required");
+  }
+  StatusOr<std::string> text = LoadText(flags.Get("txns"));
+  if (!text.ok()) return text.status();
+  return ParseTransactionSet(*text);
+}
+
+StatusOr<Allocation> LoadAllocation(const Flags& flags,
+                                    const TransactionSet& txns) {
+  IsolationLevel fallback = IsolationLevel::kSI;
+  if (flags.Has("default")) {
+    StatusOr<IsolationLevel> parsed =
+        ParseIsolationLevel(flags.Get("default"));
+    if (!parsed.ok()) return parsed.status();
+    fallback = *parsed;
+  }
+  return ParseAllocation(txns, flags.Get("alloc"), fallback);
+}
+
+int Fail(std::ostream& err, const Status& status) {
+  err << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+// Emits a counterexample chain as a JSON object.
+void ChainToJson(const TransactionSet& txns, const CounterexampleChain& chain,
+                 JsonWriter& json) {
+  json.BeginObject();
+  json.Key("split_txn");
+  json.String(txns.txn(chain.t1).name());
+  json.Key("split_after");
+  json.String(txns.FormatOp(chain.b1));
+  json.Key("chain");
+  json.BeginArray();
+  for (TxnId t : chain.ChainTxns()) json.String(txns.txn(t).name());
+  json.EndArray();
+  json.EndObject();
+}
+
+int CmdCheck(const Flags& flags, std::ostream& out, std::ostream& err) {
+  StatusOr<TransactionSet> txns = LoadTxns(flags);
+  if (!txns.ok()) return Fail(err, txns.status());
+  StatusOr<Allocation> alloc = LoadAllocation(flags, *txns);
+  if (!alloc.ok()) return Fail(err, alloc.status());
+
+  if (flags.Has("json")) {
+    RobustnessResult result = CheckRobustness(*txns, *alloc);
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("allocation");
+    json.String(alloc->ToString(*txns));
+    json.Key("robust");
+    json.Bool(result.robust);
+    if (!result.robust) {
+      json.Key("counterexample");
+      ChainToJson(*txns, *result.counterexample, json);
+    }
+    json.EndObject();
+    out << json.str() << "\n";
+    return 0;
+  }
+
+  out << "workload:\n" << txns->ToString();
+  out << "allocation: " << alloc->ToString(*txns) << "\n";
+  RobustnessResult result = CheckRobustness(*txns, *alloc);
+  out << "robust: " << (result.robust ? "yes" : "no") << "\n";
+  if (!result.robust) {
+    out << "counterexample: " << result.counterexample->ToString(*txns)
+        << "\n";
+    StatusOr<Schedule> witness =
+        BuildSplitSchedule(*txns, *alloc, *result.counterexample);
+    if (witness.ok()) {
+      out << "witness schedule: " << witness->ToString() << "\n";
+    }
+  }
+  return 0;
+}
+
+// Parses --pin / --atmost specs into AllocationBounds.
+StatusOr<AllocationBounds> LoadBounds(const Flags& flags,
+                                      const TransactionSet& txns) {
+  AllocationBounds bounds = AllocationBounds::Free(txns.size());
+  if (flags.Has("pin")) {
+    // Reuse the allocation parser: unmentioned transactions default to RC
+    // and a second parse with SSI default distinguishes them.
+    StatusOr<Allocation> low =
+        ParseAllocation(txns, flags.Get("pin"), IsolationLevel::kRC);
+    if (!low.ok()) return low.status();
+    StatusOr<Allocation> high =
+        ParseAllocation(txns, flags.Get("pin"), IsolationLevel::kSSI);
+    if (!high.ok()) return high.status();
+    for (TxnId t = 0; t < txns.size(); ++t) {
+      if (low->level(t) == high->level(t)) {
+        bounds.Pin(t, low->level(t));  // Mentioned in the spec.
+      }
+    }
+  }
+  if (flags.Has("atmost")) {
+    StatusOr<Allocation> cap =
+        ParseAllocation(txns, flags.Get("atmost"), IsolationLevel::kSSI);
+    if (!cap.ok()) return cap.status();
+    for (TxnId t = 0; t < txns.size(); ++t) {
+      if (cap->level(t) < bounds.max_level[t]) {
+        bounds.AtMost(t, cap->level(t));
+      }
+    }
+  }
+  return bounds;
+}
+
+int CmdAllocate(const Flags& flags, std::ostream& out, std::ostream& err) {
+  StatusOr<TransactionSet> txns = LoadTxns(flags);
+  if (!txns.ok()) return Fail(err, txns.status());
+
+  if (flags.Has("pin") || flags.Has("atmost")) {
+    StatusOr<AllocationBounds> bounds = LoadBounds(flags, *txns);
+    if (!bounds.ok()) return Fail(err, bounds.status());
+    StatusOr<ConstrainedAllocationResult> result =
+        ComputeConstrainedAllocation(*txns, *bounds);
+    if (!result.ok()) return Fail(err, result.status());
+    if (!result->feasible) {
+      out << "no robust allocation exists within the given bounds\n";
+      out << "counterexample at the bounds' top: "
+          << result->counterexample->ToString(*txns) << "\n";
+      return 0;
+    }
+    out << "optimal allocation within bounds: "
+        << result->allocation->ToString(*txns) << "\n";
+    return 0;
+  }
+
+  if (flags.Has("rcsi")) {
+    RcSiAllocationResult result = ComputeOptimalRcSiAllocation(*txns);
+    if (!result.allocatable) {
+      out << "no robust {RC,SI} allocation exists\n";
+      out << "counterexample against A_SI: "
+          << result.counterexample->ToString(*txns) << "\n";
+      return 0;
+    }
+    out << "optimal {RC,SI} allocation: "
+        << result.allocation->ToString(*txns) << "\n";
+    return 0;
+  }
+
+  OptimalAllocationResult result = ComputeOptimalAllocation(*txns);
+  if (flags.Has("json")) {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("levels");
+    json.BeginObject();
+    for (TxnId t = 0; t < txns->size(); ++t) {
+      json.Key(txns->txn(t).name());
+      json.String(IsolationLevelToString(result.allocation.level(t)));
+    }
+    json.EndObject();
+    json.Key("robustness_checks");
+    json.Uint(result.robustness_checks);
+    json.EndObject();
+    out << json.str() << "\n";
+    return 0;
+  }
+  out << "optimal allocation: " << result.allocation.ToString(*txns) << "\n";
+  out << "levels: RC=" << result.allocation.CountAt(IsolationLevel::kRC)
+      << " SI=" << result.allocation.CountAt(IsolationLevel::kSI)
+      << " SSI=" << result.allocation.CountAt(IsolationLevel::kSSI) << "\n";
+  if (flags.Has("explain")) {
+    StatusOr<AllocationExplanation> explanation =
+        ExplainAllocation(*txns, result.allocation);
+    if (!explanation.ok()) return Fail(err, explanation.status());
+    out << explanation->ToString(*txns);
+  }
+  return 0;
+}
+
+int CmdExplore(const Flags& flags, std::ostream& out, std::ostream& err) {
+  StatusOr<TransactionSet> txns = LoadTxns(flags);
+  if (!txns.ok()) return Fail(err, txns.status());
+  if (!flags.Has("schedule")) {
+    return Fail(err, Status::InvalidArgument("--schedule is required"));
+  }
+  StatusOr<std::vector<OpRef>> order =
+      ParseScheduleOrder(*txns, flags.Get("schedule"));
+  if (!order.ok()) return Fail(err, order.status());
+  StatusOr<Allocation> alloc = LoadAllocation(flags, *txns);
+  if (!alloc.ok()) return Fail(err, alloc.status());
+  StatusOr<Schedule> schedule = MaterializeSchedule(&*txns, *order, *alloc);
+  if (!schedule.ok()) return Fail(err, schedule.status());
+
+  out << "schedule: " << schedule->ToString(/*with_versions=*/true) << "\n";
+  if (flags.Has("timeline")) out << ScheduleTimeline(*schedule);
+  SerializationGraph graph = SerializationGraph::Build(*schedule);
+  for (const Dependency& edge : graph.edges()) {
+    out << "  " << FormatDependency(*txns, edge) << "\n";
+  }
+  out << "conflict serializable: " << (graph.IsAcyclic() ? "yes" : "no")
+      << "\n";
+  for (const AnomalyReport& anomaly : FindAnomalies(*schedule)) {
+    out << "anomaly: " << anomaly.ToString(*txns) << "\n";
+  }
+  AllowedCheckResult allowed = CheckAllowedUnder(*schedule, *alloc);
+  out << "allowed under " << alloc->ToString(*txns) << ": "
+      << (allowed.allowed ? "yes" : "no") << "\n";
+  for (const std::string& violation : allowed.violations) {
+    out << "  - " << violation << "\n";
+  }
+  if (flags.Has("dot")) out << SerializationGraphToDot(*txns, graph);
+  return 0;
+}
+
+int CmdCensus(const Flags& flags, std::ostream& out, std::ostream& err) {
+  StatusOr<TransactionSet> txns = LoadTxns(flags);
+  if (!txns.ok()) return Fail(err, txns.status());
+  StatusOr<Allocation> alloc = LoadAllocation(flags, *txns);
+  if (!alloc.ok()) return Fail(err, alloc.status());
+  uint64_t max_interleavings = 2'000'000;
+  if (flags.Has("max")) {
+    max_interleavings = std::strtoull(flags.Get("max").c_str(), nullptr, 10);
+  }
+  StatusOr<ScheduleCensus> census =
+      ComputeScheduleCensus(*txns, *alloc, max_interleavings);
+  if (!census.ok()) return Fail(err, census.status());
+  out << "interleavings: " << census->interleavings << "\n";
+  out << "allowed:       " << census->allowed << "\n";
+  out << "serializable:  " << census->serializable << "\n";
+  out << "anomalous:     " << census->anomalous << "\n";
+  return 0;
+}
+
+int CmdTemplates(const Flags& flags, std::ostream& out, std::ostream& err) {
+  if (!flags.Has("templates")) {
+    return Fail(err, Status::InvalidArgument("--templates is required"));
+  }
+  StatusOr<std::string> text = LoadText(flags.Get("templates"));
+  if (!text.ok()) return Fail(err, text.status());
+  StatusOr<TemplateSet> set = ParseTemplateSet(*text);
+  if (!set.ok()) return Fail(err, set.status());
+  StatusOr<TemplateAllocationResult> result =
+      ComputeOptimalTemplateAllocation(*set);
+  if (!result.ok()) return Fail(err, result.status());
+  out << "optimal per-program allocation: "
+      << FormatTemplateAllocation(*set, result->levels) << "\n";
+  return 0;
+}
+
+int CmdReport(const Flags& flags, std::ostream& out, std::ostream& err) {
+  StatusOr<TransactionSet> txns = LoadTxns(flags);
+  if (!txns.ok()) return Fail(err, txns.status());
+
+  out << "# Workload analysis\n\n";
+  out << "## Transactions\n\n```\n" << txns->ToString() << "```\n\n";
+  out << ComputeWorkloadStats(*txns).ToString() << "\n\n";
+
+  out << "## Robustness against homogeneous allocations\n\n";
+  out << "| allocation | robust |\n|---|---|\n";
+  RobustnessResult rc = CheckRobustnessRC(*txns);
+  RobustnessResult si = CheckRobustnessSI(*txns);
+  out << "| A_RC  | " << (rc.robust ? "yes" : "no") << " |\n";
+  out << "| A_SI  | " << (si.robust ? "yes" : "no") << " |\n";
+  out << "| A_SSI | yes |\n\n";
+
+  OptimalAllocationResult optimal = ComputeOptimalAllocation(*txns);
+  out << "## Optimal robust allocation\n\n";
+  out << "```\n" << optimal.allocation.ToString(*txns) << "\n```\n\n";
+  out << "RC=" << optimal.allocation.CountAt(IsolationLevel::kRC)
+      << " SI=" << optimal.allocation.CountAt(IsolationLevel::kSI)
+      << " SSI=" << optimal.allocation.CountAt(IsolationLevel::kSSI)
+      << " (" << optimal.robustness_checks << " robustness checks)\n\n";
+
+  StatusOr<AllocationExplanation> explanation =
+      ExplainAllocation(*txns, optimal.allocation);
+  if (explanation.ok()) {
+    out << "## Why no transaction can run lower\n\n```\n"
+        << explanation->ToString(*txns) << "```\n\n";
+  }
+
+  std::vector<CounterexampleChain> spots = FindAllCounterexamples(
+      *txns, Allocation::AllSI(txns->size()), /*limit=*/8);
+  if (!spots.empty()) {
+    out << "## Trouble spots under A_SI\n\n";
+    for (const CounterexampleChain& chain : spots) {
+      out << "- " << chain.ToString(*txns) << "\n";
+    }
+    out << "\n";
+  }
+
+  RcSiAllocationResult rcsi = ComputeOptimalRcSiAllocation(*txns);
+  out << "## The {RC, SI} setting (Oracle)\n\n";
+  if (rcsi.allocatable) {
+    out << "Robustly allocatable: `" << rcsi.allocation->ToString(*txns)
+        << "`\n";
+  } else {
+    out << "NOT robustly allocatable — no assignment of RC/SI avoids "
+           "anomalies.\nWitness: "
+        << rcsi.counterexample->ToString(*txns) << "\n";
+  }
+
+  // A census when enumeration is cheap.
+  StatusOr<ScheduleCensus> census =
+      ComputeScheduleCensus(*txns, Allocation::AllSI(txns->size()),
+                            /*max_interleavings=*/200'000);
+  if (census.ok()) {
+    out << "\n## Interleaving census under A_SI\n\n";
+    out << census->allowed << " of " << census->interleavings
+        << " interleavings allowed; " << census->anomalous
+        << " anomalous.\n";
+  }
+  return 0;
+}
+
+int CmdSimulate(const Flags& flags, std::ostream& out, std::ostream& err) {
+  StatusOr<TransactionSet> txns = LoadTxns(flags);
+  if (!txns.ok()) return Fail(err, txns.status());
+  StatusOr<Allocation> alloc = LoadAllocation(flags, *txns);
+  if (!alloc.ok()) return Fail(err, alloc.status());
+  int runs = flags.Has("runs") ? std::atoi(flags.Get("runs").c_str()) : 20;
+  int concurrency = flags.Has("concurrency")
+                        ? std::atoi(flags.Get("concurrency").c_str())
+                        : 4;
+  uint64_t seed =
+      flags.Has("seed") ? std::strtoull(flags.Get("seed").c_str(), nullptr, 10)
+                        : 0;
+  if (runs <= 0 || concurrency <= 0) {
+    return Fail(err,
+                Status::InvalidArgument("--runs/--concurrency must be > 0"));
+  }
+
+  out << "simulating " << runs << " executions of " << txns->size()
+      << " transactions under " << alloc->ToString(*txns) << "\n";
+  uint64_t commits = 0;
+  uint64_t fuw = 0;
+  uint64_t ssi = 0;
+  uint64_t serializable = 0;
+  std::map<std::string, int> anomaly_counts;
+  for (int r = 0; r < runs; ++r) {
+    Engine engine(txns->num_objects());
+    RandomRunOptions options;
+    options.concurrency = concurrency;
+    options.seed = seed + static_cast<uint64_t>(r);
+    DriverReport report = RunRandom(engine, *txns, *alloc, options);
+    commits += report.committed;
+    fuw += engine.stats().aborts_write_conflict;
+    ssi += engine.stats().aborts_ssi;
+    StatusOr<ExportedRun> run = ExportCommittedRun(engine, *txns);
+    if (!run.ok()) continue;
+    StatusOr<Schedule> schedule = run->BuildSchedule();
+    if (!schedule.ok()) continue;
+    std::vector<AnomalyReport> anomalies = FindAnomalies(*schedule);
+    if (anomalies.empty()) {
+      ++serializable;
+    } else {
+      for (const AnomalyReport& anomaly : anomalies) {
+        ++anomaly_counts[AnomalyKindToString(anomaly.kind)];
+      }
+    }
+  }
+  out << "commits: " << commits << ", first-updater aborts: " << fuw
+      << ", SSI aborts: " << ssi << "\n";
+  out << "serializable runs: " << serializable << "/" << runs << "\n";
+  for (const auto& [kind, count] : anomaly_counts) {
+    out << "anomaly '" << kind << "': " << count << " occurrence(s)\n";
+  }
+  bool robust = CheckRobustness(*txns, *alloc).robust;
+  out << "(Algorithm 1 verdict for this allocation: "
+      << (robust ? "robust - anomalies are impossible"
+                 : "NOT robust - anomalies are possible")
+      << ")\n";
+  return 0;
+}
+
+// Interactive loop: one command per line on `in`.
+//   add <Name>: R[x] W[y]   add a transaction and reallocate
+//   remove <Name>           drop a transaction
+//   show                    print workload + current optimal allocation
+//   quit
+int CmdShell(std::istream& in, std::ostream& out, std::ostream& err) {
+  IncrementalAllocator allocator;
+  out << "mvrob shell - 'add <Name>: R[x] W[y]', 'remove <Name>', 'show', "
+         "'quit'\n";
+  std::string line;
+  while (out << "> " << std::flush, std::getline(in, line)) {
+    std::string_view trimmed = StripWhitespace(line);
+    if (trimmed.empty()) continue;
+    if (trimmed == "quit" || trimmed == "exit") break;
+    if (trimmed == "show") {
+      out << allocator.txns().ToString();
+      if (!allocator.txns().empty()) {
+        out << "optimal: "
+            << allocator.allocation().ToString(allocator.txns()) << "\n";
+      }
+      continue;
+    }
+    if (trimmed.starts_with("remove ")) {
+      std::string name(StripWhitespace(trimmed.substr(7)));
+      TxnId txn = allocator.txns().FindTransaction(name);
+      if (txn == kInvalidTxnId) {
+        err << "error: no transaction '" << name << "'\n";
+        continue;
+      }
+      Status removed = allocator.RemoveTransaction(txn);
+      if (!removed.ok()) {
+        err << "error: " << removed.ToString() << "\n";
+        continue;
+      }
+      out << "removed " << name << "\n";
+      if (!allocator.txns().empty()) {
+        out << "optimal: "
+            << allocator.allocation().ToString(allocator.txns()) << "\n";
+      }
+      continue;
+    }
+    if (trimmed.starts_with("add ")) {
+      // Parse "<Name>: ops" by reusing the workload DSL on a fresh set,
+      // then copy the transaction over with interned objects.
+      StatusOr<TransactionSet> parsed =
+          ParseTransactionSet(trimmed.substr(4));
+      if (!parsed.ok() || parsed->size() != 1) {
+        err << "error: expected 'add Name: R[x] W[y] ...'\n";
+        continue;
+      }
+      const Transaction& txn = parsed->txn(0);
+      std::vector<Operation> ops;
+      for (int i = 0; i + 1 < txn.num_ops(); ++i) {
+        Operation op = txn.op(i);
+        op.object = allocator.InternObject(parsed->ObjectName(op.object));
+        ops.push_back(op);
+      }
+      StatusOr<TxnId> added =
+          allocator.AddTransaction(txn.name(), std::move(ops));
+      if (!added.ok()) {
+        err << "error: " << added.status().ToString() << "\n";
+        continue;
+      }
+      out << "added " << txn.name() << "; optimal: "
+          << allocator.allocation().ToString(allocator.txns()) << "\n";
+      continue;
+    }
+    err << "error: unknown shell command '" << trimmed << "'\n";
+  }
+  return 0;
+}
+
+int CmdCrossCheck(const Flags& flags, std::ostream& out, std::ostream& err) {
+  StatusOr<TransactionSet> txns = LoadTxns(flags);
+  if (!txns.ok()) return Fail(err, txns.status());
+  StatusOr<Allocation> alloc = LoadAllocation(flags, *txns);
+  if (!alloc.ok()) return Fail(err, alloc.status());
+
+  RobustnessResult algorithm = CheckRobustness(*txns, *alloc);
+  out << "Algorithm 1 (PTIME):       "
+      << (algorithm.robust ? "robust" : "not robust") << "\n";
+
+  std::optional<CounterexampleChain> split =
+      EnumerateSplitSchedules(*txns, *alloc);
+  out << "Definition 3.1 enumeration: "
+      << (split.has_value() ? "counterexample found" : "no split schedule")
+      << "\n";
+
+  StatusOr<BruteForceResult> brute = BruteForceRobustness(*txns, *alloc);
+  if (brute.ok()) {
+    out << "Brute-force oracle:        "
+        << (brute->robust ? "robust" : "not robust") << " ("
+        << brute->interleavings_checked << " interleavings)\n";
+  } else {
+    out << "Brute-force oracle:        skipped (" << brute.status().message()
+        << ")\n";
+  }
+
+  bool agree = algorithm.robust == !split.has_value() &&
+               (!brute.ok() || brute->robust == algorithm.robust);
+  if (!algorithm.robust) {
+    Status verified =
+        VerifyCounterexample(*txns, *alloc, *algorithm.counterexample);
+    out << "Witness verification:      "
+        << (verified.ok() ? "allowed & non-serializable" : "FAILED") << "\n";
+    agree = agree && verified.ok();
+  }
+  out << (agree ? "ALL CHECKS AGREE" : "DISAGREEMENT — please report a bug")
+      << "\n";
+  return agree ? 0 : 2;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  return RunCli(args, std::cin, out, err);
+}
+
+int RunCli(const std::vector<std::string>& args, std::istream& in,
+           std::ostream& out, std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << kUsage;
+    return args.empty() ? 1 : 0;
+  }
+  StatusOr<Flags> flags = ParseFlags(args, 1);
+  if (!flags.ok()) return Fail(err, flags.status());
+
+  const std::string& command = args[0];
+  if (command == "check") return CmdCheck(*flags, out, err);
+  if (command == "allocate") return CmdAllocate(*flags, out, err);
+  if (command == "explore") return CmdExplore(*flags, out, err);
+  if (command == "census") return CmdCensus(*flags, out, err);
+  if (command == "templates") return CmdTemplates(*flags, out, err);
+  if (command == "report") return CmdReport(*flags, out, err);
+  if (command == "crosscheck") return CmdCrossCheck(*flags, out, err);
+  if (command == "simulate") return CmdSimulate(*flags, out, err);
+  if (command == "shell") return CmdShell(in, out, err);
+  err << "error: unknown command '" << command << "'\n" << kUsage;
+  return 1;
+}
+
+}  // namespace mvrob

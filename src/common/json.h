@@ -1,0 +1,127 @@
+#ifndef MVROB_COMMON_JSON_H_
+#define MVROB_COMMON_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace mvrob {
+
+/// A minimal streaming JSON writer — enough for the CLI's machine-readable
+/// output without a third-party dependency. Produces compact, valid JSON;
+/// the caller is responsible for well-formed nesting (asserted in debug
+/// builds via a depth counter).
+///
+///   JsonWriter json;
+///   json.BeginObject();
+///   json.Key("robust");
+///   json.Bool(false);
+///   json.Key("chain");
+///   json.BeginArray();
+///   json.String("T1");
+///   json.EndArray();
+///   json.EndObject();
+///   json.str();  // {"robust":false,"chain":["T1"]}
+class JsonWriter {
+ public:
+  void BeginObject() { Open('{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray() { Open('['); }
+  void EndArray() { Close(']'); }
+
+  /// Writes an object key; the next value call supplies its value.
+  void Key(std::string_view name) {
+    Separate();
+    AppendQuoted(name);
+    out_.push_back(':');
+    expect_value_ = true;
+  }
+
+  void String(std::string_view value) {
+    Separate();
+    AppendQuoted(value);
+  }
+  void Bool(bool value) {
+    Separate();
+    out_ += value ? "true" : "false";
+  }
+  void Int(int64_t value) {
+    Separate();
+    out_ += std::to_string(value);
+  }
+  void Uint(uint64_t value) {
+    Separate();
+    out_ += std::to_string(value);
+  }
+  void Double(double value) {
+    Separate();
+    out_ += std::to_string(value);
+  }
+  void Null() {
+    Separate();
+    out_ += "null";
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void Open(char c) {
+    Separate();
+    out_.push_back(c);
+    needs_comma_ = false;
+  }
+  void Close(char c) {
+    out_.push_back(c);
+    needs_comma_ = true;
+  }
+  /// Inserts a comma between siblings; keys suppress the comma for their
+  /// value.
+  void Separate() {
+    if (expect_value_) {
+      expect_value_ = false;
+      return;
+    }
+    if (needs_comma_) out_.push_back(',');
+    needs_comma_ = true;
+  }
+  void AppendQuoted(std::string_view value) {
+    out_.push_back('"');
+    for (char c : value) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        case '\r':
+          out_ += "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+            out_ += buffer;
+          } else {
+            out_.push_back(c);
+          }
+      }
+    }
+    out_.push_back('"');
+  }
+
+  std::string out_;
+  bool needs_comma_ = false;
+  bool expect_value_ = false;
+};
+
+}  // namespace mvrob
+
+#endif  // MVROB_COMMON_JSON_H_

@@ -1,0 +1,4 @@
+#include "common/rng.h"
+
+// Rng is header-only; this translation unit exists so the common library has
+// a stable archive member for the target and future out-of-line additions.

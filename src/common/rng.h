@@ -1,0 +1,45 @@
+#ifndef MVROB_COMMON_RNG_H_
+#define MVROB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace mvrob {
+
+/// Deterministic pseudo-random generator used by the synthetic workload
+/// generator and the property-test drivers.
+///
+/// A thin wrapper over std::mt19937_64 so call sites don't repeat
+/// distribution boilerplate and all randomness flows through one seedable
+/// source (reproducible test failures).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  uint64_t Uniform(uint64_t lo, uint64_t hi) {
+    return std::uniform_int_distribution<uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  size_t Index(size_t n) { return static_cast<size_t>(Uniform(0, n - 1)); }
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p < 0 ? 0 : (p > 1 ? 1 : p))(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mvrob
+
+#endif  // MVROB_COMMON_RNG_H_

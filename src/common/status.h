@@ -1,0 +1,114 @@
+#ifndef MVROB_COMMON_STATUS_H_
+#define MVROB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace mvrob {
+
+/// Error categories used across the library. The set is deliberately small:
+/// the library is a static-analysis toolkit, so most failures are malformed
+/// inputs rather than environmental errors.
+enum class StatusCode {
+  kOk = 0,
+  /// The input violates a documented precondition (e.g. a schedule whose
+  /// operation order contradicts a transaction's program order).
+  kInvalidArgument,
+  /// A referenced entity (transaction id, object, operation) does not exist.
+  kNotFound,
+  /// The requested computation would exceed a configured resource limit
+  /// (used by the exhaustive oracle to refuse intractable instances).
+  kResourceExhausted,
+  /// The operation is not valid in the current state (e.g. reading from an
+  /// MVCC transaction that already aborted).
+  kFailedPrecondition,
+};
+
+/// Returns a human-readable name such as "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error result, modeled after absl::Status.
+///
+/// The library does not use exceptions (per the project style guide); every
+/// fallible operation returns Status or StatusOr<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Holds either a value of type T or an error Status.
+///
+/// Accessing the value of a non-OK StatusOr is a programming error and
+/// asserts in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value or a Status keeps call sites terse,
+  /// mirroring absl::StatusOr.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mvrob
+
+#endif  // MVROB_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+#include "common/string_util.h"
+
+#include <cctype>
+
+namespace mvrob {
+
+std::string_view StripWhitespace(std::string_view input) {
+  size_t begin = 0;
+  while (begin < input.size() &&
+         std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  size_t end = input.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+std::vector<std::string> SplitAndTrim(std::string_view input, char delimiter) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (start <= input.size()) {
+    size_t end = input.find(delimiter, start);
+    if (end == std::string_view::npos) end = input.size();
+    std::string_view piece = StripWhitespace(input.substr(start, end - start));
+    if (!piece.empty()) pieces.emplace_back(piece);
+    start = end + 1;
+  }
+  return pieces;
+}
+
+}  // namespace mvrob

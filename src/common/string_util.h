@@ -1,0 +1,40 @@
+#ifndef MVROB_COMMON_STRING_UTIL_H_
+#define MVROB_COMMON_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mvrob {
+
+/// Splits `input` on `delimiter`, dropping empty pieces. "a  b" -> {"a","b"}.
+std::vector<std::string> SplitAndTrim(std::string_view input, char delimiter);
+
+/// Removes leading and trailing whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+/// Joins the elements of `parts` with `separator` using operator<<.
+template <typename Container>
+std::string Join(const Container& parts, std::string_view separator) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& part : parts) {
+    if (!first) out << separator;
+    out << part;
+    first = false;
+  }
+  return out.str();
+}
+
+/// printf-light concatenation: StrCat(1, " + ", 2.5) == "1 + 2.5".
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  ((out << args), ...);
+  return out.str();
+}
+
+}  // namespace mvrob
+
+#endif  // MVROB_COMMON_STRING_UTIL_H_

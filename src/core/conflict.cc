@@ -1,0 +1,60 @@
+#include "core/conflict.h"
+
+#include <algorithm>
+
+namespace mvrob {
+namespace {
+
+// True if two ascending ObjectId vectors intersect.
+bool Intersects(const std::vector<ObjectId>& x,
+                const std::vector<ObjectId>& y) {
+  auto xi = x.begin();
+  auto yi = y.begin();
+  while (xi != x.end() && yi != y.end()) {
+    if (*xi == *yi) return true;
+    if (*xi < *yi) {
+      ++xi;
+    } else {
+      ++yi;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool TxnsConflict(const TransactionSet& txns, TxnId a, TxnId b) {
+  if (a == b) return false;
+  const Transaction& ta = txns.txn(a);
+  const Transaction& tb = txns.txn(b);
+  return Intersects(ta.write_set(), tb.write_set()) ||
+         Intersects(ta.write_set(), tb.read_set()) ||
+         Intersects(ta.read_set(), tb.write_set());
+}
+
+bool WwConflictFreeTxns(const TransactionSet& txns, TxnId a, TxnId b) {
+  if (a == b) return true;
+  return !Intersects(txns.txn(a).write_set(), txns.txn(b).write_set());
+}
+
+bool WrConflictFreeTxns(const TransactionSet& txns, TxnId i, TxnId j) {
+  if (i == j) return true;
+  return !Intersects(txns.txn(i).write_set(), txns.txn(j).read_set());
+}
+
+std::optional<std::pair<OpRef, OpRef>> FindConflictingPair(
+    const TransactionSet& txns, TxnId from, TxnId to) {
+  if (from == to) return std::nullopt;
+  const Transaction& tf = txns.txn(from);
+  const Transaction& tt = txns.txn(to);
+  for (int i = 0; i < tf.num_ops(); ++i) {
+    for (int j = 0; j < tt.num_ops(); ++j) {
+      if (Conflicting(tf.op(i), tt.op(j))) {
+        return std::make_pair(OpRef{from, i}, OpRef{to, j});
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace mvrob

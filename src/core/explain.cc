@@ -1,0 +1,54 @@
+#include "core/explain.h"
+
+#include "common/string_util.h"
+
+namespace mvrob {
+
+std::string AllocationExplanation::ToString(
+    const TransactionSet& txns) const {
+  std::string out;
+  for (const AllocationObstacle& entry : per_txn) {
+    out += StrCat(txns.txn(entry.txn).name(), " = ",
+                  IsolationLevelToString(entry.assigned), "\n");
+    if (entry.obstacles.empty() && entry.assigned != IsolationLevel::kRC) {
+      out += "  (could be lowered: the allocation is not optimal)\n";
+    }
+    for (const AllocationObstacle::Obstacle& obstacle : entry.obstacles) {
+      out += StrCat("  not ", IsolationLevelToString(obstacle.attempted),
+                    ": ", obstacle.chain.ToString(txns), "\n");
+    }
+  }
+  return out;
+}
+
+StatusOr<AllocationExplanation> ExplainAllocation(
+    const TransactionSet& txns, const Allocation& allocation) {
+  if (allocation.size() != txns.size()) {
+    return Status::InvalidArgument("allocation size mismatch");
+  }
+  if (!CheckRobustness(txns, allocation).robust) {
+    return Status::FailedPrecondition(
+        "the allocation is not robust; nothing to explain");
+  }
+  AllocationExplanation explanation;
+  explanation.allocation = allocation;
+  for (TxnId t = 0; t < txns.size(); ++t) {
+    AllocationObstacle entry;
+    entry.txn = t;
+    entry.assigned = allocation.level(t);
+    for (IsolationLevel lower : kAllIsolationLevels) {
+      if (!(lower < entry.assigned)) continue;
+      RobustnessResult result =
+          CheckRobustness(txns, allocation.With(t, lower));
+      if (!result.robust) {
+        entry.obstacles.push_back(
+            AllocationObstacle::Obstacle{lower,
+                                         std::move(*result.counterexample)});
+      }
+    }
+    explanation.per_txn.push_back(std::move(entry));
+  }
+  return explanation;
+}
+
+}  // namespace mvrob

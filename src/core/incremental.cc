@@ -1,0 +1,59 @@
+#include "core/incremental.h"
+
+namespace mvrob {
+
+StatusOr<TxnId> IncrementalAllocator::AddTransaction(
+    std::string name, std::vector<Operation> rw_ops) {
+  StatusOr<TxnId> id = txns_.AddTransaction(std::move(name),
+                                            std::move(rw_ops));
+  if (!id.ok()) return id;
+
+  // Previous levels are valid lower bounds (adding a transaction never
+  // lowers anyone's optimal level); the newcomer starts unconstrained.
+  std::vector<IsolationLevel> lower_bounds = allocation_.levels();
+  lower_bounds.push_back(IsolationLevel::kRC);
+  Reoptimize(lower_bounds);
+  return id;
+}
+
+Status IncrementalAllocator::RemoveTransaction(TxnId txn) {
+  if (txn >= txns_.size()) {
+    return Status::NotFound("no such transaction");
+  }
+  TransactionSet rebuilt;
+  for (size_t o = 0; o < txns_.num_objects(); ++o) {
+    rebuilt.InternObject(txns_.ObjectName(static_cast<ObjectId>(o)));
+  }
+  for (TxnId t = 0; t < txns_.size(); ++t) {
+    if (t == txn) continue;
+    const Transaction& old = txns_.txn(t);
+    std::vector<Operation> ops(old.ops().begin(),
+                               old.ops().end() - 1);  // Drop the commit.
+    StatusOr<TxnId> id = rebuilt.AddTransaction(old.name(), std::move(ops));
+    if (!id.ok()) return id.status();
+  }
+  txns_ = std::move(rebuilt);
+  // Removal can lower anyone: recompute without bounds.
+  Reoptimize(std::vector<IsolationLevel>(txns_.size(), IsolationLevel::kRC));
+  return Status::Ok();
+}
+
+void IncrementalAllocator::Reoptimize(
+    const std::vector<IsolationLevel>& lower_bounds) {
+  RobustnessAnalyzer analyzer(txns_);
+  Allocation allocation = Allocation::AllSSI(txns_.size());
+  for (TxnId t = 0; t < txns_.size(); ++t) {
+    for (IsolationLevel level : {IsolationLevel::kRC, IsolationLevel::kSI}) {
+      if (level < lower_bounds[t]) continue;  // Warm start.
+      Allocation candidate = allocation.With(t, level);
+      ++checks_performed_;
+      if (analyzer.Check(candidate).robust) {
+        allocation = candidate;
+        break;
+      }
+    }
+  }
+  allocation_ = std::move(allocation);
+}
+
+}  // namespace mvrob

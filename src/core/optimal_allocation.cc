@@ -1,0 +1,27 @@
+#include "core/optimal_allocation.h"
+
+#include "core/analyzer.h"
+
+namespace mvrob {
+
+OptimalAllocationResult ComputeOptimalAllocation(const TransactionSet& txns) {
+  OptimalAllocationResult result;
+  // All 2|T| robustness checks run over the same transaction set, so the
+  // analyzer's conflict matrices and pivot components amortize fully.
+  RobustnessAnalyzer analyzer(txns);
+  result.allocation = Allocation::AllSSI(txns.size());
+  for (TxnId t = 0; t < txns.size(); ++t) {
+    for (IsolationLevel level :
+         {IsolationLevel::kRC, IsolationLevel::kSI}) {
+      Allocation candidate = result.allocation.With(t, level);
+      ++result.robustness_checks;
+      if (analyzer.Check(candidate).robust) {
+        result.allocation = candidate;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mvrob

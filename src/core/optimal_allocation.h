@@ -1,0 +1,30 @@
+#ifndef MVROB_CORE_OPTIMAL_ALLOCATION_H_
+#define MVROB_CORE_OPTIMAL_ALLOCATION_H_
+
+#include <cstdint>
+
+#include "core/robustness.h"
+
+namespace mvrob {
+
+/// Result of the allocation computation (Algorithm 2).
+struct OptimalAllocationResult {
+  Allocation allocation;
+  /// Number of invocations of the robustness checker — exposed for the
+  /// complexity benchmarks.
+  uint64_t robustness_checks = 0;
+};
+
+/// Algorithm 2: computes the *unique* optimal robust allocation over
+/// {RC, SI, SSI} for `txns` (Theorem 4.3, Proposition 4.2): no transaction
+/// can be moved to a lower level without breaking robustness.
+///
+/// Starts from A_SSI (always robust, since SSI guarantees serializability)
+/// and, for each transaction in turn, assigns the lowest level that keeps
+/// the allocation robust. Correctness follows from Proposition 4.1(2): the
+/// outcome does not depend on the iteration order.
+OptimalAllocationResult ComputeOptimalAllocation(const TransactionSet& txns);
+
+}  // namespace mvrob
+
+#endif  // MVROB_CORE_OPTIMAL_ALLOCATION_H_

@@ -1,0 +1,52 @@
+#ifndef MVROB_CORE_SPLIT_SCHEDULE_H_
+#define MVROB_CORE_SPLIT_SCHEDULE_H_
+
+#include <vector>
+
+#include "core/robustness.h"
+#include "iso/materialize.h"
+
+namespace mvrob {
+
+/// Checks the full set of structural conditions of Definition 3.1
+/// (multiversion split schedule) for a counterexample chain:
+///   - the chain transactions are pairwise distinct (t2 == tm allowed),
+///     consecutive chain members conflict, and the designated operations
+///     have the required kinds;
+///   - (1) T1 does not conflict with any inner transaction;
+///   - (2) no write in prefix_{b1}(T1) ww-conflicts with a write of T2/Tm;
+///   - (3) if A(T1) in {SI, SSI}, the same holds for postfix_{b1}(T1);
+///   - (4) b1 is rw-conflicting with a2;
+///   - (5) bm conflicts with a1, rw-conflicting or the RC split case;
+///   - (6)-(8) the SSI side conditions.
+/// Returns OK iff the chain describes a valid multiversion split schedule
+/// for (txns, alloc).
+Status ValidateSplitChain(const TransactionSet& txns, const Allocation& alloc,
+                          const CounterexampleChain& chain);
+
+/// The operation order of the multiversion split schedule based on `chain`:
+///
+///   prefix_{b1}(T1) . T2 . T3 ... Tm . postfix_{b1}(T1) . T_{m+1} ... T_n
+///
+/// with the remaining transactions appended in ascending id order.
+std::vector<OpRef> BuildSplitOrder(const TransactionSet& txns,
+                                   const CounterexampleChain& chain);
+
+/// Materializes the split order into a concrete schedule under `alloc`.
+/// By Theorem 3.2, if the chain validates, the result is allowed under
+/// `alloc` and not conflict serializable — a counterexample witnessing
+/// non-robustness.
+StatusOr<Schedule> BuildSplitSchedule(const TransactionSet& txns,
+                                      const Allocation& alloc,
+                                      const CounterexampleChain& chain);
+
+/// End-to-end verification used by tests and tooling: validates the chain,
+/// builds the schedule, and checks with the *independent* semantic checkers
+/// that it is allowed under `alloc` and not conflict serializable.
+Status VerifyCounterexample(const TransactionSet& txns,
+                            const Allocation& alloc,
+                            const CounterexampleChain& chain);
+
+}  // namespace mvrob
+
+#endif  // MVROB_CORE_SPLIT_SCHEDULE_H_

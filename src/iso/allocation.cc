@@ -1,0 +1,61 @@
+#include "iso/allocation.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace mvrob {
+
+bool Allocation::LessEq(const Allocation& other) const {
+  if (levels_.size() != other.levels_.size()) return false;
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    if (!(levels_[i] <= other.levels_[i])) return false;
+  }
+  return true;
+}
+
+bool Allocation::StrictlyLess(const Allocation& other) const {
+  return LessEq(other) && levels_ != other.levels_;
+}
+
+size_t Allocation::CountAt(IsolationLevel level) const {
+  return static_cast<size_t>(
+      std::count(levels_.begin(), levels_.end(), level));
+}
+
+std::string Allocation::ToString(const TransactionSet& txns) const {
+  std::vector<std::string> parts;
+  parts.reserve(levels_.size());
+  for (TxnId t = 0; t < levels_.size(); ++t) {
+    parts.push_back(StrCat(txns.txn(t).name(), "=",
+                           IsolationLevelToString(levels_[t])));
+  }
+  return Join(parts, " ");
+}
+
+StatusOr<Allocation> ParseAllocation(const TransactionSet& txns,
+                                     std::string_view text,
+                                     IsolationLevel fallback) {
+  Allocation allocation(txns.size(), fallback);
+  std::string normalized(text);
+  std::replace(normalized.begin(), normalized.end(), ',', ' ');
+  for (const std::string& token : SplitAndTrim(normalized, ' ')) {
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          StrCat("malformed allocation entry '", token, "', expected T=LEVEL"));
+    }
+    std::string name(StripWhitespace(std::string_view(token).substr(0, eq)));
+    TxnId txn = txns.FindTransaction(name);
+    if (txn == kInvalidTxnId) {
+      return Status::NotFound(StrCat("unknown transaction '", name, "'"));
+    }
+    StatusOr<IsolationLevel> level =
+        ParseIsolationLevel(StripWhitespace(std::string_view(token).substr(eq + 1)));
+    if (!level.ok()) return level.status();
+    allocation.set_level(txn, *level);
+  }
+  return allocation;
+}
+
+}  // namespace mvrob

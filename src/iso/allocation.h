@@ -1,0 +1,68 @@
+#ifndef MVROB_ISO_ALLOCATION_H_
+#define MVROB_ISO_ALLOCATION_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "iso/isolation_level.h"
+#include "txn/transaction_set.h"
+
+namespace mvrob {
+
+/// An allocation A (Section 2.3): a mapping from each transaction of a set
+/// to an isolation level. Allocations are plain values; they reference
+/// transactions positionally by TxnId.
+class Allocation {
+ public:
+  Allocation() = default;
+
+  /// Uniform allocation mapping all `n` transactions to `level`
+  /// (A_RC, A_SI, A_SSI for the respective levels).
+  Allocation(size_t n, IsolationLevel level) : levels_(n, level) {}
+  explicit Allocation(std::vector<IsolationLevel> levels)
+      : levels_(std::move(levels)) {}
+
+  static Allocation AllRC(size_t n) { return {n, IsolationLevel::kRC}; }
+  static Allocation AllSI(size_t n) { return {n, IsolationLevel::kSI}; }
+  static Allocation AllSSI(size_t n) { return {n, IsolationLevel::kSSI}; }
+
+  size_t size() const { return levels_.size(); }
+  IsolationLevel level(TxnId txn) const { return levels_[txn]; }
+  const std::vector<IsolationLevel>& levels() const { return levels_; }
+
+  void set_level(TxnId txn, IsolationLevel level) { levels_[txn] = level; }
+
+  /// A[T -> I]: a copy with `txn` reassigned to `level` (Section 4).
+  Allocation With(TxnId txn, IsolationLevel level) const {
+    Allocation copy = *this;
+    copy.set_level(txn, level);
+    return copy;
+  }
+
+  /// Pointwise preference order of Section 4: A <= A' iff A(T) <= A'(T) for
+  /// all T; A < A' additionally requires strict inequality somewhere.
+  bool LessEq(const Allocation& other) const;
+  bool StrictlyLess(const Allocation& other) const;
+
+  /// Number of transactions allocated to `level`.
+  size_t CountAt(IsolationLevel level) const;
+
+  /// "T1=RC T2=SI T3=SSI" using the set's transaction names.
+  std::string ToString(const TransactionSet& txns) const;
+
+  friend bool operator==(const Allocation&, const Allocation&) = default;
+
+ private:
+  std::vector<IsolationLevel> levels_;
+};
+
+/// Parses "T1=RC T2=SI" (whitespace- or comma-separated). Transactions not
+/// mentioned default to `fallback`. Fails on unknown names or levels.
+StatusOr<Allocation> ParseAllocation(const TransactionSet& txns,
+                                     std::string_view text,
+                                     IsolationLevel fallback);
+
+}  // namespace mvrob
+
+#endif  // MVROB_ISO_ALLOCATION_H_

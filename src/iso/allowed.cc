@@ -1,0 +1,170 @@
+#include "iso/allowed.h"
+
+#include "common/string_util.h"
+#include "iso/dangerous_structure.h"
+
+namespace mvrob {
+
+bool WriteRespectsCommitOrder(const Schedule& s, OpRef write) {
+  const TransactionSet& txns = s.txns();
+  const Operation& op = txns.op(write);
+  OpRef my_commit = txns.txn(write.txn).commit_ref();
+  for (const OpRef& other : s.VersionsOf(op.object)) {
+    if (other.txn == write.txn) continue;
+    OpRef other_commit = txns.txn(other.txn).commit_ref();
+    bool version_before = s.VersionBefore(write, other);
+    bool commit_before = s.Before(my_commit, other_commit);
+    if (version_before != commit_before) return false;
+  }
+  return true;
+}
+
+bool ReadLastCommittedRelativeTo(const Schedule& s, OpRef read, OpRef anchor) {
+  const TransactionSet& txns = s.txns();
+  const Operation& op = txns.op(read);
+  OpRef observed = s.VersionRead(read);
+
+  // First condition: op_0, or a version committed before the anchor.
+  if (!observed.IsOp0()) {
+    OpRef writer_commit = txns.txn(observed.txn).commit_ref();
+    if (!s.Before(writer_commit, anchor)) return false;
+  }
+  // Second condition: no version of the object committed before the anchor
+  // is installed after the observed one.
+  for (const OpRef& other : s.VersionsOf(op.object)) {
+    OpRef other_commit = txns.txn(other.txn).commit_ref();
+    if (s.Before(other_commit, anchor) && s.VersionBefore(observed, other)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Shared scan for concurrent/dirty writes: calls `predicate(b_i, a_j)` for
+// every pair of writes on the same object with b_i <_s a_j, b_i in another
+// transaction, a_j in `txn`; returns true if any call returns true.
+template <typename Predicate>
+bool AnyEarlierForeignWrite(const Schedule& s, TxnId txn,
+                            Predicate predicate) {
+  const TransactionSet& txns = s.txns();
+  const Transaction& t = txns.txn(txn);
+  for (int i = 0; i < t.num_ops(); ++i) {
+    const Operation& op = t.op(i);
+    if (!op.IsWrite()) continue;
+    OpRef a{txn, i};
+    for (const OpRef& b : s.VersionsOf(op.object)) {
+      if (b.txn == txn || !s.Before(b, a)) continue;
+      if (predicate(b, a)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ExhibitsConcurrentWrite(const Schedule& s, TxnId txn) {
+  const TransactionSet& txns = s.txns();
+  OpRef first = txns.txn(txn).first_ref();
+  return AnyEarlierForeignWrite(s, txn, [&](OpRef b, OpRef) {
+    OpRef other_commit = txns.txn(b.txn).commit_ref();
+    return s.Before(first, other_commit);
+  });
+}
+
+bool ExhibitsDirtyWrite(const Schedule& s, TxnId txn) {
+  const TransactionSet& txns = s.txns();
+  return AnyEarlierForeignWrite(s, txn, [&](OpRef b, OpRef a) {
+    OpRef other_commit = txns.txn(b.txn).commit_ref();
+    return s.Before(a, other_commit);
+  });
+}
+
+namespace {
+
+// Checks the RC or SI conditions for one transaction, appending diagnostics.
+bool TxnAllowed(const Schedule& s, TxnId txn, bool snapshot_reads,
+                std::vector<std::string>* violations) {
+  const TransactionSet& txns = s.txns();
+  const Transaction& t = txns.txn(txn);
+  const char* level = snapshot_reads ? "SI" : "RC";
+  bool ok = true;
+
+  for (int i = 0; i < t.num_ops(); ++i) {
+    OpRef ref{txn, i};
+    const Operation& op = t.op(i);
+    if (op.IsWrite() && !WriteRespectsCommitOrder(s, ref)) {
+      ok = false;
+      if (violations != nullptr) {
+        violations->push_back(StrCat(txns.FormatOp(ref),
+                                     " does not respect the commit order"));
+      }
+    }
+    if (op.IsRead()) {
+      OpRef anchor = snapshot_reads ? t.first_ref() : ref;
+      if (!ReadLastCommittedRelativeTo(s, ref, anchor)) {
+        ok = false;
+        if (violations != nullptr) {
+          violations->push_back(
+              StrCat(txns.FormatOp(ref), " is not read-last-committed ",
+                     snapshot_reads ? "relative to the transaction start"
+                                    : "relative to itself"));
+        }
+      }
+    }
+  }
+  if (snapshot_reads ? ExhibitsConcurrentWrite(s, txn)
+                     : ExhibitsDirtyWrite(s, txn)) {
+    ok = false;
+    if (violations != nullptr) {
+      violations->push_back(StrCat(t.name(), " exhibits a ",
+                                   snapshot_reads ? "concurrent" : "dirty",
+                                   " write, disallowed under ", level));
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+bool TxnAllowedUnderRC(const Schedule& s, TxnId txn) {
+  return TxnAllowed(s, txn, /*snapshot_reads=*/false, nullptr);
+}
+
+bool TxnAllowedUnderSI(const Schedule& s, TxnId txn) {
+  return TxnAllowed(s, txn, /*snapshot_reads=*/true, nullptr);
+}
+
+AllowedCheckResult CheckAllowedUnder(const Schedule& s, const Allocation& a) {
+  AllowedCheckResult result;
+  const TransactionSet& txns = s.txns();
+  std::vector<bool> is_ssi(txns.size(), false);
+  for (TxnId t = 0; t < txns.size(); ++t) {
+    bool snapshot_reads = a.level(t) != IsolationLevel::kRC;
+    if (!TxnAllowed(s, t, snapshot_reads, &result.violations)) {
+      result.allowed = false;
+    }
+    is_ssi[t] = a.level(t) == IsolationLevel::kSSI;
+  }
+  for (const DangerousStructure& d : FindDangerousStructures(s, is_ssi)) {
+    result.allowed = false;
+    result.violations.push_back(
+        StrCat("dangerous structure among SSI transactions: ",
+               FormatDangerousStructure(txns, d)));
+  }
+  return result;
+}
+
+bool AllowedUnder(const Schedule& s, const Allocation& a) {
+  const TransactionSet& txns = s.txns();
+  std::vector<bool> is_ssi(txns.size(), false);
+  for (TxnId t = 0; t < txns.size(); ++t) {
+    bool snapshot_reads = a.level(t) != IsolationLevel::kRC;
+    if (!TxnAllowed(s, t, snapshot_reads, nullptr)) return false;
+    is_ssi[t] = a.level(t) == IsolationLevel::kSSI;
+  }
+  return FindDangerousStructures(s, is_ssi).empty();
+}
+
+}  // namespace mvrob

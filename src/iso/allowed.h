@@ -1,0 +1,60 @@
+#ifndef MVROB_ISO_ALLOWED_H_
+#define MVROB_ISO_ALLOWED_H_
+
+#include <string>
+#include <vector>
+
+#include "iso/allocation.h"
+#include "schedule/schedule.h"
+
+namespace mvrob {
+
+/// Building blocks of Definition 2.3.
+
+/// True if the version written by `write` (= W_j[t] in T_j) is installed
+/// after all versions of t installed by transactions committing before C_j
+/// and before those committing after: for every write W_i[t] of a different
+/// transaction, W_j[t] <<_s W_i[t] iff C_j <_s C_i.
+bool WriteRespectsCommitOrder(const Schedule& s, OpRef write);
+
+/// True if `read` (= R_j[t]) is read-last-committed in s relative to
+/// `anchor` (an operation of the same transaction): it observes op_0 or a
+/// version committed before `anchor`, and no other version of t was
+/// committed before `anchor` and installed after the observed one.
+bool ReadLastCommittedRelativeTo(const Schedule& s, OpRef read, OpRef anchor);
+
+/// True if `txn` writes to an object modified earlier by a concurrent
+/// transaction: exist writes b_i in T_i != txn and a_j in txn on the same
+/// object with b_i <_s a_j and first(txn) <_s C_i.
+bool ExhibitsConcurrentWrite(const Schedule& s, TxnId txn);
+
+/// True if `txn` writes to an object modified earlier by a transaction that
+/// has not yet committed: b_i <_s a_j <_s C_i.
+bool ExhibitsDirtyWrite(const Schedule& s, TxnId txn);
+
+/// Definition 2.3: transaction-local conditions for RC and SI. SSI
+/// transactions must satisfy the SI conditions (Definition 2.4); the extra
+/// dangerous-structure condition is global and checked by
+/// CheckAllowedUnder.
+bool TxnAllowedUnderRC(const Schedule& s, TxnId txn);
+bool TxnAllowedUnderSI(const Schedule& s, TxnId txn);
+
+/// Result of checking Definition 2.4, with human-readable diagnostics for
+/// every violated condition (empty iff allowed).
+struct AllowedCheckResult {
+  bool allowed = true;
+  std::vector<std::string> violations;
+};
+
+/// Checks whether schedule s is allowed under allocation A (Definition
+/// 2.4): RC transactions allowed under RC, SI/SSI transactions allowed
+/// under SI, and no dangerous structure among the SSI-allocated
+/// transactions.
+AllowedCheckResult CheckAllowedUnder(const Schedule& s, const Allocation& a);
+
+/// Convenience wrapper for CheckAllowedUnder(...).allowed.
+bool AllowedUnder(const Schedule& s, const Allocation& a);
+
+}  // namespace mvrob
+
+#endif  // MVROB_ISO_ALLOWED_H_

@@ -1,0 +1,60 @@
+#include "iso/dangerous_structure.h"
+
+#include "common/string_util.h"
+
+namespace mvrob {
+
+std::vector<DangerousStructure> FindDangerousStructures(const Schedule& s) {
+  return FindDangerousStructures(
+      s, std::vector<bool>(s.txns().size(), true));
+}
+
+std::vector<DangerousStructure> FindDangerousStructures(
+    const Schedule& s, const std::vector<bool>& eligible) {
+  const TransactionSet& txns = s.txns();
+  // Collect rw-antidependencies between eligible transactions, keeping one
+  // representative per (from, to) pair — the structure conditions only
+  // depend on the transactions involved.
+  std::vector<Dependency> antis;
+  for (const Dependency& dep : ComputeDependencies(s)) {
+    if (dep.kind != DependencyKind::kRwAnti) continue;
+    if (!eligible[dep.from] || !eligible[dep.to]) continue;
+    bool duplicate = false;
+    for (const Dependency& seen : antis) {
+      if (seen.from == dep.from && seen.to == dep.to) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) antis.push_back(dep);
+  }
+
+  std::vector<DangerousStructure> structures;
+  for (const Dependency& in : antis) {
+    for (const Dependency& out : antis) {
+      if (in.to != out.from) continue;  // Must chain through the pivot T2.
+      TxnId t1 = in.from;
+      TxnId t2 = in.to;
+      TxnId t3 = out.to;
+      if (!s.Concurrent(t1, t2) || !s.Concurrent(t2, t3)) continue;
+      OpRef c1 = txns.txn(t1).commit_ref();
+      OpRef c2 = txns.txn(t2).commit_ref();
+      OpRef c3 = txns.txn(t3).commit_ref();
+      // C3 <=_s C1 (equality iff T3 = T1) and C3 <_s C2.
+      bool c3_before_c1 = (t3 == t1) || s.Before(c3, c1);
+      if (!c3_before_c1 || !s.Before(c3, c2)) continue;
+      structures.push_back(DangerousStructure{t1, t2, t3, in, out});
+    }
+  }
+  return structures;
+}
+
+std::string FormatDangerousStructure(const TransactionSet& txns,
+                                     const DangerousStructure& d) {
+  return StrCat(txns.txn(d.t1).name(), " ->rw ", txns.txn(d.t2).name(),
+                " ->rw ", txns.txn(d.t3).name(), " via ",
+                FormatDependency(txns, d.in), " and ",
+                FormatDependency(txns, d.out));
+}
+
+}  // namespace mvrob

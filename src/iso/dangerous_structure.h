@@ -1,0 +1,41 @@
+#ifndef MVROB_ISO_DANGEROUS_STRUCTURE_H_
+#define MVROB_ISO_DANGEROUS_STRUCTURE_H_
+
+#include <string>
+#include <vector>
+
+#include "schedule/dependency.h"
+
+namespace mvrob {
+
+/// A dangerous structure T1 -> T2 -> T3 (Section 2.3, extending Cahill et
+/// al. [14] with the commit-order optimization of the full version [15] and
+/// Postgres [23]):
+///  - rw-antidependencies T1 -> T2 and T2 -> T3 in s,
+///  - T1 and T2 concurrent, T2 and T3 concurrent,
+///  - C3 <=_s C1 and C3 <_s C2.
+/// T1 and T3 need not be distinct (a two-transaction cycle of
+/// antidependencies forms one with T1 = T3).
+struct DangerousStructure {
+  TxnId t1 = kInvalidTxnId;
+  TxnId t2 = kInvalidTxnId;
+  TxnId t3 = kInvalidTxnId;
+  Dependency in;   // rw-antidependency T1 -> T2.
+  Dependency out;  // rw-antidependency T2 -> T3.
+};
+
+/// All dangerous structures of the schedule.
+std::vector<DangerousStructure> FindDangerousStructures(const Schedule& s);
+
+/// Dangerous structures whose three transactions all satisfy `eligible`
+/// (used for the SSI condition of Definition 2.4, where only transactions
+/// allocated SSI participate).
+std::vector<DangerousStructure> FindDangerousStructures(
+    const Schedule& s, const std::vector<bool>& eligible);
+
+std::string FormatDangerousStructure(const TransactionSet& txns,
+                                     const DangerousStructure& d);
+
+}  // namespace mvrob
+
+#endif  // MVROB_ISO_DANGEROUS_STRUCTURE_H_

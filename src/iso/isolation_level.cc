@@ -1,0 +1,36 @@
+#include "iso/isolation_level.h"
+
+#include <cctype>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace mvrob {
+
+const char* IsolationLevelToString(IsolationLevel level) {
+  switch (level) {
+    case IsolationLevel::kRC:
+      return "RC";
+    case IsolationLevel::kSI:
+      return "SI";
+    case IsolationLevel::kSSI:
+      return "SSI";
+  }
+  return "?";
+}
+
+StatusOr<IsolationLevel> ParseIsolationLevel(std::string_view text) {
+  std::string upper;
+  upper.reserve(text.size());
+  for (char c : text) {
+    upper.push_back(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  if (upper == "RC") return IsolationLevel::kRC;
+  if (upper == "SI") return IsolationLevel::kSI;
+  if (upper == "SSI") return IsolationLevel::kSSI;
+  return Status::InvalidArgument(
+      StrCat("unknown isolation level '", text, "', expected RC, SI or SSI"));
+}
+
+}  // namespace mvrob

@@ -1,0 +1,40 @@
+#ifndef MVROB_ISO_ISOLATION_LEVEL_H_
+#define MVROB_ISO_ISOLATION_LEVEL_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace mvrob {
+
+/// The isolation levels considered by the paper: multiversion Read Committed
+/// (RC), Snapshot Isolation (SI) and Serializable Snapshot Isolation (SSI) —
+/// the levels available in Postgres ({RC, SI, SSI}) and Oracle ({RC, SI}).
+///
+/// The numeric order RC < SI < SSI encodes the paper's *preference* order of
+/// Section 4 (lower levels are cheaper and preferred), not semantic
+/// inclusion: Example 5.2 shows a schedule allowed under SI but not RC.
+enum class IsolationLevel : uint8_t { kRC = 0, kSI = 1, kSSI = 2 };
+
+inline constexpr std::array<IsolationLevel, 3> kAllIsolationLevels = {
+    IsolationLevel::kRC, IsolationLevel::kSI, IsolationLevel::kSSI};
+
+/// "RC", "SI" or "SSI".
+const char* IsolationLevelToString(IsolationLevel level);
+
+/// Parses "RC" / "SI" / "SSI" (case-insensitive).
+StatusOr<IsolationLevel> ParseIsolationLevel(std::string_view text);
+
+/// Preference comparison: RC < SI < SSI.
+inline bool operator<(IsolationLevel a, IsolationLevel b) {
+  return static_cast<uint8_t>(a) < static_cast<uint8_t>(b);
+}
+inline bool operator<=(IsolationLevel a, IsolationLevel b) {
+  return static_cast<uint8_t>(a) <= static_cast<uint8_t>(b);
+}
+
+}  // namespace mvrob
+
+#endif  // MVROB_ISO_ISOLATION_LEVEL_H_

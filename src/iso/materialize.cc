@@ -1,0 +1,64 @@
+#include "iso/materialize.h"
+
+#include <algorithm>
+
+namespace mvrob {
+
+StatusOr<Schedule> MaterializeSchedule(const TransactionSet* txns,
+                                       std::vector<OpRef> order,
+                                       const Allocation& allocation) {
+  // Positions in the tentative order (op_0 = -1).
+  std::unordered_map<OpRef, int, OpRefHash> position;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i].IsOp0() || !txns->IsValidRef(order[i])) {
+      return Status::InvalidArgument("invalid operation reference in order");
+    }
+    position[order[i]] = static_cast<int>(i);
+  }
+
+  auto commit_position = [&](TxnId t) {
+    auto it = position.find(txns->txn(t).commit_ref());
+    return it == position.end() ? -1 : it->second;
+  };
+
+  // Version order: per object, writes sorted by (writer commit position,
+  // program-order index). With distinct commits per transaction this is the
+  // commit order; within one transaction, program order.
+  VersionOrder version_order;
+  for (const OpRef& ref : order) {
+    const Operation& op = txns->op(ref);
+    if (op.IsWrite()) version_order[op.object].push_back(ref);
+  }
+  for (auto& [object, writes] : version_order) {
+    std::sort(writes.begin(), writes.end(), [&](OpRef x, OpRef y) {
+      int cx = commit_position(x.txn);
+      int cy = commit_position(y.txn);
+      if (cx != cy) return cx < cy;
+      return x.index < y.index;
+    });
+  }
+
+  // Version function: newest version whose writer committed before the
+  // anchor (the read for RC, first(T) for SI/SSI); op_0 if none.
+  VersionFunction versions;
+  for (const OpRef& ref : order) {
+    const Operation& op = txns->op(ref);
+    if (!op.IsRead()) continue;
+    int anchor_position;
+    if (allocation.level(ref.txn) == IsolationLevel::kRC) {
+      anchor_position = position[ref];
+    } else {
+      anchor_position = position[txns->txn(ref.txn).first_ref()];
+    }
+    OpRef observed = OpRef::Op0();
+    // Writes are already in <<_s order; the last qualifying one wins.
+    for (const OpRef& write : version_order[op.object]) {
+      if (commit_position(write.txn) < anchor_position) observed = write;
+    }
+    versions[ref] = observed;
+  }
+  return Schedule::Create(txns, std::move(order), std::move(versions),
+                          std::move(version_order));
+}
+
+}  // namespace mvrob

@@ -1,0 +1,36 @@
+#ifndef MVROB_ISO_MATERIALIZE_H_
+#define MVROB_ISO_MATERIALIZE_H_
+
+#include <vector>
+
+#include "iso/allocation.h"
+#include "schedule/schedule.h"
+
+namespace mvrob {
+
+/// Materializes the unique candidate schedule for an interleaving under an
+/// allocation.
+///
+/// Every isolation level in {RC, SI, SSI} requires writes to respect the
+/// commit order and reads to be read-last-committed (relative to the read
+/// itself for RC, to the transaction start for SI and SSI). Consequently,
+/// once the operation order <=_s is fixed, the version order <<_s and
+/// version function v_s of any schedule allowed under A are *uniquely
+/// determined*:
+///  - <<_s orders versions by the writer's commit position (program order
+///    breaking ties within a transaction), and
+///  - v_s maps each read to the newest version committed before its anchor.
+///
+/// Therefore: an interleaving admits an allowed schedule under A iff
+/// AllowedUnder(Materialize(...), A) — the foundation of the exhaustive
+/// oracle and of the split-schedule witness construction.
+///
+/// `order` must contain every operation of every transaction exactly once,
+/// respecting program order (validated by Schedule::Create).
+StatusOr<Schedule> MaterializeSchedule(const TransactionSet* txns,
+                                       std::vector<OpRef> order,
+                                       const Allocation& allocation);
+
+}  // namespace mvrob
+
+#endif  // MVROB_ISO_MATERIALIZE_H_

@@ -1,0 +1,191 @@
+#include "mvcc/driver.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace mvrob {
+
+StatusOr<DriverReport> RunExactInterleaving(Engine& engine,
+                                            const TransactionSet& programs,
+                                            const Allocation& alloc,
+                                            const std::vector<OpRef>& order) {
+  DriverReport report;
+  report.session_of_program.assign(programs.size(), kInvalidSessionId);
+
+  Value next_value = 1;
+  for (const OpRef& ref : order) {
+    if (ref.IsOp0() || !programs.IsValidRef(ref)) {
+      return Status::InvalidArgument("invalid operation reference in order");
+    }
+    SessionId& session = report.session_of_program[ref.txn];
+    if (session == kInvalidSessionId) {
+      session = engine.Begin(alloc.level(ref.txn));
+      ++report.attempts;
+    }
+    const Operation& op = programs.op(ref);
+    if (op.IsRead()) {
+      ReadResult result = engine.Read(session, op.object);
+      if (result.status != StepStatus::kOk) {
+        return Status::FailedPrecondition(
+            StrCat("read of ", programs.FormatOp(ref), " did not succeed"));
+      }
+    } else if (op.IsWrite()) {
+      WriteResult result = engine.Write(session, op.object, next_value++);
+      if (result.status == StepStatus::kBlocked) {
+        return Status::FailedPrecondition(
+            StrCat(programs.FormatOp(ref), " blocked on session ",
+                   result.blocker));
+      }
+      if (result.status == StepStatus::kAborted) {
+        return Status::FailedPrecondition(
+            StrCat(programs.FormatOp(ref), " aborted"));
+      }
+    } else {
+      CommitResult result = engine.Commit(session);
+      if (result.status != StepStatus::kOk) {
+        return Status::FailedPrecondition(
+            StrCat("commit of ", programs.txn(ref.txn).name(), " aborted"));
+      }
+      ++report.committed;
+    }
+  }
+  return report;
+}
+
+namespace {
+
+// Execution state of one program transaction in the random driver.
+struct ProgramState {
+  SessionId session = kInvalidSessionId;
+  int next_op = 0;
+  int retries_left = 0;
+  SessionId waiting_on = kInvalidSessionId;
+  bool done = false;
+  bool gave_up = false;
+};
+
+}  // namespace
+
+DriverReport RunRandom(Engine& engine, const TransactionSet& programs,
+                       const Allocation& alloc,
+                       const RandomRunOptions& options) {
+  DriverReport report;
+  Rng rng(options.seed);
+  Value next_value = 1;
+
+  std::vector<ProgramState> states(programs.size());
+  for (ProgramState& state : states) {
+    state.retries_left = options.max_retries;
+  }
+  // Programs not yet admitted to the concurrent window, in random order.
+  std::vector<TxnId> pending(programs.size());
+  for (TxnId t = 0; t < programs.size(); ++t) pending[t] = t;
+  std::shuffle(pending.begin(), pending.end(), rng.engine());
+  std::deque<TxnId> queue(pending.begin(), pending.end());
+
+  std::vector<TxnId> window;
+  uint64_t steps = 0;
+
+  auto admit = [&]() {
+    while (window.size() < static_cast<size_t>(options.concurrency) &&
+           !queue.empty()) {
+      window.push_back(queue.front());
+      queue.pop_front();
+    }
+  };
+  auto retire = [&](TxnId t) {
+    window.erase(std::find(window.begin(), window.end(), t));
+  };
+  auto is_runnable = [&](TxnId t) {
+    ProgramState& state = states[t];
+    if (state.done || state.gave_up) return false;
+    if (state.waiting_on == kInvalidSessionId) return true;
+    // Re-runnable once the blocker finished.
+    if (engine.session(state.waiting_on).state != TxnState::kActive) {
+      state.waiting_on = kInvalidSessionId;
+      return true;
+    }
+    return false;
+  };
+  auto handle_abort = [&](TxnId t) {
+    ProgramState& state = states[t];
+    state.session = kInvalidSessionId;
+    state.next_op = 0;
+    state.waiting_on = kInvalidSessionId;
+    if (state.retries_left-- <= 0) {
+      state.gave_up = true;
+      ++report.aborted_programs;
+      retire(t);
+    }
+  };
+
+  admit();
+  while (!window.empty() && steps < options.max_steps) {
+    // Pick a runnable program uniformly at random.
+    std::vector<TxnId> runnable;
+    for (TxnId t : window) {
+      if (is_runnable(t)) runnable.push_back(t);
+    }
+    if (runnable.empty()) {
+      // Every in-flight program waits on an active session: deadlock (or a
+      // wait chain). Abort the youngest session as victim.
+      TxnId victim = window.front();
+      uint64_t youngest = 0;
+      for (TxnId t : window) {
+        const ProgramState& state = states[t];
+        if (state.session == kInvalidSessionId) continue;
+        uint64_t first = engine.session(state.session).first_step;
+        if (first >= youngest) {
+          youngest = first;
+          victim = t;
+        }
+      }
+      engine.Abort(states[victim].session);
+      ++report.deadlock_victims;
+      handle_abort(victim);
+      admit();
+      continue;
+    }
+    TxnId t = runnable[rng.Index(runnable.size())];
+    ProgramState& state = states[t];
+    if (state.session == kInvalidSessionId) {
+      state.session = engine.Begin(alloc.level(t));
+      ++report.attempts;
+    }
+    const Transaction& program = programs.txn(t);
+    const Operation& op = program.op(state.next_op);
+    ++steps;
+    if (op.IsRead()) {
+      engine.Read(state.session, op.object);
+      ++state.next_op;
+    } else if (op.IsWrite()) {
+      WriteResult result = engine.Write(state.session, op.object,
+                                        next_value++);
+      if (result.status == StepStatus::kOk) {
+        ++state.next_op;
+      } else if (result.status == StepStatus::kBlocked) {
+        ++report.blocked_steps;
+        state.waiting_on = result.blocker;
+      } else {
+        handle_abort(t);
+      }
+    } else {
+      CommitResult result = engine.Commit(state.session);
+      if (result.status == StepStatus::kOk) {
+        state.done = true;
+        ++report.committed;
+        retire(t);
+        admit();
+      } else {
+        handle_abort(t);
+        admit();
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace mvrob

@@ -1,0 +1,60 @@
+#ifndef MVROB_MVCC_DRIVER_H_
+#define MVROB_MVCC_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "iso/allocation.h"
+#include "mvcc/engine.h"
+#include "txn/transaction_set.h"
+
+namespace mvrob {
+
+/// Summary of a driver run.
+struct DriverReport {
+  uint64_t committed = 0;
+  uint64_t aborted_programs = 0;  // Programs that exhausted their retries.
+  uint64_t attempts = 0;          // Sessions started (retries included).
+  uint64_t blocked_steps = 0;
+  uint64_t deadlock_victims = 0;
+  /// For exact runs: the session executing each program transaction.
+  std::vector<SessionId> session_of_program;
+};
+
+/// Replays an exact operation interleaving (an order over `programs` as
+/// accepted by Schedule::Create) against the engine, one engine call per
+/// operation. Each program transaction starts its session at its first
+/// operation, so SI/SSI snapshots anchor at first(T) exactly as in the
+/// formal model.
+///
+/// Fails with FailedPrecondition if any step blocks or aborts — callers
+/// replay schedules (e.g. Algorithm 1 counterexamples) that are expected to
+/// run clean, and a refusal is itself meaningful signal.
+StatusOr<DriverReport> RunExactInterleaving(Engine& engine,
+                                            const TransactionSet& programs,
+                                            const Allocation& alloc,
+                                            const std::vector<OpRef>& order);
+
+/// Options for randomized concurrent execution.
+struct RandomRunOptions {
+  /// Programs concurrently in flight.
+  int concurrency = 4;
+  /// Retries per program after engine-initiated aborts.
+  int max_retries = 5;
+  uint64_t seed = 0;
+  /// Hard stop (steps across all sessions) against livelock.
+  uint64_t max_steps = 10'000'000;
+};
+
+/// Executes every program of `programs` once (plus retries) under the
+/// allocation, interleaving up to `concurrency` sessions uniformly at
+/// random. Blocked sessions wait for their blocker; deadlocks are broken by
+/// aborting the youngest session, which then retries. The throughput
+/// benchmarks measure commits against engine steps and wall time.
+DriverReport RunRandom(Engine& engine, const TransactionSet& programs,
+                       const Allocation& alloc,
+                       const RandomRunOptions& options);
+
+}  // namespace mvrob
+
+#endif  // MVROB_MVCC_DRIVER_H_

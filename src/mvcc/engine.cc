@@ -1,0 +1,160 @@
+#include "mvcc/engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "mvcc/ssi_tracker.h"
+
+namespace mvrob {
+
+Engine::Engine(size_t num_objects, EngineOptions options)
+    : options_(options), store_(num_objects) {}
+
+SessionId Engine::Begin(IsolationLevel level) {
+  SessionRecord record;
+  record.level = level;
+  record.state = TxnState::kActive;
+  // The snapshot is taken at Begin; RC ignores it and re-reads the clock at
+  // every read.
+  record.snapshot_ts = clock_;
+  sessions_.push_back(std::move(record));
+  ++stats_.begins;
+  return static_cast<SessionId>(sessions_.size() - 1);
+}
+
+ReadResult Engine::Read(SessionId session, ObjectId object) {
+  SessionRecord& record = sessions_[session];
+  assert(record.state == TxnState::kActive);
+  ++step_;
+  ++stats_.reads;
+  if (record.first_step == 0) record.first_step = step_;
+
+  ReadResult result;
+  // Read-your-own-writes: the buffered value wins.
+  auto own = record.write_buffer.find(object);
+  if (own != record.write_buffer.end()) {
+    result.value = own->second;
+    result.version_writer = session;
+    result.own_write = true;
+    record.reads.push_back(SessionReadRecord{object, /*version_ts=*/0,
+                                             session, step_});
+    return result;
+  }
+  Timestamp read_ts =
+      record.level == IsolationLevel::kRC ? clock_ : record.snapshot_ts;
+  const StoredVersion& version = store_.SnapshotRead(object, read_ts);
+  result.value = version.value;
+  result.version_writer = version.writer;
+  record.reads.push_back(
+      SessionReadRecord{object, version.commit_ts, version.writer, step_});
+  return result;
+}
+
+WriteResult Engine::Write(SessionId session, ObjectId object, Value value) {
+  SessionRecord& record = sessions_[session];
+  assert(record.state == TxnState::kActive);
+  WriteResult result;
+
+  // Row lock: concurrent active writers block (prevents dirty writes).
+  auto lock = row_locks_.find(object);
+  if (lock != row_locks_.end() && lock->second != session) {
+    ++stats_.blocked_steps;
+    result.status = StepStatus::kBlocked;
+    result.blocker = lock->second;
+    return result;
+  }
+  // First-updater-wins for snapshot levels: a version committed after the
+  // snapshot means a concurrent write — forbidden under SI/SSI
+  // (Definition 2.3).
+  if (record.level != IsolationLevel::kRC &&
+      store_.HasVersionAfter(object, record.snapshot_ts)) {
+    AbortInternal(session, AbortReason::kWriteConflict);
+    result.status = StepStatus::kAborted;
+    result.abort_reason = AbortReason::kWriteConflict;
+    return result;
+  }
+  ++step_;
+  ++stats_.writes;
+  if (record.first_step == 0) record.first_step = step_;
+  row_locks_[object] = session;
+  record.write_buffer[object] = value;
+  record.writes.push_back(SessionWriteRecord{object, step_});
+  return result;
+}
+
+CommitResult Engine::Commit(SessionId session) {
+  SessionRecord& record = sessions_[session];
+  assert(record.state == TxnState::kActive);
+  CommitResult result;
+
+  bool ssi_abort =
+      record.level == IsolationLevel::kSSI &&
+      (options_.ssi_mode == SsiMode::kExact
+           ? SsiTracker::WouldCompleteDangerousStructure(
+                 sessions_, session, clock_ + 1, step_ + 1)
+           : SsiTracker::WouldCreatePivot(sessions_, session, clock_ + 1,
+                                          step_ + 1));
+  if (ssi_abort) {
+    AbortInternal(session, AbortReason::kSsiDangerousStructure);
+    result.status = StepStatus::kAborted;
+    result.abort_reason = AbortReason::kSsiDangerousStructure;
+    return result;
+  }
+
+  ++step_;
+  Timestamp commit_ts = ++clock_;
+  record.commit_ts = commit_ts;
+  record.commit_step = step_;
+  record.state = TxnState::kCommitted;
+  for (const auto& [object, value] : record.write_buffer) {
+    store_.Install(object, StoredVersion{value, session, commit_ts});
+    row_locks_.erase(object);
+  }
+  ++stats_.commits;
+  result.commit_ts = commit_ts;
+  return result;
+}
+
+void Engine::Abort(SessionId session) {
+  AbortInternal(session, AbortReason::kUser);
+}
+
+size_t Engine::Vacuum() {
+  // RC sessions always read the newest committed version, so only snapshot
+  // sessions pin history.
+  Timestamp horizon = clock_;
+  for (const SessionRecord& record : sessions_) {
+    if (record.state == TxnState::kActive &&
+        record.level != IsolationLevel::kRC) {
+      horizon = std::min(horizon, record.snapshot_ts);
+    }
+  }
+  return store_.Vacuum(horizon);
+}
+
+void Engine::AbortInternal(SessionId session, AbortReason reason) {
+  SessionRecord& record = sessions_[session];
+  assert(record.state == TxnState::kActive);
+  record.state = TxnState::kAborted;
+  record.abort_reason = reason;
+  for (const auto& [object, value] : record.write_buffer) {
+    (void)value;
+    auto lock = row_locks_.find(object);
+    if (lock != row_locks_.end() && lock->second == session) {
+      row_locks_.erase(lock);
+    }
+  }
+  switch (reason) {
+    case AbortReason::kWriteConflict:
+      ++stats_.aborts_write_conflict;
+      break;
+    case AbortReason::kSsiDangerousStructure:
+      ++stats_.aborts_ssi;
+      break;
+    default:
+      ++stats_.aborts_user;
+      break;
+  }
+}
+
+}  // namespace mvrob

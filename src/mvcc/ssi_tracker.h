@@ -1,0 +1,43 @@
+#ifndef MVROB_MVCC_SSI_TRACKER_H_
+#define MVROB_MVCC_SSI_TRACKER_H_
+
+#include <vector>
+
+#include "mvcc/engine.h"
+
+namespace mvrob {
+
+/// Exact dangerous-structure detection for the engine's SSI sessions.
+///
+/// Postgres' SSI implementation tracks rw-antidependencies conservatively
+/// (per-transaction in/out flags) and may abort on false positives. This
+/// simulator instead evaluates the *exact* condition of Definition 2.4 at
+/// each SSI commit: committing is refused iff it would complete a dangerous
+/// structure T1 -> T2 -> T3 among committed SSI sessions (including the
+/// commit-order optimization C3 <= C1, C3 < C2). Exactness matters for the
+/// conformance tests: every committed trace must map to a formal schedule
+/// allowed under the session allocation — no more, no less.
+class SsiTracker {
+ public:
+  /// True iff committing `candidate` (with the given hypothetical commit
+  /// timestamp and step) completes a dangerous structure whose other
+  /// members are already-committed SSI sessions.
+  static bool WouldCompleteDangerousStructure(
+      const std::vector<SessionRecord>& sessions, SessionId candidate,
+      Timestamp candidate_commit_ts, uint64_t candidate_commit_step);
+
+  /// Conservative flag check (SsiMode::kConservative): true iff, treating
+  /// `candidate` as committed, some SSI session (committed, active, or the
+  /// candidate) would be a pivot — an incoming and an outgoing
+  /// rw-antidependency between concurrent SSI sessions — regardless of
+  /// commit order. A superset of the exact condition: everything the exact
+  /// check aborts is also aborted here, plus false positives.
+  static bool WouldCreatePivot(const std::vector<SessionRecord>& sessions,
+                               SessionId candidate,
+                               Timestamp candidate_commit_ts,
+                               uint64_t candidate_commit_step);
+};
+
+}  // namespace mvrob
+
+#endif  // MVROB_MVCC_SSI_TRACKER_H_

@@ -1,0 +1,135 @@
+#include "mvcc/trace.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace mvrob {
+
+StatusOr<ExportedRun> ExportCommittedRun(const Engine& engine,
+                                         const TransactionSet& object_names) {
+  ExportedRun run;
+
+  // Committed sessions ordered by their first operation.
+  std::vector<SessionId> committed;
+  for (SessionId id = 0; id < engine.num_sessions(); ++id) {
+    if (engine.session(id).state == TxnState::kCommitted) {
+      committed.push_back(id);
+    }
+  }
+  std::sort(committed.begin(), committed.end(), [&](SessionId a, SessionId b) {
+    return engine.session(a).first_step < engine.session(b).first_step;
+  });
+
+  // Mirror the object universe so ids line up with the engine's.
+  for (size_t o = 0; o < object_names.num_objects(); ++o) {
+    run.txns.InternObject(object_names.ObjectName(static_cast<ObjectId>(o)));
+  }
+
+  // (step, session, op, read-record index) for the global order.
+  struct Event {
+    uint64_t step;
+    SessionId session;
+    Operation op;
+    int read_index;  // Index into the session's reads, or -1.
+  };
+  std::vector<Event> events;
+  std::vector<IsolationLevel> levels;
+
+  for (SessionId id : committed) {
+    const SessionRecord& record = engine.session(id);
+    levels.push_back(record.level);
+    std::map<ObjectId, int> writes_per_object;
+    for (const SessionWriteRecord& write : record.writes) {
+      if (++writes_per_object[write.object] > 1) {
+        return Status::InvalidArgument(
+            StrCat("session ", id, " wrote object ",
+                   object_names.ObjectName(write.object),
+                   " more than once; no faithful formal image"));
+      }
+      events.push_back(
+          Event{write.step, id, Operation::Write(write.object), -1});
+    }
+    for (size_t r = 0; r < record.reads.size(); ++r) {
+      events.push_back(Event{record.reads[r].step, id,
+                             Operation::Read(record.reads[r].object),
+                             static_cast<int>(r)});
+    }
+    events.push_back(
+        Event{record.commit_step, id, Operation::Commit(), -1});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.step < b.step; });
+
+  // Create the transactions (ops in executed order).
+  std::map<SessionId, TxnId> txn_of_session;
+  std::map<SessionId, std::vector<Operation>> ops_of_session;
+  for (const Event& event : events) {
+    if (!event.op.IsCommit()) {
+      ops_of_session[event.session].push_back(event.op);
+    }
+  }
+  for (SessionId id : committed) {
+    StatusOr<TxnId> txn =
+        run.txns.AddTransaction(StrCat("S", id + 1), ops_of_session[id]);
+    if (!txn.ok()) return txn.status();
+    txn_of_session[id] = *txn;
+    run.session_of_txn.push_back(id);
+  }
+  run.allocation = Allocation(std::move(levels));
+
+  // Global order, version function and version order.
+  std::map<SessionId, int> next_index;
+  // (writer session, object) -> the writer's OpRef for that object.
+  std::map<std::pair<SessionId, ObjectId>, OpRef> write_ref;
+  for (const Event& event : events) {
+    TxnId txn = txn_of_session[event.session];
+    OpRef ref{txn, next_index[event.session]++};
+    run.order.push_back(ref);
+    if (event.op.IsWrite()) {
+      write_ref[{event.session, event.op.object}] = ref;
+    }
+  }
+  // Second pass for reads (write refs are now complete) and version order.
+  std::map<SessionId, int> replay_index;
+  for (const Event& event : events) {
+    TxnId txn = txn_of_session[event.session];
+    OpRef ref{txn, replay_index[event.session]++};
+    if (!event.op.IsRead()) continue;
+    const SessionReadRecord& read =
+        engine.session(event.session).reads[event.read_index];
+    if (read.version_writer == kInvalidSessionId) {
+      run.versions[ref] = OpRef::Op0();
+    } else {
+      auto it = write_ref.find({read.version_writer, read.object});
+      if (it == write_ref.end()) {
+        return Status::InvalidArgument(
+            StrCat("read observed a version from session ",
+                   read.version_writer,
+                   " which is not part of the committed trace"));
+      }
+      run.versions[ref] = it->second;
+    }
+  }
+  // Version order = commit order per object (sessions sorted by commit_ts).
+  std::map<ObjectId, std::vector<SessionId>> writers;
+  for (SessionId id : committed) {
+    for (const SessionWriteRecord& write : engine.session(id).writes) {
+      writers[write.object].push_back(id);
+    }
+  }
+  for (auto& [object, sessions] : writers) {
+    std::sort(sessions.begin(), sessions.end(),
+              [&](SessionId a, SessionId b) {
+                return engine.session(a).commit_ts <
+                       engine.session(b).commit_ts;
+              });
+    for (SessionId id : sessions) {
+      run.version_order[object].push_back(write_ref[{id, object}]);
+    }
+  }
+  return run;
+}
+
+}  // namespace mvrob

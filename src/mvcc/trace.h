@@ -1,0 +1,47 @@
+#ifndef MVROB_MVCC_TRACE_H_
+#define MVROB_MVCC_TRACE_H_
+
+#include <vector>
+
+#include "iso/allocation.h"
+#include "mvcc/engine.h"
+#include "schedule/schedule.h"
+
+namespace mvrob {
+
+/// The formal image of an engine execution: the committed sessions as a
+/// transaction set, their operations as a multiversion schedule, and the
+/// session isolation levels as an allocation.
+///
+/// BuildSchedule() must be called on the struct at its final address (the
+/// Schedule references the embedded TransactionSet).
+struct ExportedRun {
+  TransactionSet txns;
+  std::vector<OpRef> order;
+  VersionFunction versions;
+  VersionOrder version_order;
+  Allocation allocation;
+  /// Engine session backing each exported transaction.
+  std::vector<SessionId> session_of_txn;
+
+  StatusOr<Schedule> BuildSchedule() const {
+    return Schedule::Create(&txns, order, versions, version_order);
+  }
+};
+
+/// Maps the committed sessions of `engine` to a formal multiversion
+/// schedule — the bridge that lets the conformance tests assert that every
+/// engine execution is allowed (Definition 2.4) under the allocation it ran
+/// with.
+///
+/// `object_names` supplies display names (object ids must match the
+/// engine's). Restriction: fails with InvalidArgument if a committed
+/// session wrote the same object twice — the engine's write buffer installs
+/// one version per object, so such sessions have no faithful image in the
+/// formal model (the paper's at-most-one-write regime).
+StatusOr<ExportedRun> ExportCommittedRun(const Engine& engine,
+                                         const TransactionSet& object_names);
+
+}  // namespace mvrob
+
+#endif  // MVROB_MVCC_TRACE_H_

@@ -1,0 +1,62 @@
+#include "mvcc/version_store.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace mvrob {
+
+VersionStore::VersionStore(size_t num_objects) : chains_(num_objects) {
+  for (std::vector<StoredVersion>& chain : chains_) {
+    chain.push_back(StoredVersion{});  // Initial version at timestamp 0.
+  }
+}
+
+const StoredVersion& VersionStore::SnapshotRead(ObjectId object,
+                                                Timestamp ts) const {
+  const std::vector<StoredVersion>& chain = chains_[object];
+  for (size_t i = chain.size(); i-- > 0;) {
+    if (chain[i].commit_ts <= ts) return chain[i];
+  }
+  return chain.front();  // Unreachable: the initial version has ts 0.
+}
+
+const StoredVersion& VersionStore::Latest(ObjectId object) const {
+  return chains_[object].back();
+}
+
+bool VersionStore::HasVersionAfter(ObjectId object, Timestamp ts) const {
+  return chains_[object].back().commit_ts > ts;
+}
+
+void VersionStore::Install(ObjectId object, StoredVersion version) {
+  assert(version.commit_ts > chains_[object].back().commit_ts);
+  chains_[object].push_back(version);
+}
+
+size_t VersionStore::Vacuum(Timestamp horizon) {
+  size_t dropped = 0;
+  for (std::vector<StoredVersion>& chain : chains_) {
+    // Keep the newest version with commit_ts <= horizon plus everything
+    // after it.
+    size_t keep_from = 0;
+    for (size_t i = 0; i < chain.size(); ++i) {
+      if (chain[i].commit_ts <= horizon) keep_from = i;
+    }
+    if (keep_from > 0) {
+      chain.erase(chain.begin(),
+                  chain.begin() + static_cast<std::ptrdiff_t>(keep_from));
+      dropped += keep_from;
+    }
+  }
+  return dropped;
+}
+
+size_t VersionStore::TotalVersions() const {
+  size_t total = 0;
+  for (const std::vector<StoredVersion>& chain : chains_) {
+    total += chain.size();
+  }
+  return total;
+}
+
+}  // namespace mvrob

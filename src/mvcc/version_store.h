@@ -1,0 +1,79 @@
+#ifndef MVROB_MVCC_VERSION_STORE_H_
+#define MVROB_MVCC_VERSION_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "txn/operation.h"
+
+namespace mvrob {
+
+/// Logical timestamps assigned by the engine's global clock. Timestamp 0 is
+/// reserved for the initial versions (the paper's op_0).
+using Timestamp = uint64_t;
+/// Stored values; the simulator stores opaque integers so tests can check
+/// which version a read observed.
+using Value = int64_t;
+/// Engine session handle. Each execution attempt of a transaction program
+/// is one session.
+using SessionId = uint32_t;
+inline constexpr SessionId kInvalidSessionId = UINT32_MAX;
+
+/// One installed version of an object.
+struct StoredVersion {
+  Value value = 0;
+  /// Session that wrote it; kInvalidSessionId for the initial version.
+  SessionId writer = kInvalidSessionId;
+  /// Commit timestamp of the writer; 0 for the initial version.
+  Timestamp commit_ts = 0;
+};
+
+/// The multiversion heap: per object, the chain of committed versions in
+/// commit-timestamp order (the version order <<_s of the formal model).
+/// Uncommitted writes live in the owning session's buffer, not here —
+/// mirroring a Postgres-style MVCC heap where visibility is decided by
+/// snapshot timestamps.
+class VersionStore {
+ public:
+  explicit VersionStore(size_t num_objects);
+
+  size_t num_objects() const { return chains_.size(); }
+
+  /// Newest version with commit_ts <= ts (the snapshot read). Always
+  /// defined: the initial version has commit_ts 0.
+  const StoredVersion& SnapshotRead(ObjectId object, Timestamp ts) const;
+
+  /// Newest committed version regardless of timestamp.
+  const StoredVersion& Latest(ObjectId object) const;
+
+  /// True if some version of `object` has commit_ts > ts — the
+  /// first-updater-wins test for SI/SSI writers with snapshot ts.
+  bool HasVersionAfter(ObjectId object, Timestamp ts) const;
+
+  /// Installs a new version; `version.commit_ts` must exceed all existing
+  /// commit timestamps for the object (commits are totally ordered by the
+  /// engine clock).
+  void Install(ObjectId object, StoredVersion version);
+
+  /// Full chain, oldest first (initial version included).
+  const std::vector<StoredVersion>& ChainOf(ObjectId object) const {
+    return chains_[object];
+  }
+
+  /// Garbage-collects versions no active snapshot can observe: for every
+  /// object, drops all versions strictly older than the newest version
+  /// with commit_ts <= horizon (Postgres VACUUM with `horizon` = the oldest
+  /// active snapshot timestamp). Returns the number of versions dropped.
+  /// Snapshot reads at timestamps >= horizon are unaffected.
+  size_t Vacuum(Timestamp horizon);
+
+  /// Total stored versions across all objects (initial versions included).
+  size_t TotalVersions() const;
+
+ private:
+  std::vector<std::vector<StoredVersion>> chains_;
+};
+
+}  // namespace mvrob
+
+#endif  // MVROB_MVCC_VERSION_STORE_H_

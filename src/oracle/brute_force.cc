@@ -1,0 +1,35 @@
+#include "oracle/brute_force.h"
+
+#include "common/string_util.h"
+#include "iso/allowed.h"
+#include "iso/materialize.h"
+#include "schedule/serializability.h"
+
+namespace mvrob {
+
+StatusOr<BruteForceResult> BruteForceRobustness(const TransactionSet& txns,
+                                                const Allocation& alloc,
+                                                uint64_t max_interleavings) {
+  uint64_t count = CountInterleavings(txns, max_interleavings + 1);
+  if (count > max_interleavings) {
+    return Status::ResourceExhausted(
+        StrCat("more than ", max_interleavings,
+               " interleavings; refusing exhaustive enumeration"));
+  }
+  BruteForceResult result;
+  ForEachInterleaving(txns, [&](const std::vector<OpRef>& order) {
+    ++result.interleavings_checked;
+    StatusOr<Schedule> schedule = MaterializeSchedule(&txns, order, alloc);
+    if (!schedule.ok()) return true;  // Unreachable for valid enumerations.
+    if (AllowedUnder(*schedule, alloc) &&
+        !IsConflictSerializable(*schedule)) {
+      result.robust = false;
+      result.witness_order = order;
+      return false;
+    }
+    return true;
+  });
+  return result;
+}
+
+}  // namespace mvrob

@@ -1,0 +1,33 @@
+#ifndef MVROB_ORACLE_BRUTE_FORCE_H_
+#define MVROB_ORACLE_BRUTE_FORCE_H_
+
+#include <optional>
+
+#include "iso/allocation.h"
+#include "oracle/interleavings.h"
+
+namespace mvrob {
+
+/// Ground-truth robustness result from exhaustive enumeration.
+struct BruteForceResult {
+  bool robust = true;
+  /// When not robust: an interleaving whose materialized schedule is
+  /// allowed under the allocation but not conflict serializable.
+  std::optional<std::vector<OpRef>> witness_order;
+  uint64_t interleavings_checked = 0;
+};
+
+/// Decides robustness of `txns` against `alloc` by enumerating *every*
+/// interleaving, materializing the unique candidate schedule (see
+/// MaterializeSchedule) and testing Definition 2.7 directly. Exponential —
+/// the semantic oracle that Algorithm 1 is property-tested against.
+///
+/// Fails with ResourceExhausted when the interleaving count exceeds
+/// `max_interleavings`.
+StatusOr<BruteForceResult> BruteForceRobustness(
+    const TransactionSet& txns, const Allocation& alloc,
+    uint64_t max_interleavings = 2'000'000);
+
+}  // namespace mvrob
+
+#endif  // MVROB_ORACLE_BRUTE_FORCE_H_

@@ -1,0 +1,42 @@
+#ifndef MVROB_ORACLE_EXHAUSTIVE_ALLOCATION_H_
+#define MVROB_ORACLE_EXHAUSTIVE_ALLOCATION_H_
+
+#include <optional>
+#include <vector>
+
+#include "iso/allocation.h"
+#include "txn/transaction_set.h"
+
+namespace mvrob {
+
+/// How the exhaustive allocation search decides robustness of each
+/// candidate allocation.
+enum class RobustnessOracle {
+  /// Algorithm 1 (PTIME) — fast, but shares code with the system under
+  /// test.
+  kAlgorithm,
+  /// Exhaustive interleaving enumeration — fully independent ground truth.
+  kBruteForce,
+};
+
+struct ExhaustiveAllocationResult {
+  /// Every robust allocation over the given levels (3^|T| candidates for
+  /// {RC, SI, SSI}).
+  std::vector<Allocation> robust_allocations;
+  /// The pointwise minimum of all robust allocations. By Proposition 4.2 it
+  /// is itself robust and equals the unique optimal allocation; the tests
+  /// assert this.
+  std::optional<Allocation> pointwise_minimum;
+};
+
+/// Enumerates all allocations of `txns` over `levels` and classifies each
+/// as robust or not. Exponential in |T|; refuse via ResourceExhausted when
+/// there are more than `max_candidates` allocations or (for the brute-force
+/// oracle) too many interleavings.
+StatusOr<ExhaustiveAllocationResult> EnumerateRobustAllocations(
+    const TransactionSet& txns, const std::vector<IsolationLevel>& levels,
+    RobustnessOracle oracle, uint64_t max_candidates = 100'000);
+
+}  // namespace mvrob
+
+#endif  // MVROB_ORACLE_EXHAUSTIVE_ALLOCATION_H_

@@ -1,0 +1,62 @@
+#include "oracle/interleavings.h"
+
+namespace mvrob {
+
+uint64_t CountInterleavings(const TransactionSet& txns, uint64_t cap) {
+  // Incremental multinomial: placing the next transaction's k ops among the
+  // first (total) slots multiplies by C(total, k).
+  uint64_t count = 1;
+  uint64_t total = 0;
+  for (const Transaction& txn : txns.txns()) {
+    for (int i = 1; i <= txn.num_ops(); ++i) {
+      ++total;
+      // count *= total / i, kept exact by multiplying before dividing with
+      // overflow saturation.
+      if (count > cap) return cap;
+      count = count * total;
+      count /= static_cast<uint64_t>(i);
+      if (count > cap) return cap;
+    }
+  }
+  return count;
+}
+
+namespace {
+
+struct Enumerator {
+  const TransactionSet& txns;
+  const std::function<bool(const std::vector<OpRef>&)>& visit;
+  std::vector<int> next_index;  // Per transaction.
+  std::vector<OpRef> order;
+  int remaining = 0;
+
+  bool Run() {
+    if (remaining == 0) return visit(order);
+    for (TxnId t = 0; t < txns.size(); ++t) {
+      int index = next_index[t];
+      if (index >= txns.txn(t).num_ops()) continue;
+      next_index[t] = index + 1;
+      order.push_back(OpRef{t, index});
+      --remaining;
+      bool keep_going = Run();
+      ++remaining;
+      order.pop_back();
+      next_index[t] = index;
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+bool ForEachInterleaving(
+    const TransactionSet& txns,
+    const std::function<bool(const std::vector<OpRef>&)>& visit) {
+  Enumerator enumerator{txns, visit, std::vector<int>(txns.size(), 0), {}, 0};
+  enumerator.remaining = txns.TotalOps();
+  enumerator.order.reserve(static_cast<size_t>(enumerator.remaining));
+  return enumerator.Run();
+}
+
+}  // namespace mvrob

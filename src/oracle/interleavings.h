@@ -1,0 +1,31 @@
+#ifndef MVROB_ORACLE_INTERLEAVINGS_H_
+#define MVROB_ORACLE_INTERLEAVINGS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "txn/transaction_set.h"
+
+namespace mvrob {
+
+/// Number of distinct interleavings (operation orders embedding every
+/// transaction's program order) of `txns` — the multinomial coefficient
+/// (sum k_i)! / prod k_i!. Saturates at `cap`.
+uint64_t CountInterleavings(const TransactionSet& txns, uint64_t cap);
+
+/// Invokes `visit` for every interleaving of `txns`, in lexicographic order
+/// of the choosing transaction ids. `visit` returns false to stop the
+/// enumeration early. Returns false iff the enumeration was stopped.
+///
+/// The schedules of the paper are exactly {interleaving} x {version order}
+/// x {version function}; for schedules allowed under an allocation the two
+/// latter components are determined (see MaterializeSchedule), so
+/// enumerating interleavings enumerates all candidate counterexamples.
+bool ForEachInterleaving(
+    const TransactionSet& txns,
+    const std::function<bool(const std::vector<OpRef>&)>& visit);
+
+}  // namespace mvrob
+
+#endif  // MVROB_ORACLE_INTERLEAVINGS_H_

@@ -1,0 +1,78 @@
+#include "oracle/split_enumerator.h"
+
+#include <algorithm>
+
+namespace mvrob {
+namespace {
+
+// Tries every choice of designated operations for a fixed transaction chain
+// t1, middle = [t2, ..., tm].
+std::optional<CounterexampleChain> TryOperations(
+    const TransactionSet& txns, const Allocation& alloc, TxnId t1,
+    const std::vector<TxnId>& middle) {
+  CounterexampleChain chain;
+  chain.t1 = t1;
+  chain.t2 = middle.front();
+  chain.tm = middle.back();
+  chain.inner.clear();
+  if (middle.size() >= 2) {
+    chain.inner.assign(middle.begin() + 1, middle.end() - 1);
+  }
+
+  const Transaction& txn1 = txns.txn(t1);
+  const Transaction& txn2 = txns.txn(chain.t2);
+  const Transaction& txnm = txns.txn(chain.tm);
+  for (int b1 = 0; b1 < txn1.num_ops(); ++b1) {
+    for (int a1 = 0; a1 < txn1.num_ops(); ++a1) {
+      for (int a2 = 0; a2 < txn2.num_ops(); ++a2) {
+        for (int bm = 0; bm < txnm.num_ops(); ++bm) {
+          chain.b1 = OpRef{t1, b1};
+          chain.a1 = OpRef{t1, a1};
+          chain.a2 = OpRef{chain.t2, a2};
+          chain.bm = OpRef{chain.tm, bm};
+          if (ValidateSplitChain(txns, alloc, chain).ok()) return chain;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// Recursively extends `middle` with unused transactions, trying every
+// sequence length >= 1.
+std::optional<CounterexampleChain> ExtendMiddle(
+    const TransactionSet& txns, const Allocation& alloc, TxnId t1,
+    std::vector<TxnId>& middle, std::vector<bool>& used) {
+  if (!middle.empty()) {
+    std::optional<CounterexampleChain> found =
+        TryOperations(txns, alloc, t1, middle);
+    if (found.has_value()) return found;
+  }
+  for (TxnId t = 0; t < txns.size(); ++t) {
+    if (t == t1 || used[t]) continue;
+    used[t] = true;
+    middle.push_back(t);
+    std::optional<CounterexampleChain> found =
+        ExtendMiddle(txns, alloc, t1, middle, used);
+    middle.pop_back();
+    used[t] = false;
+    if (found.has_value()) return found;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<CounterexampleChain> EnumerateSplitSchedules(
+    const TransactionSet& txns, const Allocation& alloc) {
+  for (TxnId t1 = 0; t1 < txns.size(); ++t1) {
+    std::vector<TxnId> middle;
+    std::vector<bool> used(txns.size(), false);
+    std::optional<CounterexampleChain> found =
+        ExtendMiddle(txns, alloc, t1, middle, used);
+    if (found.has_value()) return found;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mvrob

@@ -1,0 +1,24 @@
+#ifndef MVROB_ORACLE_SPLIT_ENUMERATOR_H_
+#define MVROB_ORACLE_SPLIT_ENUMERATOR_H_
+
+#include <optional>
+
+#include "core/split_schedule.h"
+
+namespace mvrob {
+
+/// Searches for a multiversion split schedule (Definition 3.1) by direct
+/// enumeration: all choices of T1, all ordered sequences T2 ... Tm of
+/// distinct other transactions, and all designated operations, each
+/// validated with ValidateSplitChain.
+///
+/// Exponential in |T| — usable only for small sets. Exists to property-test
+/// Theorem 3.2: a chain is found here iff Algorithm 1 reports
+/// non-robustness iff the brute-force oracle finds a non-serializable
+/// allowed schedule.
+std::optional<CounterexampleChain> EnumerateSplitSchedules(
+    const TransactionSet& txns, const Allocation& alloc);
+
+}  // namespace mvrob
+
+#endif  // MVROB_ORACLE_SPLIT_ENUMERATOR_H_

@@ -1,0 +1,79 @@
+#include "oracle/statistics.h"
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "iso/allowed.h"
+#include "iso/materialize.h"
+#include "schedule/serializability.h"
+
+namespace mvrob {
+namespace {
+
+void Classify(const TransactionSet& txns, const Allocation& alloc,
+              const std::vector<OpRef>& order, ScheduleCensus& census) {
+  ++census.interleavings;
+  StatusOr<Schedule> schedule = MaterializeSchedule(&txns, order, alloc);
+  if (!schedule.ok()) return;
+  if (!AllowedUnder(*schedule, alloc)) return;
+  ++census.allowed;
+  if (IsConflictSerializable(*schedule)) {
+    ++census.serializable;
+  } else {
+    ++census.anomalous;
+  }
+}
+
+}  // namespace
+
+StatusOr<ScheduleCensus> ComputeScheduleCensus(const TransactionSet& txns,
+                                               const Allocation& alloc,
+                                               uint64_t max_interleavings) {
+  uint64_t count = CountInterleavings(txns, max_interleavings + 1);
+  if (count > max_interleavings) {
+    return Status::ResourceExhausted(
+        StrCat("more than ", max_interleavings, " interleavings"));
+  }
+  ScheduleCensus census;
+  ForEachInterleaving(txns, [&](const std::vector<OpRef>& order) {
+    Classify(txns, alloc, order, census);
+    return true;
+  });
+  return census;
+}
+
+ScheduleCensus SampleScheduleCensus(const TransactionSet& txns,
+                                    const Allocation& alloc,
+                                    uint64_t samples, uint64_t seed) {
+  Rng rng(seed);
+  ScheduleCensus census;
+  for (uint64_t i = 0; i < samples; ++i) {
+    // Draw a uniformly random interleaving by repeatedly picking the next
+    // transaction with probability proportional to its remaining
+    // operations (the standard unbiased merge sampler).
+    std::vector<int> remaining(txns.size());
+    int total = 0;
+    for (TxnId t = 0; t < txns.size(); ++t) {
+      remaining[t] = txns.txn(t).num_ops();
+      total += remaining[t];
+    }
+    std::vector<OpRef> order;
+    order.reserve(static_cast<size_t>(total));
+    while (total > 0) {
+      uint64_t pick = rng.Uniform(1, static_cast<uint64_t>(total));
+      for (TxnId t = 0; t < txns.size(); ++t) {
+        if (pick <= static_cast<uint64_t>(remaining[t])) {
+          int index = txns.txn(t).num_ops() - remaining[t];
+          order.push_back(OpRef{t, index});
+          --remaining[t];
+          --total;
+          break;
+        }
+        pick -= static_cast<uint64_t>(remaining[t]);
+      }
+    }
+    Classify(txns, alloc, order, census);
+  }
+  return census;
+}
+
+}  // namespace mvrob

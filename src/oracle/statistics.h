@@ -1,0 +1,46 @@
+#ifndef MVROB_ORACLE_STATISTICS_H_
+#define MVROB_ORACLE_STATISTICS_H_
+
+#include <cstdint>
+
+#include "iso/allocation.h"
+#include "oracle/interleavings.h"
+
+namespace mvrob {
+
+/// Census of all interleavings of a (small) transaction set under an
+/// allocation: how many admit an allowed schedule, and how many of those
+/// are anomalous (not conflict serializable). The anomaly *rate* quantifies
+/// how often a non-robust allocation actually misbehaves — the measure the
+/// anomaly-frequency benchmark sweeps across allocations.
+struct ScheduleCensus {
+  uint64_t interleavings = 0;
+  uint64_t allowed = 0;
+  uint64_t serializable = 0;
+  uint64_t anomalous = 0;  // allowed - serializable.
+
+  double AllowedFraction() const {
+    return interleavings == 0
+               ? 0
+               : static_cast<double>(allowed) / interleavings;
+  }
+  double AnomalyRate() const {
+    return allowed == 0 ? 0 : static_cast<double>(anomalous) / allowed;
+  }
+};
+
+/// Exhaustively classifies every interleaving (exponential; guarded by
+/// `max_interleavings`).
+StatusOr<ScheduleCensus> ComputeScheduleCensus(
+    const TransactionSet& txns, const Allocation& alloc,
+    uint64_t max_interleavings = 2'000'000);
+
+/// Monte-Carlo estimate of the same census from `samples` uniformly random
+/// interleavings — usable at sizes where enumeration is hopeless.
+ScheduleCensus SampleScheduleCensus(const TransactionSet& txns,
+                                    const Allocation& alloc,
+                                    uint64_t samples, uint64_t seed);
+
+}  // namespace mvrob
+
+#endif  // MVROB_ORACLE_STATISTICS_H_

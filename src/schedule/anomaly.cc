@@ -1,0 +1,167 @@
+#include "schedule/anomaly.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace mvrob {
+
+const char* AnomalyKindToString(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kLostUpdate:
+      return "lost update";
+    case AnomalyKind::kWriteSkew:
+      return "write skew";
+    case AnomalyKind::kReadSkew:
+      return "read skew";
+    case AnomalyKind::kGeneralCycle:
+      return "general cycle";
+  }
+  return "?";
+}
+
+std::string AnomalyReport::ToString(const TransactionSet& txns) const {
+  std::vector<std::string> names;
+  for (const Dependency& edge : cycle) {
+    names.push_back(txns.txn(edge.from).name());
+  }
+  return StrCat(AnomalyKindToString(kind), ": ", Join(names, " -> "), " -> ",
+                names.empty() ? "" : names.front());
+}
+
+AnomalyKind ClassifyCycle(const SerializationGraph& graph,
+                          const std::vector<Dependency>& cycle) {
+  // Per consecutive pair, which dependency kinds exist at all.
+  size_t pairs_with_rw = 0;
+  bool any_ww = false;
+  for (const Dependency& edge : cycle) {
+    bool has_rw = false;
+    for (const Dependency& option : graph.EdgesBetween(edge.from, edge.to)) {
+      if (option.kind == DependencyKind::kRwAnti) has_rw = true;
+      if (option.kind == DependencyKind::kWw) any_ww = true;
+    }
+    if (has_rw) ++pairs_with_rw;
+  }
+  if (cycle.size() == 2 && any_ww) return AnomalyKind::kLostUpdate;
+  if (pairs_with_rw == cycle.size() && !any_ww) {
+    return AnomalyKind::kWriteSkew;
+  }
+  if (pairs_with_rw == 1) return AnomalyKind::kReadSkew;
+  return AnomalyKind::kGeneralCycle;
+}
+
+namespace {
+
+// Kosaraju strongly connected components over the transaction-level graph.
+std::vector<std::vector<TxnId>> StronglyConnectedComponents(
+    const SerializationGraph& graph) {
+  const size_t n = graph.num_txns();
+  std::vector<std::vector<TxnId>> reverse(n);
+  for (TxnId from = 0; from < n; ++from) {
+    for (TxnId to : graph.SuccessorsOf(from)) {
+      reverse[to].push_back(from);
+    }
+  }
+  // First pass: finish order.
+  std::vector<bool> visited(n, false);
+  std::vector<TxnId> order;
+  for (TxnId root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    std::vector<std::pair<TxnId, size_t>> stack{{root, 0}};
+    visited[root] = true;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      const std::vector<TxnId>& successors = graph.SuccessorsOf(node);
+      if (next < successors.size()) {
+        TxnId successor = successors[next++];
+        if (!visited[successor]) {
+          visited[successor] = true;
+          stack.emplace_back(successor, 0);
+        }
+      } else {
+        order.push_back(node);
+        stack.pop_back();
+      }
+    }
+  }
+  // Second pass on the reverse graph.
+  std::vector<std::vector<TxnId>> components;
+  std::vector<bool> assigned(n, false);
+  for (size_t i = order.size(); i-- > 0;) {
+    TxnId root = order[i];
+    if (assigned[root]) continue;
+    components.emplace_back();
+    std::deque<TxnId> queue{root};
+    assigned[root] = true;
+    while (!queue.empty()) {
+      TxnId node = queue.front();
+      queue.pop_front();
+      components.back().push_back(node);
+      for (TxnId prev : reverse[node]) {
+        if (!assigned[prev]) {
+          assigned[prev] = true;
+          queue.push_back(prev);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+// Shortest cycle through `start` staying inside `members`.
+std::vector<Dependency> ShortestCycleThrough(
+    const SerializationGraph& graph, TxnId start,
+    const std::set<TxnId>& members) {
+  std::vector<int> parent(graph.num_txns(), -2);
+  std::deque<TxnId> queue{start};
+  parent[start] = -1;
+  while (!queue.empty()) {
+    TxnId node = queue.front();
+    queue.pop_front();
+    for (TxnId successor : graph.SuccessorsOf(node)) {
+      if (!members.contains(successor)) continue;
+      if (successor == start) {
+        // Close the cycle node -> start; unwind.
+        std::vector<TxnId> path{node};
+        for (TxnId walk = node; parent[walk] >= 0;
+             walk = static_cast<TxnId>(parent[walk])) {
+          path.push_back(static_cast<TxnId>(parent[walk]));
+        }
+        std::reverse(path.begin(), path.end());
+        path.push_back(start);  // start ... node start.
+        std::vector<Dependency> cycle;
+        for (size_t i = 0; i + 1 < path.size(); ++i) {
+          cycle.push_back(graph.EdgesBetween(path[i], path[i + 1]).front());
+        }
+        return cycle;
+      }
+      if (parent[successor] == -2) {
+        parent[successor] = static_cast<int>(node);
+        queue.push_back(successor);
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<AnomalyReport> FindAnomalies(const Schedule& s) {
+  SerializationGraph graph = SerializationGraph::Build(s);
+  std::vector<AnomalyReport> reports;
+  for (const std::vector<TxnId>& component :
+       StronglyConnectedComponents(graph)) {
+    if (component.size() < 2) continue;  // No self-loops in SeG.
+    std::set<TxnId> members(component.begin(), component.end());
+    AnomalyReport report;
+    report.cycle = ShortestCycleThrough(graph, component.front(), members);
+    if (report.cycle.empty()) continue;  // Defensive; SCC >= 2 has a cycle.
+    report.kind = ClassifyCycle(graph, report.cycle);
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace mvrob

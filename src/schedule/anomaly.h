@@ -1,0 +1,52 @@
+#ifndef MVROB_SCHEDULE_ANOMALY_H_
+#define MVROB_SCHEDULE_ANOMALY_H_
+
+#include <string>
+#include <vector>
+
+#include "schedule/serialization_graph.h"
+
+namespace mvrob {
+
+/// Classification of a serialization-graph cycle into the folklore anomaly
+/// taxonomy. The classes mirror the literature (Berenson et al. SIGMOD'95,
+/// Fekete et al. TODS'05): the edge *kinds* around the cycle determine
+/// what a practitioner would call the misbehavior.
+enum class AnomalyKind : uint8_t {
+  /// Two transactions, both cycles edges ww/rw on the same object: one
+  /// update overwrites the other based on a stale read.
+  kLostUpdate,
+  /// All cycle edges are rw-antidependencies (>= 2 transactions): disjoint
+  /// writes based on mutually stale reads — the classic SI anomaly.
+  kWriteSkew,
+  /// Exactly one rw-antidependency in the cycle: a reader observed an
+  /// inconsistent mix of old and new versions (read skew / fuzzy read).
+  kReadSkew,
+  /// Anything larger/mixed: a multi-transaction serialization failure.
+  kGeneralCycle,
+};
+
+const char* AnomalyKindToString(AnomalyKind kind);
+
+/// A classified cycle.
+struct AnomalyReport {
+  AnomalyKind kind = AnomalyKind::kGeneralCycle;
+  std::vector<Dependency> cycle;
+
+  std::string ToString(const TransactionSet& txns) const;
+};
+
+/// Classifies one cycle (as returned by SerializationGraph::FindCycle).
+/// Classification considers *all* dependencies between consecutive cycle
+/// transactions, not just the representative edges: a two-transaction
+/// cycle whose pair also carries a ww dependency is a lost update even if
+/// the chosen representatives are antidependencies.
+AnomalyKind ClassifyCycle(const SerializationGraph& graph,
+                          const std::vector<Dependency>& cycle);
+
+/// Finds a cycle in SeG(s) and classifies it; empty when serializable.
+std::vector<AnomalyReport> FindAnomalies(const Schedule& s);
+
+}  // namespace mvrob
+
+#endif  // MVROB_SCHEDULE_ANOMALY_H_

@@ -1,0 +1,76 @@
+#include "schedule/dependency.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "txn/conflict.h"
+
+namespace mvrob {
+
+const char* DependencyKindToString(DependencyKind kind) {
+  switch (kind) {
+    case DependencyKind::kWw:
+      return "ww";
+    case DependencyKind::kWr:
+      return "wr";
+    case DependencyKind::kRwAnti:
+      return "rw";
+  }
+  return "?";
+}
+
+std::optional<DependencyKind> DependencyBetween(const Schedule& s, OpRef b,
+                                                OpRef a) {
+  if (b.IsOp0() || a.IsOp0() || b.txn == a.txn) return std::nullopt;
+  const TransactionSet& txns = s.txns();
+  const Operation& op_b = txns.op(b);
+  const Operation& op_a = txns.op(a);
+  if (WwConflicting(op_b, op_a) && s.VersionBefore(b, a)) {
+    return DependencyKind::kWw;
+  }
+  if (WrConflicting(op_b, op_a)) {
+    OpRef version = s.VersionRead(a);
+    if (b == version || s.VersionBefore(b, version)) {
+      return DependencyKind::kWr;
+    }
+  }
+  if (RwConflicting(op_b, op_a) && s.VersionBefore(s.VersionRead(b), a)) {
+    return DependencyKind::kRwAnti;
+  }
+  return std::nullopt;
+}
+
+std::vector<Dependency> ComputeDependencies(const Schedule& s) {
+  const TransactionSet& txns = s.txns();
+  std::vector<Dependency> deps;
+  // Group operations per object so only same-object pairs are inspected.
+  std::map<ObjectId, std::vector<OpRef>> by_object;
+  for (const OpRef& ref : s.order()) {
+    const Operation& op = txns.op(ref);
+    if (!op.IsCommit()) by_object[op.object].push_back(ref);
+  }
+  for (const auto& [object, refs] : by_object) {
+    for (const OpRef& b : refs) {
+      for (const OpRef& a : refs) {
+        std::optional<DependencyKind> kind = DependencyBetween(s, b, a);
+        if (kind.has_value()) {
+          deps.push_back(Dependency{b.txn, b, a, a.txn, *kind});
+        }
+      }
+    }
+  }
+  std::sort(deps.begin(), deps.end(),
+            [](const Dependency& x, const Dependency& y) {
+              return std::tie(x.from, x.b, x.a, x.to) <
+                     std::tie(y.from, y.b, y.a, y.to);
+            });
+  return deps;
+}
+
+std::string FormatDependency(const TransactionSet& txns, const Dependency& d) {
+  return StrCat(txns.FormatOp(d.b), " ->", DependencyKindToString(d.kind), " ",
+                txns.FormatOp(d.a), " (", txns.txn(d.from).name(), " -> ",
+                txns.txn(d.to).name(), ")");
+}
+
+}  // namespace mvrob

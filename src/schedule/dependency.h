@@ -1,0 +1,47 @@
+#ifndef MVROB_SCHEDULE_DEPENDENCY_H_
+#define MVROB_SCHEDULE_DEPENDENCY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "schedule/schedule.h"
+
+namespace mvrob {
+
+/// The three dependency kinds of Section 2.2.
+enum class DependencyKind : uint8_t { kWw, kWr, kRwAnti };
+
+const char* DependencyKindToString(DependencyKind kind);
+
+/// A dependency b_i ->_s a_j between operations of different transactions;
+/// also the edge representation (T_i, b_i, a_j, T_j) used for SeG(s).
+struct Dependency {
+  TxnId from = kInvalidTxnId;
+  OpRef b;  // The operation depended upon (in `from`).
+  OpRef a;  // The depending operation (in `to`).
+  TxnId to = kInvalidTxnId;
+  DependencyKind kind = DependencyKind::kWw;
+
+  friend bool operator==(const Dependency&, const Dependency&) = default;
+};
+
+/// Returns the kind of dependency b ->_s a, if operations b and a (of
+/// different transactions, on the same object) are dependent in `s`
+/// per Section 2.2:
+///  - ww-dependency:      b, a writes and b <<_s a;
+///  - wr-dependency:      b write, a read and b = v_s(a) or b <<_s v_s(a);
+///  - rw-antidependency:  b read, a write and v_s(b) <<_s a.
+std::optional<DependencyKind> DependencyBetween(const Schedule& s, OpRef b,
+                                                OpRef a);
+
+/// All dependencies of the schedule — the edge set of SeG(s) in quadruple
+/// form, ordered deterministically (by from, b, a).
+std::vector<Dependency> ComputeDependencies(const Schedule& s);
+
+/// Pretty form "W2[t] ->ww W4[t] (T2 -> T4)".
+std::string FormatDependency(const TransactionSet& txns, const Dependency& d);
+
+}  // namespace mvrob
+
+#endif  // MVROB_SCHEDULE_DEPENDENCY_H_

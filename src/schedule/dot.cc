@@ -1,0 +1,66 @@
+#include "schedule/dot.h"
+
+#include <map>
+
+#include "common/string_util.h"
+
+namespace mvrob {
+
+std::string SerializationGraphToDot(const TransactionSet& txns,
+                                    const SerializationGraph& graph) {
+  std::string out = "digraph SeG {\n  rankdir=LR;\n";
+  for (TxnId t = 0; t < txns.size(); ++t) {
+    out += StrCat("  n", t, " [label=\"", txns.txn(t).name(),
+                  "\", shape=circle];\n");
+  }
+  // Merge quadruples per transaction pair into a single labeled edge.
+  std::map<std::pair<TxnId, TxnId>, std::vector<std::string>> labels;
+  std::map<std::pair<TxnId, TxnId>, bool> all_anti;
+  for (const Dependency& edge : graph.edges()) {
+    auto key = std::make_pair(edge.from, edge.to);
+    labels[key].push_back(StrCat(txns.FormatOp(edge.b), "->",
+                                 txns.FormatOp(edge.a), " (",
+                                 DependencyKindToString(edge.kind), ")"));
+    auto [it, inserted] = all_anti.try_emplace(key, true);
+    it->second = it->second && edge.kind == DependencyKind::kRwAnti;
+  }
+  for (const auto& [key, parts] : labels) {
+    out += StrCat("  n", key.first, " -> n", key.second, " [label=\"",
+                  Join(parts, "\\n"), "\"",
+                  all_anti[key] ? ", style=dashed" : "", "];\n");
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string ScheduleTimeline(const Schedule& s) {
+  const TransactionSet& txns = s.txns();
+  // Column widths: each position takes max(token length)+1.
+  std::vector<std::string> tokens;
+  tokens.reserve(s.num_ops());
+  for (const OpRef& ref : s.order()) {
+    tokens.push_back(txns.FormatOp(ref));
+  }
+  size_t name_width = 0;
+  for (const Transaction& txn : txns.txns()) {
+    name_width = std::max(name_width, txn.name().size());
+  }
+  std::string out;
+  for (TxnId t = 0; t < txns.size(); ++t) {
+    std::string row = txns.txn(t).name();
+    row.resize(name_width, ' ');
+    row += " | ";
+    for (size_t pos = 0; pos < tokens.size(); ++pos) {
+      std::string cell =
+          s.order()[pos].txn == t ? tokens[pos] : std::string();
+      cell.resize(tokens[pos].size() + 1, ' ');
+      row += cell;
+    }
+    while (!row.empty() && row.back() == ' ') row.pop_back();
+    out += row;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mvrob

@@ -1,0 +1,28 @@
+#ifndef MVROB_SCHEDULE_DOT_H_
+#define MVROB_SCHEDULE_DOT_H_
+
+#include <string>
+
+#include "schedule/serialization_graph.h"
+
+namespace mvrob {
+
+/// Renders SeG(s) in Graphviz DOT format: one node per transaction, one
+/// edge per transaction pair with the witnessing operation pairs as the
+/// edge label; rw-antidependencies are dashed (the convention of the SI
+/// literature). Paste into `dot -Tsvg` to draw the paper's Figure 3.
+std::string SerializationGraphToDot(const TransactionSet& txns,
+                                    const SerializationGraph& graph);
+
+/// Renders the schedule as a per-transaction timeline (rows = transactions,
+/// columns = positions in <=_s), the plain-text analogue of the paper's
+/// Figure 2:
+///
+///   T1 |                          R[t]           C
+///   T2 | W[t]            R[v]          C
+///   ...
+std::string ScheduleTimeline(const Schedule& s);
+
+}  // namespace mvrob
+
+#endif  // MVROB_SCHEDULE_DOT_H_

@@ -1,0 +1,258 @@
+#include "schedule/schedule.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace mvrob {
+
+namespace {
+const std::vector<OpRef> kEmptyVersions;
+}  // namespace
+
+StatusOr<Schedule> Schedule::Create(const TransactionSet* txns,
+                                    std::vector<OpRef> order,
+                                    VersionFunction versions,
+                                    VersionOrder version_order) {
+  Schedule schedule;
+  schedule.txns_ = txns;
+  schedule.order_ = std::move(order);
+  schedule.versions_ = std::move(versions);
+  schedule.version_order_ = std::move(version_order);
+  schedule.IndexPositions();
+  Status status = schedule.Validate();
+  if (!status.ok()) return status;
+  return schedule;
+}
+
+StatusOr<Schedule> Schedule::SingleVersion(const TransactionSet* txns,
+                                           std::vector<OpRef> order) {
+  VersionFunction versions;
+  VersionOrder version_order;
+  // last_write[obj] = most recent write so far (op_0 if none).
+  std::unordered_map<ObjectId, OpRef> last_write;
+  for (const OpRef& ref : order) {
+    if (ref.IsOp0() || !txns->IsValidRef(ref)) {
+      return Status::InvalidArgument("invalid operation reference in order");
+    }
+    const Operation& op = txns->op(ref);
+    if (op.IsWrite()) {
+      version_order[op.object].push_back(ref);
+      last_write[op.object] = ref;
+    } else if (op.IsRead()) {
+      auto it = last_write.find(op.object);
+      versions[ref] = it == last_write.end() ? OpRef::Op0() : it->second;
+    }
+  }
+  return Create(txns, std::move(order), std::move(versions),
+                std::move(version_order));
+}
+
+StatusOr<Schedule> Schedule::SingleVersionSerial(
+    const TransactionSet* txns, const std::vector<TxnId>& txn_order) {
+  std::vector<OpRef> order;
+  order.reserve(txns->TotalOps());
+  for (TxnId id : txn_order) {
+    if (id >= txns->size()) {
+      return Status::InvalidArgument(StrCat("unknown transaction id ", id));
+    }
+    const Transaction& txn = txns->txn(id);
+    for (int i = 0; i < txn.num_ops(); ++i) order.push_back(OpRef{id, i});
+  }
+  return SingleVersion(txns, std::move(order));
+}
+
+void Schedule::IndexPositions() {
+  positions_.assign(txns_->size(), {});
+  for (TxnId t = 0; t < txns_->size(); ++t) {
+    positions_[t].assign(txns_->txn(t).num_ops(), -2);
+  }
+  for (size_t pos = 0; pos < order_.size(); ++pos) {
+    const OpRef& ref = order_[pos];
+    if (!ref.IsOp0() && txns_->IsValidRef(ref)) {
+      positions_[ref.txn][ref.index] = static_cast<int>(pos);
+    }
+  }
+  version_rank_.clear();
+  for (const auto& [object, writes] : version_order_) {
+    for (size_t rank = 0; rank < writes.size(); ++rank) {
+      version_rank_[writes[rank]] = static_cast<int>(rank);
+    }
+  }
+}
+
+Status Schedule::Validate() const {
+  // Every operation of every transaction appears exactly once, in program
+  // order (a <_T b implies a <_s b).
+  if (order_.size() != static_cast<size_t>(txns_->TotalOps())) {
+    return Status::InvalidArgument(
+        StrCat("order has ", order_.size(), " operations, expected ",
+               txns_->TotalOps()));
+  }
+  for (const OpRef& ref : order_) {
+    if (ref.IsOp0() || !txns_->IsValidRef(ref)) {
+      return Status::InvalidArgument("order contains an invalid reference");
+    }
+  }
+  for (TxnId t = 0; t < txns_->size(); ++t) {
+    int previous = -1;
+    for (int i = 0; i < txns_->txn(t).num_ops(); ++i) {
+      int pos = positions_[t][i];
+      if (pos < 0) {
+        return Status::InvalidArgument(
+            StrCat("operation ", txns_->FormatOp(OpRef{t, i}),
+                   " missing from order"));
+      }
+      if (pos <= previous) {
+        return Status::InvalidArgument(
+            StrCat("program order of ", txns_->txn(t).name(),
+                   " violated at ", txns_->FormatOp(OpRef{t, i})));
+      }
+      previous = pos;
+    }
+  }
+
+  // Version order lists exactly the writes per object.
+  std::map<ObjectId, size_t> write_counts;
+  for (const OpRef& ref : order_) {
+    const Operation& op = txns_->op(ref);
+    if (op.IsWrite()) ++write_counts[op.object];
+  }
+  for (const auto& [object, writes] : version_order_) {
+    if (writes.size() != write_counts[object]) {
+      return Status::InvalidArgument(
+          StrCat("version order for object ", txns_->ObjectName(object),
+                 " lists ", writes.size(), " writes, expected ",
+                 write_counts[object]));
+    }
+    for (const OpRef& w : writes) {
+      if (w.IsOp0() || !txns_->IsValidRef(w) || !txns_->op(w).IsWrite() ||
+          txns_->op(w).object != object) {
+        return Status::InvalidArgument(
+            StrCat("version order for object ", txns_->ObjectName(object),
+                   " contains a non-write or mismatched operation"));
+      }
+    }
+  }
+  for (const auto& [object, count] : write_counts) {
+    if (count > 0 && !version_order_.contains(object)) {
+      return Status::InvalidArgument(
+          StrCat("version order missing for object ",
+                 txns_->ObjectName(object)));
+    }
+  }
+
+  // Version function: defined exactly on reads; v_s(a) <_s a; same object.
+  size_t read_count = 0;
+  for (const OpRef& ref : order_) {
+    const Operation& op = txns_->op(ref);
+    if (!op.IsRead()) continue;
+    ++read_count;
+    auto it = versions_.find(ref);
+    if (it == versions_.end()) {
+      return Status::InvalidArgument(
+          StrCat("version function undefined for ", txns_->FormatOp(ref)));
+    }
+    const OpRef& writer = it->second;
+    if (writer.IsOp0()) continue;
+    if (!txns_->IsValidRef(writer) || !txns_->op(writer).IsWrite() ||
+        txns_->op(writer).object != op.object) {
+      return Status::InvalidArgument(
+          StrCat("version function maps ", txns_->FormatOp(ref),
+                 " to a non-write or different object"));
+    }
+    if (!Before(writer, ref)) {
+      return Status::InvalidArgument(
+          StrCat("version function maps ", txns_->FormatOp(ref),
+                 " to a write that does not precede it"));
+    }
+  }
+  if (versions_.size() != read_count) {
+    return Status::InvalidArgument(
+        "version function defined for a non-read operation");
+  }
+  return Status::Ok();
+}
+
+int Schedule::PositionOf(OpRef ref) const {
+  if (ref.IsOp0()) return -1;
+  return positions_[ref.txn][ref.index];
+}
+
+OpRef Schedule::VersionRead(OpRef read) const {
+  auto it = versions_.find(read);
+  return it == versions_.end() ? OpRef::Op0() : it->second;
+}
+
+const std::vector<OpRef>& Schedule::VersionsOf(ObjectId object) const {
+  auto it = version_order_.find(object);
+  return it == version_order_.end() ? kEmptyVersions : it->second;
+}
+
+bool Schedule::VersionBefore(OpRef a, OpRef b) const {
+  if (a == b) return false;
+  if (a.IsOp0()) return true;   // op_0 precedes every write.
+  if (b.IsOp0()) return false;
+  auto rank_a = version_rank_.find(a);
+  auto rank_b = version_rank_.find(b);
+  if (rank_a == version_rank_.end() || rank_b == version_rank_.end()) {
+    return false;
+  }
+  return rank_a->second < rank_b->second;
+}
+
+bool Schedule::Concurrent(TxnId a, TxnId b) const {
+  if (a == b) return false;
+  const Transaction& ta = txns_->txn(a);
+  const Transaction& tb = txns_->txn(b);
+  return Before(ta.first_ref(), tb.commit_ref()) &&
+         Before(tb.first_ref(), ta.commit_ref());
+}
+
+bool Schedule::IsSingleVersion() const {
+  // <<_s compatible with <=_s per object.
+  for (const auto& [object, writes] : version_order_) {
+    for (size_t i = 1; i < writes.size(); ++i) {
+      if (!Before(writes[i - 1], writes[i])) return false;
+    }
+  }
+  // Every read observes the last written version: no write on the same
+  // object strictly between v_s(a) and a.
+  for (const auto& [read, writer] : versions_) {
+    ObjectId object = txns_->op(read).object;
+    for (const OpRef& w : VersionsOf(object)) {
+      if (Before(writer, w) && Before(w, read)) return false;
+    }
+  }
+  return true;
+}
+
+bool Schedule::IsSerial() const {
+  // Transactions are contiguous iff the owning transaction changes at most
+  // once per transaction along the order.
+  std::vector<bool> seen(txns_->size(), false);
+  TxnId current = kInvalidTxnId;
+  for (const OpRef& ref : order_) {
+    if (ref.txn != current) {
+      if (ref.txn < seen.size() && seen[ref.txn]) return false;
+      if (current != kInvalidTxnId) seen[current] = true;
+      current = ref.txn;
+    }
+  }
+  return true;
+}
+
+std::string Schedule::ToString(bool with_versions) const {
+  std::vector<std::string> parts;
+  parts.reserve(order_.size());
+  for (const OpRef& ref : order_) {
+    std::string token = txns_->FormatOp(ref);
+    if (with_versions && txns_->op(ref).IsRead()) {
+      token += StrCat("{v=", txns_->FormatOp(VersionRead(ref)), "}");
+    }
+    parts.push_back(std::move(token));
+  }
+  return Join(parts, " ");
+}
+
+}  // namespace mvrob

@@ -1,0 +1,115 @@
+#ifndef MVROB_SCHEDULE_SCHEDULE_H_
+#define MVROB_SCHEDULE_SCHEDULE_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/transaction_set.h"
+
+namespace mvrob {
+
+/// Version function v_s: maps every read operation to the write operation
+/// (or op_0) whose version it observes.
+using VersionFunction = std::unordered_map<OpRef, OpRef, OpRefHash>;
+
+/// Version order <<_s: for each object, the total order in which versions
+/// are installed. op_0 is implicit and precedes every listed write.
+using VersionOrder = std::map<ObjectId, std::vector<OpRef>>;
+
+/// A multiversion schedule s = (O_s, <=_s, <<_s, v_s) over a set of
+/// transactions (Section 2.1).
+///
+/// - `order` lists every operation of every transaction exactly once; op_0
+///   is implicit before position 0.
+/// - `versions` maps each read to op_0 or to an earlier write on the same
+///   object.
+/// - `version_order` lists, per object, all writes on it; op_0 precedes all.
+///
+/// A Schedule does not own its TransactionSet; the set must outlive it.
+class Schedule {
+ public:
+  /// Validates all well-formedness conditions of Definition "multiversion
+  /// schedule": program order embedded in <=_s, version function targets,
+  /// version order coverage. Returns InvalidArgument with a diagnostic
+  /// otherwise.
+  static StatusOr<Schedule> Create(const TransactionSet* txns,
+                                   std::vector<OpRef> order,
+                                   VersionFunction versions,
+                                   VersionOrder version_order);
+
+  /// Builds the *single version* schedule induced by `order`: the version
+  /// order coincides with <=_s and every read observes the most recent
+  /// preceding write (op_0 if none). Useful for serial baselines and for
+  /// Theorem 2.2 round-trips.
+  static StatusOr<Schedule> SingleVersion(const TransactionSet* txns,
+                                          std::vector<OpRef> order);
+
+  /// Builds the single version serial schedule executing whole transactions
+  /// in the given order (every transaction exactly once).
+  static StatusOr<Schedule> SingleVersionSerial(
+      const TransactionSet* txns, const std::vector<TxnId>& txn_order);
+
+  const TransactionSet& txns() const { return *txns_; }
+  const std::vector<OpRef>& order() const { return order_; }
+  size_t num_ops() const { return order_.size(); }
+
+  /// Position of `ref` in <=_s; op_0 has position -1.
+  int PositionOf(OpRef ref) const;
+  /// a <_s b. op_0 precedes every other operation.
+  bool Before(OpRef a, OpRef b) const {
+    return PositionOf(a) < PositionOf(b);
+  }
+
+  /// v_s(read): the write (or op_0) whose version `read` observes.
+  OpRef VersionRead(OpRef read) const;
+
+  /// All writes on `object` in <<_s order (op_0 implicit first). Objects
+  /// that are never written yield an empty list.
+  const std::vector<OpRef>& VersionsOf(ObjectId object) const;
+
+  /// a <<_s b for two version-producing operations on the same object
+  /// (op_0 allowed on either side). op_0 <<_s w for every write w.
+  bool VersionBefore(OpRef a, OpRef b) const;
+
+  /// True if transactions `a` and `b` overlap: first(T_a) <_s C_b and
+  /// first(T_b) <_s C_a (Section 2.3).
+  bool Concurrent(TxnId a, TxnId b) const;
+
+  /// True if <<_s is compatible with <=_s and every read observes the last
+  /// written (not merely last committed) version — the paper's single
+  /// version condition.
+  bool IsSingleVersion() const;
+
+  /// True if additionally no transaction's operations interleave with
+  /// another's.
+  bool IsSerial() const;
+
+  /// One-line rendering of the operation order, e.g.
+  /// "W2[t] R4[t] W3[v] C3 ... C1". Version reads are appended in
+  /// brackets when `with_versions` is set.
+  std::string ToString(bool with_versions = false) const;
+
+ private:
+  Schedule() = default;
+
+  Status Validate() const;
+  void IndexPositions();
+
+  const TransactionSet* txns_ = nullptr;
+  std::vector<OpRef> order_;
+  VersionFunction versions_;
+  VersionOrder version_order_;
+
+  // positions_[txn][index] = position in order_, for O(1) PositionOf.
+  std::vector<std::vector<int>> positions_;
+  // Rank of each write within its object's version list, for O(1)
+  // VersionBefore.
+  std::unordered_map<OpRef, int, OpRefHash> version_rank_;
+};
+
+}  // namespace mvrob
+
+#endif  // MVROB_SCHEDULE_SCHEDULE_H_

@@ -1,0 +1,18 @@
+#include "schedule/serializability.h"
+
+namespace mvrob {
+
+bool ConflictEquivalent(const Schedule& s1, const Schedule& s2) {
+  if (&s1.txns() != &s2.txns()) return false;
+  return ComputeDependencies(s1) == ComputeDependencies(s2);
+}
+
+bool IsConflictSerializable(const Schedule& s) {
+  return SerializationGraph::Build(s).IsAcyclic();
+}
+
+std::optional<std::vector<TxnId>> SerializationWitness(const Schedule& s) {
+  return SerializationGraph::Build(s).TopologicalOrder();
+}
+
+}  // namespace mvrob

@@ -1,0 +1,26 @@
+#ifndef MVROB_SCHEDULE_SERIALIZABILITY_H_
+#define MVROB_SCHEDULE_SERIALIZABILITY_H_
+
+#include <optional>
+#include <vector>
+
+#include "schedule/serialization_graph.h"
+
+namespace mvrob {
+
+/// True if the two schedules are conflict equivalent (Section 2.2): same
+/// transaction set and identical dependency relations between conflicting
+/// operations.
+bool ConflictEquivalent(const Schedule& s1, const Schedule& s2);
+
+/// Conflict serializability via Theorem 2.2: s is conflict serializable iff
+/// SeG(s) is acyclic.
+bool IsConflictSerializable(const Schedule& s);
+
+/// When serializable, returns a transaction order whose single version
+/// serial schedule is conflict equivalent to `s`; nullopt otherwise.
+std::optional<std::vector<TxnId>> SerializationWitness(const Schedule& s);
+
+}  // namespace mvrob
+
+#endif  // MVROB_SCHEDULE_SERIALIZABILITY_H_

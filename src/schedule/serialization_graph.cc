@@ -1,0 +1,136 @@
+#include "schedule/serialization_graph.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace mvrob {
+
+SerializationGraph SerializationGraph::Build(const Schedule& s) {
+  SerializationGraph graph;
+  graph.edges_ = ComputeDependencies(s);
+  graph.adjacency_.assign(s.txns().size(), {});
+  for (const Dependency& edge : graph.edges_) {
+    graph.adjacency_[edge.from].push_back(edge.to);
+  }
+  for (std::vector<TxnId>& successors : graph.adjacency_) {
+    std::sort(successors.begin(), successors.end());
+    successors.erase(std::unique(successors.begin(), successors.end()),
+                     successors.end());
+  }
+  return graph;
+}
+
+bool SerializationGraph::HasEdge(TxnId from, TxnId to) const {
+  const std::vector<TxnId>& successors = adjacency_[from];
+  return std::binary_search(successors.begin(), successors.end(), to);
+}
+
+std::vector<Dependency> SerializationGraph::EdgesBetween(TxnId from,
+                                                         TxnId to) const {
+  std::vector<Dependency> result;
+  for (const Dependency& edge : edges_) {
+    if (edge.from == from && edge.to == to) result.push_back(edge);
+  }
+  return result;
+}
+
+bool SerializationGraph::IsAcyclic() const { return !FindCycle().has_value(); }
+
+namespace {
+
+// Iterative DFS cycle search returning the node cycle (t_0, ..., t_k-1) such
+// that t_i -> t_(i+1 mod k) for all i, or nullopt.
+std::optional<std::vector<TxnId>> FindNodeCycle(
+    const std::vector<std::vector<TxnId>>& adjacency) {
+  enum class Color : uint8_t { kWhite, kGray, kBlack };
+  const size_t n = adjacency.size();
+  std::vector<Color> color(n, Color::kWhite);
+  std::vector<TxnId> parent(n, kInvalidTxnId);
+
+  for (TxnId root = 0; root < n; ++root) {
+    if (color[root] != Color::kWhite) continue;
+    // Stack holds (node, next-successor-index).
+    std::vector<std::pair<TxnId, size_t>> stack;
+    stack.emplace_back(root, 0);
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      if (next < adjacency[node].size()) {
+        TxnId successor = adjacency[node][next++];
+        if (color[successor] == Color::kGray) {
+          // Found a back edge node -> successor; unwind the gray path.
+          std::vector<TxnId> cycle;
+          cycle.push_back(successor);
+          for (TxnId walk = node; walk != successor; walk = parent[walk]) {
+            cycle.push_back(walk);
+          }
+          std::reverse(cycle.begin() + 1, cycle.end());
+          return cycle;
+        }
+        if (color[successor] == Color::kWhite) {
+          color[successor] = Color::kGray;
+          parent[successor] = node;
+          stack.emplace_back(successor, 0);
+        }
+      } else {
+        color[node] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::vector<Dependency>> SerializationGraph::FindCycle() const {
+  std::optional<std::vector<TxnId>> nodes = FindNodeCycle(adjacency_);
+  if (!nodes.has_value()) return std::nullopt;
+  std::vector<Dependency> cycle;
+  for (size_t i = 0; i < nodes->size(); ++i) {
+    TxnId from = (*nodes)[i];
+    TxnId to = (*nodes)[(i + 1) % nodes->size()];
+    std::vector<Dependency> candidates = EdgesBetween(from, to);
+    // An adjacency edge always has at least one witnessing quadruple.
+    cycle.push_back(candidates.front());
+  }
+  return cycle;
+}
+
+std::optional<std::vector<TxnId>> SerializationGraph::TopologicalOrder()
+    const {
+  const size_t n = adjacency_.size();
+  std::vector<int> indegree(n, 0);
+  for (TxnId from = 0; from < n; ++from) {
+    for (TxnId to : adjacency_[from]) ++indegree[to];
+  }
+  std::vector<TxnId> ready;
+  for (TxnId t = 0; t < n; ++t) {
+    if (indegree[t] == 0) ready.push_back(t);
+  }
+  std::vector<TxnId> order;
+  while (!ready.empty()) {
+    // Pop the smallest id for deterministic output.
+    auto it = std::min_element(ready.begin(), ready.end());
+    TxnId node = *it;
+    ready.erase(it);
+    order.push_back(node);
+    for (TxnId to : adjacency_[node]) {
+      if (--indegree[to] == 0) ready.push_back(to);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+std::string SerializationGraph::ToString(const TransactionSet& txns) const {
+  std::string out;
+  for (const Dependency& edge : edges_) {
+    out += FormatDependency(txns, edge);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mvrob

@@ -1,0 +1,55 @@
+#ifndef MVROB_SCHEDULE_SERIALIZATION_GRAPH_H_
+#define MVROB_SCHEDULE_SERIALIZATION_GRAPH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "schedule/dependency.h"
+
+namespace mvrob {
+
+/// The serialization graph SeG(s) of Section 2.2: nodes are transactions,
+/// and each dependency b_i ->_s a_j contributes a labeled edge quadruple
+/// (T_i, b_i, a_j, T_j).
+class SerializationGraph {
+ public:
+  static SerializationGraph Build(const Schedule& s);
+
+  size_t num_txns() const { return adjacency_.size(); }
+  const std::vector<Dependency>& edges() const { return edges_; }
+
+  /// Transaction-level successors of `txn` (deduplicated, ascending).
+  const std::vector<TxnId>& SuccessorsOf(TxnId txn) const {
+    return adjacency_[txn];
+  }
+
+  /// True if some dependency goes from `from` to `to`.
+  bool HasEdge(TxnId from, TxnId to) const;
+
+  /// All quadruples from `from` to `to`.
+  std::vector<Dependency> EdgesBetween(TxnId from, TxnId to) const;
+
+  bool IsAcyclic() const;
+
+  /// A simple cycle as a sequence of edge quadruples
+  /// (T_1,b_1,a_2,T_2)...(T_n,b_n,a_1,T_1), or nullopt if acyclic. Every
+  /// transaction appears exactly twice, as in the paper's cycle definition.
+  std::optional<std::vector<Dependency>> FindCycle() const;
+
+  /// A topological order of the transactions, or nullopt if cyclic. This is
+  /// a serialization order: executing the transactions serially in this
+  /// order is conflict equivalent to the original schedule (Theorem 2.2).
+  std::optional<std::vector<TxnId>> TopologicalOrder() const;
+
+  /// Multi-line rendering "T1 -> T2 [rw: R1[t] -> W2[t]] ...".
+  std::string ToString(const TransactionSet& txns) const;
+
+ private:
+  std::vector<Dependency> edges_;
+  std::vector<std::vector<TxnId>> adjacency_;
+};
+
+}  // namespace mvrob
+
+#endif  // MVROB_SCHEDULE_SERIALIZATION_GRAPH_H_

@@ -1,0 +1,94 @@
+#include "templates/instantiate.h"
+
+#include <functional>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace mvrob {
+namespace {
+
+// Enumerates parameter assignments for `tmpl` as value indices per
+// parameter; returns false from the visitor to stop.
+void ForEachAssignment(
+    const TemplateSet& set, const TransactionTemplate& tmpl,
+    bool distinct_same_domain,
+    const std::function<void(const std::vector<int>&)>& visit) {
+  const std::vector<ParamDecl>& params = tmpl.params();
+  std::vector<int> values(params.size(), 0);
+  while (true) {
+    bool admissible = true;
+    if (distinct_same_domain) {
+      for (size_t i = 0; i < params.size() && admissible; ++i) {
+        for (size_t j = i + 1; j < params.size(); ++j) {
+          if (params[i].domain == params[j].domain &&
+              values[i] == values[j]) {
+            admissible = false;
+            break;
+          }
+        }
+      }
+    }
+    if (admissible) visit(values);
+    // Odometer.
+    size_t k = 0;
+    while (k < params.size() &&
+           ++values[k] == set.DomainSize(params[k].domain)) {
+      values[k] = 0;
+      ++k;
+    }
+    if (k == params.size()) break;
+  }
+}
+
+}  // namespace
+
+StatusOr<Instantiation> InstantiateTemplates(
+    const TemplateSet& set, const InstantiationOptions& options) {
+  Instantiation result;
+  Status failure;
+
+  for (size_t t = 0; t < set.size(); ++t) {
+    const TransactionTemplate& tmpl = set.tmpl(t);
+    ForEachAssignment(
+        set, tmpl, options.distinct_same_domain_params,
+        [&](const std::vector<int>& values) {
+          if (!failure.ok()) return;
+          std::map<std::string, std::string> assignment;
+          std::string suffix;
+          for (size_t p = 0; p < tmpl.params().size(); ++p) {
+            assignment[tmpl.params()[p].name] = StrCat(values[p]);
+            suffix += StrCat("_", tmpl.params()[p].name, values[p]);
+          }
+          for (int copy = 0; copy < options.copies_per_assignment; ++copy) {
+            if (result.txns.size() >=
+                static_cast<size_t>(options.max_instances)) {
+              failure = Status::ResourceExhausted(
+                  StrCat("instantiation exceeds ", options.max_instances,
+                         " transactions"));
+              return;
+            }
+            std::vector<Operation> ops;
+            for (const TemplateOp& op : tmpl.ops()) {
+              ObjectId object = result.txns.InternObject(
+                  TransactionTemplate::Substitute(op.object_pattern,
+                                                  assignment));
+              ops.push_back(op.type == OpType::kRead
+                                ? Operation::Read(object)
+                                : Operation::Write(object));
+            }
+            StatusOr<TxnId> id = result.txns.AddTransaction(
+                StrCat(tmpl.name(), suffix, "#", copy + 1), std::move(ops));
+            if (!id.ok()) {
+              failure = id.status();
+              return;
+            }
+            result.template_of_txn.push_back(static_cast<int>(t));
+          }
+        });
+    if (!failure.ok()) return failure;
+  }
+  return result;
+}
+
+}  // namespace mvrob

@@ -1,0 +1,48 @@
+#ifndef MVROB_TEMPLATES_INSTANTIATE_H_
+#define MVROB_TEMPLATES_INSTANTIATE_H_
+
+#include <vector>
+
+#include "templates/template.h"
+#include "txn/transaction_set.h"
+
+namespace mvrob {
+
+/// Controls canonical instantiation of a template set.
+struct InstantiationOptions {
+  /// Concrete transactions per parameter assignment. Two copies are the
+  /// default: many counterexamples need two instances of the same program
+  /// with identical parameters (e.g. two NewOrders on one district).
+  int copies_per_assignment = 2;
+  /// Skip assignments that bind two parameters of the same domain to the
+  /// same value (the standard "distinct parameters" reading of templates
+  /// like Amalgamate(n1, n2); richer inequality constraints are the
+  /// functional constraints of Vandevoort et al. ICDT'22 and out of
+  /// scope).
+  bool distinct_same_domain_params = true;
+  /// Refuse instantiations larger than this many transactions.
+  int max_instances = 4096;
+};
+
+/// A finite instantiation of a template set: the concrete transactions plus
+/// the template each was instantiated from.
+struct Instantiation {
+  TransactionSet txns;
+  std::vector<int> template_of_txn;
+};
+
+/// Instantiates every template for every admissible parameter assignment
+/// over the declared domains, `copies_per_assignment` times.
+///
+/// Canonicity: robustness of the *template* set means robustness of every
+/// set of transactions instantiable from it. Counterexamples (Definition
+/// 3.1) use each transaction at most twice and touch a bounded number of
+/// parameter values, so a sufficiently large finite instantiation is
+/// exhaustive; the template property tests validate empirically that the
+/// answer is stable when domains and copies grow.
+StatusOr<Instantiation> InstantiateTemplates(
+    const TemplateSet& set, const InstantiationOptions& options = {});
+
+}  // namespace mvrob
+
+#endif  // MVROB_TEMPLATES_INSTANTIATE_H_

@@ -1,0 +1,57 @@
+#include "templates/library.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+#include "templates/parser.h"
+
+namespace mvrob {
+namespace {
+
+TemplateSet MustParse(const std::string& text) {
+  StatusOr<TemplateSet> set = ParseTemplateSet(text);
+  assert(set.ok());
+  return std::move(set).value();
+}
+
+}  // namespace
+
+TemplateSet TpccTemplates(int warehouses, int districts, int customers,
+                          int items, int orders) {
+  return MustParse(StrCat(
+      "domain W ", warehouses, "\n",
+      "domain D ", districts, "\n",
+      "domain C ", customers, "\n",
+      "domain I ", items, "\n",
+      "domain O ", orders, "\n",
+      R"(
+NewOrder(w:W, d:D, c:C, i:I, o:O): R[wtax_$w] R[dtax_$w_$d] R[dnext_$w_$d] W[dnext_$w_$d] R[cinfo_$w_$d_$c] R[item_$i] R[sqty_$w_$i] W[sqty_$w_$i] W[order_$w_$d_$o] W[neworder_$w_$d_$o] W[olines_$w_$d_$o]
+Payment(w:W, d:D, c:C): R[wytd_$w] W[wytd_$w] R[dytd_$w_$d] W[dytd_$w_$d] R[cinfo_$w_$d_$c] R[cbal_$w_$d_$c] W[cbal_$w_$d_$c] W[hist_$w_$d_$c]
+OrderStatus(w:W, d:D, c:C, o:O): R[cinfo_$w_$d_$c] R[cbal_$w_$d_$c] R[order_$w_$d_$o] R[olines_$w_$d_$o]
+Delivery(w:W, d:D, c:C, o:O): R[neworder_$w_$d_$o] W[neworder_$w_$d_$o] R[order_$w_$d_$o] W[order_$w_$d_$o] R[olines_$w_$d_$o] W[olines_$w_$d_$o] R[cbal_$w_$d_$c] W[cbal_$w_$d_$c]
+StockLevel(w:W, d:D, i:I): R[dnext_$w_$d] R[olines_$w_$d_0] R[sqty_$w_$i]
+)"));
+}
+
+TemplateSet SmallBankTemplates(int customers) {
+  return MustParse(StrCat("domain N ", customers, "\n", R"(
+Balance(n:N): R[sav_$n] R[chk_$n]
+DepositChecking(n:N): R[chk_$n] W[chk_$n]
+TransactSavings(n:N): R[sav_$n] W[sav_$n]
+Amalgamate(n1:N, n2:N): R[sav_$n1] W[sav_$n1] R[chk_$n1] W[chk_$n1] R[chk_$n2] W[chk_$n2]
+WriteCheck(n:N): R[sav_$n] R[chk_$n] W[chk_$n]
+)"));
+}
+
+TemplateSet AuctionTemplates(int items, int bidders) {
+  return MustParse(StrCat(
+      "domain I ", items, "\n", "domain B ", bidders, "\n", R"(
+PlaceBid(i:I, b:B): R[status_$i] R[highbid_$i] W[highbid_$i] W[bid_$i_$b]
+CloseAuction(i:I): R[highbid_$i] W[status_$i]
+EditListing(i:I): R[listing_$i] W[listing_$i]
+ViewItem(i:I): R[listing_$i] R[highbid_$i] R[status_$i]
+GetHighBid(i:I): R[highbid_$i]
+)"));
+}
+
+}  // namespace mvrob

@@ -1,0 +1,22 @@
+#ifndef MVROB_TEMPLATES_LIBRARY_H_
+#define MVROB_TEMPLATES_LIBRARY_H_
+
+#include "templates/template.h"
+
+namespace mvrob {
+
+/// TPC-C as transaction templates at column granularity (one order line per
+/// NewOrder; see workloads/tpcc.h for the modeling rationale). Domain sizes
+/// control the canonical instantiation.
+TemplateSet TpccTemplates(int warehouses = 1, int districts = 2,
+                          int customers = 2, int items = 2, int orders = 1);
+
+/// SmallBank as templates over `customers` accounts.
+TemplateSet SmallBankTemplates(int customers = 2);
+
+/// The auction scenario as templates (see workloads/auction.h).
+TemplateSet AuctionTemplates(int items = 1, int bidders = 2);
+
+}  // namespace mvrob
+
+#endif  // MVROB_TEMPLATES_LIBRARY_H_

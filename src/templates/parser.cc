@@ -1,0 +1,113 @@
+#include "templates/parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace mvrob {
+namespace {
+
+Status ParseDomainLine(std::string_view line, TemplateSet& set) {
+  std::vector<std::string> parts = SplitAndTrim(line, ' ');
+  if (parts.size() != 3) {
+    return Status::InvalidArgument(
+        StrCat("malformed domain declaration '", line,
+               "', expected: domain NAME SIZE"));
+  }
+  int size = 0;
+  for (char c : parts[2]) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument(
+          StrCat("domain size must be a number in '", line, "'"));
+    }
+    size = size * 10 + (c - '0');
+  }
+  if (size <= 0) {
+    return Status::InvalidArgument(
+        StrCat("domain size must be positive in '", line, "'"));
+  }
+  set.DeclareDomain(parts[1], size);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<ParamDecl>> ParseParams(std::string_view decl,
+                                             std::string_view line) {
+  std::vector<ParamDecl> params;
+  for (const std::string& piece : SplitAndTrim(decl, ',')) {
+    size_t colon = piece.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument(
+          StrCat("malformed parameter '", piece, "' in '", line,
+                 "', expected name:Domain"));
+    }
+    ParamDecl param;
+    param.name = std::string(StripWhitespace(
+        std::string_view(piece).substr(0, colon)));
+    param.domain = std::string(StripWhitespace(
+        std::string_view(piece).substr(colon + 1)));
+    if (param.name.empty() || param.domain.empty()) {
+      return Status::InvalidArgument(
+          StrCat("malformed parameter '", piece, "' in '", line, "'"));
+    }
+    params.push_back(std::move(param));
+  }
+  return params;
+}
+
+StatusOr<std::vector<TemplateOp>> ParseBody(std::string_view body,
+                                            std::string_view line) {
+  std::vector<TemplateOp> ops;
+  for (const std::string& token : SplitAndTrim(body, ' ')) {
+    if (token == "C") continue;  // Tolerated, as in the transaction DSL.
+    if (token.size() < 4 || (token[0] != 'R' && token[0] != 'W') ||
+        token[1] != '[' || token.back() != ']') {
+      return Status::InvalidArgument(
+          StrCat("malformed operation '", token, "' in '", line, "'"));
+    }
+    TemplateOp op;
+    op.type = token[0] == 'R' ? OpType::kRead : OpType::kWrite;
+    op.object_pattern = token.substr(2, token.size() - 3);
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+}  // namespace
+
+StatusOr<TemplateSet> ParseTemplateSet(std::string_view text) {
+  TemplateSet set;
+  for (const std::string& raw_line : SplitAndTrim(text, '\n')) {
+    std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    if (line.starts_with("domain ")) {
+      Status status = ParseDomainLine(line, set);
+      if (!status.ok()) return status;
+      continue;
+    }
+    size_t open = line.find('(');
+    size_t close = line.find(')');
+    size_t colon = line.find(':', close == std::string_view::npos ? 0 : close);
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        colon == std::string_view::npos || open > close || close > colon) {
+      return Status::InvalidArgument(
+          StrCat("malformed template line '", line,
+                 "', expected Name(params): ops"));
+    }
+    std::string name(StripWhitespace(line.substr(0, open)));
+    StatusOr<std::vector<ParamDecl>> params =
+        ParseParams(line.substr(open + 1, close - open - 1), line);
+    if (!params.ok()) return params.status();
+    StatusOr<std::vector<TemplateOp>> ops =
+        ParseBody(line.substr(colon + 1), line);
+    if (!ops.ok()) return ops.status();
+    StatusOr<TransactionTemplate> tmpl = TransactionTemplate::Create(
+        std::move(name), std::move(params).value(), std::move(ops).value());
+    if (!tmpl.ok()) return tmpl.status();
+    Status added = set.Add(std::move(tmpl).value());
+    if (!added.ok()) return added;
+  }
+  return set;
+}
+
+}  // namespace mvrob

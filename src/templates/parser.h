@@ -1,0 +1,25 @@
+#ifndef MVROB_TEMPLATES_PARSER_H_
+#define MVROB_TEMPLATES_PARSER_H_
+
+#include <string_view>
+
+#include "templates/template.h"
+
+namespace mvrob {
+
+/// Parses a template set from a compact text form:
+///
+///   domain W 2
+///   domain D 2
+///   NewOrder(w:W, d:D): R[wtax_$w] R[dnext_$w_$d] W[dnext_$w_$d]
+///   StockLevel(w:W, d:D): R[dnext_$w_$d]
+///   Audit(): R[total]
+///
+/// `domain NAME SIZE` declares a parameter domain with its canonical
+/// instantiation size; each remaining line declares one template. Blank
+/// lines and lines starting with '#' are ignored.
+StatusOr<TemplateSet> ParseTemplateSet(std::string_view text);
+
+}  // namespace mvrob
+
+#endif  // MVROB_TEMPLATES_PARSER_H_

@@ -1,0 +1,162 @@
+#include "templates/robustness.h"
+
+#include "common/string_util.h"
+#include "core/analyzer.h"
+
+namespace mvrob {
+namespace {
+
+Allocation InstanceAllocation(const Instantiation& instantiation,
+                              const TemplateAllocation& levels) {
+  std::vector<IsolationLevel> instance_levels;
+  instance_levels.reserve(instantiation.txns.size());
+  for (int tmpl : instantiation.template_of_txn) {
+    instance_levels.push_back(levels[tmpl]);
+  }
+  return Allocation(std::move(instance_levels));
+}
+
+}  // namespace
+
+StatusOr<TemplateRobustnessResult> CheckTemplateRobustness(
+    const TemplateSet& set, const TemplateAllocation& levels,
+    const InstantiationOptions& options) {
+  if (levels.size() != set.size()) {
+    return Status::InvalidArgument(
+        StrCat("allocation has ", levels.size(), " levels for ", set.size(),
+               " templates"));
+  }
+  StatusOr<Instantiation> instantiation = InstantiateTemplates(set, options);
+  if (!instantiation.ok()) return instantiation.status();
+
+  TemplateRobustnessResult result;
+  result.instantiation = std::move(instantiation).value();
+  RobustnessResult robustness = CheckRobustness(
+      result.instantiation.txns,
+      InstanceAllocation(result.instantiation, levels));
+  result.robust = robustness.robust;
+  result.counterexample = std::move(robustness.counterexample);
+  return result;
+}
+
+StatusOr<TemplateAllocationResult> ComputeOptimalTemplateAllocation(
+    const TemplateSet& set, const InstantiationOptions& options) {
+  StatusOr<Instantiation> instantiation = InstantiateTemplates(set, options);
+  if (!instantiation.ok()) return instantiation.status();
+
+  TemplateAllocationResult result;
+  result.levels.assign(set.size(), IsolationLevel::kSSI);
+  RobustnessAnalyzer analyzer(instantiation->txns);
+  for (size_t t = 0; t < set.size(); ++t) {
+    for (IsolationLevel level : {IsolationLevel::kRC, IsolationLevel::kSI}) {
+      TemplateAllocation candidate = result.levels;
+      candidate[t] = level;
+      ++result.robustness_checks;
+      if (analyzer.Check(InstanceAllocation(*instantiation, candidate))
+              .robust) {
+        result.levels = candidate;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+StatusOr<RcSiTemplateAllocationResult> ComputeOptimalRcSiTemplateAllocation(
+    const TemplateSet& set, const InstantiationOptions& options) {
+  StatusOr<Instantiation> instantiation = InstantiateTemplates(set, options);
+  if (!instantiation.ok()) return instantiation.status();
+
+  RcSiTemplateAllocationResult result;
+  result.instantiation = std::move(instantiation).value();
+  RobustnessAnalyzer analyzer(result.instantiation.txns);
+
+  TemplateAllocation all_si(set.size(), IsolationLevel::kSI);
+  RobustnessResult at_si =
+      analyzer.Check(InstanceAllocation(result.instantiation, all_si));
+  if (!at_si.robust) {
+    result.allocatable = false;
+    result.counterexample = std::move(at_si.counterexample);
+    return result;
+  }
+  result.allocatable = true;
+  TemplateAllocation levels = all_si;
+  for (size_t t = 0; t < set.size(); ++t) {
+    TemplateAllocation candidate = levels;
+    candidate[t] = IsolationLevel::kRC;
+    if (analyzer.Check(InstanceAllocation(result.instantiation, candidate))
+            .robust) {
+      levels = candidate;
+    }
+  }
+  result.levels = std::move(levels);
+  return result;
+}
+
+std::string TemplateExplanation::ToString(const TemplateSet& set) const {
+  std::string out;
+  for (const TemplateObstacle& entry : per_template) {
+    out += StrCat(set.tmpl(entry.tmpl).name(), " = ",
+                  IsolationLevelToString(entry.assigned), "\n");
+    if (entry.obstacles.empty() && entry.assigned != IsolationLevel::kRC) {
+      out += "  (could be lowered: the allocation is not optimal)\n";
+    }
+    for (const TemplateObstacle::Entry& obstacle : entry.obstacles) {
+      out += StrCat("  not ", IsolationLevelToString(obstacle.attempted),
+                    ": ", obstacle.chain.ToString(instantiation.txns), "\n");
+    }
+  }
+  return out;
+}
+
+StatusOr<TemplateExplanation> ExplainTemplateAllocation(
+    const TemplateSet& set, const TemplateAllocation& levels,
+    const InstantiationOptions& options) {
+  if (levels.size() != set.size()) {
+    return Status::InvalidArgument("allocation size mismatch");
+  }
+  StatusOr<Instantiation> instantiation = InstantiateTemplates(set, options);
+  if (!instantiation.ok()) return instantiation.status();
+
+  TemplateExplanation explanation;
+  explanation.levels = levels;
+  explanation.instantiation = std::move(instantiation).value();
+  RobustnessAnalyzer analyzer(explanation.instantiation.txns);
+  if (!analyzer
+           .Check(InstanceAllocation(explanation.instantiation, levels))
+           .robust) {
+    return Status::FailedPrecondition(
+        "the template allocation is not robust; nothing to explain");
+  }
+  for (size_t t = 0; t < set.size(); ++t) {
+    TemplateObstacle entry;
+    entry.tmpl = t;
+    entry.assigned = levels[t];
+    for (IsolationLevel lower : kAllIsolationLevels) {
+      if (!(lower < entry.assigned)) continue;
+      TemplateAllocation candidate = levels;
+      candidate[t] = lower;
+      RobustnessResult result = analyzer.Check(
+          InstanceAllocation(explanation.instantiation, candidate));
+      if (!result.robust) {
+        entry.obstacles.push_back(
+            TemplateObstacle::Entry{lower,
+                                    std::move(*result.counterexample)});
+      }
+    }
+    explanation.per_template.push_back(std::move(entry));
+  }
+  return explanation;
+}
+
+std::string FormatTemplateAllocation(const TemplateSet& set,
+                                     const TemplateAllocation& levels) {
+  std::vector<std::string> parts;
+  for (size_t t = 0; t < set.size(); ++t) {
+    parts.push_back(
+        StrCat(set.tmpl(t).name(), "=", IsolationLevelToString(levels[t])));
+  }
+  return Join(parts, " ");
+}
+
+}  // namespace mvrob

@@ -1,0 +1,108 @@
+#ifndef MVROB_TEMPLATES_ROBUSTNESS_H_
+#define MVROB_TEMPLATES_ROBUSTNESS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/robustness.h"
+#include "templates/instantiate.h"
+
+namespace mvrob {
+
+/// A per-template assignment of isolation levels: all instances of a
+/// program run at its template's level — exactly the granularity at which
+/// applications configure isolation (SET TRANSACTION ISOLATION LEVEL per
+/// prepared statement / stored procedure).
+using TemplateAllocation = std::vector<IsolationLevel>;
+
+/// Result of a template-level robustness check.
+struct TemplateRobustnessResult {
+  bool robust = true;
+  /// When not robust: the counterexample over the canonical instantiation
+  /// (kept alongside so the chain's TxnIds resolve).
+  std::optional<CounterexampleChain> counterexample;
+  Instantiation instantiation;
+};
+
+/// Decides whether the canonical instantiation of `set` is robust when
+/// every instance of template i runs at `levels[i]`. With default options
+/// the instantiation covers every assignment twice, which the template
+/// property tests validate to be saturating (growing domains or copies
+/// does not change the answer on the shipped workloads).
+StatusOr<TemplateRobustnessResult> CheckTemplateRobustness(
+    const TemplateSet& set, const TemplateAllocation& levels,
+    const InstantiationOptions& options = {});
+
+/// Result of the template-level allocation computation.
+struct TemplateAllocationResult {
+  TemplateAllocation levels;
+  uint64_t robustness_checks = 0;
+};
+
+/// Computes the optimal robust per-template allocation over {RC, SI, SSI}
+/// by the Algorithm 2 schema lifted to template granularity: start from
+/// all-SSI and lower each template to the least level that keeps the
+/// instantiation robust.
+///
+/// Uniqueness carries over from Proposition 4.1(2): exchanging *all*
+/// instances of one template between two robust allocations is a sequence
+/// of single-transaction exchanges, each of which preserves robustness, so
+/// the pointwise minimum is again robust and is the unique optimum.
+StatusOr<TemplateAllocationResult> ComputeOptimalTemplateAllocation(
+    const TemplateSet& set, const InstantiationOptions& options = {});
+
+/// Result of the template-level {RC, SI} allocation problem — Section 5
+/// lifted to program granularity (the Oracle setting).
+struct RcSiTemplateAllocationResult {
+  /// Per Proposition 5.4 lifted to templates: allocatable iff the
+  /// instantiation is robust with every program at SI.
+  bool allocatable = false;
+  std::optional<TemplateAllocation> levels;
+  /// When not allocatable: the counterexample over the instantiation.
+  std::optional<CounterexampleChain> counterexample;
+  Instantiation instantiation;
+};
+
+/// Decides whether the template set admits any robust per-program
+/// {RC, SI} allocation and, if so, computes the optimal one (Theorem 5.5
+/// at template granularity).
+StatusOr<RcSiTemplateAllocationResult> ComputeOptimalRcSiTemplateAllocation(
+    const TemplateSet& set, const InstantiationOptions& options = {});
+
+/// Why each template cannot run lower: for every level below its assigned
+/// one, a counterexample chain over the canonical instantiation that the
+/// lowering would enable. Analogous to core/explain.h at program
+/// granularity.
+struct TemplateObstacle {
+  size_t tmpl = 0;
+  IsolationLevel assigned = IsolationLevel::kRC;
+  struct Entry {
+    IsolationLevel attempted = IsolationLevel::kRC;
+    CounterexampleChain chain;  // Over `instantiation`.
+  };
+  std::vector<Entry> obstacles;
+};
+
+struct TemplateExplanation {
+  TemplateAllocation levels;
+  std::vector<TemplateObstacle> per_template;
+  Instantiation instantiation;
+
+  /// Multi-line report naming the instance transactions involved.
+  std::string ToString(const TemplateSet& set) const;
+};
+
+/// Explains a robust template allocation; FailedPrecondition if it is not
+/// robust over the canonical instantiation.
+StatusOr<TemplateExplanation> ExplainTemplateAllocation(
+    const TemplateSet& set, const TemplateAllocation& levels,
+    const InstantiationOptions& options = {});
+
+/// Renders "NewOrder=SI Payment=SI ..." for reports.
+std::string FormatTemplateAllocation(const TemplateSet& set,
+                                     const TemplateAllocation& levels);
+
+}  // namespace mvrob
+
+#endif  // MVROB_TEMPLATES_ROBUSTNESS_H_

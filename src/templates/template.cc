@@ -1,0 +1,154 @@
+#include "templates/template.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace mvrob {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Extracts the parameter name starting at pattern[pos] (after the '$');
+// parameter names are maximal runs of alphanumerics (no underscore, so
+// patterns like "stock_$w_$i" parse as intended).
+std::string ParamAt(const std::string& pattern, size_t pos) {
+  size_t end = pos;
+  while (end < pattern.size() &&
+         std::isalnum(static_cast<unsigned char>(pattern[end]))) {
+    ++end;
+  }
+  return pattern.substr(pos, end - pos);
+}
+
+}  // namespace
+
+StatusOr<TransactionTemplate> TransactionTemplate::Create(
+    std::string name, std::vector<ParamDecl> params,
+    std::vector<TemplateOp> ops) {
+  TransactionTemplate tmpl;
+  tmpl.name_ = std::move(name);
+  tmpl.params_ = std::move(params);
+  tmpl.ops_ = std::move(ops);
+
+  for (size_t i = 0; i < tmpl.params_.size(); ++i) {
+    for (size_t j = i + 1; j < tmpl.params_.size(); ++j) {
+      if (tmpl.params_[i].name == tmpl.params_[j].name) {
+        return Status::InvalidArgument(
+            StrCat(tmpl.name_, ": duplicate parameter ",
+                   tmpl.params_[i].name));
+      }
+    }
+  }
+  for (const TemplateOp& op : tmpl.ops_) {
+    if (op.type == OpType::kCommit) {
+      return Status::InvalidArgument(
+          StrCat(tmpl.name_, ": commits are implicit in templates"));
+    }
+    const std::string& pattern = op.object_pattern;
+    if (pattern.empty()) {
+      return Status::InvalidArgument(StrCat(tmpl.name_, ": empty pattern"));
+    }
+    for (size_t i = 0; i < pattern.size(); ++i) {
+      if (pattern[i] != '$') {
+        if (!IsIdentChar(pattern[i])) {
+          return Status::InvalidArgument(
+              StrCat(tmpl.name_, ": bad character in pattern ", pattern));
+        }
+        continue;
+      }
+      std::string param = ParamAt(pattern, i + 1);
+      if (param.empty()) {
+        return Status::InvalidArgument(
+            StrCat(tmpl.name_, ": dangling $ in pattern ", pattern));
+      }
+      bool declared = false;
+      for (const ParamDecl& decl : tmpl.params_) {
+        if (decl.name == param) declared = true;
+      }
+      if (!declared) {
+        return Status::InvalidArgument(
+            StrCat(tmpl.name_, ": undeclared parameter $", param, " in ",
+                   pattern));
+      }
+      i += param.size();
+    }
+  }
+  return tmpl;
+}
+
+std::string TransactionTemplate::Substitute(
+    const std::string& pattern,
+    const std::map<std::string, std::string>& assignment) {
+  std::string result;
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (pattern[i] != '$') {
+      result.push_back(pattern[i]);
+      continue;
+    }
+    std::string param = ParamAt(pattern, i + 1);
+    auto it = assignment.find(param);
+    result += it == assignment.end() ? StrCat("$", param) : it->second;
+    i += param.size();
+  }
+  return result;
+}
+
+std::string TransactionTemplate::ToString() const {
+  std::vector<std::string> decls;
+  for (const ParamDecl& param : params_) {
+    decls.push_back(StrCat(param.name, ":", param.domain));
+  }
+  std::string out = StrCat(name_, "(", Join(decls, ", "), "):");
+  for (const TemplateOp& op : ops_) {
+    out += StrCat(" ", OpTypeToString(op.type), "[", op.object_pattern, "]");
+  }
+  return out;
+}
+
+void TemplateSet::DeclareDomain(const std::string& name, int size) {
+  domains_[name] = size;
+}
+
+int TemplateSet::DomainSize(const std::string& name) const {
+  auto it = domains_.find(name);
+  return it == domains_.end() ? 0 : it->second;
+}
+
+Status TemplateSet::Add(TransactionTemplate tmpl) {
+  if (FindTemplate(tmpl.name()) >= 0) {
+    return Status::InvalidArgument(
+        StrCat("duplicate template name ", tmpl.name()));
+  }
+  for (const ParamDecl& param : tmpl.params()) {
+    if (DomainSize(param.domain) <= 0) {
+      return Status::InvalidArgument(
+          StrCat(tmpl.name(), ": undeclared domain ", param.domain));
+    }
+  }
+  templates_.push_back(std::move(tmpl));
+  return Status::Ok();
+}
+
+int TemplateSet::FindTemplate(const std::string& name) const {
+  for (size_t i = 0; i < templates_.size(); ++i) {
+    if (templates_[i].name() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string TemplateSet::ToString() const {
+  std::string out;
+  for (const auto& [name, size] : domains_) {
+    out += StrCat("domain ", name, " ", size, "\n");
+  }
+  for (const TransactionTemplate& tmpl : templates_) {
+    out += tmpl.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mvrob

@@ -1,0 +1,100 @@
+#ifndef MVROB_TEMPLATES_TEMPLATE_H_
+#define MVROB_TEMPLATES_TEMPLATE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/operation.h"
+
+namespace mvrob {
+
+/// A read/write step of a transaction template. The object is a *pattern*
+/// over the template's parameters: "stock_$w_$i" names a different concrete
+/// object for every assignment of $w and $i.
+struct TemplateOp {
+  OpType type = OpType::kRead;
+  std::string object_pattern;
+
+  friend bool operator==(const TemplateOp&, const TemplateOp&) = default;
+};
+
+/// A typed template parameter: `name` ranges over the domain `domain`.
+struct ParamDecl {
+  std::string name;
+  std::string domain;
+
+  friend bool operator==(const ParamDecl&, const ParamDecl&) = default;
+};
+
+/// A transaction template (Section 6.3.1 of the paper): a parameterized
+/// transaction program from which infinitely many concrete transactions can
+/// be instantiated — the form in which real workloads such as TPC-C are
+/// specified. The paper's transaction-level results are the building block
+/// for reasoning about templates; this subsystem closes the loop by
+/// checking template robustness through canonical finite instantiations.
+class TransactionTemplate {
+ public:
+  /// Validates that every $param used in an object pattern is declared.
+  static StatusOr<TransactionTemplate> Create(std::string name,
+                                              std::vector<ParamDecl> params,
+                                              std::vector<TemplateOp> ops);
+
+  const std::string& name() const { return name_; }
+  const std::vector<ParamDecl>& params() const { return params_; }
+  const std::vector<TemplateOp>& ops() const { return ops_; }
+
+  /// Substitutes an assignment (parameter name -> value token) into a
+  /// pattern: "stock_$w" with {w -> "1"} becomes "stock_1".
+  static std::string Substitute(
+      const std::string& pattern,
+      const std::map<std::string, std::string>& assignment);
+
+  /// "NewOrder(w:W, d:D): R[wtax_$w] W[dnext_$w_$d]".
+  std::string ToString() const;
+
+ private:
+  TransactionTemplate() = default;
+
+  std::string name_;
+  std::vector<ParamDecl> params_;
+  std::vector<TemplateOp> ops_;
+};
+
+/// A set of templates plus the domains their parameters range over. The
+/// domain sizes recorded here bound *canonical* instantiation (see
+/// instantiate.h); conceptually each domain is unbounded.
+class TemplateSet {
+ public:
+  /// Declares (or resizes) a domain.
+  void DeclareDomain(const std::string& name, int size);
+  /// Size of a declared domain, or 0.
+  int DomainSize(const std::string& name) const;
+  const std::map<std::string, int>& domains() const { return domains_; }
+
+  /// Adds a template; every parameter's domain must be declared and all
+  /// template names must be unique.
+  Status Add(TransactionTemplate tmpl);
+
+  size_t size() const { return templates_.size(); }
+  const TransactionTemplate& tmpl(size_t index) const {
+    return templates_[index];
+  }
+  const std::vector<TransactionTemplate>& templates() const {
+    return templates_;
+  }
+
+  /// Index of the template with the given name, or -1.
+  int FindTemplate(const std::string& name) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<TransactionTemplate> templates_;
+  std::map<std::string, int> domains_;
+};
+
+}  // namespace mvrob
+
+#endif  // MVROB_TEMPLATES_TEMPLATE_H_

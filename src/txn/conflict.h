@@ -1,0 +1,36 @@
+#ifndef MVROB_TXN_CONFLICT_H_
+#define MVROB_TXN_CONFLICT_H_
+
+#include "txn/operation.h"
+
+namespace mvrob {
+
+/// Conflict predicates of Section 2.2, as type/object tests on operation
+/// values. Callers must ensure the two operations belong to *different*
+/// transactions — the paper only defines conflicts across transactions.
+/// Commit operations (and op_0) never conflict.
+
+/// b is ww-conflicting with a: both write the same object.
+inline bool WwConflicting(const Operation& b, const Operation& a) {
+  return b.IsWrite() && a.IsWrite() && b.object == a.object;
+}
+
+/// b is wr-conflicting with a: b writes the object a reads.
+inline bool WrConflicting(const Operation& b, const Operation& a) {
+  return b.IsWrite() && a.IsRead() && b.object == a.object;
+}
+
+/// b is rw-conflicting with a: b reads the object a writes.
+inline bool RwConflicting(const Operation& b, const Operation& a) {
+  return b.IsRead() && a.IsWrite() && b.object == a.object;
+}
+
+/// b conflicts with a in any of the three modes.
+inline bool Conflicting(const Operation& b, const Operation& a) {
+  if (b.IsCommit() || a.IsCommit()) return false;
+  return b.object == a.object && (b.IsWrite() || a.IsWrite());
+}
+
+}  // namespace mvrob
+
+#endif  // MVROB_TXN_CONFLICT_H_

@@ -1,0 +1,17 @@
+#include "txn/operation.h"
+
+namespace mvrob {
+
+const char* OpTypeToString(OpType type) {
+  switch (type) {
+    case OpType::kRead:
+      return "R";
+    case OpType::kWrite:
+      return "W";
+    case OpType::kCommit:
+      return "C";
+  }
+  return "?";
+}
+
+}  // namespace mvrob

@@ -1,0 +1,76 @@
+#ifndef MVROB_TXN_OPERATION_H_
+#define MVROB_TXN_OPERATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace mvrob {
+
+/// Identifies a transaction within a TransactionSet (dense, 0-based).
+using TxnId = uint32_t;
+/// Identifies a database object (the paper's set Obj), interned per
+/// TransactionSet (dense, 0-based).
+using ObjectId = uint32_t;
+
+inline constexpr TxnId kInvalidTxnId = std::numeric_limits<TxnId>::max();
+inline constexpr ObjectId kInvalidObjectId =
+    std::numeric_limits<ObjectId>::max();
+
+/// The three operation kinds of the paper's model (Section 2.1): reads R[t],
+/// writes W[t] and the final commit C of each transaction.
+enum class OpType : uint8_t { kRead, kWrite, kCommit };
+
+const char* OpTypeToString(OpType type);
+
+/// One operation of a transaction. Commit operations carry no object
+/// (object == kInvalidObjectId).
+struct Operation {
+  OpType type = OpType::kCommit;
+  ObjectId object = kInvalidObjectId;
+
+  static Operation Read(ObjectId object) {
+    return Operation{OpType::kRead, object};
+  }
+  static Operation Write(ObjectId object) {
+    return Operation{OpType::kWrite, object};
+  }
+  static Operation Commit() {
+    return Operation{OpType::kCommit, kInvalidObjectId};
+  }
+
+  bool IsRead() const { return type == OpType::kRead; }
+  bool IsWrite() const { return type == OpType::kWrite; }
+  bool IsCommit() const { return type == OpType::kCommit; }
+
+  friend bool operator==(const Operation&, const Operation&) = default;
+};
+
+/// A reference to a concrete operation: the owning transaction and the
+/// operation's index in that transaction's program order.
+///
+/// The special operation op_0 — conceptually writing the initial version of
+/// every object before the schedule starts (Section 2.1) — is represented by
+/// OpRef::Op0().
+struct OpRef {
+  TxnId txn = kInvalidTxnId;
+  int32_t index = -1;
+
+  static constexpr OpRef Op0() { return OpRef{kInvalidTxnId, -1}; }
+  bool IsOp0() const { return txn == kInvalidTxnId; }
+
+  friend bool operator==(const OpRef&, const OpRef&) = default;
+  friend auto operator<=>(const OpRef&, const OpRef&) = default;
+};
+
+struct OpRefHash {
+  size_t operator()(const OpRef& ref) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(ref.txn) << 32) ^
+                                 static_cast<uint32_t>(ref.index));
+  }
+};
+
+}  // namespace mvrob
+
+#endif  // MVROB_TXN_OPERATION_H_

@@ -1,0 +1,165 @@
+#include "txn/parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace mvrob {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Parses "R[t]" / "W[obj_name]" / "C" tokens of a transaction body.
+Status ParseBodyToken(std::string_view token, TransactionSet& set,
+                      std::vector<Operation>& ops, bool& saw_commit) {
+  if (token == "C") {
+    saw_commit = true;
+    return Status::Ok();
+  }
+  if (saw_commit) {
+    return Status::InvalidArgument(
+        StrCat("operation ", token, " after commit"));
+  }
+  if (token.size() < 4 || (token[0] != 'R' && token[0] != 'W') ||
+      token[1] != '[' || token.back() != ']') {
+    return Status::InvalidArgument(StrCat("malformed operation '", token,
+                                          "', expected R[obj], W[obj] or C"));
+  }
+  std::string_view name = token.substr(2, token.size() - 3);
+  if (name.empty() ||
+      !std::all_of(name.begin(), name.end(), IsIdentChar)) {
+    return Status::InvalidArgument(
+        StrCat("malformed object name in '", token, "'"));
+  }
+  ObjectId object = set.InternObject(name);
+  ops.push_back(token[0] == 'R' ? Operation::Read(object)
+                                : Operation::Write(object));
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<TransactionSet> ParseTransactionSet(std::string_view text) {
+  TransactionSet set;
+  for (const std::string& raw_line : SplitAndTrim(text, '\n')) {
+    std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrCat("missing ':' in line '", line, "'"));
+    }
+    std::string name(StripWhitespace(line.substr(0, colon)));
+    if (name.empty()) {
+      return Status::InvalidArgument(
+          StrCat("empty transaction label in '", line, "'"));
+    }
+    std::vector<Operation> ops;
+    bool saw_commit = false;
+    for (const std::string& token :
+         SplitAndTrim(line.substr(colon + 1), ' ')) {
+      Status status = ParseBodyToken(token, set, ops, saw_commit);
+      if (!status.ok()) {
+        return Status::InvalidArgument(
+            StrCat(name, ": ", status.message()));
+      }
+    }
+    StatusOr<TxnId> id = set.AddTransaction(std::move(name), std::move(ops));
+    if (!id.ok()) return id.status();
+  }
+  return set;
+}
+
+namespace {
+
+// Resolves a schedule-token subscript such as "2" to a transaction id.
+StatusOr<TxnId> ResolveTxn(const TransactionSet& txns,
+                           std::string_view subscript) {
+  TxnId by_name = txns.FindTransaction(StrCat("T", subscript));
+  if (by_name != kInvalidTxnId) return by_name;
+  // Fall back to the 1-based position for sets with custom names.
+  int position = 0;
+  for (char c : subscript) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::NotFound(StrCat("no transaction T", subscript));
+    }
+    position = position * 10 + (c - '0');
+  }
+  if (position < 1 || static_cast<size_t>(position) > txns.size()) {
+    return Status::NotFound(StrCat("no transaction with index ", subscript));
+  }
+  return static_cast<TxnId>(position - 1);
+}
+
+}  // namespace
+
+StatusOr<std::vector<OpRef>> ParseScheduleOrder(const TransactionSet& txns,
+                                                std::string_view text) {
+  // next_index[t] = first program-order index of transaction t that has not
+  // yet been bound to a token; enforces program order as a side effect.
+  std::vector<int> next_index(txns.size(), 0);
+  std::vector<OpRef> order;
+
+  for (const std::string& token : SplitAndTrim(text, ' ')) {
+    if (token.size() < 2) {
+      return Status::InvalidArgument(StrCat("malformed token '", token, "'"));
+    }
+    char kind = token[0];
+    if (kind != 'R' && kind != 'W' && kind != 'C') {
+      return Status::InvalidArgument(StrCat("malformed token '", token, "'"));
+    }
+    size_t bracket = token.find('[');
+    std::string_view subscript;
+    std::string_view object_name;
+    if (kind == 'C') {
+      subscript = std::string_view(token).substr(1);
+    } else {
+      if (bracket == std::string_view::npos || token.back() != ']') {
+        return Status::InvalidArgument(
+            StrCat("malformed token '", token, "'"));
+      }
+      subscript = std::string_view(token).substr(1, bracket - 1);
+      object_name =
+          std::string_view(token).substr(bracket + 1,
+                                         token.size() - bracket - 2);
+    }
+    StatusOr<TxnId> txn_id = ResolveTxn(txns, subscript);
+    if (!txn_id.ok()) return txn_id.status();
+    const Transaction& txn = txns.txn(*txn_id);
+
+    Operation expected;
+    if (kind == 'C') {
+      expected = Operation::Commit();
+    } else {
+      ObjectId object = txns.FindObject(object_name);
+      if (object == kInvalidObjectId) {
+        return Status::NotFound(
+            StrCat("unknown object '", object_name, "' in '", token, "'"));
+      }
+      expected = kind == 'R' ? Operation::Read(object)
+                             : Operation::Write(object);
+    }
+
+    int index = next_index[*txn_id];
+    if (index >= txn.num_ops() || !(txn.op(index) == expected)) {
+      return Status::InvalidArgument(
+          StrCat("token '", token, "' does not match the next operation of ",
+                 txn.name(), " in program order"));
+    }
+    next_index[*txn_id] = index + 1;
+    order.push_back(OpRef{*txn_id, index});
+  }
+
+  for (TxnId t = 0; t < txns.size(); ++t) {
+    if (next_index[t] != txns.txn(t).num_ops()) {
+      return Status::InvalidArgument(
+          StrCat("schedule is missing operations of ", txns.txn(t).name()));
+    }
+  }
+  return order;
+}
+
+}  // namespace mvrob

@@ -1,0 +1,39 @@
+#ifndef MVROB_TXN_PARSER_H_
+#define MVROB_TXN_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/transaction_set.h"
+
+namespace mvrob {
+
+/// Parses a transaction set from a compact text form, one transaction per
+/// line:
+///
+///   T1: R[t] W[x]
+///   T2: W[t] R[v]
+///
+/// Object names are arbitrary identifiers. The commit is implicit; a
+/// trailing "C" token is accepted and ignored. Blank lines and lines starting
+/// with '#' are skipped. Transaction labels become names; ids are assigned
+/// in order of appearance.
+StatusOr<TransactionSet> ParseTransactionSet(std::string_view text);
+
+/// Parses a schedule's operation order over an existing transaction set,
+/// using the paper's subscripted notation:
+///
+///   "W2[t] R4[t] W3[v] C3 R2[v] R1[t] C2 R4[v] W4[t] C4 C1"
+///
+/// The subscript k refers to the transaction named "T<k>" (falling back to
+/// the 1-based position if no such name exists). When a transaction performs
+/// several identical operations (general setting), tokens bind to the
+/// earliest not-yet-used matching operation. Fails unless every operation of
+/// every transaction appears exactly once and in program order.
+StatusOr<std::vector<OpRef>> ParseScheduleOrder(const TransactionSet& txns,
+                                                std::string_view text);
+
+}  // namespace mvrob
+
+#endif  // MVROB_TXN_PARSER_H_

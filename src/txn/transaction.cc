@@ -1,0 +1,80 @@
+#include "txn/transaction.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace mvrob {
+namespace {
+
+// Deduplicates and sorts `ids` in place.
+void SortUnique(std::vector<ObjectId>& ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+}  // namespace
+
+StatusOr<Transaction> Transaction::Create(TxnId id, std::string name,
+                                          std::vector<Operation> rw_ops) {
+  Transaction txn;
+  txn.id_ = id;
+  txn.name_ = std::move(name);
+
+  std::vector<ObjectId> reads;
+  std::vector<ObjectId> writes;
+  for (const Operation& op : rw_ops) {
+    if (op.IsCommit()) {
+      return Status::InvalidArgument(
+          StrCat("transaction ", txn.name_,
+                 ": explicit commit operations are not allowed; the commit "
+                 "is appended automatically"));
+    }
+    if (op.object == kInvalidObjectId) {
+      return Status::InvalidArgument(
+          StrCat("transaction ", txn.name_, ": read/write without an object"));
+    }
+    (op.IsRead() ? reads : writes).push_back(op.object);
+  }
+
+  txn.at_most_one_access_ = true;
+  for (auto* accesses : {&reads, &writes}) {
+    std::vector<ObjectId> sorted = *accesses;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      txn.at_most_one_access_ = false;
+    }
+  }
+
+  txn.ops_ = std::move(rw_ops);
+  txn.ops_.push_back(Operation::Commit());
+  txn.read_set_ = std::move(reads);
+  txn.write_set_ = std::move(writes);
+  SortUnique(txn.read_set_);
+  SortUnique(txn.write_set_);
+  return txn;
+}
+
+bool Transaction::Reads(ObjectId object) const {
+  return std::binary_search(read_set_.begin(), read_set_.end(), object);
+}
+
+bool Transaction::Writes(ObjectId object) const {
+  return std::binary_search(write_set_.begin(), write_set_.end(), object);
+}
+
+std::optional<int> Transaction::FirstReadIndex(ObjectId object) const {
+  for (int i = 0; i < num_ops(); ++i) {
+    if (ops_[i].IsRead() && ops_[i].object == object) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<int> Transaction::FirstWriteIndex(ObjectId object) const {
+  for (int i = 0; i < num_ops(); ++i) {
+    if (ops_[i].IsWrite() && ops_[i].object == object) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mvrob

@@ -1,0 +1,73 @@
+#ifndef MVROB_TXN_TRANSACTION_H_
+#define MVROB_TXN_TRANSACTION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/operation.h"
+
+namespace mvrob {
+
+/// A transaction (Section 2.1): a sequence of read and write operations
+/// followed by exactly one commit operation, modeled as the linear order
+/// (T, <=_T) with program-order indices 0..num_ops()-1.
+///
+/// The paper assumes at most one read and at most one write per object per
+/// transaction and notes that all results carry over to the general setting;
+/// this class accepts the general form and exposes
+/// HasAtMostOneAccessPerObject() so callers can opt into the restricted
+/// regime (the workload generators and paper fixtures use it).
+class Transaction {
+ public:
+  /// Builds a transaction from its read/write prefix. A commit operation is
+  /// appended automatically. Fails if `rw_ops` contains a commit.
+  static StatusOr<Transaction> Create(TxnId id, std::string name,
+                                      std::vector<Operation> rw_ops);
+
+  TxnId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// All operations in program order, the commit last.
+  const std::vector<Operation>& ops() const { return ops_; }
+  int num_ops() const { return static_cast<int>(ops_.size()); }
+  const Operation& op(int index) const { return ops_[index]; }
+
+  /// Index of the commit operation (always the last one).
+  int commit_index() const { return num_ops() - 1; }
+  /// OpRef of this transaction's commit.
+  OpRef commit_ref() const { return OpRef{id_, commit_index()}; }
+  /// OpRef of first(T), the first operation of the transaction.
+  OpRef first_ref() const { return OpRef{id_, 0}; }
+
+  /// True if some read (respectively write) operation touches `object`.
+  bool Reads(ObjectId object) const;
+  bool Writes(ObjectId object) const;
+
+  /// Program-order index of the first read (write) on `object`, if any.
+  std::optional<int> FirstReadIndex(ObjectId object) const;
+  std::optional<int> FirstWriteIndex(ObjectId object) const;
+
+  /// Distinct objects read (written) by this transaction, ascending.
+  const std::vector<ObjectId>& read_set() const { return read_set_; }
+  const std::vector<ObjectId>& write_set() const { return write_set_; }
+
+  /// True if the transaction satisfies the paper's simplifying assumption of
+  /// at most one read and one write operation per object.
+  bool HasAtMostOneAccessPerObject() const { return at_most_one_access_; }
+
+ private:
+  Transaction() = default;
+
+  TxnId id_ = kInvalidTxnId;
+  std::string name_;
+  std::vector<Operation> ops_;
+  std::vector<ObjectId> read_set_;
+  std::vector<ObjectId> write_set_;
+  bool at_most_one_access_ = true;
+};
+
+}  // namespace mvrob
+
+#endif  // MVROB_TXN_TRANSACTION_H_

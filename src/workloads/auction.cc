@@ -1,0 +1,49 @@
+#include "workloads/auction.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace mvrob {
+
+Workload MakeAuction(const AuctionParams& params) {
+  Workload workload;
+  workload.name = "auction";
+  workload.description =
+      StrCat("auction house with ", params.items, " items, ", params.bidders,
+             " bidders and ", params.edits, " listing edits per item");
+  TransactionSet& set = workload.txns;
+
+  auto emit = [&set](const std::string& name, std::vector<Operation> ops) {
+    StatusOr<TxnId> id = set.AddTransaction(name, std::move(ops));
+    (void)id;
+  };
+
+  for (int i = 0; i < params.items; ++i) {
+    ObjectId status = set.InternObject(StrCat("status_", i));
+    ObjectId high_bid = set.InternObject(StrCat("high_bid_", i));
+    ObjectId listing = set.InternObject(StrCat("listing_", i));
+
+    for (int b = 0; b < params.bidders; ++b) {
+      ObjectId bid_row = set.InternObject(StrCat("bid_", i, "_", b));
+      emit(StrCat("PlaceBid_", i, "_", b),
+           {Operation::Read(status), Operation::Read(high_bid),
+            Operation::Write(high_bid), Operation::Write(bid_row)});
+    }
+    emit(StrCat("CloseAuction_", i),
+         {Operation::Read(high_bid), Operation::Write(status)});
+    for (int e = 0; e < params.edits; ++e) {
+      emit(StrCat("EditListing_", i, "_", e),
+           {Operation::Read(listing), Operation::Write(listing)});
+    }
+    if (params.with_viewers) {
+      emit(StrCat("ViewItem_", i),
+           {Operation::Read(listing), Operation::Read(high_bid),
+            Operation::Read(status)});
+      emit(StrCat("GetHighBid_", i), {Operation::Read(high_bid)});
+    }
+  }
+  return workload;
+}
+
+}  // namespace mvrob

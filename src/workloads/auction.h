@@ -1,0 +1,37 @@
+#ifndef MVROB_WORKLOADS_AUCTION_H_
+#define MVROB_WORKLOADS_AUCTION_H_
+
+#include "workloads/workload.h"
+
+namespace mvrob {
+
+/// Parameters for the auction-house scenario used by the examples.
+struct AuctionParams {
+  int items = 1;
+  /// PlaceBid instances per item.
+  int bidders = 2;
+  /// Listing-edit instances per item.
+  int edits = 2;
+  bool with_viewers = true;
+};
+
+/// An auction workload crafted so the optimal {RC, SI, SSI} allocation
+/// genuinely mixes all three levels:
+///  - PlaceBid(i):     R[status(i)] R[high_bid(i)] W[high_bid(i)] W[bid row]
+///  - CloseAuction(i): R[high_bid(i)] W[status(i)]
+///  - EditListing(i):  R[listing(i)] W[listing(i)]
+///  - ViewItem(i):     R[listing(i)] R[high_bid(i)] R[status(i)]
+///  - GetHighBid(i):   R[high_bid(i)]
+///
+/// PlaceBid and CloseAuction form a write-skew pair (disjoint write sets,
+/// crossing reads) — they need SSI. Two EditListing instances on the same
+/// listing form a lost-update pair — safe under SI's first-committer-wins
+/// but not under RC, so they land at SI, as does the multi-object reader
+/// ViewItem (an RC reader spanning several writers can observe a
+/// non-serializable mix). GetHighBid touches a single object and is the
+/// transaction that genuinely runs at RC.
+Workload MakeAuction(const AuctionParams& params);
+
+}  // namespace mvrob
+
+#endif  // MVROB_WORKLOADS_AUCTION_H_

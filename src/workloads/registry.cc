@@ -1,0 +1,180 @@
+#include "workloads/registry.h"
+
+#include <cctype>
+#include <map>
+
+#include "common/string_util.h"
+#include "workloads/auction.h"
+#include "workloads/smallbank.h"
+#include "workloads/synthetic.h"
+#include "workloads/tpcc.h"
+#include "workloads/voter.h"
+#include "workloads/ycsb.h"
+
+namespace mvrob {
+namespace {
+
+// "k=v" pairs after the colon; bare tokens (like the ycsb mix letter) map
+// to themselves with an empty value.
+struct Spec {
+  std::string name;
+  std::vector<std::string> bare;
+  std::map<std::string, int> values;
+};
+
+StatusOr<Spec> ParseSpec(std::string_view text) {
+  Spec spec;
+  size_t colon = text.find(':');
+  spec.name = std::string(StripWhitespace(text.substr(0, colon)));
+  if (colon == std::string_view::npos) return spec;
+  for (const std::string& token : SplitAndTrim(text.substr(colon + 1), ',')) {
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      spec.bare.push_back(token);
+      continue;
+    }
+    std::string key(StripWhitespace(std::string_view(token).substr(0, eq)));
+    std::string_view value =
+        StripWhitespace(std::string_view(token).substr(eq + 1));
+    int number = 0;
+    for (char c : value) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        return Status::InvalidArgument(
+            StrCat("non-numeric value in '", token, "'"));
+      }
+      number = number * 10 + (c - '0');
+    }
+    spec.values[key] = number;
+  }
+  return spec;
+}
+
+// Fetches spec.values[key] or `fallback`; records the key as consumed.
+class SpecReader {
+ public:
+  explicit SpecReader(const Spec& spec) : spec_(spec) {}
+
+  int Get(const std::string& key, int fallback) {
+    consumed_.push_back(key);
+    auto it = spec_.values.find(key);
+    return it == spec_.values.end() ? fallback : it->second;
+  }
+
+  /// InvalidArgument if the spec named a key this workload does not have.
+  Status CheckNoLeftovers() const {
+    for (const auto& [key, value] : spec_.values) {
+      bool known = false;
+      for (const std::string& name : consumed_) {
+        if (name == key) known = true;
+      }
+      if (!known) {
+        return Status::InvalidArgument(
+            StrCat("unknown parameter '", key, "' for workload ",
+                   spec_.name, " (known: ", Join(consumed_, ", "), ")"));
+      }
+    }
+    return Status::Ok();
+  }
+
+ private:
+  const Spec& spec_;
+  std::vector<std::string> consumed_;
+};
+
+}  // namespace
+
+StatusOr<Workload> MakeNamedWorkload(std::string_view text) {
+  StatusOr<Spec> spec = ParseSpec(text);
+  if (!spec.ok()) return spec.status();
+  SpecReader reader(*spec);
+
+  if (spec->name == "tpcc") {
+    TpccParams params;
+    params.warehouses = reader.Get("w", params.warehouses);
+    params.districts_per_warehouse =
+        reader.Get("d", params.districts_per_warehouse);
+    params.customers_per_district =
+        reader.Get("c", params.customers_per_district);
+    params.items = reader.Get("i", params.items);
+    params.rounds = reader.Get("r", params.rounds);
+    Status leftovers = reader.CheckNoLeftovers();
+    if (!leftovers.ok()) return leftovers;
+    return MakeTpcc(params);
+  }
+  if (spec->name == "smallbank") {
+    SmallBankParams params;
+    params.customers = reader.Get("c", params.customers);
+    params.rounds = reader.Get("r", params.rounds);
+    Status leftovers = reader.CheckNoLeftovers();
+    if (!leftovers.ok()) return leftovers;
+    return MakeSmallBank(params);
+  }
+  if (spec->name == "auction") {
+    AuctionParams params;
+    params.items = reader.Get("i", params.items);
+    params.bidders = reader.Get("b", params.bidders);
+    params.edits = reader.Get("e", params.edits);
+    Status leftovers = reader.CheckNoLeftovers();
+    if (!leftovers.ok()) return leftovers;
+    return MakeAuction(params);
+  }
+  if (spec->name == "ycsb") {
+    YcsbParams params = YcsbParams::MixA();
+    for (const std::string& mix : spec->bare) {
+      if (mix == "a") {
+        params = YcsbParams::MixA();
+      } else if (mix == "b") {
+        params = YcsbParams::MixB();
+      } else if (mix == "c") {
+        params = YcsbParams::MixC();
+      } else if (mix == "f") {
+        params = YcsbParams::MixF();
+      } else {
+        return Status::InvalidArgument(
+            StrCat("unknown ycsb mix '", mix, "' (a, b, c or f)"));
+      }
+    }
+    params.num_txns = reader.Get("n", params.num_txns);
+    params.num_keys = reader.Get("k", params.num_keys);
+    params.seed = static_cast<uint64_t>(reader.Get("seed", 0));
+    Status leftovers = reader.CheckNoLeftovers();
+    if (!leftovers.ok()) return leftovers;
+    return MakeYcsb(params);
+  }
+  if (spec->name == "voter") {
+    VoterParams params;
+    params.contestants = reader.Get("c", params.contestants);
+    params.callers = reader.Get("p", params.callers);
+    params.votes = reader.Get("v", params.votes);
+    Status leftovers = reader.CheckNoLeftovers();
+    if (!leftovers.ok()) return leftovers;
+    return MakeVoter(params);
+  }
+  if (spec->name == "synthetic") {
+    SyntheticParams params;
+    params.num_txns = reader.Get("n", params.num_txns);
+    params.num_objects = reader.Get("o", params.num_objects);
+    params.max_ops = reader.Get("ops", params.max_ops);
+    params.write_fraction = reader.Get("w", 40) / 100.0;
+    params.hotspot_fraction = reader.Get("h", 0) / 100.0;
+    params.num_hotspots = reader.Get("hot", 2);
+    params.seed = static_cast<uint64_t>(reader.Get("seed", 0));
+    params.reads_precede_writes = true;
+    Status leftovers = reader.CheckNoLeftovers();
+    if (!leftovers.ok()) return leftovers;
+    Workload workload;
+    workload.name = "synthetic";
+    workload.description = std::string(text);
+    workload.txns = GenerateSynthetic(params);
+    return workload;
+  }
+  return Status::NotFound(
+      StrCat("unknown workload '", spec->name,
+             "'; available: ", Join(ListWorkloadNames(), ", ")));
+}
+
+std::vector<std::string> ListWorkloadNames() {
+  return {"tpcc", "smallbank", "auction", "ycsb", "voter", "synthetic"};
+}
+
+}  // namespace mvrob

@@ -1,0 +1,33 @@
+#ifndef MVROB_WORKLOADS_REGISTRY_H_
+#define MVROB_WORKLOADS_REGISTRY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "workloads/workload.h"
+
+namespace mvrob {
+
+/// Builds a built-in workload from a textual spec:
+///
+///   tpcc                       defaults
+///   tpcc:w=2,d=3,c=2,i=3,r=2   warehouses/districts/customers/items/rounds
+///   smallbank:c=4,r=2          customers/rounds
+///   auction:i=2,b=3,e=2        items/bidders/edits
+///   ycsb:a  ycsb:b  ycsb:c  ycsb:f     the standard mixes
+///   voter:c=3,p=2,v=1          contestants/callers/votes
+///   ycsb:a,n=40,k=32,seed=7    mix plus overrides (txns/keys/seed)
+///   synthetic:n=10,o=8,ops=4,w=40,h=30,seed=3
+///       txns/objects/max-ops/write-%/hotspot-%/seed
+///
+/// Unknown names or keys fail with InvalidArgument listing the options.
+StatusOr<Workload> MakeNamedWorkload(std::string_view spec);
+
+/// The spec names understood by MakeNamedWorkload, for help text.
+std::vector<std::string> ListWorkloadNames();
+
+}  // namespace mvrob
+
+#endif  // MVROB_WORKLOADS_REGISTRY_H_

@@ -1,0 +1,46 @@
+#include "workloads/smallbank.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace mvrob {
+
+Workload MakeSmallBank(const SmallBankParams& params) {
+  Workload workload;
+  workload.name = "smallbank";
+  workload.description = StrCat("SmallBank with ", params.customers,
+                                " customers x ", params.rounds, " rounds");
+  TransactionSet& set = workload.txns;
+
+  auto sav = [&set](int n) { return set.InternObject(StrCat("sav_", n)); };
+  auto chk = [&set](int n) { return set.InternObject(StrCat("chk_", n)); };
+  auto emit = [&set](const std::string& name, std::vector<Operation> ops) {
+    StatusOr<TxnId> id = set.AddTransaction(name, std::move(ops));
+    (void)id;
+  };
+
+  for (int r = 0; r < params.rounds; ++r) {
+    for (int n = 0; n < params.customers; ++n) {
+      int partner = (n + 1) % params.customers;
+      emit(StrCat("Balance_", n, "_r", r),
+           {Operation::Read(sav(n)), Operation::Read(chk(n))});
+      emit(StrCat("DepositChecking_", n, "_r", r),
+           {Operation::Read(chk(n)), Operation::Write(chk(n))});
+      emit(StrCat("TransactSavings_", n, "_r", r),
+           {Operation::Read(sav(n)), Operation::Write(sav(n))});
+      if (partner != n) {
+        emit(StrCat("Amalgamate_", n, "_", partner, "_r", r),
+             {Operation::Read(sav(n)), Operation::Write(sav(n)),
+              Operation::Read(chk(n)), Operation::Write(chk(n)),
+              Operation::Read(chk(partner)), Operation::Write(chk(partner))});
+      }
+      emit(StrCat("WriteCheck_", n, "_r", r),
+           {Operation::Read(sav(n)), Operation::Read(chk(n)),
+            Operation::Write(chk(n))});
+    }
+  }
+  return workload;
+}
+
+}  // namespace mvrob

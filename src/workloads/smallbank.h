@@ -1,0 +1,34 @@
+#ifndef MVROB_WORKLOADS_SMALLBANK_H_
+#define MVROB_WORKLOADS_SMALLBANK_H_
+
+#include "workloads/workload.h"
+
+namespace mvrob {
+
+/// Parameters for the SmallBank benchmark (Alomari et al., ICDE'08 — the
+/// workload built specifically to exhibit snapshot-isolation write skew).
+struct SmallBankParams {
+  int customers = 2;
+  /// Instances of each program per customer.
+  int rounds = 1;
+};
+
+/// Builds a SmallBank transaction set. Each customer has a checking and a
+/// savings account. Programs:
+///  - Balance(N):          R[sav(N)] R[chk(N)]                (read-only)
+///  - DepositChecking(N):  R[chk(N)] W[chk(N)]
+///  - TransactSavings(N):  R[sav(N)] W[sav(N)]
+///  - Amalgamate(N1,N2):   R[sav(N1)] W[sav(N1)] R[chk(N1)] W[chk(N1)]
+///                         R[chk(N2)] W[chk(N2)]
+///  - WriteCheck(N):       R[sav(N)] R[chk(N)] W[chk(N)]
+///
+/// WriteCheck reads the savings balance without writing it, producing the
+/// classic vulnerable structure: SmallBank is NOT robust against A_SI (nor
+/// A_RC) — the optimal {RC,SI,SSI} allocation needs SSI, and no {RC,SI}
+/// allocation is robust. Amalgamate pairs customer N with customer
+/// (N+1) mod customers.
+Workload MakeSmallBank(const SmallBankParams& params);
+
+}  // namespace mvrob
+
+#endif  // MVROB_WORKLOADS_SMALLBANK_H_

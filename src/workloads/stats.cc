@@ -1,0 +1,67 @@
+#include "workloads/stats.h"
+
+#include <map>
+
+#include "common/string_util.h"
+#include "core/conflict.h"
+
+namespace mvrob {
+
+std::string WorkloadStats::ToString() const {
+  return StrCat(num_txns, " txns (", read_only_txns, " read-only), ",
+                num_objects, " objects, ", total_ops, " ops (", reads, "R/",
+                writes, "W); conflicting pairs: ", conflicting_pairs,
+                " (vulnerable: ", vulnerable_pairs,
+                "); hottest object: ", hottest_object, " (",
+                hottest_object_touches, " txns)");
+}
+
+WorkloadStats ComputeWorkloadStats(const TransactionSet& txns) {
+  WorkloadStats stats;
+  stats.num_txns = txns.size();
+  stats.num_objects = txns.num_objects();
+  stats.total_ops = txns.TotalOps();
+
+  std::map<ObjectId, size_t> touches;
+  for (const Transaction& txn : txns.txns()) {
+    bool read_only = txn.write_set().empty();
+    if (read_only) ++stats.read_only_txns;
+    for (const Operation& op : txn.ops()) {
+      if (op.IsRead()) ++stats.reads;
+      if (op.IsWrite()) ++stats.writes;
+    }
+    for (ObjectId object : txn.read_set()) ++touches[object];
+    for (ObjectId object : txn.write_set()) {
+      if (!txn.Reads(object)) ++touches[object];
+    }
+  }
+  for (const auto& [object, count] : touches) {
+    if (count > stats.hottest_object_touches) {
+      stats.hottest_object_touches = count;
+      stats.hottest_object = txns.ObjectName(object);
+    }
+  }
+
+  for (TxnId i = 0; i < txns.size(); ++i) {
+    for (TxnId j = static_cast<TxnId>(i + 1); j < txns.size(); ++j) {
+      if (!TxnsConflict(txns, i, j)) continue;
+      ++stats.conflicting_pairs;
+      // Vulnerable in either direction: an rw conflict with disjoint
+      // write sets — the edges split schedules are built from.
+      bool rw_ij = false;
+      bool rw_ji = false;
+      for (ObjectId object : txns.txn(i).read_set()) {
+        if (txns.txn(j).Writes(object)) rw_ij = true;
+      }
+      for (ObjectId object : txns.txn(j).read_set()) {
+        if (txns.txn(i).Writes(object)) rw_ji = true;
+      }
+      if ((rw_ij || rw_ji) && WwConflictFreeTxns(txns, i, j)) {
+        ++stats.vulnerable_pairs;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace mvrob

@@ -1,0 +1,45 @@
+#ifndef MVROB_WORKLOADS_STATS_H_
+#define MVROB_WORKLOADS_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "txn/transaction_set.h"
+
+namespace mvrob {
+
+/// Structural statistics of a workload — the quantities that drive
+/// robustness in practice: how many transactions touch each object, how
+/// dense the conflict graph is, and how much of it is vulnerable
+/// (rw without ww).
+struct WorkloadStats {
+  size_t num_txns = 0;
+  size_t num_objects = 0;
+  int total_ops = 0;
+  int reads = 0;
+  int writes = 0;
+  size_t read_only_txns = 0;
+  /// Pairs (unordered) with at least one conflict, and how many of those
+  /// have a vulnerable rw edge in some direction (rw-conflicting with
+  /// disjoint write sets) — the raw material of split schedules.
+  size_t conflicting_pairs = 0;
+  size_t vulnerable_pairs = 0;
+  /// The most-touched object and how many transactions touch it.
+  std::string hottest_object;
+  size_t hottest_object_touches = 0;
+
+  double ConflictDensity() const {
+    size_t pairs = num_txns * (num_txns - 1) / 2;
+    return pairs == 0 ? 0
+                      : static_cast<double>(conflicting_pairs) / pairs;
+  }
+
+  std::string ToString() const;
+};
+
+/// Computes the statistics in one pass over the set.
+WorkloadStats ComputeWorkloadStats(const TransactionSet& txns);
+
+}  // namespace mvrob
+
+#endif  // MVROB_WORKLOADS_STATS_H_

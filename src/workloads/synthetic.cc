@@ -1,0 +1,64 @@
+#include "workloads/synthetic.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace mvrob {
+
+TransactionSet GenerateSynthetic(const SyntheticParams& params) {
+  Rng rng(params.seed);
+  TransactionSet set;
+  std::vector<ObjectId> objects;
+  objects.reserve(static_cast<size_t>(params.num_objects));
+  for (int i = 0; i < params.num_objects; ++i) {
+    objects.push_back(set.InternObject(StrCat("x", i)));
+  }
+  int hotspots = std::min(params.num_hotspots, params.num_objects);
+
+  for (int t = 0; t < params.num_txns; ++t) {
+    int target_ops = static_cast<int>(rng.Uniform(
+        static_cast<uint64_t>(params.min_ops),
+        static_cast<uint64_t>(params.max_ops)));
+    std::vector<Operation> ops;
+    // (object, is_write) accesses already used, for the restricted regime.
+    std::set<std::pair<ObjectId, bool>> used;
+    int attempts = 0;
+    while (static_cast<int>(ops.size()) < target_ops &&
+           attempts < target_ops * 8) {
+      ++attempts;
+      ObjectId object;
+      if (hotspots > 0 && rng.Bernoulli(params.hotspot_fraction)) {
+        object = objects[rng.Index(static_cast<size_t>(hotspots))];
+      } else {
+        object = objects[rng.Index(objects.size())];
+      }
+      bool is_write = rng.Bernoulli(params.write_fraction);
+      if (params.at_most_one_access &&
+          !used.insert({object, is_write}).second) {
+        continue;
+      }
+      ops.push_back(is_write ? Operation::Write(object)
+                             : Operation::Read(object));
+    }
+    if (ops.empty()) {
+      // Guarantee a non-empty transaction.
+      ops.push_back(Operation::Read(objects[rng.Index(objects.size())]));
+    }
+    if (params.reads_precede_writes) {
+      std::stable_sort(ops.begin(), ops.end(),
+                       [](const Operation& a, const Operation& b) {
+                         return a.IsRead() && !b.IsRead();
+                       });
+    }
+    StatusOr<TxnId> id = set.AddTransaction("", std::move(ops));
+    (void)id;  // Names are fresh by construction; cannot fail.
+  }
+  return set;
+}
+
+}  // namespace mvrob

@@ -1,0 +1,44 @@
+#ifndef MVROB_WORKLOADS_SYNTHETIC_H_
+#define MVROB_WORKLOADS_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "txn/transaction_set.h"
+
+namespace mvrob {
+
+/// Parameters of the synthetic workload generator. The generator drives the
+/// property tests (small, adversarial sets) and the scaling benchmarks
+/// (hundreds of transactions with tunable contention).
+struct SyntheticParams {
+  int num_txns = 4;
+  int num_objects = 6;
+  /// Read/write operations per transaction, uniform in [min_ops, max_ops]
+  /// (the commit is added on top).
+  int min_ops = 1;
+  int max_ops = 4;
+  /// Probability that a generated operation is a write.
+  double write_fraction = 0.4;
+  /// Probability that an operation targets the hotspot set (the first
+  /// `num_hotspots` objects) rather than a uniform object — the contention
+  /// knob.
+  double hotspot_fraction = 0.0;
+  int num_hotspots = 1;
+  /// Enforce the paper's at-most-one-read-and-one-write-per-object
+  /// assumption (operations that would repeat an access are dropped).
+  bool at_most_one_access = true;
+  /// Emit each transaction's reads before its writes. The MVCC conformance
+  /// tests need this: the formal model has no read-your-own-writes, so a
+  /// faithful engine trace requires programs that never read an object
+  /// they have already written.
+  bool reads_precede_writes = false;
+  uint64_t seed = 0;
+};
+
+/// Generates a pseudo-random transaction set. Deterministic in `params`
+/// (including the seed). Every transaction has at least one operation.
+TransactionSet GenerateSynthetic(const SyntheticParams& params);
+
+}  // namespace mvrob
+
+#endif  // MVROB_WORKLOADS_SYNTHETIC_H_

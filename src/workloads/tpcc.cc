@@ -1,0 +1,120 @@
+#include "workloads/tpcc.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace mvrob {
+namespace {
+
+// Helper assembling one transaction; AddTransaction cannot fail here since
+// names are unique by construction.
+void Emit(TransactionSet& set, const std::string& name,
+          std::vector<Operation> ops) {
+  StatusOr<TxnId> id = set.AddTransaction(name, std::move(ops));
+  (void)id;
+}
+
+}  // namespace
+
+Workload MakeTpcc(const TpccParams& params) {
+  Workload workload;
+  workload.name = "tpcc";
+  workload.description =
+      StrCat("TPC-C at column granularity: ", params.warehouses, " wh x ",
+             params.districts_per_warehouse, " districts x ", params.rounds,
+             " rounds");
+  TransactionSet& set = workload.txns;
+
+  // Items within one order must be distinct (the paper's
+  // one-access-per-object regime).
+  TpccParams p = params;
+  if (p.items_per_order > p.items) p.items_per_order = p.items;
+
+  auto obj = [&set](const std::string& name) {
+    return set.InternObject(name);
+  };
+
+  for (int w = 0; w < p.warehouses; ++w) {
+    for (int d = 0; d < p.districts_per_warehouse; ++d) {
+      for (int r = 0; r < p.rounds; ++r) {
+        int c = r % p.customers_per_district;
+        std::string wd = StrCat(w, "_", d);
+        std::string wdc = StrCat(wd, "_", c);
+        std::string order_id = StrCat(wd, "_", r);
+
+        ObjectId w_tax = obj(StrCat("w_tax_", w));
+        ObjectId w_ytd = obj(StrCat("w_ytd_", w));
+        ObjectId d_tax = obj(StrCat("d_tax_", wd));
+        ObjectId d_next = obj(StrCat("d_next_o_id_", wd));
+        ObjectId d_ytd = obj(StrCat("d_ytd_", wd));
+        ObjectId c_info = obj(StrCat("c_info_", wdc));
+        ObjectId c_balance = obj(StrCat("c_balance_", wdc));
+        ObjectId order = obj(StrCat("order_", order_id));
+        ObjectId new_order = obj(StrCat("new_order_", order_id));
+        ObjectId order_lines = obj(StrCat("order_lines_", order_id));
+        ObjectId history = obj(StrCat("history_", wdc, "_", r));
+
+        // NewOrder: reads tax rates and customer info, increments the
+        // district's next-order id, orders items_per_order distinct items
+        // (read item, read-modify-write stock quantity), creates the order.
+        {
+          std::vector<Operation> ops{
+              Operation::Read(w_tax),  Operation::Read(d_tax),
+              Operation::Read(d_next), Operation::Write(d_next),
+              Operation::Read(c_info),
+          };
+          for (int k = 0; k < p.items_per_order; ++k) {
+            int item = (d + r + k) % p.items;
+            ObjectId item_info = obj(StrCat("item_", item));
+            ObjectId s_qty = obj(StrCat("s_qty_", w, "_", item));
+            ops.push_back(Operation::Read(item_info));
+            ops.push_back(Operation::Read(s_qty));
+            ops.push_back(Operation::Write(s_qty));
+          }
+          ops.push_back(Operation::Write(order));
+          ops.push_back(Operation::Write(new_order));
+          ops.push_back(Operation::Write(order_lines));
+          Emit(set, StrCat("NewOrder_", wd, "_r", r), std::move(ops));
+        }
+
+        // Payment: updates warehouse/district YTD and customer balance,
+        // appends a fresh history row.
+        Emit(set, StrCat("Payment_", wdc, "_r", r),
+             {Operation::Read(w_ytd), Operation::Write(w_ytd),
+              Operation::Read(d_ytd), Operation::Write(d_ytd),
+              Operation::Read(c_info), Operation::Read(c_balance),
+              Operation::Write(c_balance), Operation::Write(history)});
+
+        // OrderStatus: read-only inspection of the customer and the order
+        // created in this round.
+        Emit(set, StrCat("OrderStatus_", wdc, "_r", r),
+             {Operation::Read(c_info), Operation::Read(c_balance),
+              Operation::Read(order), Operation::Read(order_lines)});
+
+        // Delivery: consumes the round's new_order, updates the order and
+        // order lines, credits the customer's balance.
+        Emit(set, StrCat("Delivery_", wd, "_r", r),
+             {Operation::Read(new_order), Operation::Write(new_order),
+              Operation::Read(order), Operation::Write(order),
+              Operation::Read(order_lines), Operation::Write(order_lines),
+              Operation::Read(c_balance), Operation::Write(c_balance)});
+
+        // StockLevel: read-only scan of recently ordered items' stock.
+        {
+          std::vector<Operation> ops{Operation::Read(d_next),
+                                     Operation::Read(order_lines)};
+          for (int k = 0; k < p.items_per_order; ++k) {
+            int item = (d + r + k) % p.items;
+            ops.push_back(
+                Operation::Read(obj(StrCat("s_qty_", w, "_", item))));
+          }
+          Emit(set, StrCat("StockLevel_", wd, "_r", r), std::move(ops));
+        }
+      }
+    }
+  }
+  return workload;
+}
+
+}  // namespace mvrob

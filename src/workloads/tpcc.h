@@ -1,0 +1,52 @@
+#ifndef MVROB_WORKLOADS_TPCC_H_
+#define MVROB_WORKLOADS_TPCC_H_
+
+#include <cstdint>
+
+#include "workloads/workload.h"
+
+namespace mvrob {
+
+/// Parameters instantiating concrete transactions from the five TPC-C
+/// transaction programs (Section 6.3.1 of the paper: a workload of
+/// transaction *templates* like TPC-C is analyzed through finite
+/// instantiations; this is the canonical instantiation used in the
+/// robustness literature).
+struct TpccParams {
+  int warehouses = 1;
+  int districts_per_warehouse = 2;
+  int customers_per_district = 2;
+  int items = 3;
+  /// Items ordered by each NewOrder instance.
+  int items_per_order = 2;
+  /// How many instances of each program to emit per district.
+  int rounds = 1;
+  uint64_t seed = 42;
+};
+
+/// Builds a TPC-C transaction set at *column granularity*: following the
+/// classic SI analysis of Fekete et al. (TODS'05), objects are the
+/// individually accessed column groups (w_tax vs w_ytd, d_tax vs
+/// d_next_o_id vs d_ytd, c_info vs c_balance, s_quantity, order rows, ...),
+/// not whole rows. At this granularity the famous folklore result is
+/// reproducible: the workload is robust against A_SI but, due to the
+/// read-then-increment of d_next_o_id in NewOrder, not against A_RC.
+///
+/// Programs modeled:
+///  - NewOrder(w,d,c; items):  R[w_tax] R[d_tax] R[d_next_o_id]
+///        W[d_next_o_id] R[c_info] { R[item_i] R[s_qty(w,i)] W[s_qty(w,i)] }*
+///        W[order(w,d,o)] W[new_order(w,d,o)] W[order_lines(w,d,o)]
+///  - Payment(w,d,c):  R[w_ytd] W[w_ytd] R[d_ytd] W[d_ytd] R[c_info]
+///        R[c_balance] W[c_balance] W[history(fresh)]
+///  - OrderStatus(w,d,c):  R[c_info] R[c_balance] R[order] R[order_lines]
+///  - Delivery(w,d):  R[new_order] W[new_order] R[order] W[order]
+///        R[order_lines] W[order_lines] R[c_balance] W[c_balance]
+///  - StockLevel(w,d):  R[d_next_o_id] R[order_lines] { R[s_qty(w,i)] }*
+///
+/// Delivery processes the order created by the same-district NewOrder
+/// instance of the same round; OrderStatus inspects it as well.
+Workload MakeTpcc(const TpccParams& params);
+
+}  // namespace mvrob
+
+#endif  // MVROB_WORKLOADS_TPCC_H_

@@ -1,0 +1,46 @@
+#include "workloads/voter.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace mvrob {
+
+Workload MakeVoter(const VoterParams& params) {
+  Workload workload;
+  workload.name = "voter";
+  workload.description =
+      StrCat("Voter with ", params.contestants, " contestants x ",
+             params.callers, " callers x ", params.votes, " votes");
+  TransactionSet& set = workload.txns;
+
+  auto total = [&set](int c) {
+    return set.InternObject(StrCat("total_", c));
+  };
+  auto limit = [&set](int caller) {
+    return set.InternObject(StrCat("limit_", caller));
+  };
+
+  for (int caller = 0; caller < params.callers; ++caller) {
+    for (int c = 0; c < params.contestants; ++c) {
+      for (int v = 0; v < params.votes; ++v) {
+        StatusOr<TxnId> id = set.AddTransaction(
+            StrCat("Vote_", caller, "_", c, "_", v),
+            {Operation::Read(limit(caller)), Operation::Write(limit(caller)),
+             Operation::Read(total(c)), Operation::Write(total(c))});
+        (void)id;
+      }
+    }
+  }
+  if (params.with_leaderboard) {
+    std::vector<Operation> scan;
+    for (int c = 0; c < params.contestants; ++c) {
+      scan.push_back(Operation::Read(total(c)));
+    }
+    StatusOr<TxnId> id = set.AddTransaction("Leaderboard", std::move(scan));
+    (void)id;
+  }
+  return workload;
+}
+
+}  // namespace mvrob

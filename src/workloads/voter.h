@@ -1,0 +1,32 @@
+#ifndef MVROB_WORKLOADS_VOTER_H_
+#define MVROB_WORKLOADS_VOTER_H_
+
+#include "workloads/workload.h"
+
+namespace mvrob {
+
+/// Parameters for a Voter-style workload (modeled on the H-Store/VoltDB
+/// "Voter" benchmark): phone-in votes increment per-contestant counters
+/// under a per-caller vote limit, while leaderboard queries scan totals.
+struct VoterParams {
+  int contestants = 2;
+  int callers = 2;
+  /// Vote instances per (caller, contestant) pair.
+  int votes = 1;
+  bool with_leaderboard = true;
+};
+
+/// Programs:
+///  - Vote(caller, contestant): R[limit(caller)] W[limit(caller)]
+///        R[total(contestant)] W[total(contestant)]
+///  - Leaderboard: R[total(c)] for every contestant   (read-only)
+///
+/// All contention is read-modify-write on counters (the lost-update
+/// pattern): the optimum places every Vote at SI — and the read-only
+/// Leaderboard must also stay at SI because an RC scan across several
+/// counters can observe a non-serializable mix.
+Workload MakeVoter(const VoterParams& params);
+
+}  // namespace mvrob
+
+#endif  // MVROB_WORKLOADS_VOTER_H_

@@ -1,0 +1,3 @@
+#include "workloads/workload.h"
+
+// Workload is a plain aggregate; this file anchors the target.

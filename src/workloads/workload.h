@@ -1,0 +1,20 @@
+#ifndef MVROB_WORKLOADS_WORKLOAD_H_
+#define MVROB_WORKLOADS_WORKLOAD_H_
+
+#include <string>
+
+#include "txn/transaction_set.h"
+
+namespace mvrob {
+
+/// A named transaction workload used by the examples, tests and benchmark
+/// harness.
+struct Workload {
+  std::string name;
+  std::string description;
+  TransactionSet txns;
+};
+
+}  // namespace mvrob
+
+#endif  // MVROB_WORKLOADS_WORKLOAD_H_

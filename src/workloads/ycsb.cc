@@ -1,0 +1,89 @@
+#include "workloads/ycsb.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace mvrob {
+namespace {
+
+// Samples from Zipf(theta) over [0, n) via the inverse-CDF on precomputed
+// cumulative weights — exact and fast enough at workload-generation sizes.
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double theta) : cumulative_(static_cast<size_t>(n)) {
+    double total = 0;
+    for (int i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cumulative_[static_cast<size_t>(i)] = total;
+    }
+    for (double& c : cumulative_) c /= total;
+  }
+
+  int Sample(Rng& rng) const {
+    double u = rng.NextDouble();
+    // Binary search for the first cumulative weight >= u.
+    size_t lo = 0;
+    size_t hi = cumulative_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cumulative_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<int>(lo);
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace
+
+Workload MakeYcsb(const YcsbParams& params) {
+  Workload workload;
+  workload.name = "ycsb";
+  workload.description =
+      StrCat("YCSB-style: ", params.num_txns, " txns over ", params.num_keys,
+             " keys, ", static_cast<int>(params.read_only_fraction * 100),
+             "% read-only, theta=", params.zipf_theta);
+  TransactionSet& set = workload.txns;
+
+  std::vector<ObjectId> keys;
+  keys.reserve(static_cast<size_t>(params.num_keys));
+  for (int k = 0; k < params.num_keys; ++k) {
+    keys.push_back(set.InternObject(StrCat("key", k)));
+  }
+
+  Rng rng(params.seed);
+  ZipfSampler sampler(params.num_keys, params.zipf_theta);
+  int keys_per_txn = std::min(params.keys_per_txn, params.num_keys);
+
+  for (int t = 0; t < params.num_txns; ++t) {
+    bool read_only = rng.Bernoulli(params.read_only_fraction);
+    std::set<int> chosen;
+    while (static_cast<int>(chosen.size()) < keys_per_txn) {
+      chosen.insert(sampler.Sample(rng));
+    }
+    std::vector<Operation> ops;
+    for (int k : chosen) {
+      ops.push_back(Operation::Read(keys[static_cast<size_t>(k)]));
+    }
+    if (!read_only) {
+      for (int k : chosen) {
+        ops.push_back(Operation::Write(keys[static_cast<size_t>(k)]));
+      }
+    }
+    StatusOr<TxnId> id = set.AddTransaction(
+        StrCat(read_only ? "Read" : "Update", "_", t), std::move(ops));
+    (void)id;
+  }
+  return workload;
+}
+
+}  // namespace mvrob

@@ -1,0 +1,54 @@
+#ifndef MVROB_WORKLOADS_YCSB_H_
+#define MVROB_WORKLOADS_YCSB_H_
+
+#include <cstdint>
+
+#include "workloads/workload.h"
+
+namespace mvrob {
+
+/// Parameters for a YCSB-style key-value workload at transaction level.
+/// Standard mixes:
+///   A: 50% reads / 50% read-modify-writes (update heavy)
+///   B: 95% reads / 5% read-modify-writes (read heavy)
+///   C: 100% reads
+///   F: read-modify-write dominated
+struct YcsbParams {
+  int num_txns = 20;
+  int num_keys = 16;
+  /// Keys touched per transaction.
+  int keys_per_txn = 2;
+  /// Fraction of transactions that are read-only; the rest read-modify-
+  /// write each touched key.
+  double read_only_fraction = 0.5;
+  /// Zipfian skew exponent: 0 = uniform, ~0.99 = classic YCSB hotspots.
+  double zipf_theta = 0.99;
+  uint64_t seed = 0;
+
+  static YcsbParams MixA() { return YcsbParams{}; }
+  static YcsbParams MixB() {
+    YcsbParams params;
+    params.read_only_fraction = 0.95;
+    return params;
+  }
+  static YcsbParams MixC() {
+    YcsbParams params;
+    params.read_only_fraction = 1.0;
+    return params;
+  }
+  static YcsbParams MixF() {
+    YcsbParams params;
+    params.read_only_fraction = 0.2;
+    return params;
+  }
+};
+
+/// Builds a YCSB-style transaction set: read-only transactions read their
+/// keys; updaters read then write each key (the paper's one-R-one-W
+/// regime). Keys are drawn from a Zipfian distribution so low key ids are
+/// hot.
+Workload MakeYcsb(const YcsbParams& params);
+
+}  // namespace mvrob
+
+#endif  // MVROB_WORKLOADS_YCSB_H_

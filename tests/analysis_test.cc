@@ -1,0 +1,179 @@
+// Tests for the analysis/tooling layer: allocation explanations, DOT /
+// timeline rendering, and the allowed-schedule census.
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "core/explain.h"
+#include "core/optimal_allocation.h"
+#include "fixtures.h"
+#include "oracle/statistics.h"
+#include "schedule/dot.h"
+#include "txn/parser.h"
+#include "workloads/synthetic.h"
+
+namespace mvrob {
+namespace {
+
+TransactionSet Parse(const char* text) {
+  StatusOr<TransactionSet> txns = ParseTransactionSet(text);
+  EXPECT_TRUE(txns.ok()) << txns.status();
+  return std::move(txns).value();
+}
+
+TEST(ExplainTest, WriteSkewObstacles) {
+  TransactionSet txns = Parse(R"(
+    T1: R[x] W[y]
+    T2: R[y] W[x]
+  )");
+  Allocation optimal = ComputeOptimalAllocation(txns).allocation;
+  StatusOr<AllocationExplanation> explanation =
+      ExplainAllocation(txns, optimal);
+  ASSERT_TRUE(explanation.ok()) << explanation.status();
+  ASSERT_EQ(explanation->per_txn.size(), 2u);
+  // Both transactions sit at SSI and have obstacles for RC and SI.
+  for (const AllocationObstacle& entry : explanation->per_txn) {
+    EXPECT_EQ(entry.assigned, IsolationLevel::kSSI);
+    ASSERT_EQ(entry.obstacles.size(), 2u);
+    EXPECT_EQ(entry.obstacles[0].attempted, IsolationLevel::kRC);
+    EXPECT_EQ(entry.obstacles[1].attempted, IsolationLevel::kSI);
+  }
+  std::string text = explanation->ToString(txns);
+  EXPECT_NE(text.find("T1 = SSI"), std::string::npos);
+  EXPECT_NE(text.find("not RC:"), std::string::npos);
+}
+
+TEST(ExplainTest, OptimalAllocationsHaveObstaclesEverywhere) {
+  TransactionSet txns = Figure2Txns();
+  Allocation optimal = ComputeOptimalAllocation(txns).allocation;
+  StatusOr<AllocationExplanation> explanation =
+      ExplainAllocation(txns, optimal);
+  ASSERT_TRUE(explanation.ok());
+  for (const AllocationObstacle& entry : explanation->per_txn) {
+    size_t below = static_cast<size_t>(entry.assigned);
+    EXPECT_EQ(entry.obstacles.size(), below)
+        << txns.txn(entry.txn).name();
+  }
+}
+
+TEST(ExplainTest, NonOptimalAllocationHasGaps) {
+  TransactionSet txns = Parse(R"(
+    T1: R[x]
+    T2: W[y]
+  )");
+  // A_SSI is robust but far from optimal: no obstacles anywhere.
+  StatusOr<AllocationExplanation> explanation =
+      ExplainAllocation(txns, Allocation::AllSSI(2));
+  ASSERT_TRUE(explanation.ok());
+  for (const AllocationObstacle& entry : explanation->per_txn) {
+    EXPECT_TRUE(entry.obstacles.empty());
+  }
+  EXPECT_NE(explanation->ToString(txns).find("not optimal"),
+            std::string::npos);
+}
+
+TEST(ExplainTest, RejectsNonRobustAllocation) {
+  TransactionSet txns = Parse(R"(
+    T1: R[x] W[y]
+    T2: R[y] W[x]
+  )");
+  StatusOr<AllocationExplanation> explanation =
+      ExplainAllocation(txns, Allocation::AllSI(2));
+  EXPECT_FALSE(explanation.ok());
+  EXPECT_EQ(explanation.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DotTest, SerializationGraphDot) {
+  TransactionSet txns = Figure2Txns();
+  Schedule s = Figure2Schedule(txns);
+  std::string dot =
+      SerializationGraphToDot(txns, SerializationGraph::Build(s));
+  EXPECT_NE(dot.find("digraph SeG"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"T1\""), std::string::npos);
+  // T1 -> T2 is a pure antidependency: dashed.
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  // T3 -> T4 is a wr dependency: not dashed on that edge.
+  size_t edge = dot.find("n2 -> n3");
+  ASSERT_NE(edge, std::string::npos);
+  std::string line = dot.substr(edge, dot.find('\n', edge) - edge);
+  EXPECT_EQ(line.find("dashed"), std::string::npos);
+}
+
+TEST(DotTest, TimelineLaysOutRows) {
+  TransactionSet txns = Example52Txns();
+  Schedule s = Example52Schedule(txns);
+  std::string timeline = ScheduleTimeline(s);
+  // Two rows; T1's row starts with its write, T2's row starts blank.
+  std::vector<std::string> lines = SplitAndTrim(timeline, '\n');
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("T1 | W1[t]"), std::string::npos);
+  EXPECT_NE(lines[1].find("R2[v]"), std::string::npos);
+  // Every operation appears exactly once across the rows.
+  std::string all = lines[0] + lines[1];
+  for (const char* token : {"W1[t]", "R2[v]", "C1", "R2[t]", "C2"}) {
+    EXPECT_NE(all.find(token), std::string::npos) << token;
+  }
+}
+
+TEST(CensusTest, ExhaustiveCountsMatchHandComputation) {
+  // Two single-op transactions: R1[x] and W2[x]. Interleavings: C(4,2)=6;
+  // every materialization is allowed; all are serializable.
+  TransactionSet txns = Parse(R"(
+    T1: R[x]
+    T2: W[x]
+  )");
+  StatusOr<ScheduleCensus> census =
+      ComputeScheduleCensus(txns, Allocation::AllSI(2));
+  ASSERT_TRUE(census.ok());
+  EXPECT_EQ(census->interleavings, 6u);
+  EXPECT_EQ(census->allowed, 6u);
+  EXPECT_EQ(census->serializable, 6u);
+  EXPECT_EQ(census->anomalous, 0u);
+  EXPECT_DOUBLE_EQ(census->AnomalyRate(), 0.0);
+}
+
+TEST(CensusTest, WriteSkewAnomalyRates) {
+  TransactionSet txns = Parse(R"(
+    T1: R[x] W[y]
+    T2: R[y] W[x]
+  )");
+  StatusOr<ScheduleCensus> si =
+      ComputeScheduleCensus(txns, Allocation::AllSI(2));
+  ASSERT_TRUE(si.ok());
+  EXPECT_GT(si->anomalous, 0u);  // SI admits the write skew.
+  StatusOr<ScheduleCensus> ssi =
+      ComputeScheduleCensus(txns, Allocation::AllSSI(2));
+  ASSERT_TRUE(ssi.ok());
+  EXPECT_EQ(ssi->anomalous, 0u);  // SSI admits no anomaly...
+  EXPECT_LT(ssi->allowed, si->allowed);  // ...by refusing schedules.
+}
+
+TEST(CensusTest, RefusesHugeEnumerations) {
+  SyntheticParams params;
+  params.num_txns = 10;
+  params.min_ops = 5;
+  params.max_ops = 5;
+  TransactionSet txns = GenerateSynthetic(params);
+  StatusOr<ScheduleCensus> census = ComputeScheduleCensus(
+      txns, Allocation::AllSI(txns.size()), /*max_interleavings=*/1000);
+  EXPECT_FALSE(census.ok());
+  EXPECT_EQ(census.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(CensusTest, SamplerApproximatesExhaustiveCensus) {
+  TransactionSet txns = Parse(R"(
+    T1: R[x] W[y]
+    T2: R[y] W[x]
+  )");
+  Allocation alloc = Allocation::AllSI(2);
+  StatusOr<ScheduleCensus> exact = ComputeScheduleCensus(txns, alloc);
+  ASSERT_TRUE(exact.ok());
+  ScheduleCensus sampled = SampleScheduleCensus(txns, alloc, 4000, 11);
+  EXPECT_EQ(sampled.interleavings, 4000u);
+  // Within 10 percentage points of the true rates (4000 samples).
+  EXPECT_NEAR(sampled.AllowedFraction(), exact->AllowedFraction(), 0.1);
+  EXPECT_NEAR(sampled.AnomalyRate(), exact->AnomalyRate(), 0.1);
+}
+
+}  // namespace
+}  // namespace mvrob

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cli/cli.h"
+
+namespace mvrob {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult RunTool(std::vector<std::string> args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  int code = RunCli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+constexpr const char* kWriteSkew = "T1: R[x] W[y]\nT2: R[y] W[x]";
+
+TEST(CliTest, HelpAndUnknownCommand) {
+  CliResult help = RunTool({"help"});
+  EXPECT_EQ(help.code, 0);
+  EXPECT_NE(help.out.find("usage: mvrob"), std::string::npos);
+
+  CliResult empty = RunTool({});
+  EXPECT_EQ(empty.code, 1);
+
+  CliResult unknown = RunTool({"frobnicate"});
+  EXPECT_EQ(unknown.code, 1);
+  EXPECT_NE(unknown.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, CheckReportsNonRobustWithWitness) {
+  CliResult result = RunTool({"check", "--txns", kWriteSkew});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("robust: no"), std::string::npos);
+  EXPECT_NE(result.out.find("counterexample:"), std::string::npos);
+  EXPECT_NE(result.out.find("witness schedule:"), std::string::npos);
+}
+
+TEST(CliTest, CheckHonorsAllocationAndDefault) {
+  CliResult result =
+      RunTool({"check", "--txns", kWriteSkew, "--default", "SSI"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("robust: yes"), std::string::npos);
+
+  CliResult mixed = RunTool({"check", "--txns", kWriteSkew, "--alloc", "T1=SI",
+                         "--default", "SSI"});
+  EXPECT_EQ(mixed.code, 0);
+  EXPECT_NE(mixed.out.find("robust: no"), std::string::npos);
+}
+
+TEST(CliTest, CheckRejectsBadInput) {
+  EXPECT_EQ(RunTool({"check"}).code, 1);
+  EXPECT_EQ(RunTool({"check", "--txns", "garbage"}).code, 1);
+  EXPECT_EQ(RunTool({"check", "--txns", kWriteSkew, "--default", "WAT"}).code,
+            1);
+  EXPECT_EQ(RunTool({"check", "--txns", "@/nonexistent/file"}).code, 1);
+  EXPECT_EQ(RunTool({"check", "--txns"}).code, 1);  // Missing value.
+  EXPECT_EQ(RunTool({"check", "stray"}).code, 1);
+}
+
+TEST(CliTest, AllocateComputesOptimum) {
+  CliResult result = RunTool({"allocate", "--txns", kWriteSkew});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("T1=SSI T2=SSI"), std::string::npos);
+  EXPECT_NE(result.out.find("SSI=2"), std::string::npos);
+}
+
+TEST(CliTest, AllocateExplain) {
+  CliResult result = RunTool({"allocate", "--txns", kWriteSkew, "--explain"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("not SI:"), std::string::npos);
+}
+
+TEST(CliTest, AllocateRcSi) {
+  CliResult skew = RunTool({"allocate", "--txns", kWriteSkew, "--rcsi"});
+  EXPECT_EQ(skew.code, 0);
+  EXPECT_NE(skew.out.find("no robust {RC,SI} allocation"),
+            std::string::npos);
+
+  CliResult lost =
+      RunTool({"allocate", "--txns", "T1: R[x] W[x]\nT2: R[x] W[x]", "--rcsi"});
+  EXPECT_EQ(lost.code, 0);
+  EXPECT_NE(lost.out.find("T1=SI T2=SI"), std::string::npos);
+}
+
+TEST(CliTest, CrossCheckAgrees) {
+  CliResult skew = RunTool({"crosscheck", "--txns", kWriteSkew});
+  EXPECT_EQ(skew.code, 0) << skew.err;
+  EXPECT_NE(skew.out.find("ALL CHECKS AGREE"), std::string::npos);
+  EXPECT_NE(skew.out.find("not robust"), std::string::npos);
+
+  CliResult robust = RunTool(
+      {"crosscheck", "--txns", kWriteSkew, "--default", "SSI"});
+  EXPECT_EQ(robust.code, 0);
+  EXPECT_NE(robust.out.find("no split schedule"), std::string::npos);
+  EXPECT_NE(robust.out.find("ALL CHECKS AGREE"), std::string::npos);
+}
+
+TEST(CliTest, AllocateWithBounds) {
+  CliResult pinned = RunTool(
+      {"allocate", "--txns", kWriteSkew, "--pin", "T1=SI"});
+  EXPECT_EQ(pinned.code, 0) << pinned.err;
+  EXPECT_NE(pinned.out.find("no robust allocation exists"),
+            std::string::npos);
+
+  CliResult capped = RunTool(
+      {"allocate", "--txns", "T1: R[x] W[x]\nT2: R[x] W[x]\nT3: R[q]",
+       "--atmost", "T1=SI T2=SI"});
+  EXPECT_EQ(capped.code, 0);
+  EXPECT_NE(capped.out.find("T1=SI T2=SI T3=RC"), std::string::npos);
+
+  CliResult feasible_pin = RunTool(
+      {"allocate", "--txns", kWriteSkew, "--pin", "T1=SSI T2=SSI"});
+  EXPECT_NE(feasible_pin.out.find("T1=SSI T2=SSI"), std::string::npos);
+}
+
+TEST(CliTest, ExploreAnalyzesSchedule) {
+  CliResult result =
+      RunTool({"explore", "--txns", kWriteSkew, "--schedule",
+           "R1[x] R2[y] W2[x] C2 W1[y] C1", "--timeline", "--dot"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("conflict serializable: no"), std::string::npos);
+  EXPECT_NE(result.out.find("anomaly: write skew"), std::string::npos);
+  EXPECT_NE(result.out.find("allowed under T1=SI T2=SI: yes"),
+            std::string::npos);
+  EXPECT_NE(result.out.find("digraph SeG"), std::string::npos);
+  EXPECT_NE(result.out.find("T1 |"), std::string::npos);
+}
+
+TEST(CliTest, ExploreRequiresSchedule) {
+  EXPECT_EQ(RunTool({"explore", "--txns", kWriteSkew}).code, 1);
+  EXPECT_EQ(RunTool({"explore", "--txns", kWriteSkew, "--schedule",
+                 "R1[x] C1"}).code,
+            1);  // Incomplete order.
+}
+
+TEST(CliTest, CensusCounts) {
+  CliResult result = RunTool({"census", "--txns", kWriteSkew});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("interleavings: 20"), std::string::npos);
+  // A_SI admits anomalies on the write-skew pair.
+  EXPECT_EQ(result.out.find("anomalous:     0"), std::string::npos);
+
+  CliResult capped =
+      RunTool({"census", "--txns", kWriteSkew, "--max", "3"});
+  EXPECT_EQ(capped.code, 1);  // Refuses: 20 > 3.
+}
+
+TEST(CliTest, WorkloadSpecInput) {
+  CliResult result =
+      RunTool({"check", "--workload", "smallbank", "--default", "SI"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("robust: no"), std::string::npos);
+  EXPECT_NE(result.out.find("WriteCheck"), std::string::npos);
+
+  CliResult bad = RunTool({"check", "--workload", "nope"});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("available:"), std::string::npos);
+}
+
+TEST(CliTest, SimulateReportsAnomalies) {
+  CliResult result = RunTool(
+      {"simulate", "--txns", kWriteSkew, "--runs", "30", "--seed", "1"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("simulating 30 executions"), std::string::npos);
+  EXPECT_NE(result.out.find("anomaly 'write skew'"), std::string::npos);
+  EXPECT_NE(result.out.find("NOT robust"), std::string::npos);
+
+  CliResult safe = RunTool({"simulate", "--txns", kWriteSkew, "--runs", "10",
+                            "--default", "SSI"});
+  EXPECT_NE(safe.out.find("serializable runs: 10/10"), std::string::npos);
+  EXPECT_NE(safe.out.find("robust - anomalies are impossible"),
+            std::string::npos);
+
+  EXPECT_EQ(RunTool({"simulate", "--txns", kWriteSkew, "--runs", "0"}).code,
+            1);
+}
+
+TEST(CliTest, ShellSession) {
+  std::istringstream in(
+      "add T1: R[x] W[y]\n"
+      "add T2: R[y] W[x]\n"
+      "show\n"
+      "remove T1\n"
+      "remove Missing\n"
+      "nonsense\n"
+      "quit\n");
+  std::ostringstream out;
+  std::ostringstream err;
+  int code = RunCli({"shell"}, in, out, err);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.str().find("added T1; optimal: T1=RC"), std::string::npos);
+  EXPECT_NE(out.str().find("added T2; optimal: T1=SSI T2=SSI"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("removed T1"), std::string::npos);
+  EXPECT_NE(out.str().find("optimal: T2=RC"), std::string::npos);
+  EXPECT_NE(err.str().find("no transaction 'Missing'"), std::string::npos);
+  EXPECT_NE(err.str().find("unknown shell command"), std::string::npos);
+}
+
+TEST(CliTest, JsonOutput) {
+  CliResult check = RunTool({"check", "--json", "--txns", kWriteSkew});
+  EXPECT_EQ(check.code, 0);
+  EXPECT_EQ(check.out,
+            "{\"allocation\":\"T1=SI T2=SI\",\"robust\":false,"
+            "\"counterexample\":{\"split_txn\":\"T1\","
+            "\"split_after\":\"R1[x]\",\"chain\":[\"T1\",\"T2\"]}}\n");
+
+  CliResult robust = RunTool(
+      {"check", "--json", "--txns", kWriteSkew, "--default", "SSI"});
+  EXPECT_EQ(robust.out,
+            "{\"allocation\":\"T1=SSI T2=SSI\",\"robust\":true}\n");
+
+  CliResult allocate = RunTool({"allocate", "--json", "--txns", kWriteSkew});
+  EXPECT_NE(allocate.out.find("\"levels\":{\"T1\":\"SSI\",\"T2\":\"SSI\"}"),
+            std::string::npos);
+}
+
+TEST(CliTest, ReportContainsAllSections) {
+  CliResult result = RunTool({"report", "--txns", kWriteSkew});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("# Workload analysis"), std::string::npos);
+  EXPECT_NE(result.out.find("| A_RC  | no |"), std::string::npos);
+  EXPECT_NE(result.out.find("| A_SI  | no |"), std::string::npos);
+  EXPECT_NE(result.out.find("T1=SSI T2=SSI"), std::string::npos);
+  EXPECT_NE(result.out.find("Why no transaction can run lower"),
+            std::string::npos);
+  EXPECT_NE(result.out.find("NOT robustly allocatable"), std::string::npos);
+  EXPECT_NE(result.out.find("Interleaving census"), std::string::npos);
+}
+
+TEST(CliTest, TemplatesAllocates) {
+  CliResult result = RunTool({"templates", "--templates", R"(
+    domain N 2
+    CheckX(n:N): R[x_$n] W[y_$n]
+    CheckY(n:N): R[y_$n] W[x_$n]
+  )"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("CheckX=SSI CheckY=SSI"), std::string::npos);
+  EXPECT_EQ(RunTool({"templates"}).code, 1);
+}
+
+}  // namespace
+}  // namespace mvrob

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace mvrob {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad input");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(StatusCodeTest, ToStringCoversAllCodes) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = Status::NotFound("missing");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> result = std::string("hello");
+  std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "hello");
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  a b  "), "a b");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t\n "), "");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+TEST(StringUtilTest, SplitAndTrimDropsEmptyPieces) {
+  std::vector<std::string> pieces = SplitAndTrim("a  b   c ", ' ');
+  EXPECT_EQ(pieces, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringUtilTest, SplitAndTrimOnNewlines) {
+  std::vector<std::string> pieces = SplitAndTrim("x\n\n y \n", '\n');
+  EXPECT_EQ(pieces, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(StringUtilTest, SplitAndTrimEmptyInput) {
+  EXPECT_TRUE(SplitAndTrim("", ',').empty());
+  EXPECT_TRUE(SplitAndTrim("  ", ',').empty());
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join(std::vector<std::string>{"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join(std::vector<int>{1, 2, 3}, "-"), "1-2-3");
+  EXPECT_EQ(Join(std::vector<int>{}, "-"), "");
+}
+
+TEST(StringUtilTest, StrCat) {
+  EXPECT_EQ(StrCat("x=", 3, ", y=", 2.5), "x=3, y=2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t value = rng.Uniform(5, 9);
+    EXPECT_GE(value, 5u);
+    EXPECT_LE(value, 9u);
+  }
+}
+
+TEST(RngTest, IndexStaysInRange) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Index(17), 17u);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(JsonWriterTest, ObjectsArraysAndScalars) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name");
+  json.String("T1");
+  json.Key("robust");
+  json.Bool(false);
+  json.Key("count");
+  json.Int(-3);
+  json.Key("big");
+  json.Uint(7);
+  json.Key("items");
+  json.BeginArray();
+  json.String("a");
+  json.Int(1);
+  json.Null();
+  json.EndArray();
+  json.Key("nested");
+  json.BeginObject();
+  json.EndObject();
+  json.EndObject();
+  EXPECT_EQ(json.str(),
+            R"({"name":"T1","robust":false,"count":-3,"big":7,)"
+            R"("items":["a",1,null],"nested":{}})");
+}
+
+TEST(JsonWriterTest, EscapesSpecialCharacters) {
+  JsonWriter json;
+  json.String("a\"b\\c\nd\te\x01");
+  EXPECT_EQ(json.str(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+TEST(JsonWriterTest, TopLevelArray) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Int(1);
+  json.Int(2);
+  json.EndArray();
+  EXPECT_EQ(json.str(), "[1,2]");
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace mvrob

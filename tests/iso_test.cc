@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "iso/allowed.h"
+#include "iso/dangerous_structure.h"
+#include "iso/materialize.h"
+#include "schedule/serializability.h"
+#include "txn/parser.h"
+
+namespace mvrob {
+namespace {
+
+TEST(IsolationLevelTest, OrderAndNames) {
+  EXPECT_TRUE(IsolationLevel::kRC < IsolationLevel::kSI);
+  EXPECT_TRUE(IsolationLevel::kSI < IsolationLevel::kSSI);
+  EXPECT_TRUE(IsolationLevel::kRC <= IsolationLevel::kRC);
+  EXPECT_FALSE(IsolationLevel::kSSI < IsolationLevel::kSI);
+  EXPECT_STREQ(IsolationLevelToString(IsolationLevel::kRC), "RC");
+  EXPECT_STREQ(IsolationLevelToString(IsolationLevel::kSI), "SI");
+  EXPECT_STREQ(IsolationLevelToString(IsolationLevel::kSSI), "SSI");
+}
+
+TEST(IsolationLevelTest, Parse) {
+  EXPECT_EQ(*ParseIsolationLevel("RC"), IsolationLevel::kRC);
+  EXPECT_EQ(*ParseIsolationLevel("si"), IsolationLevel::kSI);
+  EXPECT_EQ(*ParseIsolationLevel("Ssi"), IsolationLevel::kSSI);
+  EXPECT_FALSE(ParseIsolationLevel("SERIALIZABLE").ok());
+}
+
+TEST(AllocationTest, UniformAndWith) {
+  Allocation a = Allocation::AllSI(3);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.level(1), IsolationLevel::kSI);
+  Allocation b = a.With(1, IsolationLevel::kRC);
+  EXPECT_EQ(b.level(1), IsolationLevel::kRC);
+  EXPECT_EQ(a.level(1), IsolationLevel::kSI);  // Original untouched.
+  EXPECT_EQ(b.CountAt(IsolationLevel::kRC), 1u);
+  EXPECT_EQ(b.CountAt(IsolationLevel::kSI), 2u);
+}
+
+TEST(AllocationTest, PreferenceOrder) {
+  Allocation lower({IsolationLevel::kRC, IsolationLevel::kSI});
+  Allocation higher({IsolationLevel::kSI, IsolationLevel::kSI});
+  EXPECT_TRUE(lower.LessEq(higher));
+  EXPECT_TRUE(lower.StrictlyLess(higher));
+  EXPECT_FALSE(higher.LessEq(lower));
+  EXPECT_TRUE(lower.LessEq(lower));
+  EXPECT_FALSE(lower.StrictlyLess(lower));
+  // Incomparable allocations.
+  Allocation mixed({IsolationLevel::kSI, IsolationLevel::kRC});
+  EXPECT_FALSE(lower.LessEq(mixed));
+  EXPECT_FALSE(mixed.LessEq(lower));
+}
+
+TEST(AllocationTest, ParseAndFormat) {
+  TransactionSet txns = Figure2Txns();
+  StatusOr<Allocation> a =
+      ParseAllocation(txns, "T2=SI, T4=RC", IsolationLevel::kSSI);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->level(0), IsolationLevel::kSSI);
+  EXPECT_EQ(a->level(1), IsolationLevel::kSI);
+  EXPECT_EQ(a->level(3), IsolationLevel::kRC);
+  EXPECT_EQ(a->ToString(txns), "T1=SSI T2=SI T3=SSI T4=RC");
+  EXPECT_FALSE(ParseAllocation(txns, "T9=RC", IsolationLevel::kSI).ok());
+  EXPECT_FALSE(ParseAllocation(txns, "T1=XX", IsolationLevel::kSI).ok());
+  EXPECT_FALSE(ParseAllocation(txns, "T1", IsolationLevel::kSI).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Example 2.5 facts on the Figure 2 schedule.
+// ---------------------------------------------------------------------------
+
+class Example25Test : public ::testing::Test {
+ protected:
+  Example25Test() : txns_(Figure2Txns()), s_(Figure2Schedule(txns_)) {}
+  TransactionSet txns_;
+  Schedule s_;
+};
+
+TEST_F(Example25Test, SecondReadOfT4RelativeAnchors) {
+  OpRef r4v{3, 1};
+  EXPECT_TRUE(ReadLastCommittedRelativeTo(s_, r4v, r4v));
+  EXPECT_FALSE(ReadLastCommittedRelativeTo(s_, r4v, txns_.txn(3).first_ref()));
+}
+
+TEST_F(Example25Test, ReadOfT2RelativeAnchors) {
+  OpRef r2v{1, 1};
+  EXPECT_TRUE(ReadLastCommittedRelativeTo(s_, r2v, txns_.txn(1).first_ref()));
+  EXPECT_FALSE(ReadLastCommittedRelativeTo(s_, r2v, r2v));
+}
+
+TEST_F(Example25Test, OtherReadsAreReadLastCommittedBothWays) {
+  for (OpRef read : {OpRef{0, 0}, OpRef{3, 0}}) {
+    EXPECT_TRUE(ReadLastCommittedRelativeTo(s_, read, read));
+    EXPECT_TRUE(ReadLastCommittedRelativeTo(
+        s_, read, txns_.txn(read.txn).first_ref()));
+  }
+}
+
+TEST_F(Example25Test, OnlyT4ExhibitsConcurrentWriteAndNoDirtyWrites) {
+  for (TxnId t = 0; t < txns_.size(); ++t) {
+    EXPECT_FALSE(ExhibitsDirtyWrite(s_, t)) << "T" << t + 1;
+    EXPECT_EQ(ExhibitsConcurrentWrite(s_, t), t == 3) << "T" << t + 1;
+  }
+}
+
+TEST_F(Example25Test, WritesRespectCommitOrder) {
+  EXPECT_TRUE(WriteRespectsCommitOrder(s_, OpRef{1, 0}));  // W2[t].
+  EXPECT_TRUE(WriteRespectsCommitOrder(s_, OpRef{2, 0}));  // W3[v].
+  EXPECT_TRUE(WriteRespectsCommitOrder(s_, OpRef{3, 2}));  // W4[t].
+}
+
+TEST_F(Example25Test, MappingT2ToRcIsNotAllowed) {
+  Allocation a = Allocation::AllSI(4).With(1, IsolationLevel::kRC);
+  a.set_level(3, IsolationLevel::kRC);  // Keep T4 legal.
+  EXPECT_FALSE(AllowedUnder(s_, a));
+  EXPECT_FALSE(TxnAllowedUnderRC(s_, 1));
+  EXPECT_TRUE(TxnAllowedUnderSI(s_, 1));
+}
+
+TEST_F(Example25Test, MappingT4ToSiOrSsiIsNotAllowed) {
+  EXPECT_FALSE(TxnAllowedUnderSI(s_, 3));
+  EXPECT_TRUE(TxnAllowedUnderRC(s_, 3));
+  for (IsolationLevel level : {IsolationLevel::kSI, IsolationLevel::kSSI}) {
+    Allocation a = Allocation::AllSI(4).With(3, level);
+    EXPECT_FALSE(AllowedUnder(s_, a));
+  }
+}
+
+TEST_F(Example25Test, AllSsiOnT1T2T3IsNotAllowed) {
+  Allocation a = Allocation::AllSSI(4).With(3, IsolationLevel::kRC);
+  AllowedCheckResult result = CheckAllowedUnder(s_, a);
+  EXPECT_FALSE(result.allowed);
+  // The only violation is the dangerous structure T1 -> T2 -> T3.
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_NE(result.violations[0].find("dangerous structure"),
+            std::string::npos);
+}
+
+TEST_F(Example25Test, OtherAllocationsAreAllowed) {
+  // T4 on RC, T2 on SI or SSI, and at least one of T1, T2, T3 on RC or SI.
+  for (IsolationLevel t2 : {IsolationLevel::kSI, IsolationLevel::kSSI}) {
+    for (IsolationLevel t1 : kAllIsolationLevels) {
+      for (IsolationLevel t3 : kAllIsolationLevels) {
+        bool all_ssi = t1 == IsolationLevel::kSSI &&
+                       t2 == IsolationLevel::kSSI &&
+                       t3 == IsolationLevel::kSSI;
+        Allocation a({t1, t2, t3, IsolationLevel::kRC});
+        EXPECT_EQ(AllowedUnder(s_, a), !all_ssi) << a.ToString(txns_);
+      }
+    }
+  }
+}
+
+TEST_F(Example25Test, DangerousStructureT1T2T3) {
+  std::vector<DangerousStructure> structures = FindDangerousStructures(s_);
+  bool found = false;
+  for (const DangerousStructure& d : structures) {
+    if (d.t1 == 0 && d.t2 == 1 && d.t3 == 2) found = true;
+    // Validate the definitional conditions on every reported structure.
+    EXPECT_EQ(d.in.kind, DependencyKind::kRwAnti);
+    EXPECT_EQ(d.out.kind, DependencyKind::kRwAnti);
+    EXPECT_TRUE(s_.Concurrent(d.t1, d.t2));
+    EXPECT_TRUE(s_.Concurrent(d.t2, d.t3));
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Example 2.6: asymmetry of mixed allocations.
+// ---------------------------------------------------------------------------
+
+TEST(Example26Test, MatchesThePaper) {
+  TransactionSet txns = Example26Txns();
+  Schedule s = Example26Schedule(txns);
+  ASSERT_TRUE(s.Concurrent(0, 1));
+  // T2 exhibits a concurrent (not dirty) write.
+  EXPECT_TRUE(ExhibitsConcurrentWrite(s, 1));
+  EXPECT_FALSE(ExhibitsDirtyWrite(s, 1));
+  EXPECT_FALSE(ExhibitsConcurrentWrite(s, 0));
+
+  Allocation a1 = Allocation::AllSI(2);
+  Allocation a2({IsolationLevel::kRC, IsolationLevel::kSI});
+  Allocation a3({IsolationLevel::kSI, IsolationLevel::kRC});
+  EXPECT_FALSE(AllowedUnder(s, a1));
+  EXPECT_FALSE(AllowedUnder(s, a2));
+  EXPECT_TRUE(AllowedUnder(s, a3));
+}
+
+// ---------------------------------------------------------------------------
+// Example 5.2: allowed under A_SI but not A_RC.
+// ---------------------------------------------------------------------------
+
+TEST(Example52Test, MatchesThePaper) {
+  TransactionSet txns = Example52Txns();
+  Schedule s = Example52Schedule(txns);
+  EXPECT_TRUE(AllowedUnder(s, Allocation::AllSI(2)));
+  EXPECT_FALSE(AllowedUnder(s, Allocation::AllRC(2)));
+  // The precise reason: R2[t] is not read-last-committed relative to itself.
+  OpRef r2t{1, 1};
+  EXPECT_FALSE(ReadLastCommittedRelativeTo(s, r2t, r2t));
+  EXPECT_TRUE(ReadLastCommittedRelativeTo(s, r2t, txns.txn(1).first_ref()));
+}
+
+// ---------------------------------------------------------------------------
+// Dirty write detection.
+// ---------------------------------------------------------------------------
+
+TEST(DirtyWriteTest, DetectedAndForbiddenEverywhere) {
+  StatusOr<TransactionSet> txns = ParseTransactionSet(R"(
+    T1: W[t]
+    T2: W[t]
+  )");
+  ASSERT_TRUE(txns.ok());
+  // W1[t] W2[t] C1 C2: T2 writes t while T1 is uncommitted.
+  StatusOr<Schedule> s = MaterializeSchedule(
+      &*txns, *ParseScheduleOrder(*txns, "W1[t] W2[t] C1 C2"),
+      Allocation::AllRC(2));
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(ExhibitsDirtyWrite(*s, 1));
+  EXPECT_TRUE(ExhibitsConcurrentWrite(*s, 1));
+  for (IsolationLevel l1 : kAllIsolationLevels) {
+    for (IsolationLevel l2 : kAllIsolationLevels) {
+      EXPECT_FALSE(AllowedUnder(*s, Allocation({l1, l2})));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MaterializeSchedule.
+// ---------------------------------------------------------------------------
+
+TEST(MaterializeTest, ReproducesFigure2UnderItsAllocation) {
+  TransactionSet txns = Figure2Txns();
+  Schedule expected = Figure2Schedule(txns);
+  // T2 must read from its snapshot (SI) and T4 from commit time (RC).
+  Allocation a({IsolationLevel::kSI, IsolationLevel::kSI, IsolationLevel::kSI,
+                IsolationLevel::kRC});
+  StatusOr<Schedule> materialized = MaterializeSchedule(
+      &txns, *ParseScheduleOrder(txns, kFigure2Order), a);
+  ASSERT_TRUE(materialized.ok());
+  EXPECT_TRUE(ConflictEquivalent(expected, *materialized));
+  EXPECT_EQ(expected.ToString(/*with_versions=*/true),
+            materialized->ToString(/*with_versions=*/true));
+  EXPECT_TRUE(AllowedUnder(*materialized, a));
+}
+
+TEST(MaterializeTest, RcAndSiReadsDiffer) {
+  StatusOr<TransactionSet> txns = ParseTransactionSet(R"(
+    T1: W[t]
+    T2: R[v] R[t]
+  )");
+  ASSERT_TRUE(txns.ok());
+  std::vector<OpRef> order =
+      *ParseScheduleOrder(*txns, kExample52Order);  // W1[t] R2[v] C1 R2[t] C2.
+  // Under SI, R2[t] observes the snapshot at first(T2): op0.
+  StatusOr<Schedule> si =
+      MaterializeSchedule(&*txns, order, Allocation::AllSI(2));
+  ASSERT_TRUE(si.ok());
+  EXPECT_EQ(si->VersionRead(OpRef{1, 1}), OpRef::Op0());
+  // Under RC, R2[t] observes T1's committed write.
+  StatusOr<Schedule> rc =
+      MaterializeSchedule(&*txns, order, Allocation::AllRC(2));
+  ASSERT_TRUE(rc.ok());
+  EXPECT_EQ(rc->VersionRead(OpRef{1, 1}), (OpRef{0, 0}));
+  EXPECT_TRUE(AllowedUnder(*si, Allocation::AllSI(2)));
+  EXPECT_TRUE(AllowedUnder(*rc, Allocation::AllRC(2)));
+}
+
+TEST(MaterializeTest, SerialOrdersAreAllowedUnderEveryAllocation) {
+  TransactionSet txns = Figure2Txns();
+  std::vector<OpRef> order;
+  for (TxnId t : {2u, 1u, 0u, 3u}) {
+    for (int i = 0; i < txns.txn(t).num_ops(); ++i) {
+      order.push_back(OpRef{t, i});
+    }
+  }
+  for (IsolationLevel level : kAllIsolationLevels) {
+    Allocation a(txns.size(), level);
+    StatusOr<Schedule> s = MaterializeSchedule(&txns, order, a);
+    ASSERT_TRUE(s.ok());
+    EXPECT_TRUE(AllowedUnder(*s, a));
+    EXPECT_TRUE(IsConflictSerializable(*s));
+  }
+}
+
+TEST(MaterializeTest, VersionOrderFollowsCommitOrder) {
+  StatusOr<TransactionSet> txns = ParseTransactionSet(R"(
+    T1: W[t]
+    T2: W[t]
+  )");
+  ASSERT_TRUE(txns.ok());
+  // T2 writes first but commits last: W2[t] W1[t]? No - avoid dirty writes:
+  // W2[t] C2 W1[t] C1 gives version order W2 << W1 by commit order.
+  StatusOr<Schedule> s = MaterializeSchedule(
+      &*txns, *ParseScheduleOrder(*txns, "W2[t] C2 W1[t] C1"),
+      Allocation::AllRC(2));
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->VersionBefore(OpRef{1, 0}, OpRef{0, 0}));
+  EXPECT_TRUE(WriteRespectsCommitOrder(*s, OpRef{0, 0}));
+  EXPECT_TRUE(WriteRespectsCommitOrder(*s, OpRef{1, 0}));
+}
+
+TEST(MaterializeTest, RejectsBadOrder) {
+  TransactionSet txns = Figure2Txns();
+  std::vector<OpRef> order = {OpRef{0, 0}};  // Missing almost everything.
+  EXPECT_FALSE(
+      MaterializeSchedule(&txns, order, Allocation::AllRC(4)).ok());
+}
+
+TEST(CheckAllowedTest, ReportsAllViolations) {
+  TransactionSet txns = Figure2Txns();
+  Schedule s = Figure2Schedule(txns);
+  // T2 at RC (read violation) and T4 at SI (concurrent write + snapshot
+  // read violation).
+  Allocation a({IsolationLevel::kSI, IsolationLevel::kRC, IsolationLevel::kSI,
+                IsolationLevel::kSI});
+  AllowedCheckResult result = CheckAllowedUnder(s, a);
+  EXPECT_FALSE(result.allowed);
+  EXPECT_GE(result.violations.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mvrob

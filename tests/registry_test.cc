@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "workloads/registry.h"
+
+namespace mvrob {
+namespace {
+
+TEST(RegistryTest, DefaultsAndOverrides) {
+  StatusOr<Workload> tpcc = MakeNamedWorkload("tpcc");
+  ASSERT_TRUE(tpcc.ok()) << tpcc.status();
+  EXPECT_EQ(tpcc->txns.size(), 10u);  // 1 wh x 2 districts x 5 programs.
+
+  StatusOr<Workload> bigger = MakeNamedWorkload("tpcc:w=2,d=3,r=2");
+  ASSERT_TRUE(bigger.ok());
+  EXPECT_EQ(bigger->txns.size(), 2u * 3u * 2u * 5u);
+
+  StatusOr<Workload> bank = MakeNamedWorkload("smallbank:c=4");
+  ASSERT_TRUE(bank.ok());
+  EXPECT_EQ(bank->txns.size(), 20u);
+
+  StatusOr<Workload> auction = MakeNamedWorkload("auction:i=2,b=3,e=1");
+  ASSERT_TRUE(auction.ok());
+  // Per item: 3 bids + close + 1 edit + view + gethighbid = 7.
+  EXPECT_EQ(auction->txns.size(), 14u);
+}
+
+TEST(RegistryTest, YcsbMixes) {
+  StatusOr<Workload> reads = MakeNamedWorkload("ycsb:c,n=12");
+  ASSERT_TRUE(reads.ok());
+  EXPECT_EQ(reads->txns.size(), 12u);
+  for (const Transaction& txn : reads->txns.txns()) {
+    EXPECT_TRUE(txn.write_set().empty());
+  }
+  StatusOr<Workload> rmw = MakeNamedWorkload("ycsb:f,n=12,k=8,seed=5");
+  ASSERT_TRUE(rmw.ok());
+  EXPECT_FALSE(MakeNamedWorkload("ycsb:z").ok());
+}
+
+TEST(RegistryTest, SyntheticSpec) {
+  StatusOr<Workload> synth =
+      MakeNamedWorkload("synthetic:n=7,o=5,w=50,h=40,seed=2");
+  ASSERT_TRUE(synth.ok()) << synth.status();
+  EXPECT_EQ(synth->txns.size(), 7u);
+  // Deterministic for identical spec.
+  EXPECT_EQ(
+      synth->txns.ToString(),
+      MakeNamedWorkload("synthetic:n=7,o=5,w=50,h=40,seed=2")->txns.ToString());
+}
+
+TEST(RegistryTest, RejectsUnknownNamesAndKeys) {
+  StatusOr<Workload> unknown = MakeNamedWorkload("tpcd");
+  EXPECT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().message().find("available:"),
+            std::string::npos);
+
+  StatusOr<Workload> bad_key = MakeNamedWorkload("smallbank:z=3");
+  EXPECT_FALSE(bad_key.ok());
+  EXPECT_NE(bad_key.status().message().find("unknown parameter 'z'"),
+            std::string::npos);
+
+  EXPECT_FALSE(MakeNamedWorkload("tpcc:w=abc").ok());
+}
+
+TEST(RegistryTest, ListsNames) {
+  std::vector<std::string> names = ListWorkloadNames();
+  EXPECT_EQ(names.size(), 6u);
+  for (const std::string& name : names) {
+    EXPECT_TRUE(MakeNamedWorkload(name).ok()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace mvrob

@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fixtures.h"
+#include "schedule/serializability.h"
+#include "schedule/serialization_graph.h"
+#include "txn/parser.h"
+
+namespace mvrob {
+namespace {
+
+TEST(ScheduleTest, Figure2IsWellFormed) {
+  TransactionSet txns = Figure2Txns();
+  Schedule s = Figure2Schedule(txns);
+  EXPECT_EQ(s.num_ops(), static_cast<size_t>(txns.TotalOps()));
+  EXPECT_EQ(s.ToString(), std::string(kFigure2Order));
+}
+
+TEST(ScheduleTest, PositionsAndBefore) {
+  TransactionSet txns = Figure2Txns();
+  Schedule s = Figure2Schedule(txns);
+  EXPECT_EQ(s.PositionOf(OpRef::Op0()), -1);
+  EXPECT_EQ(s.PositionOf(OpRef{1, 0}), 0);   // W2[t] first.
+  EXPECT_EQ(s.PositionOf(OpRef{0, 1}), 10);  // C1 last.
+  EXPECT_TRUE(s.Before(OpRef::Op0(), OpRef{1, 0}));
+  EXPECT_TRUE(s.Before(OpRef{1, 0}, OpRef{3, 0}));
+  EXPECT_FALSE(s.Before(OpRef{0, 1}, OpRef{1, 0}));
+}
+
+TEST(ScheduleTest, VersionFunctionAndOrder) {
+  TransactionSet txns = Figure2Txns();
+  Schedule s = Figure2Schedule(txns);
+  EXPECT_EQ(s.VersionRead(OpRef{0, 0}), OpRef::Op0());  // R1[t].
+  EXPECT_EQ(s.VersionRead(OpRef{3, 1}), (OpRef{2, 0}));  // R4[v] <- W3[v].
+  ObjectId t = txns.FindObject("t");
+  EXPECT_TRUE(s.VersionBefore(OpRef::Op0(), OpRef{1, 0}));
+  EXPECT_TRUE(s.VersionBefore(OpRef{1, 0}, OpRef{3, 2}));   // W2[t] << W4[t].
+  EXPECT_FALSE(s.VersionBefore(OpRef{3, 2}, OpRef{1, 0}));
+  EXPECT_EQ(s.VersionsOf(t).size(), 2u);
+  EXPECT_TRUE(s.VersionsOf(txns.InternObject("unused")).empty());
+}
+
+TEST(ScheduleTest, ConcurrencyMatchesExample25) {
+  TransactionSet txns = Figure2Txns();
+  Schedule s = Figure2Schedule(txns);
+  // T1 is concurrent with T2 and T4, but not with T3; all others pairwise
+  // concurrent.
+  EXPECT_TRUE(s.Concurrent(0, 1));
+  EXPECT_FALSE(s.Concurrent(0, 2));
+  EXPECT_TRUE(s.Concurrent(0, 3));
+  EXPECT_TRUE(s.Concurrent(1, 2));
+  EXPECT_TRUE(s.Concurrent(1, 3));
+  EXPECT_TRUE(s.Concurrent(2, 3));
+  EXPECT_FALSE(s.Concurrent(1, 1));
+  // Symmetry.
+  EXPECT_EQ(s.Concurrent(2, 0), s.Concurrent(0, 2));
+}
+
+TEST(ScheduleTest, CreateRejectsMissingOperation) {
+  TransactionSet txns = Figure2Txns();
+  StatusOr<std::vector<OpRef>> order = ParseScheduleOrder(txns, kFigure2Order);
+  ASSERT_TRUE(order.ok());
+  std::vector<OpRef> truncated(order->begin(), order->end() - 1);
+  StatusOr<Schedule> s =
+      Schedule::Create(&txns, truncated, {}, {});
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(ScheduleTest, CreateRejectsProgramOrderViolation) {
+  StatusOr<TransactionSet> txns = ParseTransactionSet("T1: R[t] W[t]");
+  ASSERT_TRUE(txns.ok());
+  std::vector<OpRef> order{{0, 1}, {0, 0}, {0, 2}};
+  VersionFunction versions{{OpRef{0, 0}, OpRef::Op0()}};
+  VersionOrder version_order;
+  version_order[0] = {OpRef{0, 1}};
+  EXPECT_FALSE(Schedule::Create(&*txns, order, versions, version_order).ok());
+}
+
+TEST(ScheduleTest, CreateRejectsVersionFunctionGaps) {
+  StatusOr<TransactionSet> txns = ParseTransactionSet("T1: R[t]");
+  ASSERT_TRUE(txns.ok());
+  std::vector<OpRef> order{{0, 0}, {0, 1}};
+  // Missing v(R1[t]).
+  EXPECT_FALSE(Schedule::Create(&*txns, order, {}, {}).ok());
+}
+
+TEST(ScheduleTest, CreateRejectsReadFromLaterWrite) {
+  StatusOr<TransactionSet> txns = ParseTransactionSet(R"(
+    T1: R[t]
+    T2: W[t]
+  )");
+  ASSERT_TRUE(txns.ok());
+  std::vector<OpRef> order{{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  VersionFunction versions{{OpRef{0, 0}, OpRef{1, 0}}};  // Reads the future.
+  VersionOrder version_order;
+  version_order[0] = {OpRef{1, 0}};
+  EXPECT_FALSE(Schedule::Create(&*txns, order, versions, version_order).ok());
+}
+
+TEST(ScheduleTest, CreateRejectsVersionOrderMismatch) {
+  StatusOr<TransactionSet> txns = ParseTransactionSet(R"(
+    T1: W[t]
+    T2: W[t]
+  )");
+  ASSERT_TRUE(txns.ok());
+  std::vector<OpRef> order{{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  VersionOrder version_order;
+  version_order[0] = {OpRef{0, 0}};  // Missing W2[t].
+  EXPECT_FALSE(Schedule::Create(&*txns, order, {}, version_order).ok());
+}
+
+TEST(ScheduleTest, SingleVersionSerialBuilder) {
+  StatusOr<TransactionSet> txns = ParseTransactionSet(R"(
+    T1: W[t]
+    T2: R[t] W[t]
+  )");
+  ASSERT_TRUE(txns.ok());
+  StatusOr<Schedule> s = Schedule::SingleVersionSerial(&*txns, {0, 1});
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->IsSingleVersion());
+  EXPECT_TRUE(s->IsSerial());
+  // R2[t] observes T1's write.
+  EXPECT_EQ(s->VersionRead(OpRef{1, 0}), (OpRef{0, 0}));
+}
+
+TEST(ScheduleTest, SingleVersionInterleavedIsNotSerial) {
+  StatusOr<TransactionSet> txns = ParseTransactionSet(R"(
+    T1: R[t] W[t]
+    T2: W[t]
+  )");
+  ASSERT_TRUE(txns.ok());
+  StatusOr<std::vector<OpRef>> order =
+      ParseScheduleOrder(*txns, "R1[t] W2[t] C2 W1[t] C1");
+  ASSERT_TRUE(order.ok());
+  StatusOr<Schedule> s = Schedule::SingleVersion(&*txns, *order);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->IsSingleVersion());
+  EXPECT_FALSE(s->IsSerial());
+}
+
+TEST(ScheduleTest, Figure2IsNotSingleVersion) {
+  TransactionSet txns = Figure2Txns();
+  Schedule s = Figure2Schedule(txns);
+  // R2[v] skips T3's committed version, so s is genuinely multiversion.
+  EXPECT_FALSE(s.IsSingleVersion());
+  EXPECT_FALSE(s.IsSerial());
+}
+
+TEST(DependencyTest, Figure2ContainsThePaperDependencies) {
+  TransactionSet txns = Figure2Txns();
+  Schedule s = Figure2Schedule(txns);
+  // W2[t] -> W4[t] (ww), W3[v] -> R4[v] (wr), R4[t] -> W2[t] (rw-anti).
+  EXPECT_EQ(DependencyBetween(s, OpRef{1, 0}, OpRef{3, 2}),
+            DependencyKind::kWw);
+  EXPECT_EQ(DependencyBetween(s, OpRef{2, 0}, OpRef{3, 1}),
+            DependencyKind::kWr);
+  EXPECT_EQ(DependencyBetween(s, OpRef{3, 0}, OpRef{1, 0}),
+            DependencyKind::kRwAnti);
+  // The dangerous-structure antidependencies of Example 2.5.
+  EXPECT_EQ(DependencyBetween(s, OpRef{0, 0}, OpRef{1, 0}),
+            DependencyKind::kRwAnti);  // R1[t] -> W2[t].
+  EXPECT_EQ(DependencyBetween(s, OpRef{1, 1}, OpRef{2, 0}),
+            DependencyKind::kRwAnti);  // R2[v] -> W3[v].
+}
+
+TEST(DependencyTest, NoDependencyBetweenNonConflictingOps) {
+  TransactionSet txns = Figure2Txns();
+  Schedule s = Figure2Schedule(txns);
+  // Same transaction: never a dependency.
+  EXPECT_EQ(DependencyBetween(s, OpRef{3, 0}, OpRef{3, 2}), std::nullopt);
+  // Different objects.
+  EXPECT_EQ(DependencyBetween(s, OpRef{2, 0}, OpRef{3, 0}), std::nullopt);
+  // op0 never participates.
+  EXPECT_EQ(DependencyBetween(s, OpRef::Op0(), OpRef{1, 0}), std::nullopt);
+}
+
+TEST(DependencyTest, WrDependencyForSkippedVersion) {
+  // If b << v(a), there is still a wr-dependency b -> a.
+  StatusOr<TransactionSet> txns = ParseTransactionSet(R"(
+    T1: W[t]
+    T2: W[t]
+    T3: R[t]
+  )");
+  ASSERT_TRUE(txns.ok());
+  StatusOr<Schedule> s = Schedule::SingleVersion(
+      &*txns,
+      *ParseScheduleOrder(*txns, "W1[t] C1 W2[t] C2 R3[t] C3"));
+  ASSERT_TRUE(s.ok());
+  // v(R3[t]) = W2[t], and W1[t] << W2[t] gives W1 -> R3 as well.
+  EXPECT_EQ(DependencyBetween(*s, OpRef{0, 0}, OpRef{2, 0}),
+            DependencyKind::kWr);
+  EXPECT_EQ(DependencyBetween(*s, OpRef{1, 0}, OpRef{2, 0}),
+            DependencyKind::kWr);
+}
+
+TEST(SerializationGraphTest, Figure3Edges) {
+  TransactionSet txns = Figure2Txns();
+  Schedule s = Figure2Schedule(txns);
+  SerializationGraph graph = SerializationGraph::Build(s);
+  EXPECT_TRUE(graph.HasEdge(0, 1));  // T1 -> T2.
+  EXPECT_TRUE(graph.HasEdge(1, 2));  // T2 -> T3.
+  EXPECT_TRUE(graph.HasEdge(2, 3));  // T3 -> T4.
+  EXPECT_TRUE(graph.HasEdge(1, 3));  // T2 -> T4 (ww).
+  EXPECT_TRUE(graph.HasEdge(3, 1));  // T4 -> T2 (rw-anti).
+  EXPECT_FALSE(graph.HasEdge(2, 0));
+  EXPECT_FALSE(graph.HasEdge(3, 0));
+}
+
+TEST(SerializationGraphTest, Figure2HasCycle) {
+  TransactionSet txns = Figure2Txns();
+  Schedule s = Figure2Schedule(txns);
+  SerializationGraph graph = SerializationGraph::Build(s);
+  EXPECT_FALSE(graph.IsAcyclic());
+  auto cycle = graph.FindCycle();
+  ASSERT_TRUE(cycle.has_value());
+  ASSERT_GE(cycle->size(), 2u);
+  // The cycle is consistent: consecutive edges chain and it closes.
+  for (size_t i = 0; i < cycle->size(); ++i) {
+    EXPECT_EQ((*cycle)[i].to, (*cycle)[(i + 1) % cycle->size()].from);
+  }
+  EXPECT_FALSE(graph.TopologicalOrder().has_value());
+  EXPECT_FALSE(IsConflictSerializable(s));
+  EXPECT_FALSE(SerializationWitness(s).has_value());
+}
+
+TEST(SerializationGraphTest, SerialScheduleIsAcyclic) {
+  TransactionSet txns = Figure2Txns();
+  StatusOr<Schedule> serial =
+      Schedule::SingleVersionSerial(&txns, {0, 1, 2, 3});
+  ASSERT_TRUE(serial.ok());
+  SerializationGraph graph = SerializationGraph::Build(*serial);
+  EXPECT_TRUE(graph.IsAcyclic());
+  EXPECT_TRUE(IsConflictSerializable(*serial));
+  auto order = graph.TopologicalOrder();
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(order->size(), 4u);
+}
+
+TEST(SerializationGraphTest, EdgesBetweenReturnsQuadruples) {
+  TransactionSet txns = Figure2Txns();
+  Schedule s = Figure2Schedule(txns);
+  SerializationGraph graph = SerializationGraph::Build(s);
+  std::vector<Dependency> edges = graph.EdgesBetween(1, 3);
+  ASSERT_FALSE(edges.empty());
+  for (const Dependency& edge : edges) {
+    EXPECT_EQ(edge.from, 1u);
+    EXPECT_EQ(edge.to, 3u);
+  }
+}
+
+TEST(SerializabilityTest, ConflictEquivalenceWithSerialWitness) {
+  StatusOr<TransactionSet> txns = ParseTransactionSet(R"(
+    T1: R[t] W[x]
+    T2: R[x] W[y]
+  )");
+  ASSERT_TRUE(txns.ok());
+  // Interleaved but serializable in order T1 T2.
+  StatusOr<Schedule> s = Schedule::SingleVersion(
+      &*txns, *ParseScheduleOrder(*txns, "R1[t] W1[x] C1 R2[x] W2[y] C2"));
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(IsConflictSerializable(*s));
+  auto witness = SerializationWitness(*s);
+  ASSERT_TRUE(witness.has_value());
+  StatusOr<Schedule> serial = Schedule::SingleVersionSerial(&*txns, *witness);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_TRUE(ConflictEquivalent(*s, *serial));
+}
+
+TEST(SerializabilityTest, EquivalenceIsReflexive) {
+  TransactionSet txns = Figure2Txns();
+  Schedule s = Figure2Schedule(txns);
+  EXPECT_TRUE(ConflictEquivalent(s, s));
+}
+
+TEST(SerializabilityTest, DifferentDependenciesNotEquivalent) {
+  StatusOr<TransactionSet> txns = ParseTransactionSet(R"(
+    T1: W[t]
+    T2: W[t]
+  )");
+  ASSERT_TRUE(txns.ok());
+  StatusOr<Schedule> a = Schedule::SingleVersionSerial(&*txns, {0, 1});
+  StatusOr<Schedule> b = Schedule::SingleVersionSerial(&*txns, {1, 0});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(ConflictEquivalent(*a, *b));
+}
+
+TEST(SerializabilityTest, ClassicLostUpdateNotSerializable) {
+  StatusOr<TransactionSet> txns = ParseTransactionSet(R"(
+    T1: R[t] W[t]
+    T2: R[t] W[t]
+  )");
+  ASSERT_TRUE(txns.ok());
+  StatusOr<Schedule> s = Schedule::SingleVersion(
+      &*txns, *ParseScheduleOrder(*txns, "R1[t] R2[t] W1[t] C1 W2[t] C2"));
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE(IsConflictSerializable(*s));
+}
+
+}  // namespace
+}  // namespace mvrob

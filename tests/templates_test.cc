@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include "templates/instantiate.h"
+#include "templates/library.h"
+#include "templates/parser.h"
+#include "templates/robustness.h"
+
+namespace mvrob {
+namespace {
+
+TEST(TemplateTest, CreateValidatesParameters) {
+  StatusOr<TransactionTemplate> ok = TransactionTemplate::Create(
+      "T", {{"w", "W"}}, {{OpType::kRead, "x_$w"}});
+  EXPECT_TRUE(ok.ok());
+
+  StatusOr<TransactionTemplate> undeclared = TransactionTemplate::Create(
+      "T", {{"w", "W"}}, {{OpType::kRead, "x_$q"}});
+  EXPECT_FALSE(undeclared.ok());
+
+  StatusOr<TransactionTemplate> duplicate = TransactionTemplate::Create(
+      "T", {{"w", "W"}, {"w", "D"}}, {{OpType::kRead, "x"}});
+  EXPECT_FALSE(duplicate.ok());
+
+  StatusOr<TransactionTemplate> dangling = TransactionTemplate::Create(
+      "T", {{"w", "W"}}, {{OpType::kRead, "x_$"}});
+  EXPECT_FALSE(dangling.ok());
+}
+
+TEST(TemplateTest, Substitute) {
+  std::map<std::string, std::string> assignment{{"w", "1"}, {"i", "2"}};
+  EXPECT_EQ(TransactionTemplate::Substitute("stock_$w_$i", assignment),
+            "stock_1_2");
+  EXPECT_EQ(TransactionTemplate::Substitute("plain", assignment), "plain");
+  // Unbound parameters are left visible for debugging.
+  EXPECT_EQ(TransactionTemplate::Substitute("x_$q", assignment), "x_$q");
+}
+
+TEST(TemplateParserTest, ParsesDomainsAndTemplates) {
+  StatusOr<TemplateSet> set = ParseTemplateSet(R"(
+    # Comment.
+    domain W 2
+    domain D 3
+    NewOrder(w:W, d:D): R[wtax_$w] W[dnext_$w_$d]
+    Audit(): R[total]
+  )");
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_EQ(set->size(), 2u);
+  EXPECT_EQ(set->DomainSize("W"), 2);
+  EXPECT_EQ(set->DomainSize("D"), 3);
+  EXPECT_EQ(set->FindTemplate("Audit"), 1);
+  EXPECT_EQ(set->FindTemplate("Nope"), -1);
+  EXPECT_EQ(set->tmpl(0).ToString(),
+            "NewOrder(w:W, d:D): R[wtax_$w] W[dnext_$w_$d]");
+}
+
+TEST(TemplateParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseTemplateSet("domain W").ok());
+  EXPECT_FALSE(ParseTemplateSet("domain W x").ok());
+  EXPECT_FALSE(ParseTemplateSet("domain W 0").ok());
+  EXPECT_FALSE(ParseTemplateSet("T(w:W): R[x]").ok());  // Domain undeclared.
+  EXPECT_FALSE(ParseTemplateSet("domain W 1\nT(w): R[x]").ok());
+  EXPECT_FALSE(ParseTemplateSet("domain W 1\nT w:W: R[x]").ok());
+  EXPECT_FALSE(
+      ParseTemplateSet("domain W 1\nT(w:W): X[x]").ok());  // Bad op.
+  EXPECT_FALSE(ParseTemplateSet(R"(
+    domain W 1
+    T(w:W): R[x]
+    T(w:W): R[y]
+  )").ok());  // Duplicate name.
+}
+
+TEST(InstantiateTest, EnumeratesAssignmentsAndCopies) {
+  StatusOr<TemplateSet> set = ParseTemplateSet(R"(
+    domain W 2
+    T(w:W): R[x_$w] W[x_$w]
+  )");
+  ASSERT_TRUE(set.ok());
+  InstantiationOptions options;
+  options.copies_per_assignment = 2;
+  StatusOr<Instantiation> inst = InstantiateTemplates(*set, options);
+  ASSERT_TRUE(inst.ok()) << inst.status();
+  EXPECT_EQ(inst->txns.size(), 4u);  // 2 assignments x 2 copies.
+  EXPECT_EQ(inst->template_of_txn,
+            (std::vector<int>{0, 0, 0, 0}));
+  EXPECT_NE(inst->txns.FindTransaction("T_w0#1"), kInvalidTxnId);
+  EXPECT_NE(inst->txns.FindTransaction("T_w1#2"), kInvalidTxnId);
+  // Objects x_0 and x_1 both exist.
+  EXPECT_NE(inst->txns.FindObject("x_0"), kInvalidObjectId);
+  EXPECT_NE(inst->txns.FindObject("x_1"), kInvalidObjectId);
+}
+
+TEST(InstantiateTest, DistinctSameDomainParameters) {
+  StatusOr<TemplateSet> set = ParseTemplateSet(R"(
+    domain N 2
+    Transfer(a:N, b:N): R[acc_$a] W[acc_$b]
+  )");
+  ASSERT_TRUE(set.ok());
+  InstantiationOptions options;
+  options.copies_per_assignment = 1;
+  StatusOr<Instantiation> distinct = InstantiateTemplates(*set, options);
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_EQ(distinct->txns.size(), 2u);  // (0,1) and (1,0).
+
+  options.distinct_same_domain_params = false;
+  StatusOr<Instantiation> all = InstantiateTemplates(*set, options);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->txns.size(), 4u);  // All four pairs.
+}
+
+TEST(InstantiateTest, RefusesExplosion) {
+  StatusOr<TemplateSet> set = ParseTemplateSet(R"(
+    domain X 100
+    T(a:X, b:X, c:X): R[q_$a_$b_$c]
+  )");
+  ASSERT_TRUE(set.ok());
+  InstantiationOptions options;
+  options.max_instances = 1000;
+  StatusOr<Instantiation> inst = InstantiateTemplates(*set, options);
+  EXPECT_FALSE(inst.ok());
+  EXPECT_EQ(inst.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(TemplateRobustnessTest, WriteSkewTemplates) {
+  StatusOr<TemplateSet> set = ParseTemplateSet(R"(
+    domain N 2
+    CheckX(n:N): R[x_$n] W[y_$n]
+    CheckY(n:N): R[y_$n] W[x_$n]
+  )");
+  ASSERT_TRUE(set.ok());
+  StatusOr<TemplateRobustnessResult> si = CheckTemplateRobustness(
+      *set, {IsolationLevel::kSI, IsolationLevel::kSI});
+  ASSERT_TRUE(si.ok());
+  EXPECT_FALSE(si->robust);
+  ASSERT_TRUE(si->counterexample.has_value());
+  StatusOr<TemplateRobustnessResult> ssi = CheckTemplateRobustness(
+      *set, {IsolationLevel::kSSI, IsolationLevel::kSSI});
+  ASSERT_TRUE(ssi.ok());
+  EXPECT_TRUE(ssi->robust);
+}
+
+TEST(TemplateRobustnessTest, RejectsWrongAllocationSize) {
+  TemplateSet bank = SmallBankTemplates();
+  EXPECT_FALSE(
+      CheckTemplateRobustness(bank, {IsolationLevel::kSI}).ok());
+}
+
+TEST(TemplateRobustnessTest, TpccFolkloreAtTemplateGranularity) {
+  TemplateSet tpcc = TpccTemplates();
+  TemplateAllocation all_si(tpcc.size(), IsolationLevel::kSI);
+  TemplateAllocation all_rc(tpcc.size(), IsolationLevel::kRC);
+  StatusOr<TemplateRobustnessResult> si =
+      CheckTemplateRobustness(tpcc, all_si);
+  ASSERT_TRUE(si.ok()) << si.status();
+  EXPECT_TRUE(si->robust);
+  StatusOr<TemplateRobustnessResult> rc =
+      CheckTemplateRobustness(tpcc, all_rc);
+  ASSERT_TRUE(rc.ok());
+  EXPECT_FALSE(rc->robust);
+}
+
+TEST(TemplateAllocationTest, TpccOptimumIsAllSi) {
+  TemplateSet tpcc = TpccTemplates();
+  StatusOr<TemplateAllocationResult> result =
+      ComputeOptimalTemplateAllocation(tpcc);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (IsolationLevel level : result->levels) {
+    EXPECT_EQ(level, IsolationLevel::kSI);
+  }
+  EXPECT_EQ(result->robustness_checks, 2 * tpcc.size());
+}
+
+TEST(TemplateAllocationTest, SmallBankNeedsSsi) {
+  TemplateSet bank = SmallBankTemplates();
+  StatusOr<TemplateAllocationResult> result =
+      ComputeOptimalTemplateAllocation(bank);
+  ASSERT_TRUE(result.ok()) << result.status();
+  int ssi_count = 0;
+  for (IsolationLevel level : result->levels) {
+    if (level == IsolationLevel::kSSI) ++ssi_count;
+  }
+  EXPECT_GT(ssi_count, 0);
+  // The computed allocation is robust.
+  StatusOr<TemplateRobustnessResult> check =
+      CheckTemplateRobustness(bank, result->levels);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->robust);
+  std::string text = FormatTemplateAllocation(bank, result->levels);
+  EXPECT_NE(text.find("WriteCheck="), std::string::npos);
+}
+
+TEST(TemplateAllocationTest, AuctionMixesLevels) {
+  TemplateSet auction = AuctionTemplates();
+  StatusOr<TemplateAllocationResult> result =
+      ComputeOptimalTemplateAllocation(auction);
+  ASSERT_TRUE(result.ok()) << result.status();
+  int get_high_bid = auction.FindTemplate("GetHighBid");
+  int place_bid = auction.FindTemplate("PlaceBid");
+  int edit = auction.FindTemplate("EditListing");
+  ASSERT_GE(get_high_bid, 0);
+  EXPECT_EQ(result->levels[get_high_bid], IsolationLevel::kRC);
+  EXPECT_EQ(result->levels[place_bid], IsolationLevel::kSSI);
+  EXPECT_EQ(result->levels[edit], IsolationLevel::kSI);
+}
+
+TEST(TemplateRcSiTest, TpccIsAllocatableSmallBankIsNot) {
+  StatusOr<RcSiTemplateAllocationResult> tpcc =
+      ComputeOptimalRcSiTemplateAllocation(TpccTemplates());
+  ASSERT_TRUE(tpcc.ok()) << tpcc.status();
+  EXPECT_TRUE(tpcc->allocatable);
+  for (IsolationLevel level : *tpcc->levels) {
+    EXPECT_EQ(level, IsolationLevel::kSI);  // Everything stays at SI.
+  }
+
+  StatusOr<RcSiTemplateAllocationResult> bank =
+      ComputeOptimalRcSiTemplateAllocation(SmallBankTemplates());
+  ASSERT_TRUE(bank.ok());
+  EXPECT_FALSE(bank->allocatable);
+  ASSERT_TRUE(bank->counterexample.has_value());
+}
+
+TEST(TemplateRcSiTest, RcOnlyWorkloadDropsToRc) {
+  StatusOr<TemplateSet> set = ParseTemplateSet(R"(
+    domain N 2
+    Lookup(n:N): R[row_$n]
+    Insert(n:N): W[fresh_$n]
+  )");
+  ASSERT_TRUE(set.ok());
+  StatusOr<RcSiTemplateAllocationResult> result =
+      ComputeOptimalRcSiTemplateAllocation(*set);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->allocatable);
+  for (IsolationLevel level : *result->levels) {
+    EXPECT_EQ(level, IsolationLevel::kRC);
+  }
+}
+
+// Empirical small-model check: growing the canonical instantiation does
+// not change template-level answers on the shipped workloads.
+TEST(TemplateSaturationTest, AnswersStableUnderLargerInstantiation) {
+  struct Case {
+    TemplateSet set;
+    TemplateSet larger;
+  };
+  std::vector<Case> cases;
+  cases.push_back({SmallBankTemplates(2), SmallBankTemplates(3)});
+  cases.push_back({AuctionTemplates(1, 2), AuctionTemplates(2, 3)});
+
+  for (Case& c : cases) {
+    StatusOr<TemplateAllocationResult> base =
+        ComputeOptimalTemplateAllocation(c.set);
+    StatusOr<TemplateAllocationResult> grown =
+        ComputeOptimalTemplateAllocation(c.larger);
+    ASSERT_TRUE(base.ok());
+    ASSERT_TRUE(grown.ok());
+    EXPECT_EQ(base->levels, grown->levels);
+
+    InstantiationOptions more_copies;
+    more_copies.copies_per_assignment = 3;
+    StatusOr<TemplateAllocationResult> copied =
+        ComputeOptimalTemplateAllocation(c.set, more_copies);
+    ASSERT_TRUE(copied.ok());
+    EXPECT_EQ(base->levels, copied->levels);
+  }
+}
+
+TEST(TemplateExplainTest, SmallBankObstaclesNameTheAnomalies) {
+  TemplateSet bank = SmallBankTemplates();
+  StatusOr<TemplateAllocationResult> optimal =
+      ComputeOptimalTemplateAllocation(bank);
+  ASSERT_TRUE(optimal.ok());
+  StatusOr<TemplateExplanation> explanation =
+      ExplainTemplateAllocation(bank, optimal->levels);
+  ASSERT_TRUE(explanation.ok()) << explanation.status();
+  // Optimal: every template above RC has an obstacle per lower level.
+  for (const TemplateObstacle& entry : explanation->per_template) {
+    size_t below = static_cast<size_t>(entry.assigned);
+    EXPECT_EQ(entry.obstacles.size(), below)
+        << bank.tmpl(entry.tmpl).name();
+  }
+  std::string text = explanation->ToString(bank);
+  EXPECT_NE(text.find("WriteCheck = SSI"), std::string::npos);
+  EXPECT_NE(text.find("not SI:"), std::string::npos);
+}
+
+TEST(TemplateExplainTest, RejectsNonRobustAllocation) {
+  TemplateSet bank = SmallBankTemplates();
+  TemplateAllocation all_si(bank.size(), IsolationLevel::kSI);
+  StatusOr<TemplateExplanation> explanation =
+      ExplainTemplateAllocation(bank, all_si);
+  EXPECT_FALSE(explanation.ok());
+  EXPECT_EQ(explanation.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(
+      ExplainTemplateAllocation(bank, TemplateAllocation{}).ok());
+}
+
+TEST(TemplateSetTest, ToStringRoundTrips) {
+  TemplateSet bank = SmallBankTemplates();
+  StatusOr<TemplateSet> reparsed = ParseTemplateSet(bank.ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->size(), bank.size());
+  EXPECT_EQ(reparsed->ToString(), bank.ToString());
+}
+
+}  // namespace
+}  // namespace mvrob

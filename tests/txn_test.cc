@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "txn/conflict.h"
+#include "txn/parser.h"
+#include "txn/transaction_set.h"
+
+namespace mvrob {
+namespace {
+
+TEST(TransactionTest, CreateAppendsCommit) {
+  StatusOr<Transaction> txn =
+      Transaction::Create(0, "T1", {Operation::Read(0), Operation::Write(1)});
+  ASSERT_TRUE(txn.ok());
+  EXPECT_EQ(txn->num_ops(), 3);
+  EXPECT_TRUE(txn->op(2).IsCommit());
+  EXPECT_EQ(txn->commit_index(), 2);
+  EXPECT_EQ(txn->commit_ref(), (OpRef{0, 2}));
+  EXPECT_EQ(txn->first_ref(), (OpRef{0, 0}));
+}
+
+TEST(TransactionTest, RejectsExplicitCommit) {
+  StatusOr<Transaction> txn =
+      Transaction::Create(0, "T1", {Operation::Commit()});
+  ASSERT_FALSE(txn.ok());
+  EXPECT_EQ(txn.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TransactionTest, RejectsOperationWithoutObject) {
+  Operation bad{OpType::kRead, kInvalidObjectId};
+  StatusOr<Transaction> txn = Transaction::Create(0, "T1", {bad});
+  EXPECT_FALSE(txn.ok());
+}
+
+TEST(TransactionTest, ReadAndWriteSets) {
+  StatusOr<Transaction> txn = Transaction::Create(
+      0, "T1",
+      {Operation::Read(3), Operation::Write(1), Operation::Read(1)});
+  ASSERT_TRUE(txn.ok());
+  EXPECT_EQ(txn->read_set(), (std::vector<ObjectId>{1, 3}));
+  EXPECT_EQ(txn->write_set(), (std::vector<ObjectId>{1}));
+  EXPECT_TRUE(txn->Reads(3));
+  EXPECT_TRUE(txn->Writes(1));
+  EXPECT_FALSE(txn->Writes(3));
+  EXPECT_FALSE(txn->Reads(2));
+}
+
+TEST(TransactionTest, FirstAccessIndices) {
+  StatusOr<Transaction> txn = Transaction::Create(
+      0, "T1",
+      {Operation::Read(7), Operation::Write(7), Operation::Read(8)});
+  ASSERT_TRUE(txn.ok());
+  EXPECT_EQ(txn->FirstReadIndex(7), 0);
+  EXPECT_EQ(txn->FirstWriteIndex(7), 1);
+  EXPECT_EQ(txn->FirstReadIndex(8), 2);
+  EXPECT_EQ(txn->FirstWriteIndex(8), std::nullopt);
+  EXPECT_EQ(txn->FirstReadIndex(9), std::nullopt);
+}
+
+TEST(TransactionTest, AtMostOneAccessDetection) {
+  StatusOr<Transaction> single = Transaction::Create(
+      0, "T1", {Operation::Read(1), Operation::Write(1)});
+  ASSERT_TRUE(single.ok());
+  EXPECT_TRUE(single->HasAtMostOneAccessPerObject());
+
+  StatusOr<Transaction> doubled = Transaction::Create(
+      0, "T2", {Operation::Read(1), Operation::Read(1)});
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_FALSE(doubled->HasAtMostOneAccessPerObject());
+}
+
+TEST(TransactionSetTest, InternObjectIsIdempotent) {
+  TransactionSet set;
+  ObjectId t = set.InternObject("t");
+  EXPECT_EQ(set.InternObject("t"), t);
+  EXPECT_NE(set.InternObject("v"), t);
+  EXPECT_EQ(set.num_objects(), 2u);
+  EXPECT_EQ(set.ObjectName(t), "t");
+  EXPECT_EQ(set.FindObject("v"), 1u);
+  EXPECT_EQ(set.FindObject("nope"), kInvalidObjectId);
+}
+
+TEST(TransactionSetTest, AddTransactionAssignsDenseIdsAndDefaultNames) {
+  TransactionSet set;
+  ObjectId x = set.InternObject("x");
+  StatusOr<TxnId> first = set.AddTransaction("", {Operation::Read(x)});
+  StatusOr<TxnId> second = set.AddTransaction("", {Operation::Write(x)});
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, 0u);
+  EXPECT_EQ(*second, 1u);
+  EXPECT_EQ(set.txn(0).name(), "T1");
+  EXPECT_EQ(set.txn(1).name(), "T2");
+  EXPECT_EQ(set.FindTransaction("T2"), 1u);
+  EXPECT_EQ(set.FindTransaction("T9"), kInvalidTxnId);
+}
+
+TEST(TransactionSetTest, RejectsDuplicateNames) {
+  TransactionSet set;
+  ObjectId x = set.InternObject("x");
+  ASSERT_TRUE(set.AddTransaction("A", {Operation::Read(x)}).ok());
+  StatusOr<TxnId> dup = set.AddTransaction("A", {Operation::Write(x)});
+  EXPECT_FALSE(dup.ok());
+}
+
+TEST(TransactionSetTest, CountsOps) {
+  TransactionSet set;
+  ObjectId x = set.InternObject("x");
+  ASSERT_TRUE(set.AddTransaction("", {Operation::Read(x)}).ok());
+  ASSERT_TRUE(
+      set.AddTransaction("", {Operation::Read(x), Operation::Write(x)}).ok());
+  EXPECT_EQ(set.TotalOps(), 2 + 3);  // Commits included.
+  EXPECT_EQ(set.MaxOpsPerTxn(), 3);
+}
+
+TEST(TransactionSetTest, FormatOpPaperStyle) {
+  TransactionSet set;
+  ObjectId t = set.InternObject("t");
+  ASSERT_TRUE(set.AddTransaction("", {Operation::Read(t)}).ok());
+  EXPECT_EQ(set.FormatOp(OpRef{0, 0}), "R1[t]");
+  EXPECT_EQ(set.FormatOp(OpRef{0, 1}), "C1");
+  EXPECT_EQ(set.FormatOp(OpRef::Op0()), "op0");
+}
+
+TEST(TransactionSetTest, FormatOpCustomNames) {
+  TransactionSet set;
+  ObjectId t = set.InternObject("t");
+  ASSERT_TRUE(set.AddTransaction("NewOrder", {Operation::Write(t)}).ok());
+  EXPECT_EQ(set.FormatOp(OpRef{0, 0}), "W[t]@NewOrder");
+  EXPECT_EQ(set.FormatOp(OpRef{0, 1}), "C@NewOrder");
+}
+
+TEST(TransactionSetTest, IsValidRef) {
+  TransactionSet set;
+  ObjectId t = set.InternObject("t");
+  ASSERT_TRUE(set.AddTransaction("", {Operation::Read(t)}).ok());
+  EXPECT_TRUE(set.IsValidRef(OpRef{0, 0}));
+  EXPECT_TRUE(set.IsValidRef(OpRef{0, 1}));
+  EXPECT_TRUE(set.IsValidRef(OpRef::Op0()));
+  EXPECT_FALSE(set.IsValidRef(OpRef{0, 2}));
+  EXPECT_FALSE(set.IsValidRef(OpRef{1, 0}));
+}
+
+TEST(ConflictTest, WwConflict) {
+  EXPECT_TRUE(WwConflicting(Operation::Write(1), Operation::Write(1)));
+  EXPECT_FALSE(WwConflicting(Operation::Write(1), Operation::Write(2)));
+  EXPECT_FALSE(WwConflicting(Operation::Read(1), Operation::Write(1)));
+}
+
+TEST(ConflictTest, WrConflict) {
+  EXPECT_TRUE(WrConflicting(Operation::Write(1), Operation::Read(1)));
+  EXPECT_FALSE(WrConflicting(Operation::Read(1), Operation::Write(1)));
+  EXPECT_FALSE(WrConflicting(Operation::Write(1), Operation::Read(2)));
+}
+
+TEST(ConflictTest, RwConflict) {
+  EXPECT_TRUE(RwConflicting(Operation::Read(1), Operation::Write(1)));
+  EXPECT_FALSE(RwConflicting(Operation::Write(1), Operation::Read(1)));
+}
+
+TEST(ConflictTest, ConflictingAggregates) {
+  EXPECT_TRUE(Conflicting(Operation::Write(1), Operation::Write(1)));
+  EXPECT_TRUE(Conflicting(Operation::Write(1), Operation::Read(1)));
+  EXPECT_TRUE(Conflicting(Operation::Read(1), Operation::Write(1)));
+  EXPECT_FALSE(Conflicting(Operation::Read(1), Operation::Read(1)));
+  EXPECT_FALSE(Conflicting(Operation::Commit(), Operation::Write(1)));
+  EXPECT_FALSE(Conflicting(Operation::Write(1), Operation::Commit()));
+}
+
+TEST(ParserTest, ParsesTransactionSet) {
+  StatusOr<TransactionSet> set = ParseTransactionSet(R"(
+    # A comment.
+    T1: R[t] W[x]
+    T2: W[t] C
+  )");
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->size(), 2u);
+  EXPECT_EQ(set->txn(0).num_ops(), 3);
+  EXPECT_EQ(set->txn(1).num_ops(), 2);
+  EXPECT_EQ(set->ObjectName(set->txn(0).op(0).object), "t");
+  EXPECT_EQ(set->ToString(), "T1: R[t] W[x] C\nT2: W[t] C\n");
+}
+
+TEST(ParserTest, RejectsMissingColon) {
+  EXPECT_FALSE(ParseTransactionSet("T1 R[t]").ok());
+}
+
+TEST(ParserTest, RejectsMalformedOperation) {
+  EXPECT_FALSE(ParseTransactionSet("T1: X[t]").ok());
+  EXPECT_FALSE(ParseTransactionSet("T1: R[t").ok());
+  EXPECT_FALSE(ParseTransactionSet("T1: R[]").ok());
+  EXPECT_FALSE(ParseTransactionSet("T1: R[a-b]").ok());
+}
+
+TEST(ParserTest, RejectsOperationsAfterCommit) {
+  EXPECT_FALSE(ParseTransactionSet("T1: R[t] C W[x]").ok());
+}
+
+TEST(ParserTest, ParsesScheduleOrder) {
+  StatusOr<TransactionSet> set = ParseTransactionSet(R"(
+    T1: R[t]
+    T2: W[t]
+  )");
+  ASSERT_TRUE(set.ok());
+  StatusOr<std::vector<OpRef>> order =
+      ParseScheduleOrder(*set, "R1[t] W2[t] C2 C1");
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(*order, (std::vector<OpRef>{{0, 0}, {1, 0}, {1, 1}, {0, 1}}));
+}
+
+TEST(ParserTest, ScheduleOrderRejectsProgramOrderViolation) {
+  StatusOr<TransactionSet> set = ParseTransactionSet("T1: R[t] W[x]");
+  ASSERT_TRUE(set.ok());
+  // W1[x] cannot come before R1[t].
+  EXPECT_FALSE(ParseScheduleOrder(*set, "W1[x] R1[t] C1").ok());
+}
+
+TEST(ParserTest, ScheduleOrderRejectsMissingOps) {
+  StatusOr<TransactionSet> set = ParseTransactionSet("T1: R[t]");
+  ASSERT_TRUE(set.ok());
+  EXPECT_FALSE(ParseScheduleOrder(*set, "R1[t]").ok());  // Missing C1.
+}
+
+TEST(ParserTest, ScheduleOrderRejectsUnknownEntities) {
+  StatusOr<TransactionSet> set = ParseTransactionSet("T1: R[t]");
+  ASSERT_TRUE(set.ok());
+  EXPECT_FALSE(ParseScheduleOrder(*set, "R2[t] C2").ok());
+  EXPECT_FALSE(ParseScheduleOrder(*set, "R1[z] C1").ok());
+}
+
+TEST(ParserTest, ScheduleOrderBindsRepeatedOpsInProgramOrder) {
+  StatusOr<TransactionSet> set = ParseTransactionSet("T1: R[t] R[t]");
+  ASSERT_TRUE(set.ok());
+  StatusOr<std::vector<OpRef>> order =
+      ParseScheduleOrder(*set, "R1[t] R1[t] C1");
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ((*order)[0], (OpRef{0, 0}));
+  EXPECT_EQ((*order)[1], (OpRef{0, 1}));
+}
+
+}  // namespace
+}  // namespace mvrob

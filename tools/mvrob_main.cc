@@ -1,0 +1,12 @@
+// The `mvrob` command-line tool. All logic lives in src/cli (tested by
+// tests/cli_test.cc); this file only adapts argv.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return mvrob::RunCli(args, std::cout, std::cerr);
+}
