@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_allocation_lattice.dir/bench_allocation_lattice.cc.o"
+  "CMakeFiles/bench_allocation_lattice.dir/bench_allocation_lattice.cc.o.d"
+  "bench_allocation_lattice"
+  "bench_allocation_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_allocation_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

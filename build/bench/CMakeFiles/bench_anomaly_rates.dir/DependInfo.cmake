@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_anomaly_rates.cc" "bench/CMakeFiles/bench_anomaly_rates.dir/bench_anomaly_rates.cc.o" "gcc" "bench/CMakeFiles/bench_anomaly_rates.dir/bench_anomaly_rates.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mvrob_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_templates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_mvcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_iso.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_anomaly_rates.dir/bench_anomaly_rates.cc.o"
+  "CMakeFiles/bench_anomaly_rates.dir/bench_anomaly_rates.cc.o.d"
+  "bench_anomaly_rates"
+  "bench_anomaly_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_anomaly_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mvcc_throughput.dir/bench_mvcc_throughput.cc.o"
+  "CMakeFiles/bench_mvcc_throughput.dir/bench_mvcc_throughput.cc.o.d"
+  "bench_mvcc_throughput"
+  "bench_mvcc_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mvcc_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paper_examples.dir/bench_paper_examples.cc.o"
+  "CMakeFiles/bench_paper_examples.dir/bench_paper_examples.cc.o.d"
+  "bench_paper_examples"
+  "bench_paper_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paper_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_execution.dir/mixed_execution.cc.o"
+  "CMakeFiles/mixed_execution.dir/mixed_execution.cc.o.d"
+  "mixed_execution"
+  "mixed_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

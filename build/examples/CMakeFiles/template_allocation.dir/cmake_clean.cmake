@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/template_allocation.dir/template_allocation.cc.o"
+  "CMakeFiles/template_allocation.dir/template_allocation.cc.o.d"
+  "template_allocation"
+  "template_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/template_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_allocation.dir/tpcc_allocation.cc.o"
+  "CMakeFiles/tpcc_allocation.dir/tpcc_allocation.cc.o.d"
+  "tpcc_allocation"
+  "tpcc_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/rc_robustness.cc" "src/CMakeFiles/mvrob_baseline.dir/baseline/rc_robustness.cc.o" "gcc" "src/CMakeFiles/mvrob_baseline.dir/baseline/rc_robustness.cc.o.d"
+  "/root/repo/src/baseline/si_robustness.cc" "src/CMakeFiles/mvrob_baseline.dir/baseline/si_robustness.cc.o" "gcc" "src/CMakeFiles/mvrob_baseline.dir/baseline/si_robustness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mvrob_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_iso.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

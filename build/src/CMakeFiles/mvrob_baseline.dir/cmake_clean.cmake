@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvrob_baseline.dir/baseline/rc_robustness.cc.o"
+  "CMakeFiles/mvrob_baseline.dir/baseline/rc_robustness.cc.o.d"
+  "CMakeFiles/mvrob_baseline.dir/baseline/si_robustness.cc.o"
+  "CMakeFiles/mvrob_baseline.dir/baseline/si_robustness.cc.o.d"
+  "libmvrob_baseline.a"
+  "libmvrob_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvrob_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvrob_cli_lib.dir/cli/cli.cc.o"
+  "CMakeFiles/mvrob_cli_lib.dir/cli/cli.cc.o.d"
+  "libmvrob_cli_lib.a"
+  "libmvrob_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvrob_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

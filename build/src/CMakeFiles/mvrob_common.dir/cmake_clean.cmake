@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvrob_common.dir/common/rng.cc.o"
+  "CMakeFiles/mvrob_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/mvrob_common.dir/common/status.cc.o"
+  "CMakeFiles/mvrob_common.dir/common/status.cc.o.d"
+  "CMakeFiles/mvrob_common.dir/common/string_util.cc.o"
+  "CMakeFiles/mvrob_common.dir/common/string_util.cc.o.d"
+  "libmvrob_common.a"
+  "libmvrob_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvrob_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analyzer.cc" "src/CMakeFiles/mvrob_core.dir/core/analyzer.cc.o" "gcc" "src/CMakeFiles/mvrob_core.dir/core/analyzer.cc.o.d"
+  "/root/repo/src/core/conflict.cc" "src/CMakeFiles/mvrob_core.dir/core/conflict.cc.o" "gcc" "src/CMakeFiles/mvrob_core.dir/core/conflict.cc.o.d"
+  "/root/repo/src/core/constrained_allocation.cc" "src/CMakeFiles/mvrob_core.dir/core/constrained_allocation.cc.o" "gcc" "src/CMakeFiles/mvrob_core.dir/core/constrained_allocation.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/CMakeFiles/mvrob_core.dir/core/explain.cc.o" "gcc" "src/CMakeFiles/mvrob_core.dir/core/explain.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "src/CMakeFiles/mvrob_core.dir/core/incremental.cc.o" "gcc" "src/CMakeFiles/mvrob_core.dir/core/incremental.cc.o.d"
+  "/root/repo/src/core/mixed_iso_graph.cc" "src/CMakeFiles/mvrob_core.dir/core/mixed_iso_graph.cc.o" "gcc" "src/CMakeFiles/mvrob_core.dir/core/mixed_iso_graph.cc.o.d"
+  "/root/repo/src/core/optimal_allocation.cc" "src/CMakeFiles/mvrob_core.dir/core/optimal_allocation.cc.o" "gcc" "src/CMakeFiles/mvrob_core.dir/core/optimal_allocation.cc.o.d"
+  "/root/repo/src/core/rc_si_allocation.cc" "src/CMakeFiles/mvrob_core.dir/core/rc_si_allocation.cc.o" "gcc" "src/CMakeFiles/mvrob_core.dir/core/rc_si_allocation.cc.o.d"
+  "/root/repo/src/core/robustness.cc" "src/CMakeFiles/mvrob_core.dir/core/robustness.cc.o" "gcc" "src/CMakeFiles/mvrob_core.dir/core/robustness.cc.o.d"
+  "/root/repo/src/core/split_schedule.cc" "src/CMakeFiles/mvrob_core.dir/core/split_schedule.cc.o" "gcc" "src/CMakeFiles/mvrob_core.dir/core/split_schedule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mvrob_iso.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

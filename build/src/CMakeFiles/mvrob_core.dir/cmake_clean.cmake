@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvrob_core.dir/core/analyzer.cc.o"
+  "CMakeFiles/mvrob_core.dir/core/analyzer.cc.o.d"
+  "CMakeFiles/mvrob_core.dir/core/conflict.cc.o"
+  "CMakeFiles/mvrob_core.dir/core/conflict.cc.o.d"
+  "CMakeFiles/mvrob_core.dir/core/constrained_allocation.cc.o"
+  "CMakeFiles/mvrob_core.dir/core/constrained_allocation.cc.o.d"
+  "CMakeFiles/mvrob_core.dir/core/explain.cc.o"
+  "CMakeFiles/mvrob_core.dir/core/explain.cc.o.d"
+  "CMakeFiles/mvrob_core.dir/core/incremental.cc.o"
+  "CMakeFiles/mvrob_core.dir/core/incremental.cc.o.d"
+  "CMakeFiles/mvrob_core.dir/core/mixed_iso_graph.cc.o"
+  "CMakeFiles/mvrob_core.dir/core/mixed_iso_graph.cc.o.d"
+  "CMakeFiles/mvrob_core.dir/core/optimal_allocation.cc.o"
+  "CMakeFiles/mvrob_core.dir/core/optimal_allocation.cc.o.d"
+  "CMakeFiles/mvrob_core.dir/core/rc_si_allocation.cc.o"
+  "CMakeFiles/mvrob_core.dir/core/rc_si_allocation.cc.o.d"
+  "CMakeFiles/mvrob_core.dir/core/robustness.cc.o"
+  "CMakeFiles/mvrob_core.dir/core/robustness.cc.o.d"
+  "CMakeFiles/mvrob_core.dir/core/split_schedule.cc.o"
+  "CMakeFiles/mvrob_core.dir/core/split_schedule.cc.o.d"
+  "libmvrob_core.a"
+  "libmvrob_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvrob_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

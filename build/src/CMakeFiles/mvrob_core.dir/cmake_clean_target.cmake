@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmvrob_core.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iso/allocation.cc" "src/CMakeFiles/mvrob_iso.dir/iso/allocation.cc.o" "gcc" "src/CMakeFiles/mvrob_iso.dir/iso/allocation.cc.o.d"
+  "/root/repo/src/iso/allowed.cc" "src/CMakeFiles/mvrob_iso.dir/iso/allowed.cc.o" "gcc" "src/CMakeFiles/mvrob_iso.dir/iso/allowed.cc.o.d"
+  "/root/repo/src/iso/dangerous_structure.cc" "src/CMakeFiles/mvrob_iso.dir/iso/dangerous_structure.cc.o" "gcc" "src/CMakeFiles/mvrob_iso.dir/iso/dangerous_structure.cc.o.d"
+  "/root/repo/src/iso/isolation_level.cc" "src/CMakeFiles/mvrob_iso.dir/iso/isolation_level.cc.o" "gcc" "src/CMakeFiles/mvrob_iso.dir/iso/isolation_level.cc.o.d"
+  "/root/repo/src/iso/materialize.cc" "src/CMakeFiles/mvrob_iso.dir/iso/materialize.cc.o" "gcc" "src/CMakeFiles/mvrob_iso.dir/iso/materialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mvrob_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

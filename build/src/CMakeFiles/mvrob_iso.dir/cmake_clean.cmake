@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvrob_iso.dir/iso/allocation.cc.o"
+  "CMakeFiles/mvrob_iso.dir/iso/allocation.cc.o.d"
+  "CMakeFiles/mvrob_iso.dir/iso/allowed.cc.o"
+  "CMakeFiles/mvrob_iso.dir/iso/allowed.cc.o.d"
+  "CMakeFiles/mvrob_iso.dir/iso/dangerous_structure.cc.o"
+  "CMakeFiles/mvrob_iso.dir/iso/dangerous_structure.cc.o.d"
+  "CMakeFiles/mvrob_iso.dir/iso/isolation_level.cc.o"
+  "CMakeFiles/mvrob_iso.dir/iso/isolation_level.cc.o.d"
+  "CMakeFiles/mvrob_iso.dir/iso/materialize.cc.o"
+  "CMakeFiles/mvrob_iso.dir/iso/materialize.cc.o.d"
+  "libmvrob_iso.a"
+  "libmvrob_iso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvrob_iso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mvrob_iso.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mvcc/driver.cc" "src/CMakeFiles/mvrob_mvcc.dir/mvcc/driver.cc.o" "gcc" "src/CMakeFiles/mvrob_mvcc.dir/mvcc/driver.cc.o.d"
+  "/root/repo/src/mvcc/engine.cc" "src/CMakeFiles/mvrob_mvcc.dir/mvcc/engine.cc.o" "gcc" "src/CMakeFiles/mvrob_mvcc.dir/mvcc/engine.cc.o.d"
+  "/root/repo/src/mvcc/ssi_tracker.cc" "src/CMakeFiles/mvrob_mvcc.dir/mvcc/ssi_tracker.cc.o" "gcc" "src/CMakeFiles/mvrob_mvcc.dir/mvcc/ssi_tracker.cc.o.d"
+  "/root/repo/src/mvcc/trace.cc" "src/CMakeFiles/mvrob_mvcc.dir/mvcc/trace.cc.o" "gcc" "src/CMakeFiles/mvrob_mvcc.dir/mvcc/trace.cc.o.d"
+  "/root/repo/src/mvcc/version_store.cc" "src/CMakeFiles/mvrob_mvcc.dir/mvcc/version_store.cc.o" "gcc" "src/CMakeFiles/mvrob_mvcc.dir/mvcc/version_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mvrob_iso.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvrob_mvcc.dir/mvcc/driver.cc.o"
+  "CMakeFiles/mvrob_mvcc.dir/mvcc/driver.cc.o.d"
+  "CMakeFiles/mvrob_mvcc.dir/mvcc/engine.cc.o"
+  "CMakeFiles/mvrob_mvcc.dir/mvcc/engine.cc.o.d"
+  "CMakeFiles/mvrob_mvcc.dir/mvcc/ssi_tracker.cc.o"
+  "CMakeFiles/mvrob_mvcc.dir/mvcc/ssi_tracker.cc.o.d"
+  "CMakeFiles/mvrob_mvcc.dir/mvcc/trace.cc.o"
+  "CMakeFiles/mvrob_mvcc.dir/mvcc/trace.cc.o.d"
+  "CMakeFiles/mvrob_mvcc.dir/mvcc/version_store.cc.o"
+  "CMakeFiles/mvrob_mvcc.dir/mvcc/version_store.cc.o.d"
+  "libmvrob_mvcc.a"
+  "libmvrob_mvcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvrob_mvcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

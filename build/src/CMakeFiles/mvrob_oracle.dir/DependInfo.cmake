@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oracle/brute_force.cc" "src/CMakeFiles/mvrob_oracle.dir/oracle/brute_force.cc.o" "gcc" "src/CMakeFiles/mvrob_oracle.dir/oracle/brute_force.cc.o.d"
+  "/root/repo/src/oracle/exhaustive_allocation.cc" "src/CMakeFiles/mvrob_oracle.dir/oracle/exhaustive_allocation.cc.o" "gcc" "src/CMakeFiles/mvrob_oracle.dir/oracle/exhaustive_allocation.cc.o.d"
+  "/root/repo/src/oracle/interleavings.cc" "src/CMakeFiles/mvrob_oracle.dir/oracle/interleavings.cc.o" "gcc" "src/CMakeFiles/mvrob_oracle.dir/oracle/interleavings.cc.o.d"
+  "/root/repo/src/oracle/split_enumerator.cc" "src/CMakeFiles/mvrob_oracle.dir/oracle/split_enumerator.cc.o" "gcc" "src/CMakeFiles/mvrob_oracle.dir/oracle/split_enumerator.cc.o.d"
+  "/root/repo/src/oracle/statistics.cc" "src/CMakeFiles/mvrob_oracle.dir/oracle/statistics.cc.o" "gcc" "src/CMakeFiles/mvrob_oracle.dir/oracle/statistics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mvrob_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_iso.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvrob_oracle.dir/oracle/brute_force.cc.o"
+  "CMakeFiles/mvrob_oracle.dir/oracle/brute_force.cc.o.d"
+  "CMakeFiles/mvrob_oracle.dir/oracle/exhaustive_allocation.cc.o"
+  "CMakeFiles/mvrob_oracle.dir/oracle/exhaustive_allocation.cc.o.d"
+  "CMakeFiles/mvrob_oracle.dir/oracle/interleavings.cc.o"
+  "CMakeFiles/mvrob_oracle.dir/oracle/interleavings.cc.o.d"
+  "CMakeFiles/mvrob_oracle.dir/oracle/split_enumerator.cc.o"
+  "CMakeFiles/mvrob_oracle.dir/oracle/split_enumerator.cc.o.d"
+  "CMakeFiles/mvrob_oracle.dir/oracle/statistics.cc.o"
+  "CMakeFiles/mvrob_oracle.dir/oracle/statistics.cc.o.d"
+  "libmvrob_oracle.a"
+  "libmvrob_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvrob_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

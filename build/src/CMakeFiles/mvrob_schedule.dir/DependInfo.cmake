@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schedule/anomaly.cc" "src/CMakeFiles/mvrob_schedule.dir/schedule/anomaly.cc.o" "gcc" "src/CMakeFiles/mvrob_schedule.dir/schedule/anomaly.cc.o.d"
+  "/root/repo/src/schedule/dependency.cc" "src/CMakeFiles/mvrob_schedule.dir/schedule/dependency.cc.o" "gcc" "src/CMakeFiles/mvrob_schedule.dir/schedule/dependency.cc.o.d"
+  "/root/repo/src/schedule/dot.cc" "src/CMakeFiles/mvrob_schedule.dir/schedule/dot.cc.o" "gcc" "src/CMakeFiles/mvrob_schedule.dir/schedule/dot.cc.o.d"
+  "/root/repo/src/schedule/schedule.cc" "src/CMakeFiles/mvrob_schedule.dir/schedule/schedule.cc.o" "gcc" "src/CMakeFiles/mvrob_schedule.dir/schedule/schedule.cc.o.d"
+  "/root/repo/src/schedule/serializability.cc" "src/CMakeFiles/mvrob_schedule.dir/schedule/serializability.cc.o" "gcc" "src/CMakeFiles/mvrob_schedule.dir/schedule/serializability.cc.o.d"
+  "/root/repo/src/schedule/serialization_graph.cc" "src/CMakeFiles/mvrob_schedule.dir/schedule/serialization_graph.cc.o" "gcc" "src/CMakeFiles/mvrob_schedule.dir/schedule/serialization_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mvrob_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvrob_schedule.dir/schedule/anomaly.cc.o"
+  "CMakeFiles/mvrob_schedule.dir/schedule/anomaly.cc.o.d"
+  "CMakeFiles/mvrob_schedule.dir/schedule/dependency.cc.o"
+  "CMakeFiles/mvrob_schedule.dir/schedule/dependency.cc.o.d"
+  "CMakeFiles/mvrob_schedule.dir/schedule/dot.cc.o"
+  "CMakeFiles/mvrob_schedule.dir/schedule/dot.cc.o.d"
+  "CMakeFiles/mvrob_schedule.dir/schedule/schedule.cc.o"
+  "CMakeFiles/mvrob_schedule.dir/schedule/schedule.cc.o.d"
+  "CMakeFiles/mvrob_schedule.dir/schedule/serializability.cc.o"
+  "CMakeFiles/mvrob_schedule.dir/schedule/serializability.cc.o.d"
+  "CMakeFiles/mvrob_schedule.dir/schedule/serialization_graph.cc.o"
+  "CMakeFiles/mvrob_schedule.dir/schedule/serialization_graph.cc.o.d"
+  "libmvrob_schedule.a"
+  "libmvrob_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvrob_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

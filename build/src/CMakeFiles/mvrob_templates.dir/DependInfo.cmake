@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/templates/instantiate.cc" "src/CMakeFiles/mvrob_templates.dir/templates/instantiate.cc.o" "gcc" "src/CMakeFiles/mvrob_templates.dir/templates/instantiate.cc.o.d"
+  "/root/repo/src/templates/library.cc" "src/CMakeFiles/mvrob_templates.dir/templates/library.cc.o" "gcc" "src/CMakeFiles/mvrob_templates.dir/templates/library.cc.o.d"
+  "/root/repo/src/templates/parser.cc" "src/CMakeFiles/mvrob_templates.dir/templates/parser.cc.o" "gcc" "src/CMakeFiles/mvrob_templates.dir/templates/parser.cc.o.d"
+  "/root/repo/src/templates/robustness.cc" "src/CMakeFiles/mvrob_templates.dir/templates/robustness.cc.o" "gcc" "src/CMakeFiles/mvrob_templates.dir/templates/robustness.cc.o.d"
+  "/root/repo/src/templates/template.cc" "src/CMakeFiles/mvrob_templates.dir/templates/template.cc.o" "gcc" "src/CMakeFiles/mvrob_templates.dir/templates/template.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mvrob_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_iso.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvrob_templates.dir/templates/instantiate.cc.o"
+  "CMakeFiles/mvrob_templates.dir/templates/instantiate.cc.o.d"
+  "CMakeFiles/mvrob_templates.dir/templates/library.cc.o"
+  "CMakeFiles/mvrob_templates.dir/templates/library.cc.o.d"
+  "CMakeFiles/mvrob_templates.dir/templates/parser.cc.o"
+  "CMakeFiles/mvrob_templates.dir/templates/parser.cc.o.d"
+  "CMakeFiles/mvrob_templates.dir/templates/robustness.cc.o"
+  "CMakeFiles/mvrob_templates.dir/templates/robustness.cc.o.d"
+  "CMakeFiles/mvrob_templates.dir/templates/template.cc.o"
+  "CMakeFiles/mvrob_templates.dir/templates/template.cc.o.d"
+  "libmvrob_templates.a"
+  "libmvrob_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvrob_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

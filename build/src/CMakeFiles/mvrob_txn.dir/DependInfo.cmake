@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/operation.cc" "src/CMakeFiles/mvrob_txn.dir/txn/operation.cc.o" "gcc" "src/CMakeFiles/mvrob_txn.dir/txn/operation.cc.o.d"
+  "/root/repo/src/txn/parser.cc" "src/CMakeFiles/mvrob_txn.dir/txn/parser.cc.o" "gcc" "src/CMakeFiles/mvrob_txn.dir/txn/parser.cc.o.d"
+  "/root/repo/src/txn/transaction.cc" "src/CMakeFiles/mvrob_txn.dir/txn/transaction.cc.o" "gcc" "src/CMakeFiles/mvrob_txn.dir/txn/transaction.cc.o.d"
+  "/root/repo/src/txn/transaction_set.cc" "src/CMakeFiles/mvrob_txn.dir/txn/transaction_set.cc.o" "gcc" "src/CMakeFiles/mvrob_txn.dir/txn/transaction_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mvrob_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

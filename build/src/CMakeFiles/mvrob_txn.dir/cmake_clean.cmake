@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvrob_txn.dir/txn/operation.cc.o"
+  "CMakeFiles/mvrob_txn.dir/txn/operation.cc.o.d"
+  "CMakeFiles/mvrob_txn.dir/txn/parser.cc.o"
+  "CMakeFiles/mvrob_txn.dir/txn/parser.cc.o.d"
+  "CMakeFiles/mvrob_txn.dir/txn/transaction.cc.o"
+  "CMakeFiles/mvrob_txn.dir/txn/transaction.cc.o.d"
+  "CMakeFiles/mvrob_txn.dir/txn/transaction_set.cc.o"
+  "CMakeFiles/mvrob_txn.dir/txn/transaction_set.cc.o.d"
+  "libmvrob_txn.a"
+  "libmvrob_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvrob_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

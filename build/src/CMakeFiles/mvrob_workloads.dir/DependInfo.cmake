@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/auction.cc" "src/CMakeFiles/mvrob_workloads.dir/workloads/auction.cc.o" "gcc" "src/CMakeFiles/mvrob_workloads.dir/workloads/auction.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/mvrob_workloads.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/mvrob_workloads.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/smallbank.cc" "src/CMakeFiles/mvrob_workloads.dir/workloads/smallbank.cc.o" "gcc" "src/CMakeFiles/mvrob_workloads.dir/workloads/smallbank.cc.o.d"
+  "/root/repo/src/workloads/stats.cc" "src/CMakeFiles/mvrob_workloads.dir/workloads/stats.cc.o" "gcc" "src/CMakeFiles/mvrob_workloads.dir/workloads/stats.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "src/CMakeFiles/mvrob_workloads.dir/workloads/synthetic.cc.o" "gcc" "src/CMakeFiles/mvrob_workloads.dir/workloads/synthetic.cc.o.d"
+  "/root/repo/src/workloads/tpcc.cc" "src/CMakeFiles/mvrob_workloads.dir/workloads/tpcc.cc.o" "gcc" "src/CMakeFiles/mvrob_workloads.dir/workloads/tpcc.cc.o.d"
+  "/root/repo/src/workloads/voter.cc" "src/CMakeFiles/mvrob_workloads.dir/workloads/voter.cc.o" "gcc" "src/CMakeFiles/mvrob_workloads.dir/workloads/voter.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/mvrob_workloads.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/mvrob_workloads.dir/workloads/workload.cc.o.d"
+  "/root/repo/src/workloads/ycsb.cc" "src/CMakeFiles/mvrob_workloads.dir/workloads/ycsb.cc.o" "gcc" "src/CMakeFiles/mvrob_workloads.dir/workloads/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mvrob_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_iso.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mvrob_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvrob_workloads.dir/workloads/auction.cc.o"
+  "CMakeFiles/mvrob_workloads.dir/workloads/auction.cc.o.d"
+  "CMakeFiles/mvrob_workloads.dir/workloads/registry.cc.o"
+  "CMakeFiles/mvrob_workloads.dir/workloads/registry.cc.o.d"
+  "CMakeFiles/mvrob_workloads.dir/workloads/smallbank.cc.o"
+  "CMakeFiles/mvrob_workloads.dir/workloads/smallbank.cc.o.d"
+  "CMakeFiles/mvrob_workloads.dir/workloads/stats.cc.o"
+  "CMakeFiles/mvrob_workloads.dir/workloads/stats.cc.o.d"
+  "CMakeFiles/mvrob_workloads.dir/workloads/synthetic.cc.o"
+  "CMakeFiles/mvrob_workloads.dir/workloads/synthetic.cc.o.d"
+  "CMakeFiles/mvrob_workloads.dir/workloads/tpcc.cc.o"
+  "CMakeFiles/mvrob_workloads.dir/workloads/tpcc.cc.o.d"
+  "CMakeFiles/mvrob_workloads.dir/workloads/voter.cc.o"
+  "CMakeFiles/mvrob_workloads.dir/workloads/voter.cc.o.d"
+  "CMakeFiles/mvrob_workloads.dir/workloads/workload.cc.o"
+  "CMakeFiles/mvrob_workloads.dir/workloads/workload.cc.o.d"
+  "CMakeFiles/mvrob_workloads.dir/workloads/ycsb.cc.o"
+  "CMakeFiles/mvrob_workloads.dir/workloads/ycsb.cc.o.d"
+  "libmvrob_workloads.a"
+  "libmvrob_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvrob_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

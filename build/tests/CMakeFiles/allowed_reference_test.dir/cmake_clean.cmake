@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allowed_reference_test.dir/allowed_reference_test.cc.o"
+  "CMakeFiles/allowed_reference_test.dir/allowed_reference_test.cc.o.d"
+  "allowed_reference_test"
+  "allowed_reference_test.pdb"
+  "allowed_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allowed_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/general_regime_test.dir/general_regime_test.cc.o"
+  "CMakeFiles/general_regime_test.dir/general_regime_test.cc.o.d"
+  "general_regime_test"
+  "general_regime_test.pdb"
+  "general_regime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/general_regime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

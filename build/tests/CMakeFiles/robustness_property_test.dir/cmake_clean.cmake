@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_property_test.dir/robustness_property_test.cc.o"
+  "CMakeFiles/robustness_property_test.dir/robustness_property_test.cc.o.d"
+  "robustness_property_test"
+  "robustness_property_test.pdb"
+  "robustness_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_schedule_test.dir/split_schedule_test.cc.o"
+  "CMakeFiles/split_schedule_test.dir/split_schedule_test.cc.o.d"
+  "split_schedule_test"
+  "split_schedule_test.pdb"
+  "split_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/txn_test[1]_include.cmake")
+include("/root/repo/build/tests/schedule_test[1]_include.cmake")
+include("/root/repo/build/tests/serializability_property_test[1]_include.cmake")
+include("/root/repo/build/tests/iso_test[1]_include.cmake")
+include("/root/repo/build/tests/allowed_reference_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/split_schedule_test[1]_include.cmake")
+include("/root/repo/build/tests/constrained_test[1]_include.cmake")
+include("/root/repo/build/tests/general_regime_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/registry_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_property_test[1]_include.cmake")
+include("/root/repo/build/tests/allocation_property_test[1]_include.cmake")
+include("/root/repo/build/tests/templates_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/mvcc_test[1]_include.cmake")
+include("/root/repo/build/tests/conformance_property_test[1]_include.cmake")

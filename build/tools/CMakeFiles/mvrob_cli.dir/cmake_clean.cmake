@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvrob_cli.dir/mvrob_main.cc.o"
+  "CMakeFiles/mvrob_cli.dir/mvrob_main.cc.o.d"
+  "mvrob"
+  "mvrob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvrob_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
