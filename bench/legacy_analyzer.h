@@ -1,0 +1,205 @@
+// The pre-bitset RobustnessAnalyzer, kept verbatim (vector<bool> matrices,
+// sorted-vector component intersections, per-triple scalar condition
+// checks, per-iteration triple counting) as the baseline for the
+// old-vs-bitset benchmarks in bench_robustness. Benchmark-only: production
+// code uses core/analyzer.h.
+#ifndef MVROB_BENCH_LEGACY_ANALYZER_H_
+#define MVROB_BENCH_LEGACY_ANALYZER_H_
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "core/mixed_iso_graph.h"
+#include "core/robustness.h"
+
+namespace mvrob {
+
+class LegacyRobustnessAnalyzer {
+ public:
+  explicit LegacyRobustnessAnalyzer(const TransactionSet& txns)
+      : txns_(txns) {
+    const size_t n = txns.size();
+    conflict_.assign(n, std::vector<bool>(n, false));
+    rw_.assign(n, std::vector<bool>(n, false));
+    first_ww_idx_.assign(n, std::vector<int>(n, kNever));
+    first_rw_idx_.assign(n, std::vector<int>(n, kNever));
+    last_conflict_idx_.assign(n, std::vector<int>(n, -1));
+    pivot_cache_.resize(n);
+
+    for (TxnId i = 0; i < n; ++i) {
+      const Transaction& ti = txns.txn(i);
+      for (TxnId j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const Transaction& tj = txns.txn(j);
+        for (int k = 0; k < ti.num_ops(); ++k) {
+          const Operation& op = ti.op(k);
+          if (op.IsCommit()) continue;
+          bool writes_j = tj.Writes(op.object);
+          bool reads_j = tj.Reads(op.object);
+          if (op.IsWrite()) {
+            if (writes_j && first_ww_idx_[i][j] == kNever) {
+              first_ww_idx_[i][j] = k;
+            }
+            if (writes_j || reads_j) last_conflict_idx_[i][j] = k;
+          } else {
+            if (writes_j) {
+              rw_[i][j] = true;
+              if (first_rw_idx_[i][j] == kNever) first_rw_idx_[i][j] = k;
+              last_conflict_idx_[i][j] = k;
+            }
+          }
+        }
+        conflict_[i][j] = rw_[i][j] || first_ww_idx_[i][j] != kNever ||
+                          last_conflict_idx_[i][j] >= 0;
+      }
+    }
+    for (TxnId i = 0; i < n; ++i) {
+      for (TxnId j = 0; j < n; ++j) {
+        if (conflict_[i][j]) conflict_[j][i] = true;
+      }
+    }
+  }
+
+  RobustnessResult Check(const Allocation& alloc) const {
+    RobustnessResult result;
+    const size_t n = txns_.size();
+    auto is_ssi = [&](TxnId t) {
+      return alloc.level(t) == IsolationLevel::kSSI;
+    };
+
+    for (TxnId t1 = 0; t1 < n; ++t1) {
+      bool t1_rc = alloc.level(t1) == IsolationLevel::kRC;
+      bool s1 = is_ssi(t1);
+      for (TxnId t2 = 0; t2 < n; ++t2) {
+        if (t2 == t1) continue;
+        int first_rw = first_rw_idx_[t1][t2];
+        if (first_rw == kNever) {
+          result.triples_examined += n - 1;
+          continue;
+        }
+        if (s1 && is_ssi(t2) && rw_[t2][t1]) {
+          result.triples_examined += n - 1;
+          continue;
+        }
+        int ww2 = first_ww_idx_[t1][t2];
+        if (t1_rc ? first_rw >= ww2 : ww2 != kNever) {
+          result.triples_examined += n - 1;
+          continue;
+        }
+        for (TxnId tm = 0; tm < n; ++tm) {
+          if (tm == t1) continue;
+          ++result.triples_examined;
+          if (s1 && is_ssi(t2) && is_ssi(tm)) continue;
+          if (s1 && is_ssi(tm) && rw_[t1][tm]) continue;
+          int wwm = first_ww_idx_[t1][tm];
+          if (t1_rc ? first_rw >= wwm : wwm != kNever) continue;
+          bool case_rw = rw_[tm][t1];
+          bool case_rc = t1_rc && last_conflict_idx_[t1][tm] > first_rw;
+          if (!case_rw && !case_rc) continue;
+          if (!Reachable(t1, t2, tm)) continue;
+
+          CounterexampleChain chain;
+          bool found =
+              internal::FindChainOperations(txns_, alloc, t1, t2, tm, &chain);
+          if (!found) continue;
+          MixedIsoGraph graph(txns_, t1, {t2, tm});
+          std::optional<std::vector<TxnId>> inner =
+              graph.FindInnerChain(t2, tm);
+          if (!inner.has_value()) continue;
+          chain.inner = std::move(inner).value();
+          result.robust = false;
+          result.counterexample = std::move(chain);
+          return result;
+        }
+      }
+    }
+    return result;
+  }
+
+ private:
+  static constexpr int kNever = std::numeric_limits<int>::max();
+
+  struct PivotCache {
+    std::vector<std::vector<uint32_t>> comp_conf;
+  };
+
+  const PivotCache& PivotFor(TxnId t1) const {
+    std::optional<PivotCache>& slot = pivot_cache_[t1];
+    if (slot.has_value()) return *slot;
+
+    const size_t n = txns_.size();
+    std::vector<int> comp_of(n, -1);
+    std::vector<TxnId> nodes;
+    for (TxnId x = 0; x < n; ++x) {
+      if (x != t1 && !conflict_[x][t1]) nodes.push_back(x);
+    }
+    std::vector<size_t> parent(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) parent[i] = i;
+    auto find = [&](size_t x) {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      for (size_t j = i + 1; j < nodes.size(); ++j) {
+        if (conflict_[nodes[i]][nodes[j]]) parent[find(i)] = find(j);
+      }
+    }
+    std::vector<int> dense(nodes.size(), -1);
+    int num_components = 0;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      size_t root = find(i);
+      if (dense[root] < 0) dense[root] = num_components++;
+      comp_of[nodes[i]] = dense[root];
+    }
+
+    PivotCache cache;
+    cache.comp_conf.assign(n, {});
+    for (TxnId x = 0; x < n; ++x) {
+      std::vector<uint32_t>& comps = cache.comp_conf[x];
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        if (nodes[i] != x && conflict_[x][nodes[i]]) {
+          comps.push_back(static_cast<uint32_t>(comp_of[nodes[i]]));
+        }
+      }
+      std::sort(comps.begin(), comps.end());
+      comps.erase(std::unique(comps.begin(), comps.end()), comps.end());
+    }
+    slot = std::move(cache);
+    return *slot;
+  }
+
+  bool Reachable(TxnId t1, TxnId t2, TxnId tm) const {
+    if (t2 == tm || conflict_[t2][tm]) return true;
+    const PivotCache& cache = PivotFor(t1);
+    const std::vector<uint32_t>& a = cache.comp_conf[t2];
+    const std::vector<uint32_t>& b = cache.comp_conf[tm];
+    size_t i = 0;
+    size_t j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] == b[j]) return true;
+      if (a[i] < b[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    return false;
+  }
+
+  const TransactionSet& txns_;
+  std::vector<std::vector<bool>> conflict_;
+  std::vector<std::vector<bool>> rw_;
+  std::vector<std::vector<int>> first_ww_idx_;
+  std::vector<std::vector<int>> first_rw_idx_;
+  std::vector<std::vector<int>> last_conflict_idx_;
+  mutable std::vector<std::optional<PivotCache>> pivot_cache_;
+};
+
+}  // namespace mvrob
+
+#endif  // MVROB_BENCH_LEGACY_ANALYZER_H_

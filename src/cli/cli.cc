@@ -70,6 +70,8 @@ common flags:
   --runs <n>               engine executions (simulate; default 20)
   --concurrency <n>        sessions in flight (simulate; default 4)
   --seed <n>               base RNG seed (simulate; default 0)
+  --threads <n>            worker threads for robustness checks (check,
+                           allocate, report; default 1, 0 = all cores)
 )";
 
 // Parsed flag map; flags are --name value pairs except boolean switches.
@@ -152,6 +154,21 @@ int Fail(std::ostream& err, const Status& status) {
   return 1;
 }
 
+StatusOr<CheckOptions> LoadCheckOptions(const Flags& flags) {
+  CheckOptions options;
+  if (flags.Has("threads")) {
+    char* end = nullptr;
+    const std::string value = flags.Get("threads");
+    long parsed = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0') {
+      return Status::InvalidArgument(
+          StrCat("--threads expects an integer, got '", value, "'"));
+    }
+    options.num_threads = static_cast<int>(parsed);
+  }
+  return options;
+}
+
 // Emits a counterexample chain as a JSON object.
 void ChainToJson(const TransactionSet& txns, const CounterexampleChain& chain,
                  JsonWriter& json) {
@@ -172,9 +189,11 @@ int CmdCheck(const Flags& flags, std::ostream& out, std::ostream& err) {
   if (!txns.ok()) return Fail(err, txns.status());
   StatusOr<Allocation> alloc = LoadAllocation(flags, *txns);
   if (!alloc.ok()) return Fail(err, alloc.status());
+  StatusOr<CheckOptions> options = LoadCheckOptions(flags);
+  if (!options.ok()) return Fail(err, options.status());
 
   if (flags.Has("json")) {
-    RobustnessResult result = CheckRobustness(*txns, *alloc);
+    RobustnessResult result = CheckRobustness(*txns, *alloc, *options);
     JsonWriter json;
     json.BeginObject();
     json.Key("allocation");
@@ -192,7 +211,7 @@ int CmdCheck(const Flags& flags, std::ostream& out, std::ostream& err) {
 
   out << "workload:\n" << txns->ToString();
   out << "allocation: " << alloc->ToString(*txns) << "\n";
-  RobustnessResult result = CheckRobustness(*txns, *alloc);
+  RobustnessResult result = CheckRobustness(*txns, *alloc, *options);
   out << "robust: " << (result.robust ? "yes" : "no") << "\n";
   if (!result.robust) {
     out << "counterexample: " << result.counterexample->ToString(*txns)
@@ -241,6 +260,8 @@ StatusOr<AllocationBounds> LoadBounds(const Flags& flags,
 int CmdAllocate(const Flags& flags, std::ostream& out, std::ostream& err) {
   StatusOr<TransactionSet> txns = LoadTxns(flags);
   if (!txns.ok()) return Fail(err, txns.status());
+  StatusOr<CheckOptions> options = LoadCheckOptions(flags);
+  if (!options.ok()) return Fail(err, options.status());
 
   if (flags.Has("pin") || flags.Has("atmost")) {
     StatusOr<AllocationBounds> bounds = LoadBounds(flags, *txns);
@@ -272,7 +293,7 @@ int CmdAllocate(const Flags& flags, std::ostream& out, std::ostream& err) {
     return 0;
   }
 
-  OptimalAllocationResult result = ComputeOptimalAllocation(*txns);
+  OptimalAllocationResult result = ComputeOptimalAllocation(*txns, *options);
   if (flags.Has("json")) {
     JsonWriter json;
     json.BeginObject();
@@ -375,6 +396,8 @@ int CmdTemplates(const Flags& flags, std::ostream& out, std::ostream& err) {
 int CmdReport(const Flags& flags, std::ostream& out, std::ostream& err) {
   StatusOr<TransactionSet> txns = LoadTxns(flags);
   if (!txns.ok()) return Fail(err, txns.status());
+  StatusOr<CheckOptions> options = LoadCheckOptions(flags);
+  if (!options.ok()) return Fail(err, options.status());
 
   out << "# Workload analysis\n\n";
   out << "## Transactions\n\n```\n" << txns->ToString() << "```\n\n";
@@ -388,7 +411,7 @@ int CmdReport(const Flags& flags, std::ostream& out, std::ostream& err) {
   out << "| A_SI  | " << (si.robust ? "yes" : "no") << " |\n";
   out << "| A_SSI | yes |\n\n";
 
-  OptimalAllocationResult optimal = ComputeOptimalAllocation(*txns);
+  OptimalAllocationResult optimal = ComputeOptimalAllocation(*txns, *options);
   out << "## Optimal robust allocation\n\n";
   out << "```\n" << optimal.allocation.ToString(*txns) << "\n```\n\n";
   out << "RC=" << optimal.allocation.CountAt(IsolationLevel::kRC)
@@ -404,7 +427,7 @@ int CmdReport(const Flags& flags, std::ostream& out, std::ostream& err) {
   }
 
   std::vector<CounterexampleChain> spots = FindAllCounterexamples(
-      *txns, Allocation::AllSI(txns->size()), /*limit=*/8);
+      *txns, Allocation::AllSI(txns->size()), /*limit=*/8, *options);
   if (!spots.empty()) {
     out << "## Trouble spots under A_SI\n\n";
     for (const CounterexampleChain& chain : spots) {

@@ -1,0 +1,141 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mvrob {
+namespace {
+
+// True while the current thread is executing a ParallelFor body; nested
+// loops fall back to sequential execution instead of deadlocking on the
+// pool.
+thread_local bool t_in_parallel_for = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_workers) {
+  workers_.reserve(static_cast<size_t>(std::max(0, num_workers)));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Work(Job& job) {
+  size_t i;
+  while ((i = job.next.fetch_add(1, std::memory_order_relaxed)) < job.n) {
+    (*job.body)(i);
+    if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
+      std::lock_guard<std::mutex> lock(job.m);
+      job.done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  while (true) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      wake_cv_.wait(lock, [&] { return stop_ || job_seq_ != seen; });
+      if (stop_) return;
+      seen = job_seq_;
+      job = job_;
+      if (job == nullptr) continue;  // Job finished before we woke.
+      if (job->participants.fetch_add(1, std::memory_order_relaxed) >=
+          job->max_participants - 1) {  // Caller occupies one slot.
+        job->participants.fetch_sub(1, std::memory_order_relaxed);
+        continue;
+      }
+      // Register under m_ so the owner cannot retire the job before this
+      // worker is accounted for.
+      std::lock_guard<std::mutex> job_lock(job->m);
+      ++job->active_workers;
+    }
+    t_in_parallel_for = true;
+    Work(*job);
+    t_in_parallel_for = false;
+    {
+      // Notify while holding the lock: the owner destroys the Job as soon
+      // as its wait predicate holds, and the wait cannot return before we
+      // release the mutex — notifying after unlock would touch a dead cv.
+      std::lock_guard<std::mutex> job_lock(job->m);
+      --job->active_workers;
+      job->done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, int max_threads,
+                             const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1 || max_threads <= 1 || workers_.empty() || t_in_parallel_for) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  Job job;
+  job.n = n;
+  job.body = &body;
+  job.max_participants = std::min<int>(max_threads, max_parallelism());
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    job_ = &job;
+    ++job_seq_;
+  }
+  wake_cv_.notify_all();
+
+  t_in_parallel_for = true;
+  Work(job);
+  t_in_parallel_for = false;
+
+  {
+    std::unique_lock<std::mutex> lock(job.m);
+    job.done_cv.wait(lock, [&] {
+      return job.completed.load(std::memory_order_acquire) == job.n;
+    });
+  }
+  // Retire the job before draining: workers that woke late see job_ ==
+  // nullptr and never touch the (stack-allocated) job; already-registered
+  // ones are waited out so the job outlives every reference to it.
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    if (job_ == &job) job_ = nullptr;  // Another caller may have posted.
+  }
+  {
+    std::unique_lock<std::mutex> lock(job.m);
+    job.done_cv.wait(lock, [&] { return job.active_workers == 0; });
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // One background worker per hardware thread beyond the caller's.
+  // MVROB_POOL_WORKERS overrides the count — used by the sanitizer CI to
+  // force real concurrency on single-core machines, and available to cap
+  // the pool in shared environments.
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("MVROB_POOL_WORKERS")) {
+      int parsed = std::atoi(env);
+      if (parsed >= 0) return parsed;
+    }
+    return std::max(
+        0, static_cast<int>(std::thread::hardware_concurrency()) - 1);
+  }());
+  return pool;
+}
+
+int ThreadPool::ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  return Shared().max_parallelism();
+}
+
+}  // namespace mvrob

@@ -1,0 +1,91 @@
+#ifndef MVROB_COMMON_THREAD_POOL_H_
+#define MVROB_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mvrob {
+
+/// A small shared worker pool for data-parallel loops.
+///
+/// The only entry point is ParallelFor, which runs body(i) for every
+/// i in [0, n) and blocks until all iterations completed. Iterations are
+/// handed out dynamically (one atomic fetch_add per iteration), the calling
+/// thread participates, and at most `max_threads` threads work on one loop
+/// — so a single process-wide pool sized to the hardware serves callers
+/// that want any smaller degree of parallelism.
+///
+/// Guarantees relied on by the robustness engine:
+///  - every iteration runs exactly once, on exactly one thread;
+///  - ParallelFor returns only after the last iteration finished (its
+///    writes happen-before the return, so callers may read results written
+///    by the body without further synchronization);
+///  - a ParallelFor issued from inside a body (nested use) degrades to a
+///    sequential loop on the calling thread instead of deadlocking.
+///
+/// Which thread runs which iteration is NOT deterministic; callers needing
+/// deterministic output must reduce per-iteration results themselves (see
+/// RobustnessAnalyzer::Check for the lowest-witness-wins reduction).
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` background workers (0 is fine: ParallelFor then
+  /// simply runs inline on the caller).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Background workers + the participating caller.
+  int max_parallelism() const {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// Runs body(i) for i in [0, n); at most max_threads threads participate
+  /// (the caller always counts as one). Blocks until done.
+  void ParallelFor(size_t n, int max_threads,
+                   const std::function<void(size_t)>& body);
+
+  /// The process-wide pool, sized to the hardware on first use. The
+  /// MVROB_POOL_WORKERS environment variable (read once) overrides the
+  /// worker count.
+  static ThreadPool& Shared();
+
+  /// Resolves a user-facing thread-count knob: values <= 0 mean "use the
+  /// hardware", anything else is taken as-is.
+  static int ResolveThreads(int requested);
+
+ private:
+  struct Job {
+    size_t n = 0;
+    const std::function<void(size_t)>* body = nullptr;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> completed{0};
+    std::atomic<int> participants{0};
+    int max_participants = 1;
+    // Workers currently inside Work(); the owner waits for 0 before the
+    // stack-allocated Job may die.
+    int active_workers = 0;
+    std::mutex m;
+    std::condition_variable done_cv;
+  };
+
+  void WorkerLoop();
+  static void Work(Job& job);
+
+  std::mutex m_;
+  std::condition_variable wake_cv_;
+  Job* job_ = nullptr;       // Guarded by m_.
+  uint64_t job_seq_ = 0;     // Guarded by m_; bumped per ParallelFor.
+  bool stop_ = false;        // Guarded by m_.
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mvrob
+
+#endif  // MVROB_COMMON_THREAD_POOL_H_

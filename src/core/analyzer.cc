@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
 #include "core/mixed_iso_graph.h"
 #include "txn/conflict.h"
 
@@ -10,46 +11,66 @@ namespace mvrob {
 RobustnessAnalyzer::RobustnessAnalyzer(const TransactionSet& txns)
     : txns_(txns) {
   const size_t n = txns.size();
-  conflict_.assign(n, std::vector<bool>(n, false));
-  rw_.assign(n, std::vector<bool>(n, false));
-  first_ww_idx_.assign(n, std::vector<int>(n, kNever));
-  first_rw_idx_.assign(n, std::vector<int>(n, kNever));
-  last_conflict_idx_.assign(n, std::vector<int>(n, -1));
+  conflict_ = BitMatrix(n, n);
+  rw_ = BitMatrix(n, n);
+  rw_into_ = BitMatrix(n, n);
+  ww_never_ = BitMatrix(n, n);
+  rw_before_ww_ = BitMatrix(n, n);
+  si_candidates_ = BitMatrix(n, n);
+  first_ww_idx_.assign(n * n, kNever);
+  first_rw_idx_.assign(n * n, kNever);
+  last_conflict_idx_.assign(n * n, -1);
   pivot_cache_.resize(n);
+  rc_cache_.resize(n);
 
   for (TxnId i = 0; i < n; ++i) {
     const Transaction& ti = txns.txn(i);
     for (TxnId j = 0; j < n; ++j) {
       if (i == j) continue;
       const Transaction& tj = txns.txn(j);
+      int& first_ww = first_ww_idx_[i * n + j];
+      int& first_rw = first_rw_idx_[i * n + j];
+      int& last_conflict = last_conflict_idx_[i * n + j];
       for (int k = 0; k < ti.num_ops(); ++k) {
         const Operation& op = ti.op(k);
         if (op.IsCommit()) continue;
         bool writes_j = tj.Writes(op.object);
-        bool reads_j = tj.Reads(op.object);
         if (op.IsWrite()) {
-          if (writes_j && first_ww_idx_[i][j] == kNever) {
-            first_ww_idx_[i][j] = k;
-          }
-          if (writes_j || reads_j) last_conflict_idx_[i][j] = k;
-        } else {
-          if (writes_j) {
-            rw_[i][j] = true;
-            if (first_rw_idx_[i][j] == kNever) first_rw_idx_[i][j] = k;
-            last_conflict_idx_[i][j] = k;
-          }
+          if (writes_j && first_ww == kNever) first_ww = k;
+          if (writes_j || tj.Reads(op.object)) last_conflict = k;
+        } else if (writes_j) {
+          rw_.Set(i, j);
+          if (first_rw == kNever) first_rw = k;
+          last_conflict = k;
         }
       }
-      conflict_[i][j] = rw_[i][j] || first_ww_idx_[i][j] != kNever ||
-                        last_conflict_idx_[i][j] >= 0;
+      if (rw_.Test(i, j) || first_ww != kNever || last_conflict >= 0) {
+        conflict_.Set(i, j);
+      }
     }
   }
-  // conflict_ must be symmetric; the loop above sees rw in one direction
-  // only through Ti's reads, so close it.
+  // Close conflict_ under symmetry (the scan sees rw via Ti's reads only)
+  // and derive the candidate rows.
+  for (TxnId i = 0; i < n; ++i) {
+    for (TxnId j = i + 1; j < n; ++j) {
+      if (conflict_.Test(i, j) || conflict_.Test(j, i)) {
+        conflict_.Set(i, j);
+        conflict_.Set(j, i);
+      }
+      if (rw_.Test(i, j)) rw_into_.Set(j, i);
+      if (rw_.Test(j, i)) rw_into_.Set(i, j);
+    }
+  }
   for (TxnId i = 0; i < n; ++i) {
     for (TxnId j = 0; j < n; ++j) {
-      if (conflict_[i][j]) conflict_[j][i] = true;
+      int first_ww = first_ww_idx_[i * n + j];
+      if (first_ww == kNever) ww_never_.Set(i, j);
+      int first_rw = first_rw_idx_[i * n + j];
+      if (first_rw != kNever && first_rw < first_ww) rw_before_ww_.Set(i, j);
     }
+    BitSpan si = si_candidates_.row(i);
+    si.CopyFrom(ww_never_.row(i));
+    si.AndWith(rw_into_.row(i));
   }
 }
 
@@ -59,12 +80,22 @@ const RobustnessAnalyzer::PivotCache& RobustnessAnalyzer::PivotFor(
   if (slot.has_value()) return *slot;
 
   const size_t n = txns_.size();
-  // Nodes: transactions not conflicting with t1. Components via union-find
-  // over the conflict matrix.
+  // Nodes: transactions not conflicting with t1 (conflict_ is symmetric,
+  // so this is the complement of t1's row). Components via union-find,
+  // edges walked word-wise over the conflict rows restricted to the node
+  // set.
+  DenseBitset node_mask(n);
+  node_mask.SetAll();
+  node_mask.AndNotWith(conflict_.row(t1));
+  node_mask.Reset(t1);
+
   std::vector<int> comp_of(n, -1);
   std::vector<TxnId> nodes;
-  for (TxnId x = 0; x < n; ++x) {
-    if (x != t1 && !conflict_[x][t1]) nodes.push_back(x);
+  node_mask.ForEachSetBit(
+      [&](size_t x) { nodes.push_back(static_cast<TxnId>(x)); });
+  std::vector<int> node_index(n, -1);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    node_index[nodes[i]] = static_cast<int>(i);
   }
   // Simple DSU.
   std::vector<size_t> parent(nodes.size());
@@ -76,10 +107,14 @@ const RobustnessAnalyzer::PivotCache& RobustnessAnalyzer::PivotFor(
     }
     return x;
   };
+  DenseBitset row_nodes(n);
   for (size_t i = 0; i < nodes.size(); ++i) {
-    for (size_t j = i + 1; j < nodes.size(); ++j) {
-      if (conflict_[nodes[i]][nodes[j]]) parent[find(i)] = find(j);
-    }
+    row_nodes.CopyFrom(conflict_.row(nodes[i]));
+    row_nodes.AndWith(node_mask);
+    row_nodes.ForEachSetBit([&](size_t y) {
+      size_t j = static_cast<size_t>(node_index[y]);
+      if (j > i) parent[find(i)] = find(j);
+    });
   }
   // Dense component ids.
   std::vector<int> dense(nodes.size(), -1);
@@ -91,100 +126,165 @@ const RobustnessAnalyzer::PivotCache& RobustnessAnalyzer::PivotFor(
   }
 
   PivotCache cache;
-  cache.comp_conf.assign(n, {});
-  for (TxnId x = 0; x < n; ++x) {
-    std::vector<uint32_t>& comps = cache.comp_conf[x];
-    for (size_t i = 0; i < nodes.size(); ++i) {
-      if (nodes[i] != x && conflict_[x][nodes[i]]) {
-        comps.push_back(static_cast<uint32_t>(comp_of[nodes[i]]));
-      }
-    }
-    std::sort(comps.begin(), comps.end());
-    comps.erase(std::unique(comps.begin(), comps.end()), comps.end());
+  cache.comp_conf.assign(n, DenseBitset(static_cast<size_t>(num_components)));
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    int c = comp_of[nodes[i]];
+    // conflict_'s diagonal is clear, so x != nodes[i] throughout.
+    conflict_.row(nodes[i]).ForEachSetBit(
+        [&](size_t x) { cache.comp_conf[x].Set(static_cast<size_t>(c)); });
   }
   slot = std::move(cache);
   return *slot;
 }
 
 bool RobustnessAnalyzer::Reachable(TxnId t1, TxnId t2, TxnId tm) const {
-  if (t2 == tm || conflict_[t2][tm]) return true;
+  if (t2 == tm || conflict_.Test(t2, tm)) return true;
   const PivotCache& cache = PivotFor(t1);
-  const std::vector<uint32_t>& a = cache.comp_conf[t2];
-  const std::vector<uint32_t>& b = cache.comp_conf[tm];
-  // Sorted intersection test.
-  size_t i = 0;
-  size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] == b[j]) return true;
-    if (a[i] < b[j]) {
-      ++i;
-    } else {
-      ++j;
+  return cache.comp_conf[t2].Intersects(cache.comp_conf[tm]);
+}
+
+ConstBitSpan RobustnessAnalyzer::RcCandidatesFor(TxnId t1, int k) const {
+  std::vector<std::pair<int, DenseBitset>>& slots = rc_cache_[t1];
+  for (const std::pair<int, DenseBitset>& entry : slots) {
+    if (entry.first == k) return entry.second.span();
+  }
+  const size_t n = txns_.size();
+  DenseBitset mask(n);
+  for (TxnId tm = 0; tm < n; ++tm) {
+    if (tm == t1) continue;
+    if (first_ww_idx(t1, tm) > k &&
+        (rw_into_.Test(t1, tm) || last_conflict_idx(t1, tm) > k)) {
+      mask.Set(tm);
     }
   }
-  return false;
+  slots.emplace_back(k, std::move(mask));
+  return slots.back().second.span();
+}
+
+std::optional<CounterexampleChain> RobustnessAnalyzer::CheckRow(
+    const Allocation& alloc, ConstBitSpan ssi_mask, TxnId t1,
+    const std::atomic<uint32_t>* best) const {
+  const size_t n = txns_.size();
+  bool t1_rc = alloc.level(t1) == IsolationLevel::kRC;
+  bool s1 = ssi_mask.Test(t1);
+
+  // T2 candidates: b1 exists (rw row), the T2-side ww constraint of
+  // Definition 3.1 (2)/(3), and — under double SSI — condition (7).
+  DenseBitset pair_mask(n);
+  pair_mask.CopyFrom(rw_.row(t1));
+  pair_mask.AndWith(t1_rc ? rw_before_ww_.row(t1) : ww_never_.row(t1));
+  DenseBitset ssi_rw_out(n);  // Condition (8)'s exclusion: SSI Tm read by T1.
+  if (s1) {
+    DenseBitset ssi_rw_in(n);
+    ssi_rw_in.CopyFrom(ssi_mask);
+    ssi_rw_in.AndWith(rw_into_.row(t1));
+    pair_mask.AndNotWith(ssi_rw_in);
+    ssi_rw_out.CopyFrom(ssi_mask);
+    ssi_rw_out.AndWith(rw_.row(t1));
+  }
+
+  DenseBitset tm_mask(n);
+  for (size_t t2 = pair_mask.FindFirst(); t2 < n;
+       t2 = pair_mask.FindNext(t2 + 1)) {
+    if (best != nullptr && t1 >= best->load(std::memory_order_relaxed)) {
+      return std::nullopt;  // A lower row already holds a witness.
+    }
+    // Tm candidates for this pair: allocation-independent base (ww
+    // constraint towards Tm + condition (5)) minus the SSI exclusions
+    // (6) and (8).
+    if (t1_rc) {
+      tm_mask.CopyFrom(RcCandidatesFor(t1, first_rw_idx(t1, t2)));
+    } else {
+      tm_mask.CopyFrom(si_candidates_.row(t1));
+    }
+    if (s1) {
+      tm_mask.AndNotWith(ssi_rw_out);
+      if (ssi_mask.Test(t2)) tm_mask.AndNotWith(ssi_mask);
+    }
+    for (size_t tm = tm_mask.FindFirst(); tm < n;
+         tm = tm_mask.FindNext(tm + 1)) {
+      if (!Reachable(t1, static_cast<TxnId>(t2), static_cast<TxnId>(tm))) {
+        continue;
+      }
+      // Witness recovery with the reference operation search.
+      CounterexampleChain chain;
+      bool found = internal::FindChainOperations(
+          txns_, alloc, t1, static_cast<TxnId>(t2), static_cast<TxnId>(tm),
+          &chain);
+      if (!found) continue;  // Defensive; the indices guarantee success.
+      MixedIsoGraph graph(txns_, t1,
+                          {static_cast<TxnId>(t2), static_cast<TxnId>(tm)},
+                          &conflict_);
+      std::optional<std::vector<TxnId>> inner = graph.FindInnerChain(
+          static_cast<TxnId>(t2), static_cast<TxnId>(tm));
+      if (!inner.has_value()) continue;
+      chain.inner = std::move(inner).value();
+      return chain;
+    }
+  }
+  return std::nullopt;
 }
 
 RobustnessResult RobustnessAnalyzer::Check(const Allocation& alloc) const {
+  return Check(alloc, CheckOptions{});
+}
+
+RobustnessResult RobustnessAnalyzer::Check(const Allocation& alloc,
+                                           const CheckOptions& options) const {
   RobustnessResult result;
   const size_t n = txns_.size();
-  auto is_ssi = [&](TxnId t) {
-    return alloc.level(t) == IsolationLevel::kSSI;
-  };
+  if (n < 2) return result;
 
-  for (TxnId t1 = 0; t1 < n; ++t1) {
-    bool t1_rc = alloc.level(t1) == IsolationLevel::kRC;
-    bool s1 = is_ssi(t1);
-    for (TxnId t2 = 0; t2 < n; ++t2) {
-      if (t2 == t1) continue;
-      // b1 exists iff T1 reads something T2 writes.
-      int first_rw = first_rw_idx_[t1][t2];
-      if (first_rw == kNever) {
-        result.triples_examined += n - 1;
-        continue;
-      }
-      // Definition 3.1 (7): wr-conflict-free(T1, T2) under double SSI.
-      if (s1 && is_ssi(t2) && rw_[t2][t1]) {
-        result.triples_examined += n - 1;
-        continue;
-      }
-      // ww constraint towards T2 (condition (2)/(3) for the T2 side).
-      int ww2 = first_ww_idx_[t1][t2];
-      if (t1_rc ? first_rw >= ww2 : ww2 != kNever) {
-        result.triples_examined += n - 1;
-        continue;
-      }
-      for (TxnId tm = 0; tm < n; ++tm) {
-        if (tm == t1) continue;
-        ++result.triples_examined;
-        // (6): not all three SSI; (8): no rw-conflict T1 -> Tm under
-        // double SSI.
-        if (s1 && is_ssi(t2) && is_ssi(tm)) continue;
-        if (s1 && is_ssi(tm) && rw_[t1][tm]) continue;
-        // ww constraint towards Tm.
-        int wwm = first_ww_idx_[t1][tm];
-        if (t1_rc ? first_rw >= wwm : wwm != kNever) continue;
-        // Condition (5): bm rw-conflicting with a1, or the RC split case.
-        bool case_rw = rw_[tm][t1];
-        bool case_rc = t1_rc && last_conflict_idx_[t1][tm] > first_rw;
-        if (!case_rw && !case_rc) continue;
-        if (!Reachable(t1, t2, tm)) continue;
+  DenseBitset ssi_mask(n);
+  for (TxnId t = 0; t < n; ++t) {
+    if (alloc.level(t) == IsolationLevel::kSSI) ssi_mask.Set(t);
+  }
 
-        // Witness recovery with the reference operation search.
-        CounterexampleChain chain;
-        bool found =
-            internal::FindChainOperations(txns_, alloc, t1, t2, tm, &chain);
-        if (!found) continue;  // Defensive; the indices guarantee success.
-        MixedIsoGraph graph(txns_, t1, {t2, tm});
-        std::optional<std::vector<TxnId>> inner =
-            graph.FindInnerChain(t2, tm);
-        if (!inner.has_value()) continue;
-        chain.inner = std::move(inner).value();
+  const int threads = ThreadPool::ResolveThreads(options.num_threads);
+  if (threads <= 1) {
+    for (TxnId t1 = 0; t1 < n; ++t1) {
+      std::optional<CounterexampleChain> chain =
+          CheckRow(alloc, ssi_mask, t1, nullptr);
+      if (chain.has_value()) {
         result.robust = false;
+        result.triples_examined = internal::TriplesUpToWitness(
+            n, chain->t1, chain->t2, chain->tm);
         result.counterexample = std::move(chain);
         return result;
       }
     }
+    result.triples_examined = internal::TriplesWhenRobust(n);
+    return result;
+  }
+
+  // Parallel rows with deterministic reduction: `best` tracks the lowest
+  // t1 known to hold a witness (CAS-min). A row only abandons when a
+  // strictly lower row has a witness, so every row below the final winner
+  // completed a full, witness-free scan — making the winner exactly the
+  // sequential answer and the closed-form triple count exact.
+  std::atomic<uint32_t> best{static_cast<uint32_t>(n)};
+  std::vector<std::optional<CounterexampleChain>> rows(n);
+  ThreadPool::Shared().ParallelFor(n, threads, [&](size_t i) {
+    if (i >= best.load(std::memory_order_acquire)) return;
+    std::optional<CounterexampleChain> chain =
+        CheckRow(alloc, ssi_mask, static_cast<TxnId>(i), &best);
+    if (!chain.has_value()) return;
+    rows[i] = std::move(chain);
+    uint32_t current = best.load(std::memory_order_acquire);
+    while (i < current &&
+           !best.compare_exchange_weak(current, static_cast<uint32_t>(i),
+                                       std::memory_order_acq_rel)) {
+    }
+  });
+  uint32_t winner = best.load(std::memory_order_acquire);
+  if (winner < n) {
+    std::optional<CounterexampleChain>& chain = rows[winner];
+    result.robust = false;
+    result.triples_examined =
+        internal::TriplesUpToWitness(n, chain->t1, chain->t2, chain->tm);
+    result.counterexample = std::move(chain);
+  } else {
+    result.triples_examined = internal::TriplesWhenRobust(n);
   }
   return result;
 }

@@ -1,34 +1,48 @@
 #ifndef MVROB_CORE_ANALYZER_H_
 #define MVROB_CORE_ANALYZER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <limits>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "common/bitset.h"
 #include "core/robustness.h"
 
 namespace mvrob {
 
-/// Matrix-cached implementation of Algorithm 1.
+/// Bitset-kernel implementation of Algorithm 1.
 ///
 /// CheckRobustness (the reference implementation) re-derives conflict
 /// information and rebuilds the mixed-iso-graph inside the triple loop;
 /// this class precomputes, once per transaction set,
-///  - pairwise conflict and rw matrices,
+///  - pairwise conflict and rw matrices as dense bit rows,
 ///  - per-pair indices (first write of Ti ww-conflicting with Tj, first
 ///    read of Ti on an object Tj writes, last operation of Ti conflicting
 ///    with Tj), which turn the per-triple operation search into O(1)
-///    lookups, and
+///    lookups,
+///  - derived candidate rows (ww_never, rw_before_ww, si_candidates =
+///    ww_never & rw_into), so the inner Tm loop of Algorithm 1 collapses
+///    into a word-wise AND of candidate masks followed by a set-bit walk
+///    over the few survivors, and
 ///  - per-pivot connected components of the mixed-iso-graph (lazily, since
 ///    they are allocation-independent), which turn reachability into a
-///    sorted-list intersection.
+///    word-wise component-bitmask intersection.
 ///
 /// The payoff is twofold: a single decision drops from the reference
-/// checker's per-triple operation loops to constant work, and Algorithm 2
-/// (2·|T| robustness checks over the *same* set) reuses every cache.
-/// Results are bit-identical to CheckRobustness (property-tested).
+/// checker's per-triple operation loops to a handful of word operations
+/// per (T1, T2) pair, and Algorithm 2 (2·|T| robustness checks over the
+/// *same* set) reuses every cache. Results — verdict, lowest
+/// counterexample triple, and the audited triples_examined — are
+/// bit-identical to CheckRobustness (property-tested).
 ///
-/// Not thread-safe (the pivot cache fills lazily).
+/// Thread safety: Check(alloc, options) with options.num_threads != 1
+/// partitions the t1 rows over a thread pool; the lazy per-t1 caches are
+/// only ever touched by the thread owning that row, so concurrent rows
+/// are race-free. Distinct Check calls must not run concurrently on the
+/// same analyzer from user threads.
 class RobustnessAnalyzer {
  public:
   explicit RobustnessAnalyzer(const TransactionSet& txns);
@@ -36,37 +50,82 @@ class RobustnessAnalyzer {
   /// Algorithm 1 for one allocation; equivalent to CheckRobustness.
   RobustnessResult Check(const Allocation& alloc) const;
 
+  /// Same, with options.num_threads-way parallelism over the t1 outer
+  /// loop. Deterministic: the lowest (t1, t2, tm) witness wins regardless
+  /// of thread count, and triples_examined follows the audited contract
+  /// of RobustnessResult.
+  RobustnessResult Check(const Allocation& alloc,
+                         const CheckOptions& options) const;
+
   const TransactionSet& txns() const { return txns_; }
+
+  /// The pairwise conflict matrix (symmetric, zero diagonal); equals
+  /// BuildConflictMatrix(txns()). Shared with MixedIsoGraph during
+  /// witness recovery so conflict tests stay O(1).
+  const BitMatrix& conflict_matrix() const { return conflict_; }
 
  private:
   static constexpr int kNever = std::numeric_limits<int>::max();
 
   // Conflicts between a pivot's component structure and other transactions.
   struct PivotCache {
-    // For every transaction x: sorted ids of the pivot-graph components
-    // containing a transaction that conflicts with x.
-    std::vector<std::vector<uint32_t>> comp_conf;
+    // For every transaction x: bitmask over the pivot-graph components
+    // that contain a transaction conflicting with x. reachable(t2, tm)
+    // through the graph iff the masks of t2 and tm intersect.
+    std::vector<DenseBitset> comp_conf;
   };
 
   const PivotCache& PivotFor(TxnId t1) const;
   bool Reachable(TxnId t1, TxnId t2, TxnId tm) const;
 
-  const TransactionSet& txns_;
-  // conflict_[i][j]: some operation of Ti conflicts with some of Tj.
-  std::vector<std::vector<bool>> conflict_;
-  // rw_[i][j]: Ti reads an object Tj writes.
-  std::vector<std::vector<bool>> rw_;
-  // first_ww_idx_[i][j]: least program index of a write in Ti on an object
-  // in Tj's write set; kNever if none.
-  std::vector<std::vector<int>> first_ww_idx_;
-  // first_rw_idx_[i][j]: least program index of a read in Ti on an object
-  // in Tj's write set; kNever if none.
-  std::vector<std::vector<int>> first_rw_idx_;
-  // last_conflict_idx_[i][j]: greatest program index of a non-commit op of
-  // Ti conflicting with Tj; -1 if none.
-  std::vector<std::vector<int>> last_conflict_idx_;
+  /// Tm candidates for an RC-allocated t1 and split threshold k (= the
+  /// pair's first_rw index): first_ww_idx[t1][tm] > k and condition (5)
+  /// holds (rw into t1, or a conflicting op of T1 after k). Allocation-
+  /// independent given (t1, k), so cached across Algorithm 2's checks.
+  ConstBitSpan RcCandidatesFor(TxnId t1, int k) const;
 
+  /// Scans one t1 row: returns the lowest-(t2, tm) witness chain of the
+  /// row, or nullopt. When `best` is non-null the scan abandons early
+  /// once a lower t1 row is known to have a witness.
+  std::optional<CounterexampleChain> CheckRow(
+      const Allocation& alloc, ConstBitSpan ssi_mask, TxnId t1,
+      const std::atomic<uint32_t>* best) const;
+
+  int first_ww_idx(TxnId i, TxnId j) const {
+    return first_ww_idx_[i * txns_.size() + j];
+  }
+  int first_rw_idx(TxnId i, TxnId j) const {
+    return first_rw_idx_[i * txns_.size() + j];
+  }
+  int last_conflict_idx(TxnId i, TxnId j) const {
+    return last_conflict_idx_[i * txns_.size() + j];
+  }
+
+  const TransactionSet& txns_;
+  // conflict_ row i: transactions with an operation conflicting with Ti
+  // (symmetric, diagonal clear).
+  BitMatrix conflict_;
+  // rw_ row i: {j : Ti reads an object Tj writes}.
+  BitMatrix rw_;
+  // rw_into_ row i: {j : Tj reads an object Ti writes} (transpose of rw_).
+  BitMatrix rw_into_;
+  // ww_never_ row i: {j : no write of Ti touches Tj's write set}.
+  BitMatrix ww_never_;
+  // rw_before_ww_ row i: {j : first_rw_idx[i][j] < first_ww_idx[i][j]},
+  // with first_rw present. The T2-side pair condition for RC-allocated Ti.
+  BitMatrix rw_before_ww_;
+  // si_candidates_ row i = ww_never_ & rw_into_: the allocation-independent
+  // Tm candidates when Ti is allocated SI/SSI.
+  BitMatrix si_candidates_;
+  // Flat n*n index tables (i * n + j); kNever / -1 sentinels as documented.
+  std::vector<int> first_ww_idx_;
+  std::vector<int> first_rw_idx_;
+  std::vector<int> last_conflict_idx_;
+
+  // Lazy per-t1 caches. Slot t1 is only touched by the (single) thread
+  // scanning row t1, and pool joins order successive Check calls.
   mutable std::vector<std::optional<PivotCache>> pivot_cache_;
+  mutable std::vector<std::vector<std::pair<int, DenseBitset>>> rc_cache_;
 };
 
 }  // namespace mvrob

@@ -48,13 +48,36 @@ std::optional<std::pair<OpRef, OpRef>> FindConflictingPair(
   const Transaction& tf = txns.txn(from);
   const Transaction& tt = txns.txn(to);
   for (int i = 0; i < tf.num_ops(); ++i) {
-    for (int j = 0; j < tt.num_ops(); ++j) {
-      if (Conflicting(tf.op(i), tt.op(j))) {
-        return std::make_pair(OpRef{from, i}, OpRef{to, j});
-      }
+    const Operation& op = tf.op(i);
+    if (op.IsCommit()) continue;
+    // The earliest operation of `to` conflicting with op: a write always
+    // conflicts with reads and writes on the object, a read only with
+    // writes — resolved via the per-object first-index lookups instead of
+    // a scan over `to`'s operations.
+    std::optional<int> j = tt.FirstWriteIndex(op.object);
+    if (op.IsWrite()) {
+      std::optional<int> r = tt.FirstReadIndex(op.object);
+      if (r.has_value() && (!j.has_value() || *r < *j)) j = r;
+    }
+    if (j.has_value()) {
+      return std::make_pair(OpRef{from, i}, OpRef{to, *j});
     }
   }
   return std::nullopt;
+}
+
+BitMatrix BuildConflictMatrix(const TransactionSet& txns) {
+  const size_t n = txns.size();
+  BitMatrix conflict(n, n);
+  for (TxnId i = 0; i < n; ++i) {
+    for (TxnId j = i + 1; j < n; ++j) {
+      if (TxnsConflict(txns, i, j)) {
+        conflict.Set(i, j);
+        conflict.Set(j, i);
+      }
+    }
+  }
+  return conflict;
 }
 
 }  // namespace mvrob

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/bitset.h"
 #include "txn/conflict.h"
 #include "txn/transaction_set.h"
 
@@ -28,9 +29,18 @@ bool WwConflictFreeTxns(const TransactionSet& txns, TxnId a, TxnId b);
 bool WrConflictFreeTxns(const TransactionSet& txns, TxnId i, TxnId j);
 
 /// A conflicting pair (b in `from`, a in `to`) with b conflicting with a,
-/// if one exists. Deterministic: smallest program-order indices win.
+/// if one exists. Deterministic: smallest program-order indices win (the
+/// earliest conflicting operation of `from`, paired with the earliest
+/// operation of `to` it conflicts with).
 std::optional<std::pair<OpRef, OpRef>> FindConflictingPair(
     const TransactionSet& txns, TxnId from, TxnId to);
+
+/// The full pairwise conflict relation as a symmetric bit matrix:
+/// bit (i, j) set iff TxnsConflict(txns, i, j). Built once in O(|T|^2)
+/// read/write-set intersections and shared across the O(|T|^3) triple
+/// space (MixedIsoGraph accepts it to avoid recomputing TxnsConflict per
+/// candidate counterexample).
+BitMatrix BuildConflictMatrix(const TransactionSet& txns);
 
 }  // namespace mvrob
 

@@ -47,7 +47,7 @@ void IncrementalAllocator::Reoptimize(
       if (level < lower_bounds[t]) continue;  // Warm start.
       Allocation candidate = allocation.With(t, level);
       ++checks_performed_;
-      if (analyzer.Check(candidate).robust) {
+      if (analyzer.Check(candidate, options_).robust) {
         allocation = candidate;
         break;
       }

@@ -6,21 +6,22 @@
 namespace mvrob {
 
 MixedIsoGraph::MixedIsoGraph(const TransactionSet& txns, TxnId t1,
-                             const std::vector<TxnId>& excluded)
-    : txns_(txns), node_index_(txns.size(), -1) {
+                             const std::vector<TxnId>& excluded,
+                             const BitMatrix* conflict)
+    : txns_(txns), conflict_(conflict), node_index_(txns.size(), -1) {
   std::vector<bool> is_excluded(txns.size(), false);
   is_excluded[t1] = true;
   for (TxnId t : excluded) is_excluded[t] = true;
 
   for (TxnId t = 0; t < txns.size(); ++t) {
-    if (is_excluded[t] || TxnsConflict(txns, t, t1)) continue;
+    if (is_excluded[t] || Conflicts(t, t1)) continue;
     node_index_[t] = static_cast<int>(nodes_.size());
     nodes_.push_back(t);
   }
   adjacency_.assign(nodes_.size(), {});
   for (size_t i = 0; i < nodes_.size(); ++i) {
     for (size_t j = i + 1; j < nodes_.size(); ++j) {
-      if (TxnsConflict(txns, nodes_[i], nodes_[j])) {
+      if (Conflicts(nodes_[i], nodes_[j])) {
         adjacency_[i].push_back(nodes_[j]);
         adjacency_[j].push_back(nodes_[i]);
       }
@@ -56,14 +57,14 @@ bool MixedIsoGraph::Connected(TxnId from, TxnId to) const {
 
 std::optional<std::vector<TxnId>> MixedIsoGraph::FindInnerChain(
     TxnId t2, TxnId tm) const {
-  if (t2 == tm || TxnsConflict(txns_, t2, tm)) return std::vector<TxnId>{};
+  if (t2 == tm || Conflicts(t2, tm)) return std::vector<TxnId>{};
 
   // BFS from every node conflicting with t2 towards any node conflicting
   // with tm, over graph nodes only.
   std::vector<int> parent(nodes_.size(), -2);  // -2 unvisited, -1 source.
   std::deque<size_t> queue;
   for (size_t i = 0; i < nodes_.size(); ++i) {
-    if (TxnsConflict(txns_, t2, nodes_[i])) {
+    if (Conflicts(t2, nodes_[i])) {
       parent[i] = -1;
       queue.push_back(i);
     }
@@ -71,7 +72,7 @@ std::optional<std::vector<TxnId>> MixedIsoGraph::FindInnerChain(
   while (!queue.empty()) {
     size_t node = queue.front();
     queue.pop_front();
-    if (TxnsConflict(txns_, nodes_[node], tm)) {
+    if (Conflicts(nodes_[node], tm)) {
       std::vector<TxnId> chain;
       size_t walk = node;
       while (true) {

@@ -18,9 +18,15 @@ namespace mvrob {
 /// whose inner transactions do not conflict with T1 (Definition 3.1 (1)).
 class MixedIsoGraph {
  public:
-  /// Builds mixed-iso-graph(t1, T \ {t1} \ excluded).
+  /// Builds mixed-iso-graph(t1, T \ {t1} \ excluded). When `conflict` is
+  /// non-null it must be the BuildConflictMatrix of `txns` (or the
+  /// analyzer's equivalent); all pairwise conflict tests then become O(1)
+  /// bit lookups instead of read/write-set intersections — the checkers
+  /// build one matrix per transaction set and share it across every
+  /// candidate counterexample.
   MixedIsoGraph(const TransactionSet& txns, TxnId t1,
-                const std::vector<TxnId>& excluded);
+                const std::vector<TxnId>& excluded,
+                const BitMatrix* conflict = nullptr);
 
   bool Contains(TxnId txn) const { return node_index_[txn] >= 0; }
   const std::vector<TxnId>& nodes() const { return nodes_; }
@@ -43,7 +49,13 @@ class MixedIsoGraph {
   std::optional<std::vector<TxnId>> FindInnerChain(TxnId t2, TxnId tm) const;
 
  private:
+  bool Conflicts(TxnId a, TxnId b) const {
+    return conflict_ != nullptr ? conflict_->Test(a, b)
+                                : TxnsConflict(txns_, a, b);
+  }
+
   const TransactionSet& txns_;
+  const BitMatrix* conflict_;         // Optional shared conflict matrix.
   std::vector<TxnId> nodes_;
   std::vector<int> node_index_;       // txn id -> dense node index or -1.
   std::vector<std::vector<TxnId>> adjacency_;  // By dense node index.

@@ -4,7 +4,8 @@
 
 namespace mvrob {
 
-OptimalAllocationResult ComputeOptimalAllocation(const TransactionSet& txns) {
+OptimalAllocationResult ComputeOptimalAllocation(const TransactionSet& txns,
+                                                 const CheckOptions& options) {
   OptimalAllocationResult result;
   // All 2|T| robustness checks run over the same transaction set, so the
   // analyzer's conflict matrices and pivot components amortize fully.
@@ -15,7 +16,7 @@ OptimalAllocationResult ComputeOptimalAllocation(const TransactionSet& txns) {
          {IsolationLevel::kRC, IsolationLevel::kSI}) {
       Allocation candidate = result.allocation.With(t, level);
       ++result.robustness_checks;
-      if (analyzer.Check(candidate).robust) {
+      if (analyzer.Check(candidate, options).robust) {
         result.allocation = candidate;
         break;
       }

@@ -23,7 +23,11 @@ struct OptimalAllocationResult {
 /// and, for each transaction in turn, assigns the lowest level that keeps
 /// the allocation robust. Correctness follows from Proposition 4.1(2): the
 /// outcome does not depend on the iteration order.
-OptimalAllocationResult ComputeOptimalAllocation(const TransactionSet& txns);
+///
+/// `options` is forwarded to every robustness check; the allocation is
+/// identical for every thread count (each check is deterministic).
+OptimalAllocationResult ComputeOptimalAllocation(const TransactionSet& txns,
+                                                 const CheckOptions& options = {});
 
 }  // namespace mvrob
 

@@ -44,23 +44,56 @@ struct RobustnessResult {
   /// Present iff !robust.
   std::optional<CounterexampleChain> counterexample;
   /// Number of (T1, T2, Tm) triples examined — exposed for the complexity
-  /// benchmarks.
+  /// benchmarks. This is an *audited* counter with a fixed contract: it
+  /// equals the number of triples (t2 != t1, tm != t1) that the canonical
+  /// sequential scan order (t1 outer, t2 middle, tm inner, each ascending)
+  /// visits up to and including the winning triple — or all n(n-1)^2 of
+  /// them when robust. Every checker (reference, bitset analyzer,
+  /// parallel) reports the identical value for the identical verdict; see
+  /// internal::TriplesWhenRobust / internal::TriplesUpToWitness.
   uint64_t triples_examined = 0;
+};
+
+/// Tuning knobs threaded from the CLI/tools down to the checkers.
+struct CheckOptions {
+  /// Worker threads for the t1 outer loop. 1 = sequential (the default);
+  /// values <= 0 mean "all hardware threads". Results are deterministic
+  /// and identical for every thread count: the lowest (t1, t2, tm)
+  /// counterexample wins, and triples_examined follows the audited
+  /// contract above.
+  int num_threads = 1;
 };
 
 /// Algorithm 1: decides whether `txns` is robust against `alloc`, i.e.
 /// whether every schedule over `txns` allowed under `alloc` is conflict
 /// serializable (Definition 2.7). Runs in time polynomial in |T| per
 /// Theorem 3.3. `alloc` must have one level per transaction.
+///
+/// This is the *reference* implementation: it re-derives operation-level
+/// facts per triple and is deliberately close to the paper's pseudocode.
+/// Production callers that check repeatedly or want parallelism should use
+/// RobustnessAnalyzer (or the CheckOptions overload below, which builds
+/// one internally).
 RobustnessResult CheckRobustness(const TransactionSet& txns,
                                  const Allocation& alloc);
 
+/// Production entry point: identical verdict, counterexample, and
+/// triples_examined as the reference above, computed on the bitset
+/// analyzer with `options.num_threads`-way parallelism.
+RobustnessResult CheckRobustness(const TransactionSet& txns,
+                                 const Allocation& alloc,
+                                 const CheckOptions& options);
+
 /// Enumerates counterexample chains — one per triple (T1, T2, Tm) that
-/// witnesses non-robustness — up to `limit`. Empty iff robust. Useful for
-/// diagnostics: a workload usually breaks in several places at once, and
-/// fixing only the first reported chain rarely suffices.
+/// witnesses non-robustness — up to `limit`, in ascending (t1, t2, tm)
+/// order. Empty iff robust. Useful for diagnostics: a workload usually
+/// breaks in several places at once, and fixing only the first reported
+/// chain rarely suffices. With options.num_threads > 1 the t1 rows are
+/// scanned in parallel; the returned chains (order included) are identical
+/// to the sequential scan.
 std::vector<CounterexampleChain> FindAllCounterexamples(
-    const TransactionSet& txns, const Allocation& alloc, size_t limit = 32);
+    const TransactionSet& txns, const Allocation& alloc, size_t limit = 32,
+    const CheckOptions& options = {});
 
 namespace internal {
 
@@ -71,6 +104,15 @@ namespace internal {
 bool FindChainOperations(const TransactionSet& txns, const Allocation& alloc,
                          TxnId t1, TxnId t2, TxnId tm,
                          CounterexampleChain* chain);
+
+/// The audited triples_examined contract, in closed form (so sequential,
+/// bitset-masked, and parallel scans all report the same number without
+/// per-iteration bookkeeping):
+///  - robust run: every triple with t2 != t1, tm != t1 → n(n-1)^2;
+///  - witness at (t1, t2, tm): triples visited by the canonical ascending
+///    scan up to and including the witness.
+uint64_t TriplesWhenRobust(size_t n);
+uint64_t TriplesUpToWitness(size_t n, TxnId t1, TxnId t2, TxnId tm);
 
 }  // namespace internal
 

@@ -52,6 +52,21 @@ StatusOr<Transaction> Transaction::Create(TxnId id, std::string name,
   txn.write_set_ = std::move(writes);
   SortUnique(txn.read_set_);
   SortUnique(txn.write_set_);
+
+  // Per-object first-index tables, aligned with the sorted sets.
+  txn.first_read_idx_.assign(txn.read_set_.size(), -1);
+  txn.first_write_idx_.assign(txn.write_set_.size(), -1);
+  for (int i = 0; i < txn.num_ops(); ++i) {
+    const Operation& op = txn.ops_[i];
+    if (op.IsCommit()) continue;
+    const std::vector<ObjectId>& set =
+        op.IsRead() ? txn.read_set_ : txn.write_set_;
+    std::vector<int>& first =
+        op.IsRead() ? txn.first_read_idx_ : txn.first_write_idx_;
+    size_t pos = static_cast<size_t>(
+        std::lower_bound(set.begin(), set.end(), op.object) - set.begin());
+    if (first[pos] < 0) first[pos] = i;
+  }
   return txn;
 }
 
@@ -64,17 +79,15 @@ bool Transaction::Writes(ObjectId object) const {
 }
 
 std::optional<int> Transaction::FirstReadIndex(ObjectId object) const {
-  for (int i = 0; i < num_ops(); ++i) {
-    if (ops_[i].IsRead() && ops_[i].object == object) return i;
-  }
-  return std::nullopt;
+  auto it = std::lower_bound(read_set_.begin(), read_set_.end(), object);
+  if (it == read_set_.end() || *it != object) return std::nullopt;
+  return first_read_idx_[static_cast<size_t>(it - read_set_.begin())];
 }
 
 std::optional<int> Transaction::FirstWriteIndex(ObjectId object) const {
-  for (int i = 0; i < num_ops(); ++i) {
-    if (ops_[i].IsWrite() && ops_[i].object == object) return i;
-  }
-  return std::nullopt;
+  auto it = std::lower_bound(write_set_.begin(), write_set_.end(), object);
+  if (it == write_set_.end() || *it != object) return std::nullopt;
+  return first_write_idx_[static_cast<size_t>(it - write_set_.begin())];
 }
 
 }  // namespace mvrob

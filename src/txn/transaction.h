@@ -46,6 +46,7 @@ class Transaction {
   bool Writes(ObjectId object) const;
 
   /// Program-order index of the first read (write) on `object`, if any.
+  /// O(log |read_set|) via the precomputed per-object first-index tables.
   std::optional<int> FirstReadIndex(ObjectId object) const;
   std::optional<int> FirstWriteIndex(ObjectId object) const;
 
@@ -65,6 +66,10 @@ class Transaction {
   std::vector<Operation> ops_;
   std::vector<ObjectId> read_set_;
   std::vector<ObjectId> write_set_;
+  // First program-order index of a read (write) on read_set_[i]
+  // (write_set_[i]); aligned with the sorted object sets.
+  std::vector<int> first_read_idx_;
+  std::vector<int> first_write_idx_;
   bool at_most_one_access_ = true;
 };
 

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <vector>
 
+#include "common/bitset.h"
 #include "common/json.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace mvrob {
 namespace {
@@ -176,6 +179,147 @@ TEST(RngTest, NextDoubleInUnitInterval) {
     EXPECT_GE(d, 0.0);
     EXPECT_LT(d, 1.0);
   }
+}
+
+TEST(DenseBitsetTest, SetTestResetAcrossWordBoundaries) {
+  DenseBitset bits(130);
+  EXPECT_EQ(bits.size(), 130u);
+  EXPECT_TRUE(bits.None());
+  for (size_t i : {0u, 1u, 63u, 64u, 127u, 128u, 129u}) {
+    bits.Set(i);
+    EXPECT_TRUE(bits.Test(i));
+  }
+  EXPECT_EQ(bits.Count(), 7u);
+  bits.Reset(64);
+  EXPECT_FALSE(bits.Test(64));
+  EXPECT_EQ(bits.Count(), 6u);
+  bits.Assign(64, true);
+  EXPECT_TRUE(bits.Test(64));
+}
+
+TEST(DenseBitsetTest, SetAllKeepsTailClear) {
+  DenseBitset bits(70);
+  bits.SetAll();
+  EXPECT_EQ(bits.Count(), 70u);  // Would be 128 if tail bits leaked.
+  bits.ResetAll();
+  EXPECT_TRUE(bits.None());
+  DenseBitset filled(70, true);
+  EXPECT_EQ(filled.Count(), 70u);
+}
+
+TEST(DenseBitsetTest, WordKernels) {
+  DenseBitset a(100);
+  DenseBitset b(100);
+  a.Set(3);
+  a.Set(70);
+  a.Set(99);
+  b.Set(70);
+  b.Set(80);
+
+  DenseBitset and_result(100);
+  and_result.CopyFrom(a);
+  and_result.AndWith(b);
+  EXPECT_EQ(and_result.Count(), 1u);
+  EXPECT_TRUE(and_result.Test(70));
+
+  DenseBitset or_result(100);
+  or_result.CopyFrom(a);
+  or_result.OrWith(b);
+  EXPECT_EQ(or_result.Count(), 4u);
+
+  DenseBitset andnot_result(100);
+  andnot_result.CopyFrom(a);
+  andnot_result.AndNotWith(b);
+  EXPECT_EQ(andnot_result.Count(), 2u);
+  EXPECT_FALSE(andnot_result.Test(70));
+
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(andnot_result.Intersects(b));
+}
+
+TEST(DenseBitsetTest, FindAndIteration) {
+  DenseBitset bits(200);
+  EXPECT_EQ(bits.FindFirst(), 200u);
+  const std::vector<size_t> expected = {5, 63, 64, 150, 199};
+  for (size_t i : expected) bits.Set(i);
+  EXPECT_EQ(bits.FindFirst(), 5u);
+  EXPECT_EQ(bits.FindNext(6), 63u);
+  EXPECT_EQ(bits.FindNext(151), 199u);
+
+  std::vector<size_t> via_find;
+  for (size_t i = bits.FindFirst(); i < bits.size(); i = bits.FindNext(i + 1)) {
+    via_find.push_back(i);
+  }
+  EXPECT_EQ(via_find, expected);
+
+  std::vector<size_t> via_foreach;
+  bits.ForEachSetBit([&](size_t i) { via_foreach.push_back(i); });
+  EXPECT_EQ(via_foreach, expected);
+}
+
+TEST(BitMatrixTest, RowsAreIndependentSpans) {
+  BitMatrix matrix(3, 70);
+  matrix.Set(0, 69);
+  matrix.Set(1, 0);
+  matrix.Set(2, 35);
+  EXPECT_TRUE(matrix.Test(0, 69));
+  EXPECT_FALSE(matrix.Test(1, 69));
+  EXPECT_EQ(matrix.row(0).Count(), 1u);
+  EXPECT_EQ(matrix.row(1).Count(), 1u);
+  matrix.row(1).OrWith(matrix.row(2));
+  EXPECT_TRUE(matrix.Test(1, 35));
+  EXPECT_FALSE(matrix.Test(2, 0));
+  matrix.Reset(0, 69);
+  EXPECT_TRUE(matrix.row(0).None());
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_GE(pool.max_parallelism(), 1);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), 4, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, HandlesEmptyAndSingleElementRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, 2, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, 2, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, SequentialFallbackWithZeroWorkers) {
+  ThreadPool pool(0);
+  std::vector<int> order;
+  pool.ParallelFor(5, 8, [&](size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, BackToBackJobsReuseWorkers) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.ParallelFor(64, 3, [&](size_t i) {
+      sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 64 * 63 / 2);
+  }
+}
+
+TEST(ThreadPoolTest, ResolveThreadsContract) {
+  EXPECT_EQ(ThreadPool::ResolveThreads(1), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreads(4), 4);
+  EXPECT_GE(ThreadPool::ResolveThreads(0), 1);
+  EXPECT_GE(ThreadPool::ResolveThreads(-1), 1);
 }
 
 }  // namespace

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the robustness scaling benchmarks and emits BENCH_robustness.json
+# (Google Benchmark's JSON format, which embeds the machine context:
+# cpu count, frequency, build type). Covers the old-vs-bitset ablation
+# (Legacy/Bitset on the RMW clique and readers/writers families) and the
+# sequential-vs-parallel thread sweep.
+#
+# usage: tools/bench_to_json.sh [build-dir] [output.json]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_robustness.json}"
+BIN="$BUILD_DIR/bench/bench_robustness"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found — build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+"$BIN" \
+  --benchmark_filter='BM_(LegacyAnalyzer|BitsetAnalyzer|ParallelCheck)' \
+  --benchmark_format=json \
+  --benchmark_out_format=json \
+  --benchmark_out="$OUT" \
+  --benchmark_min_time=0.2 >/dev/null
+
+echo "wrote $OUT"

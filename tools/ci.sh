@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full CI sweep: plain build + tests, then the ThreadSanitizer and
+# AddressSanitizer builds (-DMVROB_SANITIZE=thread|address) with the tests
+# that exercise the parallel engine and the bitset kernels. The TSan run
+# forces real pool workers via MVROB_POOL_WORKERS so the parallel paths
+# are genuinely concurrent even on single-core machines.
+#
+# usage: tools/ci.sh [jobs]
+set -euo pipefail
+
+JOBS="${1:-$(nproc)}"
+cd "$(dirname "$0")/.."
+
+echo "==== plain build + full test suite ===="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo "==== TSan build (MVROB_SANITIZE=thread) ===="
+cmake -B build-tsan -S . -DMVROB_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"$JOBS" --target \
+  common_test parallel_differential_test
+MVROB_POOL_WORKERS=3 TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir build-tsan --output-on-failure -j"$JOBS" \
+  -R 'ThreadPool|ParallelDifferential|ParallelAllocation|IncrementalParallel'
+
+echo "==== ASan build (MVROB_SANITIZE=address) ===="
+cmake -B build-asan -S . -DMVROB_SANITIZE=address >/dev/null
+cmake --build build-asan -j"$JOBS" --target \
+  common_test parallel_differential_test core_test
+MVROB_POOL_WORKERS=3 \
+  ctest --test-dir build-asan --output-on-failure -j"$JOBS" \
+  -R 'DenseBitset|BitMatrix|ThreadPool|ParallelDifferential|Core|Analyzer'
+
+echo "==== all CI stages passed ===="
