@@ -3,11 +3,13 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <optional>
 #include <sstream>
 
 #include "common/json.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "core/constrained_allocation.h"
 #include "core/explain.h"
@@ -72,6 +74,10 @@ common flags:
   --seed <n>               base RNG seed (simulate; default 0)
   --threads <n>            worker threads for robustness checks (check,
                            allocate, report; default 1, 0 = all cores)
+  --stats-json <file>      write a metrics snapshot (counters, gauges,
+                           histograms) as JSON after the command
+  --trace-out <file>       write recorded phase spans as a Chrome
+                           trace_event file (chrome://tracing, Perfetto)
 )";
 
 // Parsed flag map; flags are --name value pairs except boolean switches.
@@ -154,18 +160,39 @@ int Fail(std::ostream& err, const Status& status) {
   return 1;
 }
 
-StatusOr<CheckOptions> LoadCheckOptions(const Flags& flags) {
-  CheckOptions options;
-  if (flags.Has("threads")) {
-    char* end = nullptr;
-    const std::string value = flags.Get("threads");
-    long parsed = std::strtol(value.c_str(), &end, 10);
-    if (end == value.c_str() || *end != '\0') {
-      return Status::InvalidArgument(
-          StrCat("--threads expects an integer, got '", value, "'"));
-    }
-    options.num_threads = static_cast<int>(parsed);
+// Strictly parsed numeric flags: junk ("12x", "abc"), a stray sign, or an
+// out-of-range value is an error, never a silently coerced number.
+StatusOr<int> IntFlag(const Flags& flags, const std::string& name,
+                      int fallback,
+                      int min = std::numeric_limits<int>::min(),
+                      int max = std::numeric_limits<int>::max()) {
+  if (!flags.Has(name)) return fallback;
+  StatusOr<int> parsed = ParseInt(flags.Get(name), min, max);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(
+        StrCat("--", name, ": ", parsed.status().message()));
   }
+  return parsed;
+}
+
+StatusOr<uint64_t> Uint64Flag(const Flags& flags, const std::string& name,
+                              uint64_t fallback) {
+  if (!flags.Has(name)) return fallback;
+  StatusOr<uint64_t> parsed = ParseUint64(flags.Get(name));
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(
+        StrCat("--", name, ": ", parsed.status().message()));
+  }
+  return parsed;
+}
+
+StatusOr<CheckOptions> LoadCheckOptions(const Flags& flags,
+                                        MetricsRegistry* metrics) {
+  CheckOptions options;
+  options.metrics = metrics;
+  StatusOr<int> threads = IntFlag(flags, "threads", options.num_threads);
+  if (!threads.ok()) return threads.status();
+  options.num_threads = *threads;
   return options;
 }
 
@@ -184,12 +211,13 @@ void ChainToJson(const TransactionSet& txns, const CounterexampleChain& chain,
   json.EndObject();
 }
 
-int CmdCheck(const Flags& flags, std::ostream& out, std::ostream& err) {
+int CmdCheck(const Flags& flags, std::ostream& out, std::ostream& err,
+             MetricsRegistry* metrics) {
   StatusOr<TransactionSet> txns = LoadTxns(flags);
   if (!txns.ok()) return Fail(err, txns.status());
   StatusOr<Allocation> alloc = LoadAllocation(flags, *txns);
   if (!alloc.ok()) return Fail(err, alloc.status());
-  StatusOr<CheckOptions> options = LoadCheckOptions(flags);
+  StatusOr<CheckOptions> options = LoadCheckOptions(flags, metrics);
   if (!options.ok()) return Fail(err, options.status());
 
   if (flags.Has("json")) {
@@ -257,10 +285,11 @@ StatusOr<AllocationBounds> LoadBounds(const Flags& flags,
   return bounds;
 }
 
-int CmdAllocate(const Flags& flags, std::ostream& out, std::ostream& err) {
+int CmdAllocate(const Flags& flags, std::ostream& out, std::ostream& err,
+                MetricsRegistry* metrics) {
   StatusOr<TransactionSet> txns = LoadTxns(flags);
   if (!txns.ok()) return Fail(err, txns.status());
-  StatusOr<CheckOptions> options = LoadCheckOptions(flags);
+  StatusOr<CheckOptions> options = LoadCheckOptions(flags, metrics);
   if (!options.ok()) return Fail(err, options.status());
 
   if (flags.Has("pin") || flags.Has("atmost")) {
@@ -363,12 +392,10 @@ int CmdCensus(const Flags& flags, std::ostream& out, std::ostream& err) {
   if (!txns.ok()) return Fail(err, txns.status());
   StatusOr<Allocation> alloc = LoadAllocation(flags, *txns);
   if (!alloc.ok()) return Fail(err, alloc.status());
-  uint64_t max_interleavings = 2'000'000;
-  if (flags.Has("max")) {
-    max_interleavings = std::strtoull(flags.Get("max").c_str(), nullptr, 10);
-  }
+  StatusOr<uint64_t> max_interleavings = Uint64Flag(flags, "max", 2'000'000);
+  if (!max_interleavings.ok()) return Fail(err, max_interleavings.status());
   StatusOr<ScheduleCensus> census =
-      ComputeScheduleCensus(*txns, *alloc, max_interleavings);
+      ComputeScheduleCensus(*txns, *alloc, *max_interleavings);
   if (!census.ok()) return Fail(err, census.status());
   out << "interleavings: " << census->interleavings << "\n";
   out << "allowed:       " << census->allowed << "\n";
@@ -393,10 +420,11 @@ int CmdTemplates(const Flags& flags, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
-int CmdReport(const Flags& flags, std::ostream& out, std::ostream& err) {
+int CmdReport(const Flags& flags, std::ostream& out, std::ostream& err,
+              MetricsRegistry* metrics) {
   StatusOr<TransactionSet> txns = LoadTxns(flags);
   if (!txns.ok()) return Fail(err, txns.status());
-  StatusOr<CheckOptions> options = LoadCheckOptions(flags);
+  StatusOr<CheckOptions> options = LoadCheckOptions(flags, metrics);
   if (!options.ok()) return Fail(err, options.status());
 
   out << "# Workload analysis\n\n";
@@ -460,35 +488,36 @@ int CmdReport(const Flags& flags, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
-int CmdSimulate(const Flags& flags, std::ostream& out, std::ostream& err) {
+int CmdSimulate(const Flags& flags, std::ostream& out, std::ostream& err,
+                MetricsRegistry* metrics) {
   StatusOr<TransactionSet> txns = LoadTxns(flags);
   if (!txns.ok()) return Fail(err, txns.status());
   StatusOr<Allocation> alloc = LoadAllocation(flags, *txns);
   if (!alloc.ok()) return Fail(err, alloc.status());
-  int runs = flags.Has("runs") ? std::atoi(flags.Get("runs").c_str()) : 20;
-  int concurrency = flags.Has("concurrency")
-                        ? std::atoi(flags.Get("concurrency").c_str())
-                        : 4;
-  uint64_t seed =
-      flags.Has("seed") ? std::strtoull(flags.Get("seed").c_str(), nullptr, 10)
-                        : 0;
-  if (runs <= 0 || concurrency <= 0) {
-    return Fail(err,
-                Status::InvalidArgument("--runs/--concurrency must be > 0"));
-  }
+  StatusOr<int> runs =
+      IntFlag(flags, "runs", 20, 1, std::numeric_limits<int>::max());
+  if (!runs.ok()) return Fail(err, runs.status());
+  StatusOr<int> concurrency =
+      IntFlag(flags, "concurrency", 4, 1, std::numeric_limits<int>::max());
+  if (!concurrency.ok()) return Fail(err, concurrency.status());
+  StatusOr<uint64_t> seed = Uint64Flag(flags, "seed", 0);
+  if (!seed.ok()) return Fail(err, seed.status());
 
-  out << "simulating " << runs << " executions of " << txns->size()
+  out << "simulating " << *runs << " executions of " << txns->size()
       << " transactions under " << alloc->ToString(*txns) << "\n";
   uint64_t commits = 0;
   uint64_t fuw = 0;
   uint64_t ssi = 0;
   uint64_t serializable = 0;
   std::map<std::string, int> anomaly_counts;
-  for (int r = 0; r < runs; ++r) {
-    Engine engine(txns->num_objects());
+  for (int r = 0; r < *runs; ++r) {
+    EngineOptions engine_options;
+    engine_options.metrics = metrics;
+    Engine engine(txns->num_objects(), engine_options);
     RandomRunOptions options;
-    options.concurrency = concurrency;
-    options.seed = seed + static_cast<uint64_t>(r);
+    options.concurrency = *concurrency;
+    options.seed = *seed + static_cast<uint64_t>(r);
+    options.metrics = metrics;
     DriverReport report = RunRandom(engine, *txns, *alloc, options);
     commits += report.committed;
     fuw += engine.stats().aborts_write_conflict;
@@ -508,7 +537,7 @@ int CmdSimulate(const Flags& flags, std::ostream& out, std::ostream& err) {
   }
   out << "commits: " << commits << ", first-updater aborts: " << fuw
       << ", SSI aborts: " << ssi << "\n";
-  out << "serializable runs: " << serializable << "/" << runs << "\n";
+  out << "serializable runs: " << serializable << "/" << *runs << "\n";
   for (const auto& [kind, count] : anomaly_counts) {
     out << "anomaly '" << kind << "': " << count << " occurrence(s)\n";
   }
@@ -525,8 +554,12 @@ int CmdSimulate(const Flags& flags, std::ostream& out, std::ostream& err) {
 //   remove <Name>           drop a transaction
 //   show                    print workload + current optimal allocation
 //   quit
-int CmdShell(std::istream& in, std::ostream& out, std::ostream& err) {
+int CmdShell(std::istream& in, std::ostream& out, std::ostream& err,
+             MetricsRegistry* metrics) {
   IncrementalAllocator allocator;
+  CheckOptions shell_options;
+  shell_options.metrics = metrics;
+  allocator.set_check_options(shell_options);
   out << "mvrob shell - 'add <Name>: R[x] W[y]', 'remove <Name>', 'show', "
          "'quit'\n";
   std::string line;
@@ -632,6 +665,35 @@ int CmdCrossCheck(const Flags& flags, std::ostream& out, std::ostream& err) {
   return agree ? 0 : 2;
 }
 
+// Writes `content` to `path`; used for the metric export files.
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::NotFound(StrCat("cannot open ", path, " for writing"));
+  }
+  file << content << "\n";
+  file.flush();
+  if (!file) {
+    return Status::ResourceExhausted(StrCat("failed writing ", path));
+  }
+  return Status::Ok();
+}
+
+int Dispatch(const std::string& command, const Flags& flags, std::istream& in,
+             std::ostream& out, std::ostream& err, MetricsRegistry* metrics) {
+  if (command == "check") return CmdCheck(flags, out, err, metrics);
+  if (command == "allocate") return CmdAllocate(flags, out, err, metrics);
+  if (command == "explore") return CmdExplore(flags, out, err);
+  if (command == "census") return CmdCensus(flags, out, err);
+  if (command == "templates") return CmdTemplates(flags, out, err);
+  if (command == "report") return CmdReport(flags, out, err, metrics);
+  if (command == "crosscheck") return CmdCrossCheck(flags, out, err);
+  if (command == "simulate") return CmdSimulate(flags, out, err, metrics);
+  if (command == "shell") return CmdShell(in, out, err, metrics);
+  err << "error: unknown command '" << command << "'\n" << kUsage;
+  return 1;
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
@@ -648,18 +710,36 @@ int RunCli(const std::vector<std::string>& args, std::istream& in,
   StatusOr<Flags> flags = ParseFlags(args, 1);
   if (!flags.ok()) return Fail(err, flags.status());
 
+  // --stats-json / --trace-out turn on metrics collection for the whole
+  // command; without them no registry exists and every instrumentation
+  // site stays disabled (null sink).
+  std::optional<MetricsRegistry> registry;
+  MetricsRegistry* metrics = nullptr;
+  if (flags->Has("stats-json") || flags->Has("trace-out")) {
+    registry.emplace();
+    metrics = &*registry;
+  }
+
   const std::string& command = args[0];
-  if (command == "check") return CmdCheck(*flags, out, err);
-  if (command == "allocate") return CmdAllocate(*flags, out, err);
-  if (command == "explore") return CmdExplore(*flags, out, err);
-  if (command == "census") return CmdCensus(*flags, out, err);
-  if (command == "templates") return CmdTemplates(*flags, out, err);
-  if (command == "report") return CmdReport(*flags, out, err);
-  if (command == "crosscheck") return CmdCrossCheck(*flags, out, err);
-  if (command == "simulate") return CmdSimulate(*flags, out, err);
-  if (command == "shell") return CmdShell(in, out, err);
-  err << "error: unknown command '" << command << "'\n" << kUsage;
-  return 1;
+  int code;
+  {
+    // Top-level span covering the entire command.
+    PhaseTimer timer(metrics, StrCat("cli.", command));
+    code = Dispatch(command, *flags, in, out, err, metrics);
+  }
+  if (registry.has_value()) {
+    if (flags->Has("stats-json")) {
+      Status written =
+          WriteTextFile(flags->Get("stats-json"), registry->SnapshotJson());
+      if (!written.ok()) return Fail(err, written);
+    }
+    if (flags->Has("trace-out")) {
+      Status written =
+          WriteTextFile(flags->Get("trace-out"), registry->TraceJson());
+      if (!written.ok()) return Fail(err, written);
+    }
+  }
+  return code;
 }
 
 }  // namespace mvrob

@@ -1,0 +1,165 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/json.h"
+#include "common/string_util.h"
+
+namespace mvrob {
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  // Values in [2^(i-1), 2^i - 1] have bit_width i and land in bucket i;
+  // the last bucket absorbs the tail.
+  return std::min<size_t>(std::bit_width(value), kNumBuckets - 1);
+}
+
+void Histogram::Observe(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+MetricsRegistry::MetricsRegistry() : epoch_(std::chrono::steady_clock::now()) {}
+
+namespace {
+
+template <typename Map>
+auto& FindOrCreate(std::mutex& mu, Map& map, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = map.find(std::string(name));
+  if (it == map.end()) {
+    it = map.emplace(std::string(name),
+                     std::make_unique<typename Map::mapped_type::element_type>())
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return FindOrCreate(mu_, counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return FindOrCreate(mu_, gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return FindOrCreate(mu_, histograms_, name);
+}
+
+void MetricsRegistry::RecordSpan(std::string_view name,
+                                 std::chrono::steady_clock::time_point begin,
+                                 std::chrono::steady_clock::time_point end) {
+  using std::chrono::duration_cast;
+  using std::chrono::microseconds;
+  if (end < begin) end = begin;
+  TraceEvent event;
+  event.name.assign(name);
+  event.tid = CurrentThreadId();
+  event.start_us = static_cast<uint64_t>(
+      duration_cast<microseconds>(begin - epoch_).count());
+  event.dur_us =
+      static_cast<uint64_t>(duration_cast<microseconds>(end - begin).count());
+  histogram(StrCat("phase.", name, "_us")).Observe(event.dur_us);
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  events_.push_back(std::move(event));
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("version");
+  json.Uint(1);
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    json.Key(name);
+    json.Uint(counter->value());
+  }
+  json.EndObject();
+  json.Key("gauges");
+  json.BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    json.Key(name);
+    json.Int(gauge->value());
+  }
+  json.EndObject();
+  json.Key("histograms");
+  json.BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    json.Key(name);
+    json.BeginObject();
+    json.Key("count");
+    json.Uint(histogram->count());
+    json.Key("sum");
+    json.Uint(histogram->sum());
+    json.Key("max");
+    json.Uint(histogram->max());
+    json.Key("mean");
+    json.Double(histogram->Mean());
+    // Sparse [bucket_lower_bound, count] pairs; empty buckets omitted.
+    json.Key("buckets");
+    json.BeginArray();
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      uint64_t count = histogram->bucket(i);
+      if (count == 0) continue;
+      json.BeginArray();
+      json.Uint(Histogram::BucketLowerBound(i));
+      json.Uint(count);
+      json.EndArray();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  return json.str();
+}
+
+std::string MetricsRegistry::TraceJson() const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("displayTimeUnit");
+  json.String("ms");
+  json.Key("traceEvents");
+  json.BeginArray();
+  for (const TraceEvent& event : events_) {
+    json.BeginObject();
+    json.Key("name");
+    json.String(event.name);
+    json.Key("cat");
+    json.String("mvrob");
+    json.Key("ph");
+    json.String("X");
+    json.Key("ts");
+    json.Uint(event.start_us);
+    json.Key("dur");
+    json.Uint(event.dur_us);
+    json.Key("pid");
+    json.Uint(1);
+    json.Key("tid");
+    json.Uint(event.tid);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+uint32_t MetricsRegistry::CurrentThreadId() {
+  static std::atomic<uint32_t> next_id{1};
+  thread_local uint32_t id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace mvrob

@@ -1,0 +1,166 @@
+#ifndef MVROB_COMMON_METRICS_H_
+#define MVROB_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mvrob {
+
+/// A monotonically increasing event count. All mutators are lock-free and
+/// safe to call from any thread.
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A settable instantaneous value (queue depth, pool size).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A distribution with fixed log-spaced (power-of-two) buckets: bucket 0
+/// holds the value 0, bucket i (i >= 1) holds values in
+/// [2^(i-1), 2^i - 1], and the last bucket absorbs everything larger.
+/// Observe is lock-free; readers see a consistent-enough snapshot for
+/// reporting (buckets/count/sum are independently relaxed).
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 44;
+
+  void Observe(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double Mean() const {
+    uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Smallest value that lands in bucket `i` (0, 1, 2, 4, 8, ...).
+  static uint64_t BucketLowerBound(size_t i) {
+    return i == 0 ? 0 : uint64_t{1} << (i - 1);
+  }
+  static size_t BucketIndex(uint64_t value);
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// One completed span for the Chrome trace_event export: a named interval
+/// on one thread, microseconds relative to the registry's creation.
+struct TraceEvent {
+  std::string name;
+  uint32_t tid = 0;
+  uint64_t start_us = 0;
+  uint64_t dur_us = 0;
+};
+
+/// A lightweight, thread-safe metrics registry: named counters, gauges,
+/// and histograms plus a span log for trace export. Instrumented code
+/// holds a nullable `MetricsRegistry*` — a null pointer disables the
+/// instrumentation site entirely (the differential tests assert that
+/// enabling metrics never changes analysis results, and the benchmarks
+/// that the disabled path costs nothing measurable).
+///
+/// Usage pattern for hot paths: resolve the metric once (`counter(name)`
+/// returns a stable reference), accumulate locally, publish once per unit
+/// of work. Name lookups take a mutex; metric mutations are lock-free.
+///
+/// Export formats:
+///  - SnapshotJson(): flat JSON ({"version":1,"counters":{...},
+///    "gauges":{...},"histograms":{...}}) for --stats-json;
+///  - TraceJson(): a Chrome trace_event object ({"traceEvents":[...]})
+///    loadable in chrome://tracing and Perfetto, for --trace-out.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Named metric accessors; created on first use, addresses stable for
+  /// the registry's lifetime. Thread-safe.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Records a completed span (trace event + a "phase.<name>_us"
+  /// histogram observation). Thread-safe.
+  void RecordSpan(std::string_view name,
+                  std::chrono::steady_clock::time_point begin,
+                  std::chrono::steady_clock::time_point end);
+
+  std::string SnapshotJson() const;
+  std::string TraceJson() const;
+
+  /// A small dense id for the calling thread (1, 2, ...), used as the
+  /// trace `tid` and for per-thread work accounting.
+  static uint32_t CurrentThreadId();
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;  // Guards the three maps (not the metrics).
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+
+  mutable std::mutex trace_mu_;  // Guards events_.
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII phase timer: times a scope and records it as a span on the
+/// registry. A null registry makes construction and destruction no-ops
+/// (no clock read, no allocation).
+class PhaseTimer {
+ public:
+  PhaseTimer(MetricsRegistry* registry, std::string_view name)
+      : registry_(registry) {
+    if (registry_ == nullptr) return;
+    name_.assign(name);
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~PhaseTimer() {
+    if (registry_ == nullptr) return;
+    registry_->RecordSpan(name_, start_, std::chrono::steady_clock::now());
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  MetricsRegistry* registry_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mvrob
+
+#endif  // MVROB_COMMON_METRICS_H_

@@ -1,6 +1,7 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <charconv>
 
 namespace mvrob {
 
@@ -16,6 +17,48 @@ std::string_view StripWhitespace(std::string_view input) {
     --end;
   }
   return input.substr(begin, end - begin);
+}
+
+namespace {
+
+// Shared strict-parse core: from_chars must consume the whole string.
+template <typename T>
+StatusOr<T> ParseWhole(std::string_view text, T min, T max) {
+  if (text.empty()) {
+    return Status::InvalidArgument("expected an integer, got an empty string");
+  }
+  T value{};
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, value, 10);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::InvalidArgument(
+        StrCat("'", text, "' is out of range [", min, ", ", max, "]"));
+  }
+  if (ec != std::errc() || ptr != end) {
+    return Status::InvalidArgument(
+        StrCat("'", text, "' is not an integer"));
+  }
+  if (value < min || value > max) {
+    return Status::InvalidArgument(
+        StrCat("'", text, "' is out of range [", min, ", ", max, "]"));
+  }
+  return value;
+}
+
+}  // namespace
+
+StatusOr<int64_t> ParseInt64(std::string_view text, int64_t min, int64_t max) {
+  return ParseWhole<int64_t>(text, min, max);
+}
+
+StatusOr<uint64_t> ParseUint64(std::string_view text, uint64_t max) {
+  return ParseWhole<uint64_t>(text, 0, max);
+}
+
+StatusOr<int> ParseInt(std::string_view text, int min, int max) {
+  StatusOr<int64_t> parsed = ParseInt64(text, min, max);
+  if (!parsed.ok()) return parsed.status();
+  return static_cast<int>(*parsed);
 }
 
 std::vector<std::string> SplitAndTrim(std::string_view input, char delimiter) {

@@ -1,10 +1,14 @@
 #ifndef MVROB_COMMON_STRING_UTIL_H_
 #define MVROB_COMMON_STRING_UTIL_H_
 
+#include <cstdint>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/status.h"
 
 namespace mvrob {
 
@@ -13,6 +17,26 @@ std::vector<std::string> SplitAndTrim(std::string_view input, char delimiter);
 
 /// Removes leading and trailing whitespace.
 std::string_view StripWhitespace(std::string_view input);
+
+/// Strict base-10 integer parsing for untrusted input (CLI flags,
+/// environment variables, workload specs). Unlike atoi/strtoull, these
+/// reject the empty string, any leading or trailing junk ("12x", " 5",
+/// "abc"), a bare sign, and values outside [min, max] — malformed input
+/// yields InvalidArgument instead of a silently coerced number.
+StatusOr<int64_t> ParseInt64(
+    std::string_view text,
+    int64_t min = std::numeric_limits<int64_t>::min(),
+    int64_t max = std::numeric_limits<int64_t>::max());
+
+/// Same, for unsigned values; a leading '-' is rejected (not wrapped).
+StatusOr<uint64_t> ParseUint64(
+    std::string_view text,
+    uint64_t max = std::numeric_limits<uint64_t>::max());
+
+/// Convenience wrapper for int-typed knobs.
+StatusOr<int> ParseInt(std::string_view text,
+                       int min = std::numeric_limits<int>::min(),
+                       int max = std::numeric_limits<int>::max());
 
 /// Joins the elements of `parts` with `separator` using operator<<.
 template <typename Container>

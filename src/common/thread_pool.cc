@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <iostream>
+
+#include "common/metrics.h"
+#include "common/string_util.h"
 
 namespace mvrob {
 namespace {
@@ -76,9 +80,18 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::ParallelFor(size_t n, int max_threads,
-                             const std::function<void(size_t)>& body) {
+                             const std::function<void(size_t)>& body,
+                             MetricsRegistry* metrics) {
   if (n == 0) return;
+  if (metrics != nullptr) {
+    metrics->counter("pool.jobs").Increment();
+    metrics->counter("pool.iterations").Add(n);
+  }
   if (n == 1 || max_threads <= 1 || workers_.empty() || t_in_parallel_for) {
+    if (metrics != nullptr) {
+      metrics->counter("pool.inline_jobs").Increment();
+      metrics->histogram("pool.participants_per_job").Observe(1);
+    }
     for (size_t i = 0; i < n; ++i) body(i);
     return;
   }
@@ -115,21 +128,45 @@ void ThreadPool::ParallelFor(size_t n, int max_threads,
     std::unique_lock<std::mutex> lock(job.m);
     job.done_cv.wait(lock, [&] { return job.active_workers == 0; });
   }
+  if (metrics != nullptr) {
+    // Workers that joined, plus the participating caller.
+    metrics->histogram("pool.participants_per_job")
+        .Observe(static_cast<uint64_t>(
+                     job.participants.load(std::memory_order_relaxed)) +
+                 1);
+  }
+}
+
+int ThreadPool::WorkersFromEnv(const char* text, std::ostream& warn) {
+  const int hardware =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  const int fallback = std::max(0, hardware - 1);
+  if (text == nullptr) return fallback;
+  StatusOr<int64_t> parsed = ParseInt64(text);
+  if (!parsed.ok()) {
+    warn << "mvrob: warning: ignoring invalid MVROB_POOL_WORKERS='" << text
+         << "' (" << parsed.status().message() << "); using " << fallback
+         << " workers\n";
+    return fallback;
+  }
+  const int clamped = static_cast<int>(
+      std::clamp<int64_t>(*parsed, 1, hardware));
+  if (clamped != *parsed) {
+    warn << "mvrob: warning: MVROB_POOL_WORKERS=" << *parsed
+         << " outside [1, " << hardware << "]; using " << clamped
+         << " workers\n";
+  }
+  return clamped;
 }
 
 ThreadPool& ThreadPool::Shared() {
   // One background worker per hardware thread beyond the caller's.
   // MVROB_POOL_WORKERS overrides the count — used by the sanitizer CI to
   // force real concurrency on single-core machines, and available to cap
-  // the pool in shared environments.
-  static ThreadPool pool([] {
-    if (const char* env = std::getenv("MVROB_POOL_WORKERS")) {
-      int parsed = std::atoi(env);
-      if (parsed >= 0) return parsed;
-    }
-    return std::max(
-        0, static_cast<int>(std::thread::hardware_concurrency()) - 1);
-  }());
+  // the pool in shared environments. Invalid values are rejected loudly
+  // (falling back to the hardware default) instead of silently becoming 0.
+  static ThreadPool pool(
+      WorkersFromEnv(std::getenv("MVROB_POOL_WORKERS"), std::cerr));
   return pool;
 }
 

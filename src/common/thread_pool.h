@@ -5,11 +5,14 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <iosfwd>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace mvrob {
+
+class MetricsRegistry;
 
 /// A small shared worker pool for data-parallel loops.
 ///
@@ -49,12 +52,28 @@ class ThreadPool {
   /// Runs body(i) for i in [0, n); at most max_threads threads participate
   /// (the caller always counts as one). Blocks until done.
   void ParallelFor(size_t n, int max_threads,
-                   const std::function<void(size_t)>& body);
+                   const std::function<void(size_t)>& body) {
+    ParallelFor(n, max_threads, body, nullptr);
+  }
+
+  /// Same, recording pool counters (pool.jobs, pool.iterations,
+  /// pool.inline_jobs) and a pool.participants_per_job histogram when
+  /// `metrics` is non-null.
+  void ParallelFor(size_t n, int max_threads,
+                   const std::function<void(size_t)>& body,
+                   MetricsRegistry* metrics);
 
   /// The process-wide pool, sized to the hardware on first use. The
   /// MVROB_POOL_WORKERS environment variable (read once) overrides the
   /// worker count.
   static ThreadPool& Shared();
+
+  /// Resolves the MVROB_POOL_WORKERS override (`text` is the raw env
+  /// value, nullptr when unset): invalid input warns on `warn` and falls
+  /// back to the hardware default; valid input is clamped to
+  /// [1, hardware_concurrency] with a warning when clamping changed it.
+  /// Exposed for tests.
+  static int WorkersFromEnv(const char* text, std::ostream& warn);
 
   /// Resolves a user-facing thread-count knob: values <= 0 mean "use the
   /// hardware", anything else is taken as-is.

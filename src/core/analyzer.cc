@@ -1,15 +1,19 @@
 #include "core/analyzer.h"
 
 #include <algorithm>
+#include <array>
+#include <memory>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/mixed_iso_graph.h"
 #include "txn/conflict.h"
 
 namespace mvrob {
 
-RobustnessAnalyzer::RobustnessAnalyzer(const TransactionSet& txns)
-    : txns_(txns) {
+RobustnessAnalyzer::RobustnessAnalyzer(const TransactionSet& txns,
+                                       MetricsRegistry* metrics)
+    : txns_(txns), metrics_(metrics) {
   const size_t n = txns.size();
   conflict_ = BitMatrix(n, n);
   rw_ = BitMatrix(n, n);
@@ -23,34 +27,38 @@ RobustnessAnalyzer::RobustnessAnalyzer(const TransactionSet& txns)
   pivot_cache_.resize(n);
   rc_cache_.resize(n);
 
-  for (TxnId i = 0; i < n; ++i) {
-    const Transaction& ti = txns.txn(i);
-    for (TxnId j = 0; j < n; ++j) {
-      if (i == j) continue;
-      const Transaction& tj = txns.txn(j);
-      int& first_ww = first_ww_idx_[i * n + j];
-      int& first_rw = first_rw_idx_[i * n + j];
-      int& last_conflict = last_conflict_idx_[i * n + j];
-      for (int k = 0; k < ti.num_ops(); ++k) {
-        const Operation& op = ti.op(k);
-        if (op.IsCommit()) continue;
-        bool writes_j = tj.Writes(op.object);
-        if (op.IsWrite()) {
-          if (writes_j && first_ww == kNever) first_ww = k;
-          if (writes_j || tj.Reads(op.object)) last_conflict = k;
-        } else if (writes_j) {
-          rw_.Set(i, j);
-          if (first_rw == kNever) first_rw = k;
-          last_conflict = k;
+  {
+    PhaseTimer matrix_timer(metrics_, "analyzer.build_conflict_matrix");
+    for (TxnId i = 0; i < n; ++i) {
+      const Transaction& ti = txns.txn(i);
+      for (TxnId j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const Transaction& tj = txns.txn(j);
+        int& first_ww = first_ww_idx_[i * n + j];
+        int& first_rw = first_rw_idx_[i * n + j];
+        int& last_conflict = last_conflict_idx_[i * n + j];
+        for (int k = 0; k < ti.num_ops(); ++k) {
+          const Operation& op = ti.op(k);
+          if (op.IsCommit()) continue;
+          bool writes_j = tj.Writes(op.object);
+          if (op.IsWrite()) {
+            if (writes_j && first_ww == kNever) first_ww = k;
+            if (writes_j || tj.Reads(op.object)) last_conflict = k;
+          } else if (writes_j) {
+            rw_.Set(i, j);
+            if (first_rw == kNever) first_rw = k;
+            last_conflict = k;
+          }
         }
-      }
-      if (rw_.Test(i, j) || first_ww != kNever || last_conflict >= 0) {
-        conflict_.Set(i, j);
+        if (rw_.Test(i, j) || first_ww != kNever || last_conflict >= 0) {
+          conflict_.Set(i, j);
+        }
       }
     }
   }
   // Close conflict_ under symmetry (the scan sees rw via Ti's reads only)
   // and derive the candidate rows.
+  PhaseTimer masks_timer(metrics_, "analyzer.build_candidate_masks");
   for (TxnId i = 0; i < n; ++i) {
     for (TxnId j = i + 1; j < n; ++j) {
       if (conflict_.Test(i, j) || conflict_.Test(j, i)) {
@@ -163,8 +171,10 @@ ConstBitSpan RobustnessAnalyzer::RcCandidatesFor(TxnId t1, int k) const {
 
 std::optional<CounterexampleChain> RobustnessAnalyzer::CheckRow(
     const Allocation& alloc, ConstBitSpan ssi_mask, TxnId t1,
-    const std::atomic<uint32_t>* best) const {
+    const std::atomic<uint32_t>* best, uint64_t* words_scanned) const {
   const size_t n = txns_.size();
+  const uint64_t words_per_row = (n + 63) / 64;
+  uint64_t mask_ops = 0;  // Word-wise row operations; flushed on return.
   bool t1_rc = alloc.level(t1) == IsolationLevel::kRC;
   bool s1 = ssi_mask.Test(t1);
 
@@ -173,6 +183,7 @@ std::optional<CounterexampleChain> RobustnessAnalyzer::CheckRow(
   DenseBitset pair_mask(n);
   pair_mask.CopyFrom(rw_.row(t1));
   pair_mask.AndWith(t1_rc ? rw_before_ww_.row(t1) : ww_never_.row(t1));
+  mask_ops += 2;
   DenseBitset ssi_rw_out(n);  // Condition (8)'s exclusion: SSI Tm read by T1.
   if (s1) {
     DenseBitset ssi_rw_in(n);
@@ -181,12 +192,14 @@ std::optional<CounterexampleChain> RobustnessAnalyzer::CheckRow(
     pair_mask.AndNotWith(ssi_rw_in);
     ssi_rw_out.CopyFrom(ssi_mask);
     ssi_rw_out.AndWith(rw_.row(t1));
+    mask_ops += 5;
   }
 
   DenseBitset tm_mask(n);
   for (size_t t2 = pair_mask.FindFirst(); t2 < n;
        t2 = pair_mask.FindNext(t2 + 1)) {
     if (best != nullptr && t1 >= best->load(std::memory_order_relaxed)) {
+      if (words_scanned != nullptr) *words_scanned += mask_ops * words_per_row;
       return std::nullopt;  // A lower row already holds a witness.
     }
     // Tm candidates for this pair: allocation-independent base (ww
@@ -197,9 +210,14 @@ std::optional<CounterexampleChain> RobustnessAnalyzer::CheckRow(
     } else {
       tm_mask.CopyFrom(si_candidates_.row(t1));
     }
+    ++mask_ops;
     if (s1) {
       tm_mask.AndNotWith(ssi_rw_out);
-      if (ssi_mask.Test(t2)) tm_mask.AndNotWith(ssi_mask);
+      ++mask_ops;
+      if (ssi_mask.Test(t2)) {
+        tm_mask.AndNotWith(ssi_mask);
+        ++mask_ops;
+      }
     }
     for (size_t tm = tm_mask.FindFirst(); tm < n;
          tm = tm_mask.FindNext(tm + 1)) {
@@ -219,9 +237,11 @@ std::optional<CounterexampleChain> RobustnessAnalyzer::CheckRow(
           static_cast<TxnId>(t2), static_cast<TxnId>(tm));
       if (!inner.has_value()) continue;
       chain.inner = std::move(inner).value();
+      if (words_scanned != nullptr) *words_scanned += mask_ops * words_per_row;
       return chain;
     }
   }
+  if (words_scanned != nullptr) *words_scanned += mask_ops * words_per_row;
   return std::nullopt;
 }
 
@@ -229,31 +249,61 @@ RobustnessResult RobustnessAnalyzer::Check(const Allocation& alloc) const {
   return Check(alloc, CheckOptions{});
 }
 
+namespace {
+
+void RecordCheckMetrics(MetricsRegistry* metrics,
+                        const RobustnessResult& result, uint64_t words_scanned,
+                        uint64_t rows_scanned) {
+  metrics->counter("analyzer.checks").Increment();
+  metrics->counter("analyzer.triples_examined").Add(result.triples_examined);
+  metrics->counter("analyzer.bitset_words_scanned").Add(words_scanned);
+  metrics->counter("analyzer.rows_scanned").Add(rows_scanned);
+  if (!result.robust) {
+    metrics->counter("analyzer.counterexamples_found").Increment();
+  }
+}
+
+}  // namespace
+
 RobustnessResult RobustnessAnalyzer::Check(const Allocation& alloc,
                                            const CheckOptions& options) const {
+  MetricsRegistry* metrics =
+      options.metrics != nullptr ? options.metrics : metrics_;
   RobustnessResult result;
   const size_t n = txns_.size();
-  if (n < 2) return result;
+  if (n < 2) {
+    if (metrics != nullptr) metrics->counter("analyzer.checks").Increment();
+    return result;
+  }
+  PhaseTimer scan_timer(metrics, "analyzer.triple_scan");
 
   DenseBitset ssi_mask(n);
   for (TxnId t = 0; t < n; ++t) {
     if (alloc.level(t) == IsolationLevel::kSSI) ssi_mask.Set(t);
   }
 
+  uint64_t words_scanned = 0;
+  uint64_t rows_scanned = 0;
   const int threads = ThreadPool::ResolveThreads(options.num_threads);
   if (threads <= 1) {
     for (TxnId t1 = 0; t1 < n; ++t1) {
-      std::optional<CounterexampleChain> chain =
-          CheckRow(alloc, ssi_mask, t1, nullptr);
+      std::optional<CounterexampleChain> chain = CheckRow(
+          alloc, ssi_mask, t1, nullptr,
+          metrics != nullptr ? &words_scanned : nullptr);
+      ++rows_scanned;
       if (chain.has_value()) {
         result.robust = false;
         result.triples_examined = internal::TriplesUpToWitness(
             n, chain->t1, chain->t2, chain->tm);
         result.counterexample = std::move(chain);
-        return result;
+        break;
       }
     }
-    result.triples_examined = internal::TriplesWhenRobust(n);
+    if (result.robust) result.triples_examined = internal::TriplesWhenRobust(n);
+    if (metrics != nullptr) {
+      metrics->histogram("analyzer.rows_per_thread").Observe(rows_scanned);
+      RecordCheckMetrics(metrics, result, words_scanned, rows_scanned);
+    }
     return result;
   }
 
@@ -262,20 +312,44 @@ RobustnessResult RobustnessAnalyzer::Check(const Allocation& alloc,
   // strictly lower row has a witness, so every row below the final winner
   // completed a full, witness-free scan — making the winner exactly the
   // sequential answer and the closed-form triple count exact.
+  //
+  // Metrics accounting keeps off the shared cache lines the scan itself
+  // uses: words scanned accumulate per row into one atomic, and per-thread
+  // row counts go into 64 cache-line-padded slots keyed by the dense
+  // thread id (observed as the rows_per_thread work-balance histogram).
+  struct alignas(64) RowSlot {
+    std::atomic<uint64_t> rows{0};
+  };
+  static_assert(sizeof(RowSlot) == 64);
+  std::unique_ptr<std::array<RowSlot, 64>> slots;
+  std::atomic<uint64_t> words_total{0};
+  const bool instrumented = metrics != nullptr;
+  if (instrumented) slots = std::make_unique<std::array<RowSlot, 64>>();
+
   std::atomic<uint32_t> best{static_cast<uint32_t>(n)};
   std::vector<std::optional<CounterexampleChain>> rows(n);
-  ThreadPool::Shared().ParallelFor(n, threads, [&](size_t i) {
-    if (i >= best.load(std::memory_order_acquire)) return;
-    std::optional<CounterexampleChain> chain =
-        CheckRow(alloc, ssi_mask, static_cast<TxnId>(i), &best);
-    if (!chain.has_value()) return;
-    rows[i] = std::move(chain);
-    uint32_t current = best.load(std::memory_order_acquire);
-    while (i < current &&
-           !best.compare_exchange_weak(current, static_cast<uint32_t>(i),
-                                       std::memory_order_acq_rel)) {
-    }
-  });
+  ThreadPool::Shared().ParallelFor(
+      n, threads,
+      [&](size_t i) {
+        if (i >= best.load(std::memory_order_acquire)) return;
+        uint64_t row_words = 0;
+        std::optional<CounterexampleChain> chain =
+            CheckRow(alloc, ssi_mask, static_cast<TxnId>(i), &best,
+                     instrumented ? &row_words : nullptr);
+        if (instrumented) {
+          words_total.fetch_add(row_words, std::memory_order_relaxed);
+          (*slots)[MetricsRegistry::CurrentThreadId() % slots->size()]
+              .rows.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!chain.has_value()) return;
+        rows[i] = std::move(chain);
+        uint32_t current = best.load(std::memory_order_acquire);
+        while (i < current &&
+               !best.compare_exchange_weak(current, static_cast<uint32_t>(i),
+                                           std::memory_order_acq_rel)) {
+        }
+      },
+      metrics);
   uint32_t winner = best.load(std::memory_order_acquire);
   if (winner < n) {
     std::optional<CounterexampleChain>& chain = rows[winner];
@@ -285,6 +359,18 @@ RobustnessResult RobustnessAnalyzer::Check(const Allocation& alloc,
     result.counterexample = std::move(chain);
   } else {
     result.triples_examined = internal::TriplesWhenRobust(n);
+  }
+  if (instrumented) {
+    Histogram& balance = metrics->histogram("analyzer.rows_per_thread");
+    for (const RowSlot& slot : *slots) {
+      uint64_t per_thread = slot.rows.load(std::memory_order_relaxed);
+      if (per_thread == 0) continue;
+      balance.Observe(per_thread);
+      rows_scanned += per_thread;
+    }
+    RecordCheckMetrics(metrics, result,
+                       words_total.load(std::memory_order_relaxed),
+                       rows_scanned);
   }
   return result;
 }

@@ -45,7 +45,11 @@ namespace mvrob {
 /// same analyzer from user threads.
 class RobustnessAnalyzer {
  public:
-  explicit RobustnessAnalyzer(const TransactionSet& txns);
+  /// `metrics` (nullable) records the matrix-build phase timers and, as a
+  /// default sink, Check-time counters; per-call CheckOptions::metrics
+  /// takes precedence for the latter. Collection never changes results.
+  explicit RobustnessAnalyzer(const TransactionSet& txns,
+                              MetricsRegistry* metrics = nullptr);
 
   /// Algorithm 1 for one allocation; equivalent to CheckRobustness.
   RobustnessResult Check(const Allocation& alloc) const;
@@ -86,10 +90,12 @@ class RobustnessAnalyzer {
 
   /// Scans one t1 row: returns the lowest-(t2, tm) witness chain of the
   /// row, or nullopt. When `best` is non-null the scan abandons early
-  /// once a lower t1 row is known to have a witness.
+  /// once a lower t1 row is known to have a witness. When `words_scanned`
+  /// is non-null, the number of 64-bit words touched by the row's
+  /// word-wise mask operations is accumulated into it.
   std::optional<CounterexampleChain> CheckRow(
       const Allocation& alloc, ConstBitSpan ssi_mask, TxnId t1,
-      const std::atomic<uint32_t>* best) const;
+      const std::atomic<uint32_t>* best, uint64_t* words_scanned) const;
 
   int first_ww_idx(TxnId i, TxnId j) const {
     return first_ww_idx_[i * txns_.size() + j];
@@ -102,6 +108,9 @@ class RobustnessAnalyzer {
   }
 
   const TransactionSet& txns_;
+  // Default observability sink for Check (overridden per call by
+  // CheckOptions::metrics); also receives the build-phase timers.
+  MetricsRegistry* metrics_ = nullptr;
   // conflict_ row i: transactions with an operation conflicting with Ti
   // (symmetric, diagonal clear).
   BitMatrix conflict_;

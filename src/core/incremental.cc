@@ -1,5 +1,7 @@
 #include "core/incremental.h"
 
+#include "common/metrics.h"
+
 namespace mvrob {
 
 StatusOr<TxnId> IncrementalAllocator::AddTransaction(
@@ -40,13 +42,20 @@ Status IncrementalAllocator::RemoveTransaction(TxnId txn) {
 
 void IncrementalAllocator::Reoptimize(
     const std::vector<IsolationLevel>& lower_bounds) {
-  RobustnessAnalyzer analyzer(txns_);
+  PhaseTimer timer(options_.metrics, "incremental.reoptimize");
+  RobustnessAnalyzer analyzer(txns_, options_.metrics);
   Allocation allocation = Allocation::AllSSI(txns_.size());
+  uint64_t checks = 0;
+  uint64_t warm_start_skips = 0;
   for (TxnId t = 0; t < txns_.size(); ++t) {
     for (IsolationLevel level : {IsolationLevel::kRC, IsolationLevel::kSI}) {
-      if (level < lower_bounds[t]) continue;  // Warm start.
+      if (level < lower_bounds[t]) {  // Warm start.
+        ++warm_start_skips;
+        continue;
+      }
       Allocation candidate = allocation.With(t, level);
       ++checks_performed_;
+      ++checks;
       if (analyzer.Check(candidate, options_).robust) {
         allocation = candidate;
         break;
@@ -54,6 +63,12 @@ void IncrementalAllocator::Reoptimize(
     }
   }
   allocation_ = std::move(allocation);
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("incremental.reoptimize_calls").Increment();
+    options_.metrics->counter("incremental.checks_performed").Add(checks);
+    options_.metrics->counter("incremental.warm_start_skips")
+        .Add(warm_start_skips);
+  }
 }
 
 }  // namespace mvrob

@@ -1,26 +1,37 @@
 #include "core/optimal_allocation.h"
 
+#include "common/metrics.h"
 #include "core/analyzer.h"
 
 namespace mvrob {
 
 OptimalAllocationResult ComputeOptimalAllocation(const TransactionSet& txns,
                                                  const CheckOptions& options) {
+  PhaseTimer timer(options.metrics, "allocation.algorithm2");
   OptimalAllocationResult result;
   // All 2|T| robustness checks run over the same transaction set, so the
   // analyzer's conflict matrices and pivot components amortize fully.
-  RobustnessAnalyzer analyzer(txns);
+  RobustnessAnalyzer analyzer(txns, options.metrics);
   result.allocation = Allocation::AllSSI(txns.size());
+  uint64_t levels_tried = 0;
   for (TxnId t = 0; t < txns.size(); ++t) {
     for (IsolationLevel level :
          {IsolationLevel::kRC, IsolationLevel::kSI}) {
       Allocation candidate = result.allocation.With(t, level);
       ++result.robustness_checks;
+      ++levels_tried;
       if (analyzer.Check(candidate, options).robust) {
         result.allocation = candidate;
         break;
       }
     }
+  }
+  if (options.metrics != nullptr) {
+    options.metrics->counter("allocation.runs").Increment();
+    options.metrics->counter("allocation.robustness_checks")
+        .Add(result.robustness_checks);
+    options.metrics->counter("allocation.lattice_levels_tried")
+        .Add(levels_tried);
   }
   return result;
 }

@@ -237,7 +237,9 @@ RobustnessResult CheckRobustness(const TransactionSet& txns,
 RobustnessResult CheckRobustness(const TransactionSet& txns,
                                  const Allocation& alloc,
                                  const CheckOptions& options) {
-  return RobustnessAnalyzer(txns).Check(alloc, options);
+  // Pass the sink to the constructor too, so the one-shot entry point also
+  // times the matrix-build phases.
+  return RobustnessAnalyzer(txns, options.metrics).Check(alloc, options);
 }
 
 }  // namespace mvrob

@@ -11,6 +11,8 @@
 
 namespace mvrob {
 
+class MetricsRegistry;
+
 /// The witness extracted by Algorithm 1 when a set of transactions is not
 /// robust against an allocation: the skeleton of a multiversion split
 /// schedule (Definition 3.1) based on the sequence of conflicting quadruples
@@ -62,6 +64,11 @@ struct CheckOptions {
   /// counterexample wins, and triples_examined follows the audited
   /// contract above.
   int num_threads = 1;
+  /// Optional observability sink (common/metrics.h): phase timers and
+  /// work counters are recorded here. Null (the default) disables all
+  /// instrumentation; collection never changes results — asserted by the
+  /// parallel differential tests.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Algorithm 1: decides whether `txns` is robust against `alloc`, i.e.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 
@@ -72,6 +73,7 @@ struct ProgramState {
 DriverReport RunRandom(Engine& engine, const TransactionSet& programs,
                        const Allocation& alloc,
                        const RandomRunOptions& options) {
+  PhaseTimer timer(options.metrics, "driver.run_random");
   DriverReport report;
   Rng rng(options.seed);
   Value next_value = 1;
@@ -184,6 +186,14 @@ DriverReport RunRandom(Engine& engine, const TransactionSet& programs,
         admit();
       }
     }
+  }
+  if (MetricsRegistry* metrics = options.metrics; metrics != nullptr) {
+    metrics->counter("driver.runs").Increment();
+    metrics->counter("driver.committed").Add(report.committed);
+    metrics->counter("driver.attempts").Add(report.attempts);
+    metrics->counter("driver.aborted_programs").Add(report.aborted_programs);
+    metrics->counter("driver.deadlock_victims").Add(report.deadlock_victims);
+    metrics->counter("driver.blocked_steps").Add(report.blocked_steps);
   }
   return report;
 }

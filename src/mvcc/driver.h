@@ -44,6 +44,10 @@ struct RandomRunOptions {
   uint64_t seed = 0;
   /// Hard stop (steps across all sessions) against livelock.
   uint64_t max_steps = 10'000'000;
+  /// Optional observability sink for driver-level counters (driver.runs,
+  /// driver.committed, ...) and the driver.run_random phase span. Null
+  /// disables; does not affect the run.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Executes every program of `programs` once (plus retries) under the

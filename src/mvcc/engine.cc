@@ -3,12 +3,26 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/metrics.h"
 #include "mvcc/ssi_tracker.h"
 
 namespace mvrob {
 
 Engine::Engine(size_t num_objects, EngineOptions options)
-    : options_(options), store_(num_objects) {}
+    : options_(options), store_(num_objects) {
+  if (MetricsRegistry* metrics = options_.metrics; metrics != nullptr) {
+    m_begins_ = &metrics->counter("mvcc.begins");
+    m_reads_ = &metrics->counter("mvcc.reads");
+    m_writes_ = &metrics->counter("mvcc.writes");
+    m_commits_ = &metrics->counter("mvcc.commits");
+    m_aborts_write_conflict_ = &metrics->counter("mvcc.aborts.write_conflict");
+    m_aborts_ssi_ = &metrics->counter("mvcc.aborts.ssi");
+    m_aborts_user_ = &metrics->counter("mvcc.aborts.user");
+    m_blocked_steps_ = &metrics->counter("mvcc.blocked_steps");
+    m_ssi_false_positives_ = &metrics->counter("mvcc.ssi_false_positives");
+    m_version_chain_len_ = &metrics->histogram("mvcc.version_chain_len");
+  }
+}
 
 SessionId Engine::Begin(IsolationLevel level) {
   SessionRecord record;
@@ -19,6 +33,7 @@ SessionId Engine::Begin(IsolationLevel level) {
   record.snapshot_ts = clock_;
   sessions_.push_back(std::move(record));
   ++stats_.begins;
+  if (m_begins_ != nullptr) m_begins_->Increment();
   return static_cast<SessionId>(sessions_.size() - 1);
 }
 
@@ -27,6 +42,7 @@ ReadResult Engine::Read(SessionId session, ObjectId object) {
   assert(record.state == TxnState::kActive);
   ++step_;
   ++stats_.reads;
+  if (m_reads_ != nullptr) m_reads_->Increment();
   if (record.first_step == 0) record.first_step = step_;
 
   ReadResult result;
@@ -59,6 +75,7 @@ WriteResult Engine::Write(SessionId session, ObjectId object, Value value) {
   auto lock = row_locks_.find(object);
   if (lock != row_locks_.end() && lock->second != session) {
     ++stats_.blocked_steps;
+    if (m_blocked_steps_ != nullptr) m_blocked_steps_->Increment();
     result.status = StepStatus::kBlocked;
     result.blocker = lock->second;
     return result;
@@ -75,6 +92,7 @@ WriteResult Engine::Write(SessionId session, ObjectId object, Value value) {
   }
   ++step_;
   ++stats_.writes;
+  if (m_writes_ != nullptr) m_writes_->Increment();
   if (record.first_step == 0) record.first_step = step_;
   row_locks_[object] = session;
   record.write_buffer[object] = value;
@@ -95,6 +113,14 @@ CommitResult Engine::Commit(SessionId session) {
            : SsiTracker::WouldCreatePivot(sessions_, session, clock_ + 1,
                                           step_ + 1));
   if (ssi_abort) {
+    // Conservative abort the exact check disagrees with = false positive.
+    // Only evaluated when someone is watching; the verdict is unchanged.
+    if (m_ssi_false_positives_ != nullptr &&
+        options_.ssi_mode == SsiMode::kConservative &&
+        !SsiTracker::WouldCompleteDangerousStructure(sessions_, session,
+                                                     clock_ + 1, step_ + 1)) {
+      m_ssi_false_positives_->Increment();
+    }
     AbortInternal(session, AbortReason::kSsiDangerousStructure);
     result.status = StepStatus::kAborted;
     result.abort_reason = AbortReason::kSsiDangerousStructure;
@@ -109,8 +135,12 @@ CommitResult Engine::Commit(SessionId session) {
   for (const auto& [object, value] : record.write_buffer) {
     store_.Install(object, StoredVersion{value, session, commit_ts});
     row_locks_.erase(object);
+    if (m_version_chain_len_ != nullptr) {
+      m_version_chain_len_->Observe(store_.ChainOf(object).size());
+    }
   }
   ++stats_.commits;
+  if (m_commits_ != nullptr) m_commits_->Increment();
   result.commit_ts = commit_ts;
   return result;
 }
@@ -147,12 +177,17 @@ void Engine::AbortInternal(SessionId session, AbortReason reason) {
   switch (reason) {
     case AbortReason::kWriteConflict:
       ++stats_.aborts_write_conflict;
+      if (m_aborts_write_conflict_ != nullptr) {
+        m_aborts_write_conflict_->Increment();
+      }
       break;
     case AbortReason::kSsiDangerousStructure:
       ++stats_.aborts_ssi;
+      if (m_aborts_ssi_ != nullptr) m_aborts_ssi_->Increment();
       break;
     default:
       ++stats_.aborts_user;
+      if (m_aborts_user_ != nullptr) m_aborts_user_->Increment();
       break;
   }
 }

@@ -10,6 +10,10 @@
 
 namespace mvrob {
 
+class Counter;
+class Histogram;
+class MetricsRegistry;
+
 /// Lifecycle of an engine session.
 enum class TxnState : uint8_t { kActive, kCommitted, kAborted };
 
@@ -116,6 +120,13 @@ enum class SsiMode : uint8_t {
 
 struct EngineOptions {
   SsiMode ssi_mode = SsiMode::kExact;
+  /// Optional observability sink (common/metrics.h). Null disables all
+  /// instrumentation. With kConservative SSI mode and a sink attached, the
+  /// engine additionally runs the exact Definition 2.4 check on every
+  /// conservative abort and counts the disagreements as
+  /// mvcc.ssi_false_positives (conservative aborts the exact check would
+  /// not have taken).
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// An in-memory multiversion engine executing transactions under
@@ -172,6 +183,18 @@ class Engine {
   void AbortInternal(SessionId session, AbortReason reason);
 
   EngineOptions options_;
+  // Metric handles resolved once at construction (one relaxed atomic add
+  // per instrumented step); all null when options_.metrics is null.
+  Counter* m_begins_ = nullptr;
+  Counter* m_reads_ = nullptr;
+  Counter* m_writes_ = nullptr;
+  Counter* m_commits_ = nullptr;
+  Counter* m_aborts_write_conflict_ = nullptr;
+  Counter* m_aborts_ssi_ = nullptr;
+  Counter* m_aborts_user_ = nullptr;
+  Counter* m_blocked_steps_ = nullptr;
+  Counter* m_ssi_false_positives_ = nullptr;
+  Histogram* m_version_chain_len_ = nullptr;
   VersionStore store_;
   std::vector<SessionRecord> sessions_;
   /// Row locks: object -> active writing session.

@@ -1,5 +1,7 @@
 #include "oracle/statistics.h"
 
+#include <limits>
+
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "iso/allowed.h"
@@ -28,7 +30,12 @@ void Classify(const TransactionSet& txns, const Allocation& alloc,
 StatusOr<ScheduleCensus> ComputeScheduleCensus(const TransactionSet& txns,
                                                const Allocation& alloc,
                                                uint64_t max_interleavings) {
-  uint64_t count = CountInterleavings(txns, max_interleavings + 1);
+  // Count one past the cap to detect overflow — guarding the increment
+  // itself: max_interleavings == UINT64_MAX would wrap the limit to 0.
+  uint64_t limit = max_interleavings < std::numeric_limits<uint64_t>::max()
+                       ? max_interleavings + 1
+                       : max_interleavings;
+  uint64_t count = CountInterleavings(txns, limit);
   if (count > max_interleavings) {
     return Status::ResourceExhausted(
         StrCat("more than ", max_interleavings, " interleavings"));

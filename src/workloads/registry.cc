@@ -1,6 +1,6 @@
 #include "workloads/registry.h"
 
-#include <cctype>
+#include <limits>
 #include <map>
 
 #include "common/string_util.h"
@@ -36,15 +36,13 @@ StatusOr<Spec> ParseSpec(std::string_view text) {
     std::string key(StripWhitespace(std::string_view(token).substr(0, eq)));
     std::string_view value =
         StripWhitespace(std::string_view(token).substr(eq + 1));
-    int number = 0;
-    for (char c : value) {
-      if (!std::isdigit(static_cast<unsigned char>(c))) {
-        return Status::InvalidArgument(
-            StrCat("non-numeric value in '", token, "'"));
-      }
-      number = number * 10 + (c - '0');
+    StatusOr<int> number =
+        ParseInt(value, 0, std::numeric_limits<int>::max());
+    if (!number.ok()) {
+      return Status::InvalidArgument(
+          StrCat("invalid value in '", token, "': ", number.status().message()));
     }
-    spec.values[key] = number;
+    spec.values[key] = *number;
   }
   return spec;
 }

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "cli/cli.h"
+#include "common/string_util.h"
 
 namespace mvrob {
 namespace {
@@ -234,6 +237,68 @@ TEST(CliTest, ReportContainsAllSections) {
             std::string::npos);
   EXPECT_NE(result.out.find("NOT robustly allocatable"), std::string::npos);
   EXPECT_NE(result.out.find("Interleaving census"), std::string::npos);
+}
+
+TEST(CliTest, RejectsMalformedNumericFlags) {
+  struct Case {
+    std::vector<std::string> args;
+    const char* needle;  // Expected fragment of the stderr diagnostic.
+  };
+  const Case cases[] = {
+      {{"census", "--txns", kWriteSkew, "--max", "abc"}, "--max"},
+      {{"simulate", "--txns", kWriteSkew, "--runs", "12x"}, "--runs"},
+      {{"simulate", "--txns", kWriteSkew, "--seed", "-1"}, "--seed"},
+      {{"simulate", "--txns", kWriteSkew, "--runs", "0"}, "--runs"},
+      {{"simulate", "--txns", kWriteSkew, "--concurrency", "junk"},
+       "--concurrency"},
+      {{"simulate", "--txns", kWriteSkew, "--seed", "18446744073709551616"},
+       "--seed"},
+      {{"check", "--txns", kWriteSkew, "--threads", "2x"}, "--threads"},
+      {{"check", "--workload", "synthetic:n=12x"}, "n=12x"},
+      {{"check", "--workload", "tpcc:w="}, "empty"},
+  };
+  for (const Case& c : cases) {
+    CliResult result = RunTool(c.args);
+    EXPECT_EQ(result.code, 1) << Join(c.args, " ");
+    EXPECT_NE(result.err.find(c.needle), std::string::npos)
+        << Join(c.args, " ") << " stderr: " << result.err;
+  }
+}
+
+TEST(CliTest, StatsJsonAndTraceOutAreWritten) {
+  std::string stats_path = ::testing::TempDir() + "/mvrob_stats.json";
+  std::string trace_path = ::testing::TempDir() + "/mvrob_trace.json";
+  CliResult result =
+      RunTool({"check", "--txns", kWriteSkew, "--default", "SSI",
+               "--stats-json", stats_path, "--trace-out", trace_path});
+  EXPECT_EQ(result.code, 0) << result.err;
+  // Observability flags never alter the command's stdout.
+  EXPECT_NE(result.out.find("robust: yes"), std::string::npos);
+
+  std::ifstream stats(stats_path);
+  ASSERT_TRUE(stats.good());
+  std::stringstream stats_body;
+  stats_body << stats.rdbuf();
+  EXPECT_NE(stats_body.str().find("\"analyzer.triples_examined\""),
+            std::string::npos);
+  EXPECT_NE(stats_body.str().find("\"version\":1"), std::string::npos);
+
+  std::ifstream trace(trace_path);
+  ASSERT_TRUE(trace.good());
+  std::stringstream trace_body;
+  trace_body << trace.rdbuf();
+  EXPECT_NE(trace_body.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace_body.str().find("\"cli.check\""), std::string::npos);
+  std::remove(stats_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST(CliTest, StatsJsonReportsUnwritablePath) {
+  CliResult result =
+      RunTool({"check", "--txns", kWriteSkew, "--default", "SSI",
+               "--stats-json", "/nonexistent-dir/stats.json"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("stats"), std::string::npos);
 }
 
 TEST(CliTest, TemplatesAllocates) {

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <limits>
+#include <sstream>
+#include <thread>
 #include <vector>
 
 #include "common/bitset.h"
@@ -97,6 +101,93 @@ TEST(StringUtilTest, Join) {
 TEST(StringUtilTest, StrCat) {
   EXPECT_EQ(StrCat("x=", 3, ", y=", 2.5), "x=3, y=2.5");
   EXPECT_EQ(StrCat(), "");
+}
+
+TEST(ParseIntTest, AcceptsPlainIntegers) {
+  EXPECT_EQ(ParseInt64("0").value(), 0);
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-7").value(), -7);
+  EXPECT_EQ(ParseUint64("18446744073709551615").value(),
+            std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(ParseInt("123").value(), 123);
+}
+
+TEST(ParseIntTest, RejectsEmptyAndJunk) {
+  // A leading '+' is rejected too: parsing is std::from_chars-strict.
+  for (const char* bad : {"", "abc", "12x", "x12", " 5", "5 ", "1.5", "--3",
+                          "-", "+", "+5", "0x10", "1e3"}) {
+    EXPECT_FALSE(ParseInt64(bad).ok()) << "'" << bad << "'";
+    EXPECT_FALSE(ParseUint64(bad).ok()) << "'" << bad << "'";
+    EXPECT_FALSE(ParseInt(bad).ok()) << "'" << bad << "'";
+  }
+}
+
+TEST(ParseIntTest, RejectsNegativeForUnsigned) {
+  EXPECT_FALSE(ParseUint64("-1").ok());
+  EXPECT_FALSE(ParseUint64("-0").ok());
+}
+
+TEST(ParseIntTest, EnforcesRange) {
+  EXPECT_EQ(ParseInt64("5", 1, 10).value(), 5);
+  EXPECT_FALSE(ParseInt64("0", 1, 10).ok());
+  EXPECT_FALSE(ParseInt64("11", 1, 10).ok());
+  EXPECT_FALSE(ParseUint64("11", 10).ok());
+  EXPECT_FALSE(ParseInt("0", 1).ok());
+  // Values past the representable range are rejected, not wrapped.
+  EXPECT_FALSE(ParseInt64("9223372036854775808").ok());
+  EXPECT_FALSE(ParseUint64("18446744073709551616").ok());
+  EXPECT_FALSE(ParseInt("2147483648").ok());
+}
+
+TEST(ParseIntTest, ErrorMessagesNameTheInput) {
+  Status status = ParseInt64("12x").status();
+  EXPECT_NE(status.message().find("12x"), std::string::npos);
+  status = ParseInt64("99", 1, 10).status();
+  EXPECT_NE(status.message().find("99"), std::string::npos);
+}
+
+TEST(WorkersFromEnvTest, UnsetUsesHardwareDefaultSilently) {
+  std::ostringstream warn;
+  int hardware =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  EXPECT_EQ(ThreadPool::WorkersFromEnv(nullptr, warn),
+            std::max(0, hardware - 1));
+  EXPECT_TRUE(warn.str().empty());
+}
+
+TEST(WorkersFromEnvTest, InvalidInputWarnsAndFallsBack) {
+  int hardware =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  for (const char* bad : {"junk", "", "12x", "1.5"}) {
+    std::ostringstream warn;
+    EXPECT_EQ(ThreadPool::WorkersFromEnv(bad, warn),
+              std::max(0, hardware - 1))
+        << "'" << bad << "'";
+    EXPECT_NE(warn.str().find("MVROB_POOL_WORKERS"), std::string::npos)
+        << "'" << bad << "'";
+  }
+}
+
+TEST(WorkersFromEnvTest, OutOfRangeClampsWithWarning) {
+  std::ostringstream warn;
+  EXPECT_EQ(ThreadPool::WorkersFromEnv("-3", warn), 1);
+  EXPECT_NE(warn.str().find("MVROB_POOL_WORKERS"), std::string::npos);
+
+  std::ostringstream warn_zero;
+  EXPECT_EQ(ThreadPool::WorkersFromEnv("0", warn_zero), 1);
+  EXPECT_FALSE(warn_zero.str().empty());
+
+  int hardware =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  std::ostringstream warn_big;
+  EXPECT_EQ(ThreadPool::WorkersFromEnv("999999", warn_big), hardware);
+  EXPECT_FALSE(warn_big.str().empty());
+}
+
+TEST(WorkersFromEnvTest, ValidInRangeValueIsSilent) {
+  std::ostringstream warn;
+  EXPECT_EQ(ThreadPool::WorkersFromEnv("1", warn), 1);
+  EXPECT_TRUE(warn.str().empty());
 }
 
 TEST(RngTest, DeterministicForFixedSeed) {

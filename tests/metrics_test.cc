@@ -1,0 +1,350 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/analyzer.h"
+#include "core/incremental.h"
+#include "core/optimal_allocation.h"
+#include "core/robustness.h"
+#include "iso/allocation.h"
+#include "mvcc/driver.h"
+#include "mvcc/engine.h"
+#include "oracle/statistics.h"
+#include "txn/parser.h"
+#include "workloads/registry.h"
+
+namespace mvrob {
+namespace {
+
+TransactionSet Tpcc() {
+  StatusOr<Workload> workload = MakeNamedWorkload("tpcc:w=2,d=2");
+  EXPECT_TRUE(workload.ok());
+  return std::move(workload->txns);
+}
+
+TEST(CounterTest, AddAndIncrement) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.Set(-5);
+  EXPECT_EQ(gauge.value(), -5);
+}
+
+TEST(HistogramTest, PowerOfTwoBuckets) {
+  // Bucket 0 = {0}, bucket i = [2^(i-1), 2^i - 1].
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  // The last bucket absorbs everything beyond the fixed range.
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketLowerBound(4), 8u);
+}
+
+TEST(HistogramTest, ObserveTracksCountSumMax) {
+  Histogram histogram;
+  for (uint64_t v : {0u, 1u, 5u, 5u, 100u}) histogram.Observe(v);
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_EQ(histogram.sum(), 111u);
+  EXPECT_EQ(histogram.max(), 100u);
+  EXPECT_DOUBLE_EQ(histogram.Mean(), 111.0 / 5.0);
+  EXPECT_EQ(histogram.bucket(0), 1u);                           // {0}
+  EXPECT_EQ(histogram.bucket(Histogram::BucketIndex(5)), 2u);   // [4, 7]
+  EXPECT_EQ(histogram.bucket(Histogram::BucketIndex(100)), 1u); // [64, 127]
+}
+
+TEST(MetricsRegistryTest, NamedMetricsAreStableSingletons) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  EXPECT_EQ(registry.counter("x").value(), 1u);
+  EXPECT_NE(&registry.counter("y"), &a);
+}
+
+TEST(MetricsRegistryTest, ConcurrentMutationIsLossless) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.counter("hits").Increment();
+        registry.histogram("values").Observe(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.counter("hits").value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.histogram("values").count(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonShape) {
+  MetricsRegistry registry;
+  registry.counter("b.count").Add(3);
+  registry.counter("a.count").Add(1);
+  registry.gauge("depth").Set(-2);
+  registry.histogram("lat").Observe(5);
+  std::string json = registry.SnapshotJson();
+  // Deterministic lexicographic key order within each section.
+  EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\":{\"a.count\":1,\"b.count\":3}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{\"depth\":-2}"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\":{\"count\":1,\"sum\":5,\"max\":5"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[[4,1]]"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, TraceJsonIsChromeTraceFormat) {
+  MetricsRegistry registry;
+  auto begin = std::chrono::steady_clock::now();
+  {
+    PhaseTimer timer(&registry, "work");
+  }
+  registry.RecordSpan("explicit", begin, std::chrono::steady_clock::now());
+  std::string json = registry.TraceJson();
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"work\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"explicit\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Spans also feed phase duration histograms.
+  EXPECT_EQ(registry.histogram("phase.work_us").count(), 1u);
+  EXPECT_EQ(registry.histogram("phase.explicit_us").count(), 1u);
+}
+
+TEST(PhaseTimerTest, NullRegistryIsANoOp) {
+  PhaseTimer timer(nullptr, "nothing");  // Must not crash or allocate names.
+}
+
+// The acceptance-criteria contract: the metrics counter equals the audited
+// closed-form triples_examined, at any thread count.
+TEST(AnalyzerMetricsTest, TriplesExaminedMatchesAuditedCount) {
+  TransactionSet txns = Tpcc();
+  for (int threads : {1, 4}) {
+    MetricsRegistry registry;
+    CheckOptions options;
+    options.num_threads = threads;
+    options.metrics = &registry;
+    RobustnessResult result =
+        CheckRobustness(txns, Allocation::AllSI(txns.size()), options);
+    EXPECT_EQ(result.triples_examined,
+              internal::TriplesWhenRobust(txns.size()));
+    EXPECT_EQ(registry.counter("analyzer.triples_examined").value(),
+              result.triples_examined)
+        << "threads=" << threads;
+    EXPECT_EQ(registry.counter("analyzer.checks").value(), 1u);
+    EXPECT_EQ(registry.counter("analyzer.rows_scanned").value(), txns.size());
+    EXPECT_GT(registry.counter("analyzer.bitset_words_scanned").value(), 0u);
+    // Phases were timed.
+    EXPECT_EQ(
+        registry.histogram("phase.analyzer.build_conflict_matrix_us").count(),
+        1u);
+    EXPECT_EQ(registry.histogram("phase.analyzer.triple_scan_us").count(), 1u);
+    // Work-balance histogram accounts for every row exactly once.
+    EXPECT_EQ(registry.histogram("analyzer.rows_per_thread").sum(),
+              txns.size());
+  }
+}
+
+TEST(AnalyzerMetricsTest, CounterexampleRunsCountWitnesses) {
+  StatusOr<TransactionSet> txns = ParseTransactionSet(
+      "T1: R[x] W[y]\n"
+      "T2: R[y] W[x]\n");
+  ASSERT_TRUE(txns.ok());
+  MetricsRegistry registry;
+  CheckOptions options;
+  options.metrics = &registry;
+  RobustnessResult result =
+      CheckRobustness(*txns, Allocation::AllSI(txns->size()), options);
+  EXPECT_FALSE(result.robust);
+  EXPECT_EQ(registry.counter("analyzer.counterexamples_found").value(), 1u);
+  EXPECT_EQ(registry.counter("analyzer.triples_examined").value(),
+            result.triples_examined);
+}
+
+TEST(AllocationMetricsTest, Algorithm2CountersAndUnchangedResult) {
+  TransactionSet txns = Tpcc();
+  OptimalAllocationResult baseline =
+      ComputeOptimalAllocation(txns, CheckOptions{});
+
+  MetricsRegistry registry;
+  CheckOptions options;
+  options.metrics = &registry;
+  OptimalAllocationResult instrumented = ComputeOptimalAllocation(txns, options);
+
+  // Metrics collection never changes the allocation.
+  EXPECT_EQ(instrumented.allocation.levels(), baseline.allocation.levels());
+  EXPECT_EQ(instrumented.robustness_checks, baseline.robustness_checks);
+  EXPECT_EQ(registry.counter("allocation.runs").value(), 1u);
+  EXPECT_EQ(registry.counter("allocation.robustness_checks").value(),
+            instrumented.robustness_checks);
+  EXPECT_EQ(registry.counter("allocation.lattice_levels_tried").value(),
+            instrumented.robustness_checks);
+  EXPECT_EQ(registry.counter("analyzer.checks").value(),
+            instrumented.robustness_checks);
+  EXPECT_EQ(registry.histogram("phase.allocation.algorithm2_us").count(), 1u);
+}
+
+TEST(IncrementalMetricsTest, WarmStartSavingsAreCounted) {
+  MetricsRegistry registry;
+  IncrementalAllocator allocator;
+  CheckOptions options;
+  options.metrics = &registry;
+  allocator.set_check_options(options);
+
+  // A write-skew pair forces levels above RC, so the next Reoptimize has
+  // real warm-start skips to count.
+  ObjectId x = allocator.InternObject("x");
+  ObjectId y = allocator.InternObject("y");
+  ASSERT_TRUE(allocator
+                  .AddTransaction("T1", {Operation::Read(x),
+                                         Operation::Write(y)})
+                  .ok());
+  ASSERT_TRUE(allocator
+                  .AddTransaction("T2", {Operation::Read(y),
+                                         Operation::Write(x)})
+                  .ok());
+  EXPECT_EQ(registry.counter("incremental.reoptimize_calls").value(), 2u);
+  EXPECT_EQ(registry.counter("incremental.checks_performed").value(),
+            allocator.checks_performed());
+
+  // Skips expected when adding T3: one per level below each existing
+  // transaction's current (lower-bound) level.
+  uint64_t expected_skips = 0;
+  for (IsolationLevel level : allocator.allocation().levels()) {
+    if (level == IsolationLevel::kSI) expected_skips += 1;
+    if (level == IsolationLevel::kSSI) expected_skips += 2;
+  }
+  ASSERT_GT(expected_skips, 0u) << "write-skew pair should not sit at RC";
+
+  uint64_t skips_before =
+      registry.counter("incremental.warm_start_skips").value();
+  ASSERT_TRUE(
+      allocator.AddTransaction("T3", {Operation::Read(x)}).ok());
+  EXPECT_EQ(registry.counter("incremental.warm_start_skips").value(),
+            skips_before + expected_skips);
+  EXPECT_EQ(registry.counter("incremental.checks_performed").value(),
+            allocator.checks_performed());
+  EXPECT_EQ(registry.counter("incremental.reoptimize_calls").value(), 3u);
+}
+
+TEST(EngineMetricsTest, CountersMirrorEngineStats) {
+  TransactionSet txns = Tpcc();
+  Allocation alloc = Allocation::AllSI(txns.size());
+
+  MetricsRegistry registry;
+  EngineOptions engine_options;
+  engine_options.metrics = &registry;
+  Engine engine(txns.num_objects(), engine_options);
+  RandomRunOptions options;
+  options.seed = 7;
+  options.metrics = &registry;
+  DriverReport report = RunRandom(engine, txns, alloc, options);
+
+  const EngineStats& stats = engine.stats();
+  EXPECT_EQ(registry.counter("mvcc.begins").value(), stats.begins);
+  EXPECT_EQ(registry.counter("mvcc.reads").value(), stats.reads);
+  EXPECT_EQ(registry.counter("mvcc.writes").value(), stats.writes);
+  EXPECT_EQ(registry.counter("mvcc.commits").value(), stats.commits);
+  EXPECT_EQ(registry.counter("mvcc.aborts.write_conflict").value(),
+            stats.aborts_write_conflict);
+  EXPECT_EQ(registry.counter("mvcc.aborts.ssi").value(), stats.aborts_ssi);
+  EXPECT_EQ(registry.counter("mvcc.aborts.user").value(), stats.aborts_user);
+  EXPECT_EQ(registry.counter("mvcc.blocked_steps").value(),
+            stats.blocked_steps);
+  if (stats.commits > 0) {
+    EXPECT_GT(registry.histogram("mvcc.version_chain_len").count(), 0u);
+  }
+  EXPECT_EQ(registry.counter("driver.runs").value(), 1u);
+  EXPECT_EQ(registry.counter("driver.committed").value(), report.committed);
+  EXPECT_EQ(registry.counter("driver.attempts").value(), report.attempts);
+  EXPECT_EQ(registry.histogram("phase.driver.run_random_us").count(), 1u);
+}
+
+// A run identical apart from the sink: metrics must not perturb execution.
+TEST(EngineMetricsTest, MetricsDoNotChangeExecution) {
+  TransactionSet txns = Tpcc();
+  Allocation alloc = Allocation::AllSSI(txns.size());
+
+  Engine plain(txns.num_objects());
+  RandomRunOptions options;
+  options.seed = 11;
+  DriverReport baseline = RunRandom(plain, txns, alloc, options);
+
+  MetricsRegistry registry;
+  EngineOptions engine_options;
+  engine_options.metrics = &registry;
+  Engine instrumented(txns.num_objects(), engine_options);
+  options.metrics = &registry;
+  DriverReport observed = RunRandom(instrumented, txns, alloc, options);
+
+  EXPECT_EQ(observed.committed, baseline.committed);
+  EXPECT_EQ(observed.attempts, baseline.attempts);
+  EXPECT_EQ(observed.aborted_programs, baseline.aborted_programs);
+  EXPECT_EQ(observed.deadlock_victims, baseline.deadlock_victims);
+  EXPECT_EQ(instrumented.stats().commits, plain.stats().commits);
+  EXPECT_EQ(instrumented.stats().aborts_ssi, plain.stats().aborts_ssi);
+}
+
+TEST(PoolMetricsTest, ParallelForRecordsJobs) {
+  ThreadPool pool(2);
+  MetricsRegistry registry;
+  pool.ParallelFor(100, 3, [](size_t) {}, &registry);
+  EXPECT_EQ(registry.counter("pool.jobs").value(), 1u);
+  EXPECT_EQ(registry.counter("pool.iterations").value(), 100u);
+  EXPECT_EQ(registry.histogram("pool.participants_per_job").count(), 1u);
+  EXPECT_GE(registry.histogram("pool.participants_per_job").max(), 1u);
+
+  // Inline fallback (single iteration) is counted as an inline job.
+  pool.ParallelFor(1, 3, [](size_t) {}, &registry);
+  EXPECT_EQ(registry.counter("pool.jobs").value(), 2u);
+  EXPECT_EQ(registry.counter("pool.inline_jobs").value(), 1u);
+}
+
+// Regression for the census cap: max_interleavings == UINT64_MAX must not
+// wrap the internal limit to 0.
+TEST(CensusBoundaryTest, UnlimitedCapDoesNotOverflow) {
+  StatusOr<TransactionSet> txns = ParseTransactionSet(
+      "T1: R[x] W[y]\n"
+      "T2: R[y] W[x]\n");
+  ASSERT_TRUE(txns.ok());
+  Allocation alloc = Allocation::AllSI(txns->size());
+
+  StatusOr<ScheduleCensus> unlimited =
+      ComputeScheduleCensus(*txns, alloc, UINT64_MAX);
+  ASSERT_TRUE(unlimited.ok());
+  EXPECT_EQ(unlimited->interleavings, 20u);  // C(6,3) = 20 interleavings.
+
+  // Exact-cap boundary: 20 interleavings fit a cap of 20, not of 19.
+  EXPECT_TRUE(ComputeScheduleCensus(*txns, alloc, 20).ok());
+  EXPECT_FALSE(ComputeScheduleCensus(*txns, alloc, 19).ok());
+}
+
+}  // namespace
+}  // namespace mvrob

@@ -8,6 +8,7 @@
 
 #include <cstdlib>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "core/analyzer.h"
 #include "core/incremental.h"
@@ -98,6 +99,36 @@ TEST_P(ParallelDifferentialTest, ParallelEqualsSequentialEqualsReference) {
     // The options-taking facade goes through the same analyzer machinery.
     RobustnessResult facade = CheckRobustness(txns, alloc, {4});
     ExpectSameResult(txns, alloc, reference, facade, "facade");
+  }
+}
+
+// Attaching a metrics registry must be invisible to the analysis: the
+// result is bit-identical to the uninstrumented run, and the audited
+// counters agree with the result at every thread count.
+TEST_P(ParallelDifferentialTest, MetricsDoNotPerturbResults) {
+  const uint64_t seed = GetParam();
+  TransactionSet txns = MakeWorkload(seed);
+  Allocation alloc = seed % 2 == 0 ? Allocation::AllSI(txns.size())
+                                   : MixedAllocation(txns.size(), seed + 3);
+  RobustnessResult reference = CheckRobustness(txns, alloc);
+
+  for (int threads : {1, 4}) {
+    MetricsRegistry registry;
+    CheckOptions options;
+    options.num_threads = threads;
+    options.metrics = &registry;
+    RobustnessResult instrumented = CheckRobustness(txns, alloc, options);
+    ExpectSameResult(txns, alloc, reference, instrumented, "instrumented");
+    EXPECT_EQ(registry.counter("analyzer.triples_examined").value(),
+              instrumented.triples_examined)
+        << "threads " << threads << "\n"
+        << txns.ToString() << alloc.ToString(txns);
+    EXPECT_EQ(registry.counter("analyzer.checks").value(), 1u);
+    EXPECT_EQ(registry.counter("analyzer.counterexamples_found").value(),
+              instrumented.robust ? 0u : 1u);
+    // Every non-abandoned row lands in the work-balance histogram.
+    EXPECT_EQ(registry.histogram("analyzer.rows_per_thread").sum(),
+              registry.counter("analyzer.rows_scanned").value());
   }
 }
 

@@ -24,4 +24,31 @@ fi
   --benchmark_out="$OUT" \
   --benchmark_min_time=0.2 >/dev/null
 
+# Fold a metrics snapshot of a representative instrumented check into the
+# benchmark JSON (under "mvrob_metrics"), so one file carries both the
+# timings and the work counters (triples examined, words scanned, ...).
+MVROB="$BUILD_DIR/tools/mvrob"
+if [[ -x "$MVROB" ]]; then
+  STATS_TMP="$(mktemp)"
+  "$MVROB" check --workload tpcc:w=2,d=2 --threads 0 \
+    --stats-json "$STATS_TMP" >/dev/null
+  python3 - "$OUT" "$STATS_TMP" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+with open(sys.argv[2]) as f:
+    stats = json.load(f)
+bench["mvrob_metrics"] = {
+    "workload": "tpcc:w=2,d=2",
+    "snapshot": stats,
+}
+with open(sys.argv[1], "w") as f:
+    json.dump(bench, f, indent=1)
+PY
+  rm -f "$STATS_TMP"
+else
+  echo "note: $MVROB not built; skipping metrics snapshot" >&2
+fi
+
 echo "wrote $OUT"

@@ -16,6 +16,54 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
+echo "==== observability smoke (--stats-json / --trace-out) ===="
+STATS_TMP="$(mktemp)"
+TRACE_TMP="$(mktemp)"
+build/tools/mvrob check --workload tpcc:w=2,d=2 --threads 0 \
+  --stats-json "$STATS_TMP" --trace-out "$TRACE_TMP" >/dev/null
+python3 - "$STATS_TMP" "$TRACE_TMP" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    stats = json.load(f)
+assert stats["version"] == 1, stats.get("version")
+for key in ("counters", "gauges", "histograms"):
+    assert key in stats, f"missing {key!r} in stats snapshot"
+triples = stats["counters"]["analyzer.triples_examined"]
+# tpcc:w=2,d=2 has 20 transactions and is robust at all-SI:
+# the audited scan covers n*(n-1)^2 = 7220 triples.
+assert triples == 20 * 19 * 19, triples
+
+with open(sys.argv[2]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "empty traceEvents"
+for event in events:
+    for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+        assert key in event, f"trace event missing {key!r}: {event}"
+names = {event["name"] for event in events}
+assert "analyzer.triple_scan" in names, names
+assert "cli.check" in names, names
+print("observability smoke OK:",
+      f"{triples} triples, {len(events)} trace events")
+PY
+rm -f "$STATS_TMP" "$TRACE_TMP"
+
+echo "==== numeric-flag rejection smoke ===="
+for bad in "census --max abc" "simulate --runs 12x" "simulate --seed -1"; do
+  if build/tools/mvrob $bad --workload tpcc:w=2,d=2 >/dev/null 2>&1; then
+    echo "error: 'mvrob $bad' should have failed" >&2
+    exit 1
+  fi
+done
+if MVROB_POOL_WORKERS=junk build/tools/mvrob check \
+    --workload tpcc:w=2,d=2 --threads 4 2>/dev/null | grep -q robust; then
+  echo "numeric-flag rejection smoke OK (invalid env warns, run proceeds)"
+else
+  echo "error: invalid MVROB_POOL_WORKERS must warn, not fail" >&2
+  exit 1
+fi
+
 echo "==== TSan build (MVROB_SANITIZE=thread) ===="
 cmake -B build-tsan -S . -DMVROB_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS" --target \
