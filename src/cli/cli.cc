@@ -18,9 +18,12 @@
 #include "core/rc_si_allocation.h"
 #include "core/robustness.h"
 #include "core/split_schedule.h"
+#include "core/witness.h"
 #include "iso/allowed.h"
 #include "iso/materialize.h"
 #include "mvcc/driver.h"
+#include "mvcc/recorder.h"
+#include "mvcc/roundtrip.h"
 #include "mvcc/trace.h"
 #include "oracle/brute_force.h"
 #include "oracle/split_enumerator.h"
@@ -49,6 +52,7 @@ commands:
   templates  per-program allocation for a template workload
   report     full markdown analysis of a workload
   simulate   execute the workload on the MVCC engine and report outcomes
+  validate   round-trip recorded engine runs through the formal checker
   crosscheck validate Algorithm 1 against the exhaustive oracles
   shell      interactive session: add transactions, watch the optimum move
   help       this text
@@ -69,9 +73,20 @@ common flags:
   --max <n>                interleaving cap (census; default 2000000)
   --templates <text|@file> template DSL (templates)
   --json                   machine-readable output (check, allocate)
-  --runs <n>               engine executions (simulate; default 20)
-  --concurrency <n>        sessions in flight (simulate; default 4)
-  --seed <n>               base RNG seed (simulate; default 0)
+  --runs <n>               engine executions (simulate: default 20,
+                           validate: default 200)
+  --concurrency <n>        sessions in flight (simulate, validate;
+                           default 4)
+  --seed <n>               base RNG seed (simulate, validate; default 0)
+  --witness-json <file|->  structured witness provenance as JSON: every
+                           counterexample edge with its conflict type,
+                           operation pair and Definition 3.1 condition
+                           (check, allocate, shell; '-' = stdout)
+  --witness-dot <file|->   the same witness as a Graphviz digraph
+  --record-schedule <file> replayable schedule file of the last engine
+                           run (simulate)
+  --record-trace <file>    Chrome trace_event timeline of the last
+                           engine run (simulate)
   --threads <n>            worker threads for robustness checks (check,
                            allocate, report; default 1, 0 = all cores)
   --stats-json <file>      write a metrics snapshot (counters, gauges,
@@ -196,6 +211,71 @@ StatusOr<CheckOptions> LoadCheckOptions(const Flags& flags,
   return options;
 }
 
+// Writes `content` to `path`; used for the metric export files.
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::NotFound(StrCat("cannot open ", path, " for writing"));
+  }
+  file << content << "\n";
+  file.flush();
+  if (!file) {
+    return Status::ResourceExhausted(StrCat("failed writing ", path));
+  }
+  return Status::Ok();
+}
+
+// Writes a witness/recording artifact to a file, or to `out` when the
+// flag value is "-".
+Status EmitArtifact(const std::string& path, const std::string& content,
+                    std::ostream& out) {
+  if (path == "-") {
+    out << content << "\n";
+    return Status::Ok();
+  }
+  return WriteTextFile(path, content);
+}
+
+// Emits the --witness-json / --witness-dot artifacts for a robustness
+// verdict; no-op when neither flag is present.
+Status EmitRobustnessWitness(const Flags& flags, const TransactionSet& txns,
+                             const Allocation& alloc,
+                             const RobustnessResult& result,
+                             std::ostream& out) {
+  if (flags.Has("witness-json")) {
+    Status emitted = EmitArtifact(flags.Get("witness-json"),
+                                  RobustnessWitnessJson(txns, alloc, result),
+                                  out);
+    if (!emitted.ok()) return emitted;
+  }
+  if (flags.Has("witness-dot")) {
+    Status emitted = EmitArtifact(flags.Get("witness-dot"),
+                                  RobustnessWitnessDot(txns, alloc, result),
+                                  out);
+    if (!emitted.ok()) return emitted;
+  }
+  return Status::Ok();
+}
+
+// The allocate/shell counterpart: per-transaction obstacle provenance.
+Status EmitAllocationWitness(const Flags& flags, const TransactionSet& txns,
+                             const AllocationExplanation& explanation,
+                             std::ostream& out) {
+  if (flags.Has("witness-json")) {
+    Status emitted =
+        EmitArtifact(flags.Get("witness-json"),
+                     AllocationExplanationJson(txns, explanation), out);
+    if (!emitted.ok()) return emitted;
+  }
+  if (flags.Has("witness-dot")) {
+    Status emitted =
+        EmitArtifact(flags.Get("witness-dot"),
+                     AllocationExplanationDot(txns, explanation), out);
+    if (!emitted.ok()) return emitted;
+  }
+  return Status::Ok();
+}
+
 // Emits a counterexample chain as a JSON object.
 void ChainToJson(const TransactionSet& txns, const CounterexampleChain& chain,
                  JsonWriter& json) {
@@ -220,8 +300,11 @@ int CmdCheck(const Flags& flags, std::ostream& out, std::ostream& err,
   StatusOr<CheckOptions> options = LoadCheckOptions(flags, metrics);
   if (!options.ok()) return Fail(err, options.status());
 
+  RobustnessResult result = CheckRobustness(*txns, *alloc, *options);
+  Status witness_out = EmitRobustnessWitness(flags, *txns, *alloc, result, out);
+  if (!witness_out.ok()) return Fail(err, witness_out);
+
   if (flags.Has("json")) {
-    RobustnessResult result = CheckRobustness(*txns, *alloc, *options);
     JsonWriter json;
     json.BeginObject();
     json.Key("allocation");
@@ -239,7 +322,6 @@ int CmdCheck(const Flags& flags, std::ostream& out, std::ostream& err,
 
   out << "workload:\n" << txns->ToString();
   out << "allocation: " << alloc->ToString(*txns) << "\n";
-  RobustnessResult result = CheckRobustness(*txns, *alloc, *options);
   out << "robust: " << (result.robust ? "yes" : "no") << "\n";
   if (!result.robust) {
     out << "counterexample: " << result.counterexample->ToString(*txns)
@@ -323,6 +405,13 @@ int CmdAllocate(const Flags& flags, std::ostream& out, std::ostream& err,
   }
 
   OptimalAllocationResult result = ComputeOptimalAllocation(*txns, *options);
+  if (flags.Has("witness-json") || flags.Has("witness-dot")) {
+    StatusOr<AllocationExplanation> explanation =
+        ExplainAllocation(*txns, result.allocation);
+    if (!explanation.ok()) return Fail(err, explanation.status());
+    Status witness_out = EmitAllocationWitness(flags, *txns, *explanation, out);
+    if (!witness_out.ok()) return Fail(err, witness_out);
+  }
   if (flags.Has("json")) {
     JsonWriter json;
     json.BeginObject();
@@ -505,6 +594,12 @@ int CmdSimulate(const Flags& flags, std::ostream& out, std::ostream& err,
 
   out << "simulating " << *runs << " executions of " << txns->size()
       << " transactions under " << alloc->ToString(*txns) << "\n";
+  // --record-schedule / --record-trace export the *last* run; the recorder
+  // is cleared between runs so the files cover one complete execution.
+  const bool recording =
+      flags.Has("record-schedule") || flags.Has("record-trace");
+  std::optional<ScheduleRecorder> recorder;
+  if (recording) recorder.emplace();
   uint64_t commits = 0;
   uint64_t fuw = 0;
   uint64_t ssi = 0;
@@ -513,6 +608,10 @@ int CmdSimulate(const Flags& flags, std::ostream& out, std::ostream& err,
   for (int r = 0; r < *runs; ++r) {
     EngineOptions engine_options;
     engine_options.metrics = metrics;
+    if (recorder.has_value()) {
+      recorder->Clear();
+      engine_options.recorder = &*recorder;
+    }
     Engine engine(txns->num_objects(), engine_options);
     RandomRunOptions options;
     options.concurrency = *concurrency;
@@ -546,7 +645,56 @@ int CmdSimulate(const Flags& flags, std::ostream& out, std::ostream& err,
       << (robust ? "robust - anomalies are impossible"
                  : "NOT robust - anomalies are possible")
       << ")\n";
+  if (recorder.has_value()) {
+    if (flags.Has("record-schedule")) {
+      Status written = EmitArtifact(flags.Get("record-schedule"),
+                                    recorder->ToText(*txns), out);
+      if (!written.ok()) return Fail(err, written);
+    }
+    if (flags.Has("record-trace")) {
+      Status written = EmitArtifact(flags.Get("record-trace"),
+                                    recorder->ToChromeTrace(*txns), out);
+      if (!written.ok()) return Fail(err, written);
+    }
+    if (recorder->dropped() > 0) {
+      err << "warning: recorder dropped " << recorder->dropped()
+          << " events (capacity " << recorder->capacity() << ")\n";
+    }
+  }
   return 0;
+}
+
+// Records randomized engine runs and feeds every recording back through
+// the formal checker (mvcc/roundtrip.h). Exit code 2 on any
+// theory/execution disagreement.
+int CmdValidate(const Flags& flags, std::ostream& out, std::ostream& err,
+                MetricsRegistry* metrics) {
+  StatusOr<TransactionSet> txns = LoadTxns(flags);
+  if (!txns.ok()) return Fail(err, txns.status());
+  StatusOr<Allocation> alloc = LoadAllocation(flags, *txns);
+  if (!alloc.ok()) return Fail(err, alloc.status());
+  StatusOr<CheckOptions> check = LoadCheckOptions(flags, metrics);
+  if (!check.ok()) return Fail(err, check.status());
+  StatusOr<int> runs =
+      IntFlag(flags, "runs", 200, 0, std::numeric_limits<int>::max());
+  if (!runs.ok()) return Fail(err, runs.status());
+  StatusOr<int> concurrency =
+      IntFlag(flags, "concurrency", 4, 1, std::numeric_limits<int>::max());
+  if (!concurrency.ok()) return Fail(err, concurrency.status());
+  StatusOr<uint64_t> seed = Uint64Flag(flags, "seed", 0);
+  if (!seed.ok()) return Fail(err, seed.status());
+
+  RoundTripOptions options;
+  options.runs = *runs;
+  options.concurrency = *concurrency;
+  options.seed = *seed;
+  options.check = *check;
+  options.metrics = metrics;
+  StatusOr<RoundTripReport> report =
+      ValidateEngineRuns(*txns, *alloc, options);
+  if (!report.ok()) return Fail(err, report.status());
+  out << report->ToString();
+  return report->disagreements == 0 ? 0 : 2;
 }
 
 // Interactive loop: one command per line on `in`.
@@ -554,12 +702,28 @@ int CmdSimulate(const Flags& flags, std::ostream& out, std::ostream& err,
 //   remove <Name>           drop a transaction
 //   show                    print workload + current optimal allocation
 //   quit
-int CmdShell(std::istream& in, std::ostream& out, std::ostream& err,
-             MetricsRegistry* metrics) {
+int CmdShell(const Flags& flags, std::istream& in, std::ostream& out,
+             std::ostream& err, MetricsRegistry* metrics) {
   IncrementalAllocator allocator;
   CheckOptions shell_options;
   shell_options.metrics = metrics;
   allocator.set_check_options(shell_options);
+  // With --witness-json / --witness-dot, the witness files are rewritten
+  // after every successful add/remove, tracking the current optimum's
+  // provenance across the interactive session.
+  auto refresh_witness = [&]() {
+    if (!flags.Has("witness-json") && !flags.Has("witness-dot")) return;
+    if (allocator.txns().empty()) return;
+    StatusOr<AllocationExplanation> explanation =
+        ExplainAllocation(allocator.txns(), allocator.allocation());
+    if (!explanation.ok()) {
+      err << "error: " << explanation.status().ToString() << "\n";
+      return;
+    }
+    Status emitted =
+        EmitAllocationWitness(flags, allocator.txns(), *explanation, out);
+    if (!emitted.ok()) err << "error: " << emitted.ToString() << "\n";
+  };
   out << "mvrob shell - 'add <Name>: R[x] W[y]', 'remove <Name>', 'show', "
          "'quit'\n";
   std::string line;
@@ -592,6 +756,7 @@ int CmdShell(std::istream& in, std::ostream& out, std::ostream& err,
         out << "optimal: "
             << allocator.allocation().ToString(allocator.txns()) << "\n";
       }
+      refresh_witness();
       continue;
     }
     if (trimmed.starts_with("add ")) {
@@ -618,6 +783,7 @@ int CmdShell(std::istream& in, std::ostream& out, std::ostream& err,
       }
       out << "added " << txn.name() << "; optimal: "
           << allocator.allocation().ToString(allocator.txns()) << "\n";
+      refresh_witness();
       continue;
     }
     err << "error: unknown shell command '" << trimmed << "'\n";
@@ -665,20 +831,6 @@ int CmdCrossCheck(const Flags& flags, std::ostream& out, std::ostream& err) {
   return agree ? 0 : 2;
 }
 
-// Writes `content` to `path`; used for the metric export files.
-Status WriteTextFile(const std::string& path, const std::string& content) {
-  std::ofstream file(path);
-  if (!file) {
-    return Status::NotFound(StrCat("cannot open ", path, " for writing"));
-  }
-  file << content << "\n";
-  file.flush();
-  if (!file) {
-    return Status::ResourceExhausted(StrCat("failed writing ", path));
-  }
-  return Status::Ok();
-}
-
 int Dispatch(const std::string& command, const Flags& flags, std::istream& in,
              std::ostream& out, std::ostream& err, MetricsRegistry* metrics) {
   if (command == "check") return CmdCheck(flags, out, err, metrics);
@@ -689,7 +841,8 @@ int Dispatch(const std::string& command, const Flags& flags, std::istream& in,
   if (command == "report") return CmdReport(flags, out, err, metrics);
   if (command == "crosscheck") return CmdCrossCheck(flags, out, err);
   if (command == "simulate") return CmdSimulate(flags, out, err, metrics);
-  if (command == "shell") return CmdShell(in, out, err, metrics);
+  if (command == "validate") return CmdValidate(flags, out, err, metrics);
+  if (command == "shell") return CmdShell(flags, in, out, err, metrics);
   err << "error: unknown command '" << command << "'\n" << kUsage;
   return 1;
 }

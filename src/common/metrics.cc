@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 #include "common/json.h"
 #include "common/string_util.h"
@@ -23,6 +24,38 @@ void Histogram::Observe(uint64_t value) {
   while (value > seen &&
          !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
   }
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  uint64_t n = count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based ceiling, so q=0.5 over 2
+  // observations picks the first).
+  uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(n))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    uint64_t in_bucket = bucket(i);
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket < rank) {
+      seen += in_bucket;
+      continue;
+    }
+    if (i == 0) return 0;
+    // Interpolate the rank within [lower, upper] of this bucket, assuming
+    // the bucket's observations are uniform over its range.
+    uint64_t lower = BucketLowerBound(i);
+    uint64_t upper = (uint64_t{1} << i) - 1;
+    uint64_t capped_max = max();
+    if (capped_max != 0) upper = std::min(upper, capped_max);
+    if (upper <= lower) return lower;
+    double within = static_cast<double>(rank - seen) /
+                    static_cast<double>(in_bucket);
+    return lower + static_cast<uint64_t>(
+                       within * static_cast<double>(upper - lower));
+  }
+  return max();
 }
 
 MetricsRegistry::MetricsRegistry() : epoch_(std::chrono::steady_clock::now()) {}
@@ -106,6 +139,12 @@ std::string MetricsRegistry::SnapshotJson() const {
     json.Uint(histogram->max());
     json.Key("mean");
     json.Double(histogram->Mean());
+    json.Key("p50");
+    json.Uint(histogram->Quantile(0.50));
+    json.Key("p95");
+    json.Uint(histogram->Quantile(0.95));
+    json.Key("p99");
+    json.Uint(histogram->Quantile(0.99));
     // Sparse [bucket_lower_bound, count] pairs; empty buckets omitted.
     json.Key("buckets");
     json.BeginArray();

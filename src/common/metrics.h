@@ -62,6 +62,12 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
+  /// Estimated q-quantile (q in [0, 1]) from the log-spaced buckets:
+  /// linear interpolation within the bucket holding the target rank,
+  /// clamped to the observed max. Exact for 0/1-valued data; within a 2x
+  /// factor otherwise (bucket resolution). 0 when empty.
+  uint64_t Quantile(double q) const;
+
   /// Smallest value that lands in bucket `i` (0, 1, 2, 4, 8, ...).
   static uint64_t BucketLowerBound(size_t i) {
     return i == 0 ? 0 : uint64_t{1} << (i - 1);

@@ -26,9 +26,19 @@ StatusOr<AllocationExplanation> ExplainAllocation(
   if (allocation.size() != txns.size()) {
     return Status::InvalidArgument("allocation size mismatch");
   }
-  if (!CheckRobustness(txns, allocation).robust) {
-    return Status::FailedPrecondition(
-        "the allocation is not robust; nothing to explain");
+  if (RobustnessResult base = CheckRobustness(txns, allocation);
+      !base.robust) {
+    const CounterexampleChain& chain = *base.counterexample;
+    std::string members;
+    for (TxnId t : chain.ChainTxns()) {
+      if (!members.empty()) members += ", ";
+      members += txns.txn(t).name();
+    }
+    return Status::FailedPrecondition(StrCat(
+        "the allocation is not robust; nothing to explain. ",
+        txns.txn(chain.t1).name(), " at ",
+        IsolationLevelToString(allocation.level(chain.t1)),
+        " splits the chain [", members, "]: ", chain.ToString(txns)));
   }
   AllocationExplanation explanation;
   explanation.allocation = allocation;

@@ -1,0 +1,535 @@
+#include "core/witness.h"
+
+#include <utility>
+
+#include "common/json.h"
+#include "common/string_util.h"
+#include "core/conflict.h"
+#include "core/split_schedule.h"
+#include "schedule/dot.h"
+#include "txn/conflict.h"
+
+namespace mvrob {
+namespace {
+
+// Conflict mode of the ordered pair (b, a), for edge labels.
+std::string ConflictKind(const Operation& b, const Operation& a) {
+  if (RwConflicting(b, a)) return "rw";
+  if (WrConflicting(b, a)) return "wr";
+  if (WwConflicting(b, a)) return "ww";
+  return "none";
+}
+
+const char* OpTypeName(const Operation& op) {
+  if (op.IsRead()) return "read";
+  if (op.IsWrite()) return "write";
+  return "commit";
+}
+
+// The middle section of the chain: T2, inner..., Tm (tm omitted when equal
+// to t2).
+std::vector<TxnId> MiddleTxns(const CounterexampleChain& chain) {
+  std::vector<TxnId> middle{chain.t2};
+  middle.insert(middle.end(), chain.inner.begin(), chain.inner.end());
+  if (chain.tm != chain.t2) middle.push_back(chain.tm);
+  return middle;
+}
+
+// Evaluates every Definition 3.1 condition for the chain, mirroring
+// ValidateSplitChain but recording *how* each condition is discharged
+// instead of failing on the first violation.
+std::vector<WitnessCondition> EvaluateConditions(
+    const TransactionSet& txns, const Allocation& alloc,
+    const CounterexampleChain& chain) {
+  std::vector<WitnessCondition> conditions;
+  auto add = [&](std::string id, bool holds, std::string detail) {
+    conditions.push_back({std::move(id), holds, std::move(detail)});
+  };
+  const Transaction& txn1 = txns.txn(chain.t1);
+  auto name = [&](TxnId t) { return txns.txn(t).name(); };
+  auto level = [&](TxnId t) { return alloc.level(t); };
+  bool t1_snapshot = level(chain.t1) != IsolationLevel::kRC;
+
+  // (1) T1 conflicts with no inner transaction.
+  if (chain.inner.empty()) {
+    add("3.1(1)", true, "vacuous: the chain has no inner transactions");
+  } else {
+    std::vector<std::string> bad;
+    for (TxnId t : chain.inner) {
+      if (TxnsConflict(txns, chain.t1, t)) bad.push_back(name(t));
+    }
+    add("3.1(1)", bad.empty(),
+        bad.empty()
+            ? StrCat(name(chain.t1), " conflicts with none of the ",
+                     chain.inner.size(), " inner transaction(s)")
+            : StrCat(name(chain.t1), " conflicts with inner transaction(s) ",
+                     Join(bad, ", ")));
+  }
+
+  // (2)/(3) ww-conflict-freedom of prefix (RC) or the whole of T1 (SI/SSI)
+  // against the write sets of T2 and Tm.
+  std::vector<std::string> prefix_bad;
+  std::vector<std::string> postfix_bad;
+  for (int i = 0; i < txn1.num_ops(); ++i) {
+    const Operation& c1 = txn1.op(i);
+    if (!c1.IsWrite()) continue;
+    if (!txns.txn(chain.t2).Writes(c1.object) &&
+        !txns.txn(chain.tm).Writes(c1.object)) {
+      continue;
+    }
+    (i <= chain.b1.index ? prefix_bad : postfix_bad)
+        .push_back(txns.FormatOp(OpRef{chain.t1, i}));
+  }
+  add("3.1(2)", prefix_bad.empty(),
+      prefix_bad.empty()
+          ? StrCat("no write in prefix_", txns.FormatOp(chain.b1), "(",
+                   name(chain.t1), ") ww-conflicts with a write of ",
+                   name(chain.t2), " or ", name(chain.tm))
+          : StrCat("prefix write(s) ", Join(prefix_bad, ", "),
+                   " ww-conflict with ", name(chain.t2), " or ",
+                   name(chain.tm)));
+  if (!t1_snapshot) {
+    add("3.1(3)", true,
+        StrCat("vacuous: A(", name(chain.t1), ") = RC"));
+  } else {
+    add("3.1(3)", postfix_bad.empty(),
+        postfix_bad.empty()
+            ? StrCat("A(", name(chain.t1), ") = ",
+                     IsolationLevelToString(level(chain.t1)),
+                     ": the postfix of ", name(chain.t1),
+                     " is also ww-conflict-free with ", name(chain.t2),
+                     " and ", name(chain.tm))
+            : StrCat("postfix write(s) ", Join(postfix_bad, ", "),
+                     " ww-conflict with ", name(chain.t2), " or ",
+                     name(chain.tm)));
+  }
+
+  // (4) b1 rw-conflicting with a2.
+  bool cond4 = RwConflicting(txns.op(chain.b1), txns.op(chain.a2));
+  add("3.1(4)", cond4,
+      StrCat("b1 = ", txns.FormatOp(chain.b1),
+             cond4 ? " is rw-conflicting with a2 = "
+                   : " is NOT rw-conflicting with a2 = ",
+             txns.FormatOp(chain.a2)));
+
+  // (5) bm conflicts with a1: rw-antidependency or the RC split case.
+  bool conflict5 = Conflicting(txns.op(chain.bm), txns.op(chain.a1));
+  bool rw5 = RwConflicting(txns.op(chain.bm), txns.op(chain.a1));
+  bool rc_case = level(chain.t1) == IsolationLevel::kRC &&
+                 chain.b1.index < chain.a1.index;
+  std::string detail5;
+  if (rw5) {
+    detail5 = StrCat("bm = ", txns.FormatOp(chain.bm),
+                     " is rw-conflicting with a1 = ",
+                     txns.FormatOp(chain.a1));
+  } else if (conflict5 && rc_case) {
+    detail5 = StrCat("bm = ", txns.FormatOp(chain.bm), " ",
+                     ConflictKind(txns.op(chain.bm), txns.op(chain.a1)),
+                     "-conflicts with a1 = ", txns.FormatOp(chain.a1),
+                     " and the RC split case applies: A(", name(chain.t1),
+                     ") = RC with b1 <_T1 a1");
+  } else {
+    detail5 = StrCat("bm = ", txns.FormatOp(chain.bm),
+                     " -> a1 = ", txns.FormatOp(chain.a1),
+                     " is neither rw-conflicting nor the RC split case");
+  }
+  add("3.1(5)", conflict5 && (rw5 || rc_case), std::move(detail5));
+
+  // (6)-(8) the SSI side conditions.
+  bool s1 = level(chain.t1) == IsolationLevel::kSSI;
+  bool s2 = level(chain.t2) == IsolationLevel::kSSI;
+  bool sm = level(chain.tm) == IsolationLevel::kSSI;
+  add("3.1(6)", !(s1 && s2 && sm),
+      !(s1 && s2 && sm)
+          ? StrCat("not all of ", name(chain.t1), ", ", name(chain.t2),
+                   ", ", name(chain.tm), " are SSI (",
+                   IsolationLevelToString(level(chain.t1)), "/",
+                   IsolationLevelToString(level(chain.t2)), "/",
+                   IsolationLevelToString(level(chain.tm)), ")")
+          : "T1, T2 and Tm are all SSI");
+  if (s1 && s2) {
+    bool ok = WrConflictFreeTxns(txns, chain.t1, chain.t2);
+    add("3.1(7)", ok,
+        StrCat(name(chain.t1), ok ? " is wr-conflict-free with "
+                                  : " wr-conflicts with ",
+               name(chain.t2), " (both SSI)"));
+  } else {
+    add("3.1(7)", true,
+        StrCat("vacuous: A(", name(chain.t1), ") and A(", name(chain.t2),
+               ") are not both SSI"));
+  }
+  if (s1 && sm) {
+    bool ok = WrConflictFreeTxns(txns, chain.tm, chain.t1);
+    add("3.1(8)", ok,
+        StrCat(name(chain.tm), ok ? " is wr-conflict-free with "
+                                  : " wr-conflicts with ",
+               name(chain.t1), " (both SSI)"));
+  } else {
+    add("3.1(8)", true,
+        StrCat("vacuous: A(", name(chain.t1), ") and A(", name(chain.tm),
+               ") are not both SSI"));
+  }
+  return conditions;
+}
+
+// Emits one witness report as a JSON object (the value after a Key()).
+void WitnessReportJson(const TransactionSet& txns, const Allocation& alloc,
+                       const WitnessReport& report, JsonWriter& json) {
+  json.BeginObject();
+  json.Key("split_txn");
+  json.String(txns.txn(report.chain.t1).name());
+  json.Key("split_after");
+  json.String(txns.FormatOp(report.chain.b1));
+  json.Key("chain");
+  json.BeginArray();
+  for (TxnId t : report.chain_txns) {
+    json.BeginObject();
+    json.Key("txn");
+    json.String(txns.txn(t).name());
+    json.Key("level");
+    json.String(IsolationLevelToString(alloc.level(t)));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("edges");
+  json.BeginArray();
+  for (const WitnessEdge& edge : report.edges) {
+    json.BeginObject();
+    json.Key("from");
+    json.String(txns.txn(edge.from).name());
+    json.Key("to");
+    json.String(txns.txn(edge.to).name());
+    json.Key("b");
+    json.String(txns.FormatOp(edge.b));
+    json.Key("a");
+    json.String(txns.FormatOp(edge.a));
+    json.Key("conflict");
+    json.String(edge.conflict);
+    json.Key("condition");
+    json.String(edge.condition);
+    json.Key("detail");
+    json.String(edge.detail);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("conditions");
+  json.BeginArray();
+  for (const WitnessCondition& condition : report.conditions) {
+    json.BeginObject();
+    json.Key("condition");
+    json.String(condition.condition);
+    json.Key("holds");
+    json.Bool(condition.holds);
+    json.Key("detail");
+    json.String(condition.detail);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("split_schedule");
+  json.BeginObject();
+  json.Key("prefix_len");
+  json.Int(report.prefix_len);
+  json.Key("order");
+  json.BeginArray();
+  for (const OpRef& ref : report.split_order) {
+    const Operation& op = txns.op(ref);
+    json.BeginObject();
+    json.Key("op");
+    json.String(txns.FormatOp(ref));
+    json.Key("txn");
+    json.String(txns.txn(ref.txn).name());
+    json.Key("type");
+    json.String(OpTypeName(op));
+    if (!op.IsCommit()) {
+      json.Key("object");
+      json.String(txns.ObjectName(op.object));
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  StatusOr<Schedule> schedule =
+      BuildSplitSchedule(txns, alloc, report.chain);
+  if (schedule.ok()) {
+    json.Key("schedule");
+    json.String(schedule->ToString(/*with_versions=*/true));
+    json.Key("timeline");
+    json.String(ScheduleTimeline(*schedule));
+  }
+  json.EndObject();
+  json.Key("verified");
+  json.Bool(report.verified);
+  if (!report.verified) {
+    json.Key("verify_error");
+    json.String(report.verify_error);
+  }
+  json.EndObject();
+}
+
+void AllocationJson(const TransactionSet& txns, const Allocation& alloc,
+                    JsonWriter& json) {
+  json.BeginObject();
+  for (TxnId t = 0; t < txns.size(); ++t) {
+    json.Key(txns.txn(t).name());
+    json.String(IsolationLevelToString(alloc.level(t)));
+  }
+  json.EndObject();
+}
+
+// Appends the chain of `report` to `dot`, with T1 drawn split into its
+// prefix and postfix halves. `id_prefix` namespaces node ids so several
+// chains can share one graph (the allocate obstacle view); `context` is
+// appended to node labels when non-empty.
+void AppendChainToDot(DotGraph& dot, const TransactionSet& txns,
+                      const Allocation& alloc, const WitnessReport& report,
+                      const std::string& id_prefix,
+                      const std::string& context) {
+  const CounterexampleChain& chain = report.chain;
+  auto node_id = [&](TxnId t) { return StrCat(id_prefix, "n", t); };
+  auto label = [&](TxnId t, std::string_view suffix) {
+    std::string text = StrCat(txns.txn(t).name(), suffix, "\n",
+                              IsolationLevelToString(alloc.level(t)));
+    if (!context.empty()) text = StrCat(context, "\n", text);
+    return text;
+  };
+  std::string t1_pre = StrCat(node_id(chain.t1), "_pre");
+  std::string t1_post = StrCat(node_id(chain.t1), "_post");
+  dot.AddNode({t1_pre,
+               label(chain.t1,
+                     StrCat(" prefix(", txns.FormatOp(chain.b1), ")")),
+               "box", "style=filled, fillcolor=lightgrey"});
+  dot.AddNode({t1_post, label(chain.t1, " postfix"), "box",
+               "style=filled, fillcolor=lightgrey"});
+  for (TxnId t : MiddleTxns(chain)) {
+    dot.AddNode({node_id(t), label(t, ""), "box"});
+  }
+  // Program order within the split T1.
+  dot.AddEdge({t1_pre, t1_post, "program order", /*dashed=*/true});
+  for (const WitnessEdge& edge : report.edges) {
+    std::string from = edge.from == chain.t1 ? t1_pre : node_id(edge.from);
+    std::string to = node_id(edge.to);
+    if (edge.to == chain.t1) {
+      to = edge.a.index <= chain.b1.index ? t1_pre : t1_post;
+    }
+    dot.AddEdge({from, to,
+                 StrCat(txns.FormatOp(edge.b), "->", txns.FormatOp(edge.a),
+                        " (", edge.conflict, ", ", edge.condition, ")"),
+                 edge.conflict == "rw"});
+  }
+}
+
+}  // namespace
+
+StatusOr<WitnessReport> BuildWitnessReport(const TransactionSet& txns,
+                                           const Allocation& alloc,
+                                           const CounterexampleChain& chain) {
+  if (chain.t1 >= txns.size() || chain.t2 >= txns.size() ||
+      chain.tm >= txns.size() || chain.t1 == chain.t2 ||
+      chain.t1 == chain.tm) {
+    return Status::InvalidArgument("chain references invalid transactions");
+  }
+  for (OpRef ref : {chain.b1, chain.a1, chain.a2, chain.bm}) {
+    if (ref.IsOp0() || !txns.IsValidRef(ref)) {
+      return Status::InvalidArgument("chain operation reference invalid");
+    }
+  }
+  for (TxnId t : chain.inner) {
+    if (t >= txns.size()) {
+      return Status::InvalidArgument("invalid inner transaction");
+    }
+  }
+  if (alloc.size() != txns.size()) {
+    return Status::InvalidArgument("allocation size mismatch");
+  }
+
+  WitnessReport report;
+  report.chain = chain;
+  report.chain_txns = chain.ChainTxns();
+
+  // Edge 1: b1 -> a2, the rw-antidependency that opens the split
+  // (Definition 3.1 (4)).
+  report.edges.push_back(WitnessEdge{
+      chain.t1, chain.t2, chain.b1, chain.a2,
+      ConflictKind(txns.op(chain.b1), txns.op(chain.a2)), "3.1(4)",
+      StrCat(txns.FormatOp(chain.b1), " reads the object that ",
+             txns.FormatOp(chain.a2), " writes; T1 is split after ",
+             txns.FormatOp(chain.b1))});
+  // Middle edges: consecutive chain members admit conflicting quadruples.
+  std::vector<TxnId> middle = MiddleTxns(chain);
+  for (size_t i = 0; i + 1 < middle.size(); ++i) {
+    auto pair = FindConflictingPair(txns, middle[i], middle[i + 1]);
+    if (pair.has_value()) {
+      report.edges.push_back(WitnessEdge{
+          middle[i], middle[i + 1], pair->first, pair->second,
+          ConflictKind(txns.op(pair->first), txns.op(pair->second)),
+          "3.1(chain)",
+          StrCat("conflicting quadruple (", txns.txn(middle[i]).name(), ", ",
+                 txns.FormatOp(pair->first), ", ",
+                 txns.FormatOp(pair->second), ", ",
+                 txns.txn(middle[i + 1]).name(), ") links the chain")});
+    } else {
+      report.edges.push_back(WitnessEdge{
+          middle[i], middle[i + 1], OpRef::Op0(), OpRef::Op0(), "none",
+          "3.1(chain)",
+          StrCat("MISSING conflict between ", txns.txn(middle[i]).name(),
+                 " and ", txns.txn(middle[i + 1]).name())});
+    }
+  }
+  // Closing edge: bm -> a1 (Definition 3.1 (5)).
+  bool rw5 = RwConflicting(txns.op(chain.bm), txns.op(chain.a1));
+  report.edges.push_back(WitnessEdge{
+      chain.tm, chain.t1, chain.bm, chain.a1,
+      ConflictKind(txns.op(chain.bm), txns.op(chain.a1)),
+      rw5 ? "3.1(5)" : "3.1(5)-rc",
+      rw5 ? StrCat(txns.FormatOp(chain.bm),
+                   " closes the cycle with an rw-antidependency into ",
+                   txns.FormatOp(chain.a1))
+          : StrCat(txns.FormatOp(chain.bm), " closes the cycle into ",
+                   txns.FormatOp(chain.a1), " via the RC split case (A(",
+                   txns.txn(chain.t1).name(), ") = RC, b1 <_T1 a1)")});
+
+  report.conditions = EvaluateConditions(txns, alloc, chain);
+  report.split_order = BuildSplitOrder(txns, chain);
+  report.prefix_len = chain.b1.index + 1;
+  Status verified = VerifyCounterexample(txns, alloc, chain);
+  report.verified = verified.ok();
+  if (!verified.ok()) report.verify_error = verified.ToString();
+  return report;
+}
+
+std::string RobustnessWitnessJson(const TransactionSet& txns,
+                                  const Allocation& alloc,
+                                  const RobustnessResult& result) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("version");
+  json.Uint(1);
+  json.Key("kind");
+  json.String("robustness_witness");
+  json.Key("robust");
+  json.Bool(result.robust);
+  json.Key("allocation");
+  AllocationJson(txns, alloc, json);
+  json.Key("triples_examined");
+  json.Uint(result.triples_examined);
+  if (!result.robust && result.counterexample.has_value()) {
+    StatusOr<WitnessReport> report =
+        BuildWitnessReport(txns, alloc, *result.counterexample);
+    if (report.ok()) {
+      json.Key("witness");
+      WitnessReportJson(txns, alloc, *report, json);
+    } else {
+      json.Key("witness_error");
+      json.String(report.status().ToString());
+    }
+  }
+  json.EndObject();
+  return json.str();
+}
+
+std::string RobustnessWitnessDot(const TransactionSet& txns,
+                                 const Allocation& alloc,
+                                 const RobustnessResult& result) {
+  DotGraph dot("witness");
+  dot.AddAttribute("rankdir=LR");
+  dot.AddAttribute(StrCat("label=\"",
+                          DotGraph::Escape(alloc.ToString(txns)), "\""));
+  if (result.robust || !result.counterexample.has_value()) {
+    dot.AddNode({"verdict", "robust: no counterexample chain exists",
+                 "plaintext"});
+    return dot.Render();
+  }
+  StatusOr<WitnessReport> report =
+      BuildWitnessReport(txns, alloc, *result.counterexample);
+  if (!report.ok()) {
+    dot.AddNode({"verdict",
+                 StrCat("witness error: ", report.status().ToString()),
+                 "plaintext"});
+    return dot.Render();
+  }
+  AppendChainToDot(dot, txns, alloc, *report, "", "");
+  return dot.Render();
+}
+
+std::string AllocationExplanationJson(
+    const TransactionSet& txns, const AllocationExplanation& explanation) {
+  const Allocation& alloc = explanation.allocation;
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("version");
+  json.Uint(1);
+  json.Key("kind");
+  json.String("allocation_witness");
+  json.Key("allocation");
+  AllocationJson(txns, alloc, json);
+  json.Key("counts");
+  json.BeginObject();
+  for (IsolationLevel level : kAllIsolationLevels) {
+    json.Key(IsolationLevelToString(level));
+    json.Uint(alloc.CountAt(level));
+  }
+  json.EndObject();
+  json.Key("per_txn");
+  json.BeginArray();
+  for (const AllocationObstacle& entry : explanation.per_txn) {
+    json.BeginObject();
+    json.Key("txn");
+    json.String(txns.txn(entry.txn).name());
+    json.Key("assigned");
+    json.String(IsolationLevelToString(entry.assigned));
+    json.Key("obstacles");
+    json.BeginArray();
+    for (const AllocationObstacle::Obstacle& obstacle : entry.obstacles) {
+      json.BeginObject();
+      json.Key("attempted");
+      json.String(IsolationLevelToString(obstacle.attempted));
+      // The chain witnesses non-robustness of the *lowered* allocation.
+      Allocation lowered = alloc.With(entry.txn, obstacle.attempted);
+      StatusOr<WitnessReport> report =
+          BuildWitnessReport(txns, lowered, obstacle.chain);
+      if (report.ok()) {
+        json.Key("witness");
+        WitnessReportJson(txns, lowered, *report, json);
+      } else {
+        json.Key("witness_error");
+        json.String(report.status().ToString());
+      }
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+std::string AllocationExplanationDot(
+    const TransactionSet& txns, const AllocationExplanation& explanation) {
+  const Allocation& alloc = explanation.allocation;
+  DotGraph dot("obstacles");
+  dot.AddAttribute("rankdir=LR");
+  dot.AddAttribute(StrCat("label=\"optimal allocation ",
+                          DotGraph::Escape(alloc.ToString(txns)), "\""));
+  size_t cluster = 0;
+  for (const AllocationObstacle& entry : explanation.per_txn) {
+    for (const AllocationObstacle::Obstacle& obstacle : entry.obstacles) {
+      Allocation lowered = alloc.With(entry.txn, obstacle.attempted);
+      StatusOr<WitnessReport> report =
+          BuildWitnessReport(txns, lowered, obstacle.chain);
+      if (!report.ok()) continue;
+      AppendChainToDot(dot, txns, lowered, *report,
+                       StrCat("o", cluster, "_"),
+                       StrCat(txns.txn(entry.txn).name(), "->",
+                              IsolationLevelToString(obstacle.attempted),
+                              " blocked by:"));
+      ++cluster;
+    }
+  }
+  if (cluster == 0) {
+    dot.AddNode({"verdict", "no obstacles: every transaction is at RC",
+                 "plaintext"});
+  }
+  return dot.Render();
+}
+
+}  // namespace mvrob

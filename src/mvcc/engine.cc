@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/metrics.h"
+#include "mvcc/recorder.h"
 #include "mvcc/ssi_tracker.h"
 
 namespace mvrob {
@@ -34,7 +35,17 @@ SessionId Engine::Begin(IsolationLevel level) {
   sessions_.push_back(std::move(record));
   ++stats_.begins;
   if (m_begins_ != nullptr) m_begins_->Increment();
-  return static_cast<SessionId>(sessions_.size() - 1);
+  SessionId id = static_cast<SessionId>(sessions_.size() - 1);
+  if (options_.recorder != nullptr) {
+    EngineEvent event;
+    event.kind = EngineEventKind::kBegin;
+    event.session = id;
+    event.step = step_;
+    event.level = level;
+    event.version_ts = sessions_[id].snapshot_ts;
+    options_.recorder->Record(event);
+  }
+  return id;
 }
 
 ReadResult Engine::Read(SessionId session, ObjectId object) {
@@ -54,6 +65,17 @@ ReadResult Engine::Read(SessionId session, ObjectId object) {
     result.own_write = true;
     record.reads.push_back(SessionReadRecord{object, /*version_ts=*/0,
                                              session, step_});
+    if (options_.recorder != nullptr) {
+      EngineEvent event;
+      event.kind = EngineEventKind::kRead;
+      event.session = session;
+      event.step = step_;
+      event.object = object;
+      event.value = result.value;
+      event.version_writer = session;
+      event.own_write = true;
+      options_.recorder->Record(event);
+    }
     return result;
   }
   Timestamp read_ts =
@@ -63,6 +85,17 @@ ReadResult Engine::Read(SessionId session, ObjectId object) {
   result.version_writer = version.writer;
   record.reads.push_back(
       SessionReadRecord{object, version.commit_ts, version.writer, step_});
+  if (options_.recorder != nullptr) {
+    EngineEvent event;
+    event.kind = EngineEventKind::kRead;
+    event.session = session;
+    event.step = step_;
+    event.object = object;
+    event.value = result.value;
+    event.version_writer = version.writer;
+    event.version_ts = version.commit_ts;
+    options_.recorder->Record(event);
+  }
   return result;
 }
 
@@ -78,6 +111,15 @@ WriteResult Engine::Write(SessionId session, ObjectId object, Value value) {
     if (m_blocked_steps_ != nullptr) m_blocked_steps_->Increment();
     result.status = StepStatus::kBlocked;
     result.blocker = lock->second;
+    if (options_.recorder != nullptr) {
+      EngineEvent event;
+      event.kind = EngineEventKind::kBlocked;
+      event.session = session;
+      event.step = step_;
+      event.object = object;
+      event.version_writer = lock->second;
+      options_.recorder->Record(event);
+    }
     return result;
   }
   // First-updater-wins for snapshot levels: a version committed after the
@@ -97,6 +139,15 @@ WriteResult Engine::Write(SessionId session, ObjectId object, Value value) {
   row_locks_[object] = session;
   record.write_buffer[object] = value;
   record.writes.push_back(SessionWriteRecord{object, step_});
+  if (options_.recorder != nullptr) {
+    EngineEvent event;
+    event.kind = EngineEventKind::kWrite;
+    event.session = session;
+    event.step = step_;
+    event.object = object;
+    event.value = value;
+    options_.recorder->Record(event);
+  }
   return result;
 }
 
@@ -142,6 +193,14 @@ CommitResult Engine::Commit(SessionId session) {
   ++stats_.commits;
   if (m_commits_ != nullptr) m_commits_->Increment();
   result.commit_ts = commit_ts;
+  if (options_.recorder != nullptr) {
+    EngineEvent event;
+    event.kind = EngineEventKind::kCommit;
+    event.session = session;
+    event.step = step_;
+    event.commit_ts = commit_ts;
+    options_.recorder->Record(event);
+  }
   return result;
 }
 
@@ -173,6 +232,14 @@ void Engine::AbortInternal(SessionId session, AbortReason reason) {
     if (lock != row_locks_.end() && lock->second == session) {
       row_locks_.erase(lock);
     }
+  }
+  if (options_.recorder != nullptr) {
+    EngineEvent event;
+    event.kind = EngineEventKind::kAbort;
+    event.session = session;
+    event.step = step_;
+    event.reason = reason;
+    options_.recorder->Record(event);
   }
   switch (reason) {
     case AbortReason::kWriteConflict:

@@ -13,6 +13,7 @@ namespace mvrob {
 class Counter;
 class Histogram;
 class MetricsRegistry;
+class ScheduleRecorder;
 
 /// Lifecycle of an engine session.
 enum class TxnState : uint8_t { kActive, kCommitted, kAborted };
@@ -127,6 +128,12 @@ struct EngineOptions {
   /// mvcc.ssi_false_positives (conservative aborts the exact check would
   /// not have taken).
   MetricsRegistry* metrics = nullptr;
+  /// Optional schedule recorder (mvcc/recorder.h). When attached, the
+  /// engine logs every begin/read/write/commit/abort (and blocked write)
+  /// as an EngineEvent; the log can be exported as a replayable schedule
+  /// file or a Chrome trace, and fed back through the formal checker by
+  /// the round-trip validator. Null disables recording.
+  ScheduleRecorder* recorder = nullptr;
 };
 
 /// An in-memory multiversion engine executing transactions under

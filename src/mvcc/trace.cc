@@ -7,19 +7,20 @@
 
 namespace mvrob {
 
-StatusOr<ExportedRun> ExportCommittedRun(const Engine& engine,
-                                         const TransactionSet& object_names) {
+StatusOr<ExportedRun> ExportCommittedSessions(
+    const std::vector<SessionRecord>& all_sessions,
+    const TransactionSet& object_names) {
   ExportedRun run;
 
   // Committed sessions ordered by their first operation.
   std::vector<SessionId> committed;
-  for (SessionId id = 0; id < engine.num_sessions(); ++id) {
-    if (engine.session(id).state == TxnState::kCommitted) {
+  for (SessionId id = 0; id < all_sessions.size(); ++id) {
+    if (all_sessions[id].state == TxnState::kCommitted) {
       committed.push_back(id);
     }
   }
   std::sort(committed.begin(), committed.end(), [&](SessionId a, SessionId b) {
-    return engine.session(a).first_step < engine.session(b).first_step;
+    return all_sessions[a].first_step < all_sessions[b].first_step;
   });
 
   // Mirror the object universe so ids line up with the engine's.
@@ -38,7 +39,7 @@ StatusOr<ExportedRun> ExportCommittedRun(const Engine& engine,
   std::vector<IsolationLevel> levels;
 
   for (SessionId id : committed) {
-    const SessionRecord& record = engine.session(id);
+    const SessionRecord& record = all_sessions[id];
     levels.push_back(record.level);
     std::map<ObjectId, int> writes_per_object;
     for (const SessionWriteRecord& write : record.writes) {
@@ -98,7 +99,7 @@ StatusOr<ExportedRun> ExportCommittedRun(const Engine& engine,
     OpRef ref{txn, replay_index[event.session]++};
     if (!event.op.IsRead()) continue;
     const SessionReadRecord& read =
-        engine.session(event.session).reads[event.read_index];
+        all_sessions[event.session].reads[event.read_index];
     if (read.version_writer == kInvalidSessionId) {
       run.versions[ref] = OpRef::Op0();
     } else {
@@ -115,21 +116,30 @@ StatusOr<ExportedRun> ExportCommittedRun(const Engine& engine,
   // Version order = commit order per object (sessions sorted by commit_ts).
   std::map<ObjectId, std::vector<SessionId>> writers;
   for (SessionId id : committed) {
-    for (const SessionWriteRecord& write : engine.session(id).writes) {
+    for (const SessionWriteRecord& write : all_sessions[id].writes) {
       writers[write.object].push_back(id);
     }
   }
   for (auto& [object, sessions] : writers) {
     std::sort(sessions.begin(), sessions.end(),
               [&](SessionId a, SessionId b) {
-                return engine.session(a).commit_ts <
-                       engine.session(b).commit_ts;
+                return all_sessions[a].commit_ts < all_sessions[b].commit_ts;
               });
     for (SessionId id : sessions) {
       run.version_order[object].push_back(write_ref[{id, object}]);
     }
   }
   return run;
+}
+
+StatusOr<ExportedRun> ExportCommittedRun(const Engine& engine,
+                                         const TransactionSet& object_names) {
+  std::vector<SessionRecord> sessions;
+  sessions.reserve(engine.num_sessions());
+  for (SessionId id = 0; id < engine.num_sessions(); ++id) {
+    sessions.push_back(engine.session(id));
+  }
+  return ExportCommittedSessions(sessions, object_names);
 }
 
 }  // namespace mvrob

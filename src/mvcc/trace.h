@@ -42,6 +42,14 @@ struct ExportedRun {
 StatusOr<ExportedRun> ExportCommittedRun(const Engine& engine,
                                          const TransactionSet& object_names);
 
+/// The same export over bare session records (ids are positions in
+/// `sessions`). This is the shared core of ExportCommittedRun and the
+/// schedule recorder's replay path (mvcc/recorder.h), which reconstructs
+/// session records from a recorded event log instead of a live engine.
+StatusOr<ExportedRun> ExportCommittedSessions(
+    const std::vector<SessionRecord>& sessions,
+    const TransactionSet& object_names);
+
 }  // namespace mvrob
 
 #endif  // MVROB_MVCC_TRACE_H_

@@ -6,12 +6,53 @@
 
 namespace mvrob {
 
+std::string DotGraph::Escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string DotGraph::Render() const {
+  std::string out = StrCat("digraph ", name_, " {\n");
+  for (const std::string& attribute : attributes_) {
+    out += StrCat("  ", attribute, ";\n");
+  }
+  for (const Node& node : nodes_) {
+    out += StrCat("  ", node.id, " [label=\"", Escape(node.label),
+                  "\", shape=", node.shape);
+    if (!node.extra.empty()) out += StrCat(", ", node.extra);
+    out += "];\n";
+  }
+  for (const Edge& edge : edges_) {
+    out += StrCat("  ", edge.from, " -> ", edge.to, " [label=\"",
+                  Escape(edge.label), "\"", edge.dashed ? ", style=dashed" : "",
+                  "];\n");
+  }
+  out += "}\n";
+  return out;
+}
+
 std::string SerializationGraphToDot(const TransactionSet& txns,
                                     const SerializationGraph& graph) {
-  std::string out = "digraph SeG {\n  rankdir=LR;\n";
+  DotGraph dot("SeG");
+  dot.AddAttribute("rankdir=LR");
   for (TxnId t = 0; t < txns.size(); ++t) {
-    out += StrCat("  n", t, " [label=\"", txns.txn(t).name(),
-                  "\", shape=circle];\n");
+    dot.AddNode({StrCat("n", t), txns.txn(t).name()});
   }
   // Merge quadruples per transaction pair into a single labeled edge.
   std::map<std::pair<TxnId, TxnId>, std::vector<std::string>> labels;
@@ -25,12 +66,10 @@ std::string SerializationGraphToDot(const TransactionSet& txns,
     it->second = it->second && edge.kind == DependencyKind::kRwAnti;
   }
   for (const auto& [key, parts] : labels) {
-    out += StrCat("  n", key.first, " -> n", key.second, " [label=\"",
-                  Join(parts, "\\n"), "\"",
-                  all_anti[key] ? ", style=dashed" : "", "];\n");
+    dot.AddEdge({StrCat("n", key.first), StrCat("n", key.second),
+                 Join(parts, "\n"), all_anti[key]});
   }
-  out += "}\n";
-  return out;
+  return dot.Render();
 }
 
 std::string ScheduleTimeline(const Schedule& s) {

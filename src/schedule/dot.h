@@ -2,10 +2,54 @@
 #define MVROB_SCHEDULE_DOT_H_
 
 #include <string>
+#include <vector>
 
 #include "schedule/serialization_graph.h"
 
 namespace mvrob {
+
+/// A small Graphviz DOT builder shared by every renderer that draws
+/// transaction-level graphs (SeG(s), counterexample chains, allocation
+/// obstacles). Node and edge labels are escaped; rw-antidependency edges
+/// follow the SI-literature convention of dashing.
+class DotGraph {
+ public:
+  explicit DotGraph(std::string name) : name_(std::move(name)) {}
+
+  struct Node {
+    std::string id;
+    std::string label;
+    std::string shape = "circle";
+    /// Extra attributes, rendered verbatim (e.g. "style=filled,
+    /// fillcolor=lightgrey").
+    std::string extra;
+  };
+  struct Edge {
+    std::string from;
+    std::string to;
+    std::string label;
+    bool dashed = false;
+  };
+
+  void AddNode(Node node) { nodes_.push_back(std::move(node)); }
+  void AddEdge(Edge edge) { edges_.push_back(std::move(edge)); }
+  /// Free-form graph-level attribute line, e.g. "rankdir=LR".
+  void AddAttribute(std::string attribute) {
+    attributes_.push_back(std::move(attribute));
+  }
+
+  /// Renders the graph as a `digraph` document.
+  std::string Render() const;
+
+  /// Escapes a string for use inside a double-quoted DOT attribute.
+  static std::string Escape(std::string_view text);
+
+ private:
+  std::string name_;
+  std::vector<std::string> attributes_;
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+};
 
 /// Renders SeG(s) in Graphviz DOT format: one node per transaction, one
 /// edge per transaction pair with the witnessing operation pairs as the

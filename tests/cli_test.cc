@@ -301,6 +301,108 @@ TEST(CliTest, StatsJsonReportsUnwritablePath) {
   EXPECT_NE(result.err.find("stats"), std::string::npos);
 }
 
+// Reads a file written by a CLI run and deletes it.
+std::string Slurp(const std::string& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good()) << "missing " << path;
+  std::stringstream body;
+  body << file.rdbuf();
+  std::remove(path.c_str());
+  return body.str();
+}
+
+TEST(CliTest, CheckWitnessJsonCarriesProvenance) {
+  std::string path = ::testing::TempDir() + "/mvrob_witness.json";
+  CliResult result = RunTool(
+      {"check", "--txns", kWriteSkew, "--witness-json", path});
+  EXPECT_EQ(result.code, 0) << result.err;
+  std::string witness = Slurp(path);
+  // Every chain edge carries conflict type, operation pair, and the
+  // Definition 3.1 condition it discharges.
+  EXPECT_NE(witness.find("\"kind\":\"robustness_witness\""),
+            std::string::npos);
+  EXPECT_NE(witness.find("\"robust\":false"), std::string::npos);
+  EXPECT_NE(witness.find("\"conflict\":\"rw\""), std::string::npos);
+  EXPECT_NE(witness.find("\"condition\":\"3.1(4)\""), std::string::npos);
+  EXPECT_NE(witness.find("\"b\":\"R1[x]\""), std::string::npos);
+  EXPECT_NE(witness.find("\"a\":\"W2[x]\""), std::string::npos);
+  EXPECT_NE(witness.find("\"split_schedule\""), std::string::npos);
+  EXPECT_NE(witness.find("\"verified\":true"), std::string::npos);
+}
+
+TEST(CliTest, CheckWitnessDotToStdout) {
+  CliResult result =
+      RunTool({"check", "--txns", kWriteSkew, "--witness-dot", "-"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("digraph witness"), std::string::npos);
+  EXPECT_NE(result.out.find("rw, 3.1(4)"), std::string::npos);
+}
+
+TEST(CliTest, AllocateWitnessJsonExplainsObstacles) {
+  std::string path = ::testing::TempDir() + "/mvrob_alloc_witness.json";
+  CliResult result = RunTool(
+      {"allocate", "--txns", kWriteSkew, "--witness-json", path});
+  EXPECT_EQ(result.code, 0) << result.err;
+  std::string witness = Slurp(path);
+  EXPECT_NE(witness.find("\"kind\":\"allocation_witness\""),
+            std::string::npos);
+  EXPECT_NE(witness.find("\"obstacles\""), std::string::npos);
+  EXPECT_NE(witness.find("\"condition\":\"3.1(4)\""), std::string::npos);
+}
+
+TEST(CliTest, ShellRewritesWitnessOnChange) {
+  std::string path = ::testing::TempDir() + "/mvrob_shell_witness.json";
+  std::istringstream script(
+      "add T1: R[x] W[y]\n"
+      "add T2: R[y] W[x]\n"
+      "quit\n");
+  std::ostringstream out;
+  std::ostringstream err;
+  int code = RunCli({"shell", "--witness-json", path}, script, out, err);
+  EXPECT_EQ(code, 0) << err.str();
+  std::string witness = Slurp(path);
+  // After the last add the optimum is T1=SSI T2=SSI with obstacles.
+  EXPECT_NE(witness.find("\"kind\":\"allocation_witness\""),
+            std::string::npos)
+      << witness;
+  EXPECT_NE(witness.find("\"obstacles\""), std::string::npos);
+}
+
+TEST(CliTest, ValidateCertifiesRoundTrip) {
+  CliResult result = RunTool(
+      {"validate", "--txns", kWriteSkew, "--runs", "25", "--seed", "3"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("0 disagreements"), std::string::npos);
+  EXPECT_NE(result.out.find("allocation robust: no"), std::string::npos);
+
+  CliResult robust =
+      RunTool({"validate", "--txns", kWriteSkew, "--default", "SSI",
+               "--runs", "25"});
+  EXPECT_EQ(robust.code, 0) << robust.err;
+  EXPECT_NE(robust.out.find("allocation robust: yes"), std::string::npos);
+  EXPECT_NE(robust.out.find("anomalous runs:    0"), std::string::npos);
+
+  EXPECT_EQ(RunTool({"validate", "--txns", kWriteSkew, "--runs", "x"}).code,
+            1);
+}
+
+TEST(CliTest, SimulateRecordsScheduleAndTrace) {
+  std::string schedule_path = ::testing::TempDir() + "/mvrob_rec.txt";
+  std::string trace_path = ::testing::TempDir() + "/mvrob_rec_trace.json";
+  CliResult result = RunTool(
+      {"simulate", "--txns", kWriteSkew, "--runs", "2", "--seed", "5",
+       "--record-schedule", schedule_path, "--record-trace", trace_path});
+  EXPECT_EQ(result.code, 0) << result.err;
+  std::string schedule = Slurp(schedule_path);
+  EXPECT_NE(schedule.find("# mvrob recorded schedule v1"),
+            std::string::npos);
+  EXPECT_NE(schedule.find("objects x y"), std::string::npos);
+  EXPECT_NE(schedule.find("begin S1"), std::string::npos);
+  std::string trace = Slurp(trace_path);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("thread_name"), std::string::npos);
+}
+
 TEST(CliTest, TemplatesAllocates) {
   CliResult result = RunTool({"templates", "--templates", R"(
     domain N 2

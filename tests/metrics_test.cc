@@ -73,6 +73,40 @@ TEST(HistogramTest, ObserveTracksCountSumMax) {
   EXPECT_EQ(histogram.bucket(Histogram::BucketIndex(100)), 1u); // [64, 127]
 }
 
+TEST(HistogramTest, QuantileEstimatesFromBuckets) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.Quantile(0.5), 0u);  // Empty.
+
+  // All-zero data: exact at every quantile (bucket 0 is exact).
+  for (int i = 0; i < 10; ++i) histogram.Observe(0);
+  EXPECT_EQ(histogram.Quantile(0.5), 0u);
+  EXPECT_EQ(histogram.Quantile(0.99), 0u);
+
+  // Skewed data: 90 observations of 1, 10 of ~1000. p50 must stay in the
+  // low bucket, p99 in the high one; estimates are bucket-resolution
+  // (within 2x), and never above the observed max.
+  Histogram skewed;
+  for (int i = 0; i < 90; ++i) skewed.Observe(1);
+  for (int i = 0; i < 10; ++i) skewed.Observe(1000);
+  EXPECT_EQ(skewed.Quantile(0.5), 1u);
+  uint64_t p99 = skewed.Quantile(0.99);
+  EXPECT_GE(p99, 512u);
+  EXPECT_LE(p99, 1000u);
+  EXPECT_LE(skewed.Quantile(1.0), skewed.max());
+
+  // Monotone in q.
+  EXPECT_LE(skewed.Quantile(0.25), skewed.Quantile(0.75));
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonCarriesQuantileSummaries) {
+  MetricsRegistry registry;
+  for (int i = 0; i < 100; ++i) registry.histogram("lat").Observe(8);
+  std::string json = registry.SnapshotJson();
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
 TEST(MetricsRegistryTest, NamedMetricsAreStableSingletons) {
   MetricsRegistry registry;
   Counter& a = registry.counter("x");

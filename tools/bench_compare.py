@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: diff a fresh BENCH_robustness.json against the
+committed baseline.
+
+Two kinds of checks, reflecting the two kinds of numbers in the file:
+
+ - per-benchmark cpu_time ratios (fresh / baseline) against a threshold
+   (default 2.0x, overridable with --threshold or MVROB_BENCH_THRESHOLD).
+   Timings are machine-dependent, so the gate is deliberately loose: it
+   catches algorithmic regressions (a 10x blowup), not noise;
+ - the audited work counter analyzer.triples_examined from the embedded
+   metrics snapshot, which is machine-INDEPENDENT and must match exactly
+   (the scan contract of core/robustness.h).
+
+A benchmark present in the baseline but missing from the fresh run fails
+the gate (silently dropping a benchmark is how regressions hide); new
+benchmarks are reported and pass.
+
+usage: bench_compare.py <fresh.json> <baseline.json> [--threshold X]
+                        [--warn-only] [--update]
+
+--update writes the fresh results over the baseline (seeding or refreshing
+it) and exits 0. --warn-only reports regressions but exits 0; ci.sh uses
+it for the seeding run and MVROB_BENCH_GATE=warn.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def benchmark_times(doc):
+    """name -> cpu_time (ns), skipping aggregate rows."""
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        times[bench["name"]] = float(bench["cpu_time"])
+    return times
+
+
+def triples_examined(doc):
+    try:
+        counters = doc["mvrob_metrics"]["snapshot"]["counters"]
+        return int(counters["analyzer.triples_examined"])
+    except (KeyError, TypeError):
+        return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh")
+    parser.add_argument("baseline")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("MVROB_BENCH_THRESHOLD", "2.0")),
+        help="max allowed cpu_time ratio fresh/baseline (default 2.0)",
+    )
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit 0")
+    parser.add_argument("--update", action="store_true",
+                        help="write fresh results over the baseline")
+    args = parser.parse_args()
+
+    fresh = load(args.fresh)
+
+    if args.update:
+        os.makedirs(os.path.dirname(os.path.abspath(args.baseline)),
+                    exist_ok=True)
+        with open(args.baseline, "w") as f:
+            json.dump(fresh, f, indent=1)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    baseline = load(args.baseline)
+    fresh_times = benchmark_times(fresh)
+    baseline_times = benchmark_times(baseline)
+
+    failures = []
+    for name, base_time in sorted(baseline_times.items()):
+        if name not in fresh_times:
+            failures.append(f"benchmark disappeared: {name}")
+            continue
+        if base_time <= 0:
+            continue
+        ratio = fresh_times[name] / base_time
+        marker = "REGRESSION" if ratio > args.threshold else "ok"
+        print(f"  {marker:>10}  {ratio:6.2f}x  {name}")
+        if ratio > args.threshold:
+            failures.append(
+                f"{name}: cpu_time {fresh_times[name]:.0f}ns vs baseline "
+                f"{base_time:.0f}ns ({ratio:.2f}x > {args.threshold:.2f}x)")
+    for name in sorted(set(fresh_times) - set(baseline_times)):
+        print(f"  {'new':>10}  {'':>7}  {name}")
+
+    fresh_triples = triples_examined(fresh)
+    base_triples = triples_examined(baseline)
+    if base_triples is not None:
+        if fresh_triples != base_triples:
+            failures.append(
+                "analyzer.triples_examined changed: "
+                f"{fresh_triples} vs baseline {base_triples} — the audited "
+                "scan contract is machine-independent, so this is a "
+                "behavior change, not noise")
+        else:
+            print(f"  {'ok':>10}  {'exact':>7}  "
+                  f"analyzer.triples_examined = {base_triples}")
+
+    if not failures:
+        print(f"bench gate OK: {len(baseline_times)} benchmarks within "
+              f"{args.threshold:.2f}x of baseline")
+        return 0
+    print(f"bench gate: {len(failures)} regression(s)", file=sys.stderr)
+    for failure in failures:
+        print(f"  - {failure}", file=sys.stderr)
+    if args.warn_only:
+        print("(warn-only: not failing the build)", file=sys.stderr)
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,6 +64,30 @@ else
   exit 1
 fi
 
+echo "==== round-trip validation smoke (validate) ===="
+# Recorded engine runs fed back through the formal checker; any
+# theory/execution disagreement exits 2 and fails CI.
+build/tools/mvrob validate --workload smallbank:c=2 --runs 50 --seed 7
+build/tools/mvrob validate --workload smallbank:c=2 --default RC \
+  --runs 50 --seed 7
+
+echo "==== bench-regression gate ===="
+# Fresh benchmark run diffed against the committed baseline
+# (bench/baselines/). Warn-only when seeding a missing baseline or with
+# MVROB_BENCH_GATE=warn; hard-fails otherwise.
+BASELINE="bench/baselines/BENCH_robustness.baseline.json"
+FRESH_BENCH="$(mktemp)"
+tools/bench_to_json.sh build "$FRESH_BENCH"
+if [[ ! -f "$BASELINE" ]]; then
+  echo "no baseline at $BASELINE — seeding from this run"
+  python3 tools/bench_compare.py "$FRESH_BENCH" "$BASELINE" --update
+elif [[ "${MVROB_BENCH_GATE:-fail}" == "warn" ]]; then
+  python3 tools/bench_compare.py "$FRESH_BENCH" "$BASELINE" --warn-only
+else
+  python3 tools/bench_compare.py "$FRESH_BENCH" "$BASELINE"
+fi
+rm -f "$FRESH_BENCH"
+
 echo "==== TSan build (MVROB_SANITIZE=thread) ===="
 cmake -B build-tsan -S . -DMVROB_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS" --target \
