@@ -8,7 +8,10 @@
 #include <optional>
 #include <sstream>
 
+#include "cli/export.h"
+#include "cli/serve.h"
 #include "common/json.h"
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "core/constrained_allocation.h"
@@ -55,6 +58,9 @@ commands:
   validate   round-trip recorded engine runs through the formal checker
   crosscheck validate Algorithm 1 against the exhaustive oracles
   shell      interactive session: add transactions, watch the optimum move
+  serve      run the workload continuously and expose live telemetry
+             over HTTP: /metrics (Prometheus), /healthz, /snapshot,
+             /witness
   help       this text
 
 common flags:
@@ -93,6 +99,21 @@ common flags:
                            histograms) as JSON after the command
   --trace-out <file>       write recorded phase spans as a Chrome
                            trace_event file (chrome://tracing, Perfetto)
+  --metrics-interval <s>   rewrite the --stats-json / --trace-out files
+                           every <s> seconds while the command runs
+  --log-level <level>      minimum structured-log severity on stderr:
+                           debug, info, warn, error, off (default info;
+                           env MVROB_LOG_LEVEL)
+
+serve flags:
+  --port <n>               listen port (default 0 = ephemeral)
+  --host <addr>            listen address (default 127.0.0.1)
+  --port-file <file>       write the bound port here after listening
+  --witness-interval <s>   robustness re-check cadence (default 30)
+  --duration <s>           stop after <s> seconds (default 0 = until
+                           SIGINT/SIGTERM)
+  --window <s>             sliding window of the live per-level series
+                           (default 60)
 )";
 
 // Parsed flag map; flags are --name value pairs except boolean switches.
@@ -211,30 +232,8 @@ StatusOr<CheckOptions> LoadCheckOptions(const Flags& flags,
   return options;
 }
 
-// Writes `content` to `path`; used for the metric export files.
-Status WriteTextFile(const std::string& path, const std::string& content) {
-  std::ofstream file(path);
-  if (!file) {
-    return Status::NotFound(StrCat("cannot open ", path, " for writing"));
-  }
-  file << content << "\n";
-  file.flush();
-  if (!file) {
-    return Status::ResourceExhausted(StrCat("failed writing ", path));
-  }
-  return Status::Ok();
-}
-
-// Writes a witness/recording artifact to a file, or to `out` when the
-// flag value is "-".
-Status EmitArtifact(const std::string& path, const std::string& content,
-                    std::ostream& out) {
-  if (path == "-") {
-    out << content << "\n";
-    return Status::Ok();
-  }
-  return WriteTextFile(path, content);
-}
+// WriteTextFile / EmitArtifact live in cli/export.h, shared with the
+// periodic exporter and the serve loop.
 
 // Emits the --witness-json / --witness-dot artifacts for a robustness
 // verdict; no-op when neither flag is present.
@@ -657,8 +656,10 @@ int CmdSimulate(const Flags& flags, std::ostream& out, std::ostream& err,
       if (!written.ok()) return Fail(err, written);
     }
     if (recorder->dropped() > 0) {
-      err << "warning: recorder dropped " << recorder->dropped()
-          << " events (capacity " << recorder->capacity() << ")\n";
+      GlobalLogger().Log(LogLevel::kWarn, "cli.simulate",
+                         "recorder dropped events",
+                         {LogField("dropped", recorder->dropped()),
+                          LogField("capacity", recorder->capacity())});
     }
   }
   return 0;
@@ -791,6 +792,48 @@ int CmdShell(const Flags& flags, std::istream& in, std::ostream& out,
   return 0;
 }
 
+// Long-running telemetry server; see cli/serve.h for the subsystem.
+int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
+  StatusOr<TransactionSet> txns = LoadTxns(flags);
+  if (!txns.ok()) return Fail(err, txns.status());
+  StatusOr<Allocation> alloc = LoadAllocation(flags, *txns);
+  if (!alloc.ok()) return Fail(err, alloc.status());
+
+  ServeParams params;
+  params.txns = std::move(*txns);
+  params.alloc = std::move(*alloc);
+  params.host = flags.Has("host") ? flags.Get("host") : params.host;
+  params.port_file = flags.Get("port-file");
+
+  StatusOr<int> port = IntFlag(flags, "port", 0, 0, 65535);
+  if (!port.ok()) return Fail(err, port.status());
+  params.port = *port;
+  StatusOr<int> witness_interval =
+      IntFlag(flags, "witness-interval", 30, 1,
+              std::numeric_limits<int>::max());
+  if (!witness_interval.ok()) return Fail(err, witness_interval.status());
+  params.witness_interval_s = *witness_interval;
+  StatusOr<int> duration =
+      IntFlag(flags, "duration", 0, 0, std::numeric_limits<int>::max());
+  if (!duration.ok()) return Fail(err, duration.status());
+  params.duration_s = *duration;
+  StatusOr<int> window = IntFlag(flags, "window", 60, 1, 3600);
+  if (!window.ok()) return Fail(err, window.status());
+  params.window_s = static_cast<uint32_t>(*window);
+  StatusOr<int> concurrency =
+      IntFlag(flags, "concurrency", 4, 1, std::numeric_limits<int>::max());
+  if (!concurrency.ok()) return Fail(err, concurrency.status());
+  params.concurrency = *concurrency;
+  StatusOr<uint64_t> seed = Uint64Flag(flags, "seed", 0);
+  if (!seed.ok()) return Fail(err, seed.status());
+  params.seed = *seed;
+  StatusOr<int> threads = IntFlag(flags, "threads", 1);
+  if (!threads.ok()) return Fail(err, threads.status());
+  params.threads = *threads;
+
+  return RunServe(std::move(params), out, err);
+}
+
 int CmdCrossCheck(const Flags& flags, std::ostream& out, std::ostream& err) {
   StatusOr<TransactionSet> txns = LoadTxns(flags);
   if (!txns.ok()) return Fail(err, txns.status());
@@ -843,6 +886,7 @@ int Dispatch(const std::string& command, const Flags& flags, std::istream& in,
   if (command == "simulate") return CmdSimulate(flags, out, err, metrics);
   if (command == "validate") return CmdValidate(flags, out, err, metrics);
   if (command == "shell") return CmdShell(flags, in, out, err, metrics);
+  if (command == "serve") return CmdServe(flags, out, err);
   err << "error: unknown command '" << command << "'\n" << kUsage;
   return 1;
 }
@@ -863,6 +907,16 @@ int RunCli(const std::vector<std::string>& args, std::istream& in,
   StatusOr<Flags> flags = ParseFlags(args, 1);
   if (!flags.ok()) return Fail(err, flags.status());
 
+  // --log-level overrides MVROB_LOG_LEVEL for this invocation.
+  if (flags->Has("log-level")) {
+    StatusOr<LogLevel> level = ParseLogLevel(flags->Get("log-level"));
+    if (!level.ok()) {
+      return Fail(err, Status::InvalidArgument(StrCat(
+                           "--log-level: ", level.status().message())));
+    }
+    GlobalLogger().set_min_level(*level);
+  }
+
   // --stats-json / --trace-out turn on metrics collection for the whole
   // command; without them no registry exists and every instrumentation
   // site stays disabled (null sink).
@@ -873,6 +927,23 @@ int RunCli(const std::vector<std::string>& args, std::istream& in,
     metrics = &*registry;
   }
 
+  // --metrics-interval rewrites the export files on a cadence while the
+  // command runs (e.g. a long report), so progress can be tailed.
+  std::optional<PeriodicMetricsExporter> exporter;
+  if (flags->Has("metrics-interval")) {
+    StatusOr<int> interval = IntFlag(*flags, "metrics-interval", 0, 1,
+                                     std::numeric_limits<int>::max());
+    if (!interval.ok()) return Fail(err, interval.status());
+    if (metrics == nullptr) {
+      return Fail(err, Status::InvalidArgument(
+                           "--metrics-interval requires --stats-json or "
+                           "--trace-out"));
+    }
+    exporter.emplace(*registry, flags->Get("stats-json"),
+                     flags->Get("trace-out"),
+                     std::chrono::seconds(*interval));
+  }
+
   const std::string& command = args[0];
   int code;
   {
@@ -880,17 +951,11 @@ int RunCli(const std::vector<std::string>& args, std::istream& in,
     PhaseTimer timer(metrics, StrCat("cli.", command));
     code = Dispatch(command, *flags, in, out, err, metrics);
   }
+  exporter.reset();  // Stop periodic writes before the final snapshot.
   if (registry.has_value()) {
-    if (flags->Has("stats-json")) {
-      Status written =
-          WriteTextFile(flags->Get("stats-json"), registry->SnapshotJson());
-      if (!written.ok()) return Fail(err, written);
-    }
-    if (flags->Has("trace-out")) {
-      Status written =
-          WriteTextFile(flags->Get("trace-out"), registry->TraceJson());
-      if (!written.ok()) return Fail(err, written);
-    }
+    Status written = ExportMetricsFiles(*registry, flags->Get("stats-json"),
+                                        flags->Get("trace-out"));
+    if (!written.ok()) return Fail(err, written);
   }
   return code;
 }

@@ -1,0 +1,83 @@
+#include "cli/export.h"
+
+#include <fstream>
+
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+
+namespace mvrob {
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::NotFound(StrCat("cannot open ", path, " for writing"));
+  }
+  file << content << "\n";
+  file.flush();
+  if (!file) {
+    return Status::ResourceExhausted(StrCat("failed writing ", path));
+  }
+  return Status::Ok();
+}
+
+Status EmitArtifact(const std::string& path, const std::string& content,
+                    std::ostream& out) {
+  if (path == "-") {
+    out << content << "\n";
+    return Status::Ok();
+  }
+  return WriteTextFile(path, content);
+}
+
+Status ExportMetricsFiles(const MetricsRegistry& registry,
+                          const std::string& stats_path,
+                          const std::string& trace_path) {
+  if (!stats_path.empty()) {
+    Status written = WriteTextFile(stats_path, registry.SnapshotJson());
+    if (!written.ok()) return written;
+  }
+  if (!trace_path.empty()) {
+    Status written = WriteTextFile(trace_path, registry.TraceJson());
+    if (!written.ok()) return written;
+  }
+  return Status::Ok();
+}
+
+PeriodicMetricsExporter::PeriodicMetricsExporter(
+    const MetricsRegistry& registry, std::string stats_path,
+    std::string trace_path, std::chrono::seconds interval)
+    : registry_(registry),
+      stats_path_(std::move(stats_path)),
+      trace_path_(std::move(trace_path)),
+      interval_(interval) {
+  thread_ = std::thread([this] { Run(); });
+}
+
+void PeriodicMetricsExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void PeriodicMetricsExporter::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock, interval_, [this] { return stopping_; });
+    if (stopping_) break;
+    lock.unlock();
+    Status written = ExportMetricsFiles(registry_, stats_path_, trace_path_);
+    if (!written.ok()) {
+      GlobalLogger().Log(LogLevel::kWarn, "cli.metrics_export",
+                         "periodic metrics export failed",
+                         {LogField("error", written.ToString())});
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace mvrob

@@ -1,0 +1,254 @@
+#include "cli/serve.h"
+
+#include <csignal>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "cli/export.h"
+#include "common/http.h"
+#include "common/json.h"
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/prom.h"
+#include "common/string_util.h"
+#include "core/robustness.h"
+#include "core/witness.h"
+#include "mvcc/driver.h"
+#include "mvcc/engine.h"
+
+namespace mvrob {
+namespace {
+
+// Steps per engine epoch in serve mode. Each epoch runs on a fresh engine,
+// bounding session-table growth; the seed advances per epoch so the
+// interleavings keep varying.
+constexpr uint64_t kServeStepsPerEpoch = 262'144;
+
+// Latest periodic robustness verdict, shared between the witness thread
+// and the HTTP handler.
+struct WitnessState {
+  std::mutex mu;
+  std::string json;  // Full /witness payload; empty until the first check.
+  uint64_t checks = 0;
+};
+
+// The server to shut down on SIGINT/SIGTERM. HttpServer::Shutdown is
+// async-signal-safe, so the handler may call it directly.
+std::atomic<HttpServer*> g_signal_server{nullptr};
+
+void HandleStopSignal(int /*signum*/) {
+  HttpServer* server = g_signal_server.load(std::memory_order_relaxed);
+  if (server != nullptr) server->Shutdown();
+}
+
+uint64_t WallClockMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+// Runs one robustness check and renders the /witness payload: the verdict
+// wrapper plus the full provenance report from core/witness.
+std::string CheckAndRenderWitness(const ServeParams& params,
+                                  MetricsRegistry& registry, uint64_t check) {
+  CheckOptions options;
+  options.num_threads = params.threads;
+  options.metrics = &registry;
+  RobustnessResult result =
+      CheckRobustness(params.txns, params.alloc, options);
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("robust");
+  json.Bool(result.robust);
+  json.Key("checks");
+  json.Uint(check);
+  json.Key("checked_at_us");
+  json.Uint(WallClockMicros());
+  json.Key("witness");
+  json.RawValue(RobustnessWitnessJson(params.txns, params.alloc, result));
+  json.EndObject();
+  return json.str();
+}
+
+constexpr const char* kIndexBody =
+    "mvrob serve\n"
+    "  /healthz   liveness probe\n"
+    "  /metrics   Prometheus text exposition\n"
+    "  /snapshot  JSON metrics snapshot\n"
+    "  /witness   latest robustness verdict with provenance\n";
+
+}  // namespace
+
+int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
+  MetricsRegistry registry;
+  const LiveTelemetry live = MakeLiveTelemetry(registry, params.window_s);
+  WitnessState witness;
+
+  HttpServer::Options http_options;
+  http_options.host = params.host;
+  http_options.port = static_cast<uint16_t>(params.port);
+  HttpServer server(
+      [&](const HttpRequest& request) {
+        HttpResponse response;
+        if (request.path == "/healthz") {
+          response.body = "ok\n";
+        } else if (request.path == "/metrics") {
+          response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+          response.body = RenderPrometheusText(registry);
+        } else if (request.path == "/snapshot") {
+          response.content_type = "application/json";
+          response.body = registry.SnapshotJson();
+          response.body += "\n";
+        } else if (request.path == "/witness") {
+          std::lock_guard<std::mutex> lock(witness.mu);
+          if (witness.json.empty()) {
+            response.status = 503;
+            response.body = "first robustness check still running\n";
+          } else {
+            response.content_type = "application/json";
+            response.body = witness.json;
+            response.body += "\n";
+          }
+        } else if (request.path == "/") {
+          response.body = kIndexBody;
+        } else {
+          response.status = 404;
+          response.body = "not found\n";
+        }
+        return response;
+      },
+      http_options);
+
+  // SIGINT/SIGTERM → clean shutdown. Installed before the port is
+  // published so a watcher that reads the port file can signal us
+  // immediately; previous dispositions are restored before returning.
+  g_signal_server.store(&server, std::memory_order_relaxed);
+  struct sigaction action {};
+  struct sigaction old_int {};
+  struct sigaction old_term {};
+  action.sa_handler = HandleStopSignal;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGINT, &action, &old_int);
+  sigaction(SIGTERM, &action, &old_term);
+  auto restore_signals = [&] {
+    sigaction(SIGINT, &old_int, nullptr);
+    sigaction(SIGTERM, &old_term, nullptr);
+    g_signal_server.store(nullptr, std::memory_order_relaxed);
+  };
+
+  Status started = server.Start();
+  if (!started.ok()) {
+    restore_signals();
+    err << "error: " << started.ToString() << "\n";
+    return 1;
+  }
+  if (!params.port_file.empty()) {
+    Status written =
+        WriteTextFile(params.port_file, StrCat(server.port()));
+    if (!written.ok()) {
+      restore_signals();
+      err << "error: " << written.ToString() << "\n";
+      return 1;
+    }
+  }
+  out << "serving on http://" << params.host << ":" << server.port() << "\n"
+      << std::flush;
+  GlobalLogger().Log(LogLevel::kInfo, "serve.listen", "telemetry server up",
+                     {LogField("host", params.host),
+                      LogField("port", static_cast<int64_t>(server.port())),
+                      LogField("window_s",
+                               static_cast<uint64_t>(params.window_s))});
+
+  std::atomic<bool> stop{false};
+  std::mutex stop_mu;
+  std::condition_variable stop_cv;
+
+  // Driver thread: runs the workload continuously in bounded engine
+  // epochs. Commits/aborts land on the live windowed series as they
+  // happen; lifetime engine counters accumulate across epochs.
+  uint64_t epochs = 0;
+  uint64_t committed = 0;
+  std::thread driver([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      EngineOptions engine_options;
+      engine_options.metrics = &registry;
+      Engine engine(params.txns.num_objects(), engine_options);
+      RandomRunOptions options;
+      options.concurrency = params.concurrency;
+      options.seed = params.seed + epochs;
+      options.max_steps = kServeStepsPerEpoch;
+      options.metrics = &registry;
+      options.stop = &stop;
+      options.continuous = true;
+      options.live = &live;
+      DriverReport report = RunRandom(engine, params.txns, params.alloc,
+                                      options);
+      committed += report.committed;
+      ++epochs;
+    }
+  });
+
+  // Witness thread: checks robustness immediately, then on a cadence.
+  std::thread witness_thread([&] {
+    std::unique_lock<std::mutex> lock(stop_mu);
+    while (!stop.load(std::memory_order_relaxed)) {
+      lock.unlock();
+      uint64_t check;
+      {
+        std::lock_guard<std::mutex> state_lock(witness.mu);
+        check = ++witness.checks;
+      }
+      std::string rendered = CheckAndRenderWitness(params, registry, check);
+      {
+        std::lock_guard<std::mutex> state_lock(witness.mu);
+        witness.json = std::move(rendered);
+      }
+      lock.lock();
+      stop_cv.wait_for(lock, std::chrono::seconds(params.witness_interval_s),
+                       [&] { return stop.load(std::memory_order_relaxed); });
+    }
+  });
+
+  // Duration backstop: shuts the server down after --duration seconds.
+  std::thread timer;
+  if (params.duration_s > 0) {
+    timer = std::thread([&] {
+      std::unique_lock<std::mutex> lock(stop_mu);
+      stop_cv.wait_for(lock, std::chrono::seconds(params.duration_s),
+                       [&] { return stop.load(std::memory_order_relaxed); });
+      server.Shutdown();
+    });
+  }
+
+  Status served = server.Serve();
+
+  restore_signals();
+
+  {
+    std::lock_guard<std::mutex> lock(stop_mu);
+    stop.store(true, std::memory_order_relaxed);
+  }
+  stop_cv.notify_all();
+  driver.join();
+  witness_thread.join();
+  if (timer.joinable()) timer.join();
+
+  if (!served.ok()) {
+    err << "error: " << served.ToString() << "\n";
+    return 1;
+  }
+  GlobalLogger().Log(LogLevel::kInfo, "serve.shutdown", "clean shutdown",
+                     {LogField("epochs", epochs),
+                      LogField("committed", committed)});
+  out << "shutdown after " << epochs << " engine epoch(s), " << committed
+      << " commit(s)\n";
+  return 0;
+}
+
+}  // namespace mvrob

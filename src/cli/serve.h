@@ -1,0 +1,48 @@
+#ifndef MVROB_CLI_SERVE_H_
+#define MVROB_CLI_SERVE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "iso/allocation.h"
+#include "txn/transaction_set.h"
+
+namespace mvrob {
+
+/// Configuration for `mvrob serve` (parsed from CLI flags in cli.cc).
+struct ServeParams {
+  TransactionSet txns;
+  Allocation alloc;
+
+  /// Listen address. Port 0 picks an ephemeral port.
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// When non-empty, the bound port is written here after listen succeeds —
+  /// race-free discovery for tests and scripts using ephemeral ports.
+  std::string port_file;
+
+  /// Seconds between robustness re-checks feeding /witness.
+  int witness_interval_s = 30;
+  /// Stop after this many seconds; 0 = run until SIGINT/SIGTERM.
+  int duration_s = 0;
+  /// Trailing window of the live per-level series, in seconds.
+  uint32_t window_s = 60;
+
+  /// Driver knobs (same semantics as `mvrob simulate`).
+  int concurrency = 4;
+  uint64_t seed = 0;
+  /// Worker threads for the periodic robustness check.
+  int threads = 1;
+};
+
+/// Runs the workload continuously on the MVCC engine while serving
+/// /metrics (Prometheus text exposition), /healthz, /snapshot (JSON
+/// metrics snapshot) and /witness (latest robustness verdict) over HTTP.
+/// Blocks until SIGINT/SIGTERM or the duration elapses; returns 0 on a
+/// clean shutdown.
+int RunServe(ServeParams params, std::ostream& out, std::ostream& err);
+
+}  // namespace mvrob
+
+#endif  // MVROB_CLI_SERVE_H_

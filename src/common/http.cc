@@ -1,0 +1,375 @@
+#include "common/http.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <list>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace mvrob {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string RenderResponse(const HttpResponse& response, bool head_only) {
+  std::string out = StrCat("HTTP/1.1 ", response.status, " ",
+                           ReasonPhrase(response.status), "\r\n");
+  out += StrCat("Content-Type: ", response.content_type, "\r\n");
+  out += StrCat("Content-Length: ", response.body.size(), "\r\n");
+  out += "Connection: close\r\n\r\n";
+  if (!head_only) out += response.body;
+  return out;
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+struct HttpServer::Connection {
+  int fd = -1;
+  std::string in;        // Bytes read so far (request head).
+  std::string out;       // Response bytes not yet written.
+  size_t out_off = 0;
+  bool responding = false;
+  Clock::time_point last_activity;
+};
+
+HttpServer::HttpServer(Handler handler, Options options)
+    : handler_(std::move(handler)), options_(std::move(options)) {}
+
+HttpServer::~HttpServer() { CloseAll(); }
+
+void HttpServer::CloseAll() {
+  for (int* fd : {&listen_fd_, &wake_read_fd_, &wake_write_fd_}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+}
+
+Status HttpServer::Start() {
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("server already started");
+  }
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return Status::Internal(StrCat("pipe: ", std::strerror(errno)));
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  SetNonBlocking(wake_read_fd_);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    Status status = Status::Internal(StrCat("socket: ", std::strerror(errno)));
+    CloseAll();
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    CloseAll();
+    return Status::InvalidArgument(
+        StrCat("invalid listen address '", options_.host, "'"));
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status = Status::Internal(
+        StrCat("bind ", options_.host, ":", options_.port, ": ",
+               std::strerror(errno)));
+    CloseAll();
+    return status;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    Status status = Status::Internal(StrCat("listen: ", std::strerror(errno)));
+    CloseAll();
+    return status;
+  }
+  SetNonBlocking(listen_fd_);
+
+  sockaddr_in bound = {};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  return Status::Ok();
+}
+
+void HttpServer::Shutdown() {
+  shutdown_.store(true, std::memory_order_relaxed);
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'x';
+    // Best-effort wake; the loop also polls shutdown_ on every timeout.
+    [[maybe_unused]] ssize_t ignored = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+Status HttpServer::Serve() {
+  if (listen_fd_ < 0) {
+    return Status::FailedPrecondition("Serve() requires a successful Start()");
+  }
+  std::list<Connection> connections;
+
+  while (!shutdown_.load(std::memory_order_relaxed)) {
+    std::vector<pollfd> fds;
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (Connection& conn : connections) {
+      fds.push_back(
+          {conn.fd, static_cast<short>(conn.responding ? POLLOUT : POLLIN),
+           0});
+    }
+    const int ready = ::poll(fds.data(), fds.size(), 1000);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // Signal: loop re-checks shutdown_.
+      return Status::Internal(StrCat("poll: ", std::strerror(errno)));
+    }
+    const Clock::time_point now = Clock::now();
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      char drain[64];
+      while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+      }
+    }
+    if ((fds[1].revents & POLLIN) != 0) {
+      while (true) {
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0) break;
+        SetNonBlocking(client);
+        const int one = 1;
+        ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        Connection conn;
+        conn.fd = client;
+        conn.last_activity = now;
+        if (connections.size() >=
+            static_cast<size_t>(options_.max_connections)) {
+          conn.out = RenderResponse(
+              {503, "text/plain; charset=utf-8", "busy\n"}, false);
+          conn.responding = true;
+        }
+        connections.push_back(std::move(conn));
+      }
+    }
+
+    // fds[2..] line up with the connection list's iteration order.
+    size_t fd_index = 2;
+    for (auto it = connections.begin(); it != connections.end();) {
+      Connection& conn = *it;
+      const pollfd& pfd =
+          fd_index < fds.size() ? fds[fd_index] : pollfd{-1, 0, 0};
+      // New connections accepted this round have no pollfd yet.
+      const bool polled = fd_index < fds.size() && pfd.fd == conn.fd;
+      ++fd_index;
+      bool drop = false;
+
+      if (polled && (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          !conn.responding) {
+        drop = true;
+      } else if (!conn.responding && polled && (pfd.revents & POLLIN) != 0) {
+        char buffer[4096];
+        while (true) {
+          const ssize_t n = ::read(conn.fd, buffer, sizeof(buffer));
+          if (n > 0) {
+            conn.in.append(buffer, static_cast<size_t>(n));
+            conn.last_activity = now;
+            continue;
+          }
+          if (n == 0) drop = true;  // Peer closed before a full request.
+          break;
+        }
+        if (conn.in.size() > options_.max_request_bytes) {
+          conn.out = RenderResponse(
+              {431, "text/plain; charset=utf-8", "request too large\n"},
+              false);
+          conn.responding = true;
+          drop = false;
+        } else if (const size_t head_end = conn.in.find("\r\n\r\n");
+                   head_end != std::string::npos) {
+          // Parse "<METHOD> <target> HTTP/1.1".
+          const std::string_view head =
+              std::string_view(conn.in).substr(0, head_end);
+          const std::string_view line = head.substr(0, head.find("\r\n"));
+          const std::vector<std::string> parts = SplitAndTrim(line, ' ');
+          HttpResponse response;
+          bool head_only = false;
+          if (parts.size() < 3) {
+            response = {400, "text/plain; charset=utf-8", "bad request\n"};
+          } else if (parts[0] != "GET" && parts[0] != "HEAD") {
+            response = {405, "text/plain; charset=utf-8",
+                        "method not allowed\n"};
+          } else {
+            head_only = parts[0] == "HEAD";
+            HttpRequest request;
+            request.method = parts[0];
+            const std::string& target = parts[1];
+            const size_t question = target.find('?');
+            request.path = target.substr(0, question);
+            if (question != std::string::npos) {
+              request.query = target.substr(question + 1);
+            }
+            response = handler_(request);
+          }
+          conn.out = RenderResponse(response, head_only);
+          conn.responding = true;
+          drop = false;
+        }
+      } else if (conn.responding) {
+        while (conn.out_off < conn.out.size()) {
+          const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_off,
+                                    conn.out.size() - conn.out_off);
+          if (n > 0) {
+            conn.out_off += static_cast<size_t>(n);
+            conn.last_activity = now;
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          drop = true;
+          break;
+        }
+        if (conn.out_off >= conn.out.size()) drop = true;  // Done: close.
+      }
+
+      if (!drop && now - conn.last_activity >
+                       std::chrono::milliseconds(options_.idle_timeout_ms)) {
+        drop = true;
+      }
+      if (drop) {
+        ::close(conn.fd);
+        it = connections.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  for (Connection& conn : connections) ::close(conn.fd);
+  return Status::Ok();
+}
+
+StatusOr<HttpResponse> HttpGet(const std::string& host, int port,
+                               const std::string& path, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StrCat("socket: ", std::strerror(errno)));
+  }
+  timeval timeout = {};
+  timeout.tv_sec = timeout_ms / 1000;
+  timeout.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument(StrCat("invalid address '", host, "'"));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::Internal(
+        StrCat("connect ", host, ":", port, ": ", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  const std::string request =
+      StrCat("GET ", path, " HTTP/1.1\r\nHost: ", host,
+             "\r\nConnection: close\r\n\r\n");
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return Status::Internal(StrCat("send: ", std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char buffer[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      raw.append(buffer, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0) {
+      ::close(fd);
+      return Status::Internal(StrCat("recv: ", std::strerror(errno)));
+    }
+    break;
+  }
+  ::close(fd);
+
+  const size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos || !raw.starts_with("HTTP/1.")) {
+    return Status::Internal("malformed HTTP response");
+  }
+  HttpResponse response;
+  const std::string_view head = std::string_view(raw).substr(0, head_end);
+  const std::string_view status_line = head.substr(0, head.find("\r\n"));
+  const std::vector<std::string> parts = SplitAndTrim(status_line, ' ');
+  if (parts.size() < 2) return Status::Internal("malformed status line");
+  StatusOr<int> code = ParseInt(parts[1], 100, 599);
+  if (!code.ok()) return code.status();
+  response.status = *code;
+  constexpr std::string_view kContentType = "content-type:";
+  size_t line_start = head.find("\r\n");
+  while (line_start != std::string_view::npos && line_start < head.size()) {
+    std::string_view line = head.substr(line_start + 2);
+    const size_t line_end = line.find("\r\n");
+    if (line_end != std::string_view::npos) line = line.substr(0, line_end);
+    std::string lower;
+    for (char c : line.substr(0, kContentType.size())) {
+      lower.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+    if (lower == kContentType) {
+      response.content_type =
+          std::string(StripWhitespace(line.substr(kContentType.size())));
+    }
+    line_start = head.find("\r\n", line_start + 2);
+  }
+  response.body = raw.substr(head_end + 4);
+  return response;
+}
+
+}  // namespace mvrob

@@ -1,0 +1,94 @@
+#ifndef MVROB_COMMON_HTTP_H_
+#define MVROB_COMMON_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace mvrob {
+
+struct HttpRequest {
+  std::string method;  // "GET", "HEAD", ...
+  std::string path;    // Decoded-free path, e.g. "/metrics".
+  std::string query;   // Everything after '?', empty if none.
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// A minimal, dependency-free, blocking HTTP/1.1 server — just enough to
+/// expose telemetry endpoints (GET/HEAD, no request bodies, every response
+/// `Connection: close`). Single-threaded poll loop over the listening
+/// socket and a bounded set of client connections; not a general web
+/// server and not meant to face the open internet.
+///
+/// Lifecycle: construct with a handler, Start() to bind/listen (port 0
+/// picks an ephemeral port, readable via port()), then Serve() on the
+/// thread that should run the loop. Shutdown() — async-signal-safe — wakes
+/// the loop and makes Serve() return after closing every connection.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;  // 0 = ephemeral.
+    /// Connections beyond this are accepted and immediately answered 503.
+    int max_connections = 32;
+    /// Connections idle longer than this are dropped.
+    int idle_timeout_ms = 10'000;
+    /// Request heads larger than this are answered 431 and dropped.
+    size_t max_request_bytes = 16 * 1024;
+  };
+
+  explicit HttpServer(Handler handler)
+      : HttpServer(std::move(handler), Options()) {}
+  HttpServer(Handler handler, Options options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds and listens. After Ok, port() returns the bound port.
+  Status Start();
+  int port() const { return port_; }
+
+  /// Runs the accept/serve loop on the calling thread until Shutdown().
+  /// Returns Ok on a clean shutdown; FailedPrecondition without Start().
+  Status Serve();
+
+  /// Wakes Serve() and makes it return. Safe from any thread and from a
+  /// signal handler (one relaxed store + one write(2) on a pipe).
+  void Shutdown();
+
+ private:
+  struct Connection;
+
+  void CloseAll();
+
+  Handler handler_;
+  Options options_;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> shutdown_{false};
+};
+
+/// A tiny blocking HTTP/1.1 GET client for tests and smoke checks:
+/// connects to host:port, issues `GET path`, reads until EOF. Returns the
+/// parsed status/content-type/body.
+StatusOr<HttpResponse> HttpGet(const std::string& host, int port,
+                               const std::string& path,
+                               int timeout_ms = 5'000);
+
+}  // namespace mvrob
+
+#endif  // MVROB_COMMON_HTTP_H_

@@ -62,6 +62,12 @@ class JsonWriter {
     Separate();
     out_ += "null";
   }
+  /// Emits an already-rendered JSON value verbatim (number, boolean, ...);
+  /// the caller guarantees it is valid JSON.
+  void RawValue(std::string_view value) {
+    Separate();
+    out_ += value;
+  }
 
   const std::string& str() const { return out_; }
 

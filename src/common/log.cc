@@ -1,0 +1,145 @@
+#include "common/log.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/json.h"
+#include "common/string_util.h"
+
+namespace mvrob {
+
+std::string_view LogLevelToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+StatusOr<LogLevel> ParseLogLevel(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return Status::InvalidArgument(
+      StrCat("unknown log level '", text,
+             "' (expected debug|info|warn|error|off)"));
+}
+
+Logger::Logger(std::ostream* sink, Options options)
+    : sink_(sink), options_(options), min_level_(options.min_level) {}
+
+void Logger::Log(LogLevel level, std::string_view site,
+                 std::string_view message,
+                 std::initializer_list<LogField> fields) {
+  LogAt(std::chrono::steady_clock::now(), level, site, message, fields);
+}
+
+void Logger::LogAt(std::chrono::steady_clock::time_point now, LogLevel level,
+                   std::string_view site, std::string_view message,
+                   std::initializer_list<LogField> fields) {
+  if (sink_ == nullptr || !enabled(level)) return;
+
+  const uint64_t ts_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t suppressed = 0;
+  if (options_.burst > 0) {
+    auto it = sites_.find(site);
+    if (it == sites_.end()) {
+      it = sites_.emplace(std::string(site), SiteState{}).first;
+      it->second.window_start = now;
+    }
+    SiteState& state = it->second;
+    if (now - state.window_start >= options_.window) {
+      state.window_start = now;
+      state.in_window = 0;
+    }
+    if (state.in_window >= options_.burst) {
+      ++state.suppressed;
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ++state.in_window;
+    suppressed = state.suppressed;
+    state.suppressed = 0;
+  }
+
+  // Render the record as one compact JSON line. Fields live in a nested
+  // object so user keys can never collide with the reserved ones.
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ts_us");
+  json.Uint(ts_us);
+  json.Key("level");
+  json.String(LogLevelToString(level));
+  json.Key("site");
+  json.String(site);
+  json.Key("msg");
+  json.String(message);
+  if (suppressed > 0) {
+    json.Key("suppressed");
+    json.Uint(suppressed);
+  }
+  if (fields.size() > 0) {
+    json.Key("fields");
+    json.BeginObject();
+    for (const LogField& field : fields) {
+      json.Key(field.key);
+      if (field.quoted) {
+        json.String(field.value);
+      } else {
+        json.RawValue(field.value);
+      }
+    }
+    json.EndObject();
+  }
+  json.EndObject();
+  *sink_ << json.str() << '\n';
+  sink_->flush();
+}
+
+Logger& GlobalLogger() {
+  static Logger* logger = [] {
+    Logger::Options options;
+    const char* env = std::getenv("MVROB_LOG_LEVEL");
+    bool env_invalid = false;
+    if (env != nullptr) {
+      StatusOr<LogLevel> parsed = ParseLogLevel(env);
+      if (parsed.ok()) {
+        options.min_level = *parsed;
+      } else {
+        env_invalid = true;
+      }
+    }
+    auto* instance = new Logger(&std::cerr, options);
+    if (env_invalid) {
+      instance->Log(LogLevel::kWarn, "log.env",
+                    "ignoring invalid MVROB_LOG_LEVEL; using 'info'",
+                    {{"value", env}});
+    }
+    return instance;
+  }();
+  return *logger;
+}
+
+}  // namespace mvrob

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace mvrob {
@@ -68,6 +69,12 @@ class Histogram {
   /// factor otherwise (bucket resolution). 0 when empty.
   uint64_t Quantile(double q) const;
 
+  /// The same estimator over an externally assembled bucket array (used by
+  /// the windowed histograms, which merge per-second slots first).
+  static uint64_t QuantileFromBuckets(const uint64_t (&buckets)[kNumBuckets],
+                                      uint64_t count, uint64_t max_value,
+                                      double q);
+
   /// Smallest value that lands in bucket `i` (0, 1, 2, 4, 8, ...).
   static uint64_t BucketLowerBound(size_t i) {
     return i == 0 ? 0 : uint64_t{1} << (i - 1);
@@ -81,6 +88,94 @@ class Histogram {
   std::atomic<uint64_t> max_{0};
 };
 
+/// A counter that additionally tracks its recent activity in per-second
+/// slots over a fixed trailing window, so a long-running process can
+/// report *current* throughput next to the lifetime total. All methods are
+/// thread-safe (one mutex; this is an aggregate instrument, not a
+/// per-iteration hot-path counter).
+///
+/// Every mutator/reader takes an explicit steady_clock time point so tests
+/// can drive a deterministic fake clock; the no-argument overloads read
+/// the real clock.
+class WindowedCounter {
+ public:
+  explicit WindowedCounter(uint32_t window_seconds = 60);
+
+  void Increment() { Add(1); }
+  void Add(uint64_t delta) { Add(delta, std::chrono::steady_clock::now()); }
+  void Add(uint64_t delta, std::chrono::steady_clock::time_point now);
+
+  uint64_t total() const;
+  uint32_t window_seconds() const { return window_; }
+
+  /// Sum of events in the trailing window ending at `now`.
+  uint64_t WindowTotal(std::chrono::steady_clock::time_point now) const;
+
+  /// WindowTotal divided by the window length — or by the instrument's
+  /// age while it is younger than one window, so early rates are not
+  /// diluted by empty future slots.
+  double RatePerSecond(std::chrono::steady_clock::time_point now) const;
+
+ private:
+  int64_t SlotSecond(std::chrono::steady_clock::time_point now) const;
+
+  const uint32_t window_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<uint64_t> slot_count_;  // window_ per-second slots.
+  std::vector<int64_t> slot_sec_;     // Second owning each slot; -1 empty.
+  uint64_t total_ = 0;
+};
+
+/// Point-in-time summary of a WindowedHistogram's trailing window.
+struct WindowedHistogramStats {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+};
+
+/// A time-decaying distribution: observations land in per-second slots
+/// (each a compact log-bucketed histogram) and anything older than the
+/// window falls out of the reported quantiles. Thread-safe via one mutex;
+/// the explicit-time overloads support deterministic fake-clock tests.
+class WindowedHistogram {
+ public:
+  explicit WindowedHistogram(uint32_t window_seconds = 60);
+
+  void Observe(uint64_t value) {
+    Observe(value, std::chrono::steady_clock::now());
+  }
+  void Observe(uint64_t value, std::chrono::steady_clock::time_point now);
+
+  uint64_t total_count() const;
+  uint32_t window_seconds() const { return window_; }
+
+  /// Merges the live slots and computes count/sum/max plus p50/p95/p99
+  /// over the trailing window ending at `now`.
+  WindowedHistogramStats WindowStats(
+      std::chrono::steady_clock::time_point now) const;
+
+ private:
+  struct Slot {
+    int64_t sec = -1;  // Second owning this slot; -1 empty.
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+    uint64_t buckets[Histogram::kNumBuckets] = {};
+  };
+
+  int64_t SlotSecond(std::chrono::steady_clock::time_point now) const;
+
+  const uint32_t window_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;  // window_ per-second slots.
+  uint64_t total_count_ = 0;
+};
+
 /// One completed span for the Chrome trace_event export: a named interval
 /// on one thread, microseconds relative to the registry's creation.
 struct TraceEvent {
@@ -88,6 +183,40 @@ struct TraceEvent {
   uint32_t tid = 0;
   uint64_t start_us = 0;
   uint64_t dur_us = 0;
+};
+
+/// Copies of every metric's state at one instant, in registry (map)
+/// order. Produced by MetricsRegistry::Snapshot and consumed by both the
+/// JSON exporter and the Prometheus text renderer (common/prom.h).
+struct MetricsSnapshot {
+  struct HistogramState {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+    double mean = 0;
+    uint64_t p50 = 0;
+    uint64_t p95 = 0;
+    uint64_t p99 = 0;
+    uint64_t buckets[Histogram::kNumBuckets] = {};
+  };
+  struct WindowedCounterState {
+    uint64_t total = 0;
+    uint64_t window_total = 0;
+    double rate_per_second = 0;
+    uint32_t window_seconds = 0;
+  };
+  struct WindowedHistogramState {
+    uint64_t total_count = 0;
+    uint32_t window_seconds = 0;
+    WindowedHistogramStats window;
+  };
+
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramState>> histograms;
+  std::vector<std::pair<std::string, WindowedCounterState>> windowed_counters;
+  std::vector<std::pair<std::string, WindowedHistogramState>>
+      windowed_histograms;
 };
 
 /// A lightweight, thread-safe metrics registry: named counters, gauges,
@@ -118,6 +247,19 @@ class MetricsRegistry {
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
 
+  /// Sliding-window instruments (serve mode / live telemetry). The first
+  /// caller fixes the window length; later calls return the existing
+  /// instrument regardless of `window_seconds`.
+  WindowedCounter& windowed_counter(std::string_view name,
+                                    uint32_t window_seconds = 60);
+  WindowedHistogram& windowed_histogram(std::string_view name,
+                                        uint32_t window_seconds = 60);
+
+  /// Copies every metric's current state; windowed instruments are
+  /// evaluated at `now` (injectable for deterministic tests).
+  MetricsSnapshot Snapshot(std::chrono::steady_clock::time_point now =
+                               std::chrono::steady_clock::now()) const;
+
   /// Records a completed span (trace event + a "phase.<name>_us"
   /// histogram observation). Thread-safe.
   void RecordSpan(std::string_view name,
@@ -134,10 +276,13 @@ class MetricsRegistry {
  private:
   const std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex mu_;  // Guards the three maps (not the metrics).
+  mutable std::mutex mu_;  // Guards the metric maps (not the metrics).
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<WindowedCounter>> windowed_counters_;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>>
+      windowed_histograms_;
 
   mutable std::mutex trace_mu_;  // Guards events_.
   std::vector<TraceEvent> events_;

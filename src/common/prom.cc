@@ -1,0 +1,205 @@
+#include "common/prom.h"
+
+#include <cctype>
+#include <set>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace mvrob {
+
+PromSeriesName ParsePromSeriesName(std::string_view name) {
+  PromSeriesName parsed;
+  const size_t brace = name.find('{');
+  if (brace == std::string_view::npos || !name.ends_with('}')) {
+    parsed.base.assign(name);
+    return parsed;
+  }
+  parsed.base.assign(name.substr(0, brace));
+  std::string_view body = name.substr(brace + 1, name.size() - brace - 2);
+  for (const std::string& pair : SplitAndTrim(body, ',')) {
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) continue;  // Malformed pair: dropped.
+    parsed.labels.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+  }
+  return parsed;
+}
+
+std::string SanitizePromName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty()) out = "_";
+  if (std::isdigit(static_cast<unsigned char>(out[0])) != 0) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string EscapePromLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Renders `{k="v",...}` from parsed labels plus optional extras; empty
+// string when there are none.
+std::string LabelBlock(
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    const std::vector<std::pair<std::string, std::string>>& extra = {}) {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto* set : {&labels, &extra}) {
+    for (const auto& [key, value] : *set) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += SanitizePromName(key);
+      out += "=\"";
+      out += EscapePromLabelValue(value);
+      out += '"';
+    }
+  }
+  out.push_back('}');
+  return out;
+}
+
+// Emits one `# TYPE` header per family (first occurrence wins); families
+// with labeled variants share the header.
+class TypeHeaders {
+ public:
+  void Emit(std::ostream& out, const std::string& family,
+            std::string_view type) {
+    if (!seen_.insert(family).second) return;
+    out << "# TYPE " << family << ' ' << type << '\n';
+  }
+
+ private:
+  std::set<std::string> seen_;
+};
+
+std::string FamilyName(std::string_view ns, const std::string& base,
+                       std::string_view suffix = "") {
+  return SanitizePromName(StrCat(ns, "_", base, suffix));
+}
+
+// std::to_string on doubles prints fixed 6-decimal noise; use a terse
+// round-trippable form instead.
+std::string FormatDouble(double value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot,
+                                 std::string_view ns) {
+  std::ostringstream out;
+  TypeHeaders types;
+
+  for (const auto& [name, value] : snapshot.counters) {
+    PromSeriesName series = ParsePromSeriesName(name);
+    const std::string family = FamilyName(ns, series.base, "_total");
+    types.Emit(out, family, "counter");
+    out << family << LabelBlock(series.labels) << ' ' << value << '\n';
+  }
+
+  for (const auto& [name, value] : snapshot.gauges) {
+    PromSeriesName series = ParsePromSeriesName(name);
+    const std::string family = FamilyName(ns, series.base);
+    types.Emit(out, family, "gauge");
+    out << family << LabelBlock(series.labels) << ' ' << value << '\n';
+  }
+
+  for (const auto& [name, state] : snapshot.histograms) {
+    PromSeriesName series = ParsePromSeriesName(name);
+    const std::string family = FamilyName(ns, series.base);
+    types.Emit(out, family, "histogram");
+    // Cumulative buckets up to the highest non-empty one, then +Inf.
+    size_t last = 0;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (state.buckets[i] != 0) last = i;
+    }
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i <= last; ++i) {
+      cumulative += state.buckets[i];
+      // Bucket 0 holds {0}; bucket i holds [2^(i-1), 2^i - 1].
+      const uint64_t upper = i == 0 ? 0 : (uint64_t{1} << i) - 1;
+      out << family << "_bucket"
+          << LabelBlock(series.labels, {{"le", StrCat(upper)}}) << ' '
+          << cumulative << '\n';
+    }
+    out << family << "_bucket"
+        << LabelBlock(series.labels, {{"le", "+Inf"}}) << ' ' << state.count
+        << '\n';
+    out << family << "_sum" << LabelBlock(series.labels) << ' ' << state.sum
+        << '\n';
+    out << family << "_count" << LabelBlock(series.labels) << ' '
+        << state.count << '\n';
+  }
+
+  for (const auto& [name, state] : snapshot.windowed_counters) {
+    PromSeriesName series = ParsePromSeriesName(name);
+    const std::string total_family = FamilyName(ns, series.base, "_total");
+    types.Emit(out, total_family, "counter");
+    out << total_family << LabelBlock(series.labels) << ' ' << state.total
+        << '\n';
+    const std::string rate_family = FamilyName(ns, series.base, "_rate");
+    types.Emit(out, rate_family, "gauge");
+    out << rate_family
+        << LabelBlock(series.labels,
+                      {{"window", StrCat(state.window_seconds, "s")}})
+        << ' ' << FormatDouble(state.rate_per_second) << '\n';
+  }
+
+  for (const auto& [name, state] : snapshot.windowed_histograms) {
+    PromSeriesName series = ParsePromSeriesName(name);
+    const std::string family = FamilyName(ns, series.base);
+    types.Emit(out, family, "summary");
+    const std::vector<std::pair<std::string_view, uint64_t>> quantiles = {
+        {"0.5", state.window.p50},
+        {"0.95", state.window.p95},
+        {"0.99", state.window.p99},
+    };
+    for (const auto& [q, value] : quantiles) {
+      out << family
+          << LabelBlock(series.labels, {{"quantile", std::string(q)}}) << ' '
+          << value << '\n';
+    }
+    out << family << "_sum" << LabelBlock(series.labels) << ' '
+        << state.window.sum << '\n';
+    out << family << "_count" << LabelBlock(series.labels) << ' '
+        << state.window.count << '\n';
+  }
+
+  return out.str();
+}
+
+std::string RenderPrometheusText(const MetricsRegistry& registry,
+                                 std::string_view ns) {
+  return RenderPrometheusText(registry.Snapshot(), ns);
+}
+
+}  // namespace mvrob

@@ -1,0 +1,53 @@
+#ifndef MVROB_COMMON_PROM_H_
+#define MVROB_COMMON_PROM_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace mvrob {
+
+/// A registry metric name split into its base and labels. Registry names
+/// may carry labels with the convention `base{key=value,key2=value2}`
+/// (values raw, unquoted; no ',' or '}' inside); everything else is a
+/// plain unlabeled series.
+struct PromSeriesName {
+  std::string base;
+  std::vector<std::pair<std::string, std::string>> labels;
+};
+
+PromSeriesName ParsePromSeriesName(std::string_view name);
+
+/// Maps an arbitrary registry name onto the Prometheus metric-name
+/// alphabet [a-zA-Z0-9_:]: every other byte (dots included) becomes '_',
+/// and a leading digit gains a '_' prefix.
+std::string SanitizePromName(std::string_view name);
+
+/// Escapes a label value for the text exposition format: backslash,
+/// double-quote, and newline are escaped; everything else passes through.
+std::string EscapePromLabelValue(std::string_view value);
+
+/// Renders a metrics snapshot in the Prometheus text exposition format
+/// (version 0.0.4), with every family prefixed by `<ns>_`:
+///  - counters as `<ns>_<name>_total` (TYPE counter);
+///  - gauges as `<ns>_<name>` (TYPE gauge);
+///  - histograms as cumulative `_bucket{le=...}` + `_sum` + `_count`
+///    (TYPE histogram) over the log-spaced buckets;
+///  - windowed counters as a lifetime `<ns>_<name>_total` counter plus a
+///    `<ns>_<name>_rate` gauge (events/s over the trailing window, with a
+///    `window` label);
+///  - windowed histograms as a summary: `{quantile="0.5|0.95|0.99"}`
+///    series plus `_sum`/`_count`, all over the trailing window.
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot,
+                                 std::string_view ns = "mvrob");
+
+/// Convenience overload: snapshots `registry` now and renders it.
+std::string RenderPrometheusText(const MetricsRegistry& registry,
+                                 std::string_view ns = "mvrob");
+
+}  // namespace mvrob
+
+#endif  // MVROB_COMMON_PROM_H_

@@ -14,6 +14,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
+    case StatusCode::kInternal:
+      return "Internal";
   }
   return "Unknown";
 }

@@ -25,6 +25,9 @@ enum class StatusCode {
   /// The operation is not valid in the current state (e.g. reading from an
   /// MVCC transaction that already aborted).
   kFailedPrecondition,
+  /// An environmental failure outside the caller's control (socket or
+  /// other OS-level errors from the telemetry server).
+  kInternal,
 };
 
 /// Returns a human-readable name such as "InvalidArgument".
@@ -53,6 +56,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string message) {
     return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

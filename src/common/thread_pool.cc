@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <iostream>
 
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 
@@ -137,24 +137,27 @@ void ThreadPool::ParallelFor(size_t n, int max_threads,
   }
 }
 
-int ThreadPool::WorkersFromEnv(const char* text, std::ostream& warn) {
+int ThreadPool::WorkersFromEnv(const char* text, Logger& logger) {
   const int hardware =
       std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
   const int fallback = std::max(0, hardware - 1);
   if (text == nullptr) return fallback;
   StatusOr<int64_t> parsed = ParseInt64(text);
   if (!parsed.ok()) {
-    warn << "mvrob: warning: ignoring invalid MVROB_POOL_WORKERS='" << text
-         << "' (" << parsed.status().message() << "); using " << fallback
-         << " workers\n";
+    logger.Log(LogLevel::kWarn, "pool.workers",
+               "ignoring invalid MVROB_POOL_WORKERS",
+               {LogField("value", text),
+                LogField("error", parsed.status().message()),
+                LogField("used", fallback)});
     return fallback;
   }
   const int clamped = static_cast<int>(
       std::clamp<int64_t>(*parsed, 1, hardware));
   if (clamped != *parsed) {
-    warn << "mvrob: warning: MVROB_POOL_WORKERS=" << *parsed
-         << " outside [1, " << hardware << "]; using " << clamped
-         << " workers\n";
+    logger.Log(LogLevel::kWarn, "pool.workers",
+               "MVROB_POOL_WORKERS outside the hardware range; clamped",
+               {LogField("requested", *parsed), LogField("min", 1),
+                LogField("max", hardware), LogField("used", clamped)});
   }
   return clamped;
 }
@@ -166,7 +169,7 @@ ThreadPool& ThreadPool::Shared() {
   // the pool in shared environments. Invalid values are rejected loudly
   // (falling back to the hardware default) instead of silently becoming 0.
   static ThreadPool pool(
-      WorkersFromEnv(std::getenv("MVROB_POOL_WORKERS"), std::cerr));
+      WorkersFromEnv(std::getenv("MVROB_POOL_WORKERS"), GlobalLogger()));
   return pool;
 }
 

@@ -12,6 +12,7 @@
 
 namespace mvrob {
 
+class Logger;
 class MetricsRegistry;
 
 /// A small shared worker pool for data-parallel loops.
@@ -69,11 +70,11 @@ class ThreadPool {
   static ThreadPool& Shared();
 
   /// Resolves the MVROB_POOL_WORKERS override (`text` is the raw env
-  /// value, nullptr when unset): invalid input warns on `warn` and falls
-  /// back to the hardware default; valid input is clamped to
-  /// [1, hardware_concurrency] with a warning when clamping changed it.
-  /// Exposed for tests.
-  static int WorkersFromEnv(const char* text, std::ostream& warn);
+  /// value, nullptr when unset): invalid input emits a structured warn
+  /// record (site "pool.workers") on `logger` and falls back to the
+  /// hardware default; valid input is clamped to [1, hardware_concurrency]
+  /// with a warning when clamping changed it. Exposed for tests.
+  static int WorkersFromEnv(const char* text, Logger& logger);
 
   /// Resolves a user-facing thread-count knob: values <= 0 mean "use the
   /// hardware", anything else is taken as-is.

@@ -1,6 +1,7 @@
 #include "mvcc/driver.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 
 #include "common/metrics.h"
@@ -56,6 +57,31 @@ StatusOr<DriverReport> RunExactInterleaving(Engine& engine,
   return report;
 }
 
+LiveTelemetry MakeLiveTelemetry(MetricsRegistry& registry,
+                                uint32_t window_seconds) {
+  LiveTelemetry live;
+  for (IsolationLevel level : kAllIsolationLevels) {
+    const char* name = IsolationLevelToString(level);
+    LiveTelemetry::PerLevel& slot =
+        live.per_level[static_cast<size_t>(level)];
+    slot.commits = &registry.windowed_counter(
+        StrCat("mvcc.live.commits{level=", name, "}"), window_seconds);
+    slot.aborts_write_conflict = &registry.windowed_counter(
+        StrCat("mvcc.live.aborts{level=", name, ",reason=write_conflict}"),
+        window_seconds);
+    slot.aborts_ssi = &registry.windowed_counter(
+        StrCat("mvcc.live.aborts{level=", name, ",reason=ssi}"),
+        window_seconds);
+    slot.aborts_deadlock = &registry.windowed_counter(
+        StrCat("mvcc.live.aborts{level=", name, ",reason=deadlock}"),
+        window_seconds);
+    slot.commit_latency_us = &registry.windowed_histogram(
+        StrCat("mvcc.live.commit_latency_us{level=", name, "}"),
+        window_seconds);
+  }
+  return live;
+}
+
 namespace {
 
 // Execution state of one program transaction in the random driver.
@@ -66,7 +92,14 @@ struct ProgramState {
   SessionId waiting_on = kInvalidSessionId;
   bool done = false;
   bool gave_up = false;
+  // Wall-clock start of the current attempt; only read when live
+  // telemetry is attached.
+  std::chrono::steady_clock::time_point attempt_start{};
 };
+
+// Steps between engine vacuums in continuous mode (keeps the version
+// store bounded on long-running serves without touching batch runs).
+constexpr uint64_t kContinuousVacuumPeriod = 16384;
 
 }  // namespace
 
@@ -91,6 +124,11 @@ DriverReport RunRandom(Engine& engine, const TransactionSet& programs,
   std::vector<TxnId> window;
   uint64_t steps = 0;
 
+  const LiveTelemetry* live = options.live;
+  auto live_level = [&](TxnId t) -> const LiveTelemetry::PerLevel& {
+    return live->per_level[static_cast<size_t>(alloc.level(t))];
+  };
+
   auto admit = [&]() {
     while (window.size() < static_cast<size_t>(options.concurrency) &&
            !queue.empty()) {
@@ -98,8 +136,15 @@ DriverReport RunRandom(Engine& engine, const TransactionSet& programs,
       queue.pop_front();
     }
   };
+  // Removes a finished program from the window; in continuous mode it is
+  // reset and re-enqueued so the workload runs forever.
   auto retire = [&](TxnId t) {
     window.erase(std::find(window.begin(), window.end(), t));
+    if (options.continuous) {
+      states[t] = ProgramState{};
+      states[t].retries_left = options.max_retries;
+      queue.push_back(t);
+    }
   };
   auto is_runnable = [&](TxnId t) {
     ProgramState& state = states[t];
@@ -124,8 +169,33 @@ DriverReport RunRandom(Engine& engine, const TransactionSet& programs,
     }
   };
 
+  // Records an engine-initiated abort on the live per-level series.
+  auto live_abort = [&](TxnId t, AbortReason reason) {
+    if (live == nullptr) return;
+    const LiveTelemetry::PerLevel& slot = live_level(t);
+    WindowedCounter* counter = nullptr;
+    switch (reason) {
+      case AbortReason::kWriteConflict:
+        counter = slot.aborts_write_conflict;
+        break;
+      case AbortReason::kSsiDangerousStructure:
+        counter = slot.aborts_ssi;
+        break;
+      case AbortReason::kUser:
+        counter = slot.aborts_deadlock;
+        break;
+      case AbortReason::kNone:
+        break;
+    }
+    if (counter != nullptr) counter->Increment();
+  };
+  auto stop_requested = [&]() {
+    return options.stop != nullptr &&
+           options.stop->load(std::memory_order_relaxed);
+  };
+
   admit();
-  while (!window.empty() && steps < options.max_steps) {
+  while (!window.empty() && steps < options.max_steps && !stop_requested()) {
     // Pick a runnable program uniformly at random.
     std::vector<TxnId> runnable;
     for (TxnId t : window) {
@@ -147,6 +217,7 @@ DriverReport RunRandom(Engine& engine, const TransactionSet& programs,
       }
       engine.Abort(states[victim].session);
       ++report.deadlock_victims;
+      live_abort(victim, AbortReason::kUser);
       handle_abort(victim);
       admit();
       continue;
@@ -156,6 +227,9 @@ DriverReport RunRandom(Engine& engine, const TransactionSet& programs,
     if (state.session == kInvalidSessionId) {
       state.session = engine.Begin(alloc.level(t));
       ++report.attempts;
+      if (live != nullptr) {
+        state.attempt_start = std::chrono::steady_clock::now();
+      }
     }
     const Transaction& program = programs.txn(t);
     const Operation& op = program.op(state.next_op);
@@ -172,6 +246,7 @@ DriverReport RunRandom(Engine& engine, const TransactionSet& programs,
         ++report.blocked_steps;
         state.waiting_on = result.blocker;
       } else {
+        live_abort(t, result.abort_reason);
         handle_abort(t);
       }
     } else {
@@ -179,12 +254,29 @@ DriverReport RunRandom(Engine& engine, const TransactionSet& programs,
       if (result.status == StepStatus::kOk) {
         state.done = true;
         ++report.committed;
+        if (live != nullptr) {
+          const LiveTelemetry::PerLevel& slot = live_level(t);
+          if (slot.commits != nullptr) slot.commits->Increment();
+          if (slot.commit_latency_us != nullptr) {
+            const auto now = std::chrono::steady_clock::now();
+            slot.commit_latency_us->Observe(
+                static_cast<uint64_t>(
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        now - state.attempt_start)
+                        .count()),
+                now);
+          }
+        }
         retire(t);
         admit();
       } else {
+        live_abort(t, result.abort_reason);
         handle_abort(t);
         admit();
       }
+    }
+    if (options.continuous && steps % kContinuousVacuumPeriod == 0) {
+      engine.Vacuum();
     }
   }
   if (MetricsRegistry* metrics = options.metrics; metrics != nullptr) {

@@ -1,6 +1,7 @@
 #ifndef MVROB_MVCC_DRIVER_H_
 #define MVROB_MVCC_DRIVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -9,6 +10,33 @@
 #include "txn/transaction_set.h"
 
 namespace mvrob {
+
+class WindowedCounter;
+class WindowedHistogram;
+
+/// Sliding-window instruments the random driver updates per commit/abort,
+/// keyed by the transaction's isolation level — the live per-level
+/// throughput / abort-rate / latency series behind `mvrob serve`. All
+/// pointers may be null (that series is simply skipped); resolve a full
+/// set from a registry with MakeLiveTelemetry. Latency is wall time from
+/// the attempt's Begin to its successful Commit, in microseconds.
+struct LiveTelemetry {
+  struct PerLevel {
+    WindowedCounter* commits = nullptr;
+    WindowedCounter* aborts_write_conflict = nullptr;
+    WindowedCounter* aborts_ssi = nullptr;
+    WindowedCounter* aborts_deadlock = nullptr;
+    WindowedHistogram* commit_latency_us = nullptr;
+  };
+  /// Indexed by static_cast<size_t>(IsolationLevel).
+  PerLevel per_level[kAllIsolationLevels.size()];
+};
+
+/// Resolves the full per-level instrument set on `registry` using the
+/// labeled-name convention consumed by the Prometheus renderer
+/// (e.g. "mvcc.live.commits{level=SI}").
+LiveTelemetry MakeLiveTelemetry(MetricsRegistry& registry,
+                                uint32_t window_seconds = 60);
 
 /// Summary of a driver run.
 struct DriverReport {
@@ -48,6 +76,19 @@ struct RandomRunOptions {
   /// driver.committed, ...) and the driver.run_random phase span. Null
   /// disables; does not affect the run.
   MetricsRegistry* metrics = nullptr;
+  /// Cooperative cancellation: when non-null, checked between steps, and
+  /// the run returns as soon as it is set. Required for serve mode, where
+  /// the loop otherwise never ends.
+  const std::atomic<bool>* stop = nullptr;
+  /// Continuous (serve) mode: a program that commits or exhausts its
+  /// retries is reset and re-enqueued, so the run ends only via `stop` or
+  /// `max_steps`. The engine is vacuumed periodically to keep the version
+  /// store bounded. Scheduling stays deterministic for a fixed seed and
+  /// step budget.
+  bool continuous = false;
+  /// Live windowed per-isolation-level instruments (serve mode). Null
+  /// disables; like `metrics`, attaching it never changes the run.
+  const LiveTelemetry* live = nullptr;
 };
 
 /// Executes every program of `programs` once (plus retries) under the

@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <csignal>
+
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "cli/cli.h"
+#include "common/http.h"
 #include "common/string_util.h"
 
 namespace mvrob {
@@ -401,6 +406,141 @@ TEST(CliTest, SimulateRecordsScheduleAndTrace) {
   std::string trace = Slurp(trace_path);
   EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(trace.find("thread_name"), std::string::npos);
+}
+
+TEST(CliTest, LogLevelFlagValidation) {
+  CliResult bad =
+      RunTool({"check", "--txns", kWriteSkew, "--log-level", "bogus"});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("--log-level"), std::string::npos);
+
+  CliResult quiet =
+      RunTool({"check", "--txns", kWriteSkew, "--log-level", "off"});
+  EXPECT_EQ(quiet.code, 0) << quiet.err;
+  // Restore the process-wide default for later tests (the flag mutates
+  // the global logger).
+  RunTool({"check", "--txns", kWriteSkew, "--log-level", "info"});
+}
+
+TEST(CliTest, MetricsIntervalRequiresExportFlag) {
+  CliResult missing =
+      RunTool({"check", "--txns", kWriteSkew, "--metrics-interval", "1"});
+  EXPECT_EQ(missing.code, 1);
+  EXPECT_NE(missing.err.find("--metrics-interval"), std::string::npos);
+
+  CliResult bad = RunTool({"check", "--txns", kWriteSkew, "--stats-json",
+                           ::testing::TempDir() + "/mvrob_mi.json",
+                           "--metrics-interval", "0"});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("--metrics-interval"), std::string::npos);
+
+  std::string stats_path = ::testing::TempDir() + "/mvrob_mi.json";
+  CliResult good = RunTool({"check", "--txns", kWriteSkew, "--stats-json",
+                            stats_path, "--metrics-interval", "30"});
+  EXPECT_EQ(good.code, 0) << good.err;
+  EXPECT_NE(Slurp(stats_path).find("\"version\":1"), std::string::npos);
+}
+
+TEST(CliTest, ServeRejectsBadFlags) {
+  EXPECT_EQ(RunTool({"serve"}).code, 1);  // Needs a workload.
+  struct Case {
+    std::vector<std::string> args;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {{"serve", "--txns", kWriteSkew, "--port", "abc"}, "--port"},
+      {{"serve", "--txns", kWriteSkew, "--port", "70000"}, "--port"},
+      {{"serve", "--txns", kWriteSkew, "--witness-interval", "0"},
+       "--witness-interval"},
+      {{"serve", "--txns", kWriteSkew, "--duration", "-1"}, "--duration"},
+      {{"serve", "--txns", kWriteSkew, "--window", "0"}, "--window"},
+      {{"serve", "--txns", kWriteSkew, "--concurrency", "0"},
+       "--concurrency"},
+  };
+  for (const Case& c : cases) {
+    CliResult result = RunTool(c.args);
+    EXPECT_EQ(result.code, 1) << Join(c.args, " ");
+    EXPECT_NE(result.err.find(c.needle), std::string::npos)
+        << Join(c.args, " ") << " stderr: " << result.err;
+  }
+}
+
+// Polls `path` until it holds a port number; "" on timeout.
+std::string WaitForPortFile(const std::string& path) {
+  for (int i = 0; i < 400; ++i) {
+    std::ifstream file(path);
+    std::string port;
+    if (file.good() && std::getline(file, port) && !port.empty()) {
+      return port;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  return "";
+}
+
+TEST(CliTest, ServeExposesTelemetryAndShutsDownOnSigterm) {
+  std::string port_path = ::testing::TempDir() + "/mvrob_serve_port";
+  std::remove(port_path.c_str());
+
+  // --duration is only a backstop; the test ends the server via SIGTERM.
+  std::ostringstream out;
+  std::ostringstream err;
+  int code = -1;
+  std::thread serve_thread([&] {
+    code = RunCli({"serve", "--txns", kWriteSkew, "--default", "SSI",
+                   "--port-file", port_path, "--witness-interval", "1",
+                   "--duration", "60"},
+                  out, err);
+  });
+
+  std::string port_text = WaitForPortFile(port_path);
+  ASSERT_FALSE(port_text.empty()) << "server never published its port";
+  int port = std::stoi(port_text);
+
+  StatusOr<HttpResponse> health = HttpGet("127.0.0.1", port, "/healthz");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->status, 200);
+  EXPECT_EQ(health->body, "ok\n");
+
+  StatusOr<HttpResponse> metrics = HttpGet("127.0.0.1", port, "/metrics");
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_NE(metrics->content_type.find("version=0.0.4"), std::string::npos);
+  // The live per-level series are pre-registered, so they are present
+  // (possibly still 0) from the first scrape.
+  EXPECT_NE(metrics->body.find("mvrob_mvcc_live_commits_total"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("# TYPE"), std::string::npos);
+
+  StatusOr<HttpResponse> snapshot = HttpGet("127.0.0.1", port, "/snapshot");
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ(snapshot->status, 200);
+  EXPECT_EQ(snapshot->content_type, "application/json");
+  EXPECT_NE(snapshot->body.find("\"windowed_counters\""), std::string::npos);
+
+  // The first robustness check runs immediately; poll briefly for it.
+  StatusOr<HttpResponse> witness = HttpGet("127.0.0.1", port, "/witness");
+  for (int i = 0; i < 200 && witness.ok() && witness->status == 503; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    witness = HttpGet("127.0.0.1", port, "/witness");
+  }
+  ASSERT_TRUE(witness.ok()) << witness.status().ToString();
+  EXPECT_EQ(witness->status, 200);
+  EXPECT_NE(witness->body.find("\"robust\":true"), std::string::npos);
+  EXPECT_NE(witness->body.find("\"checked_at_us\""), std::string::npos);
+
+  StatusOr<HttpResponse> missing = HttpGet("127.0.0.1", port, "/nope");
+  ASSERT_TRUE(missing.ok()) << missing.status().ToString();
+  EXPECT_EQ(missing->status, 404);
+
+  // SIGTERM → clean shutdown with exit code 0.
+  raise(SIGTERM);
+  serve_thread.join();
+  EXPECT_EQ(code, 0) << err.str();
+  EXPECT_NE(out.str().find("serving on http://127.0.0.1:"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("shutdown"), std::string::npos);
+  std::remove(port_path.c_str());
 }
 
 TEST(CliTest, TemplatesAllocates) {

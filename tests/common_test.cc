@@ -9,6 +9,7 @@
 
 #include "common/bitset.h"
 #include "common/json.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
@@ -148,9 +149,10 @@ TEST(ParseIntTest, ErrorMessagesNameTheInput) {
 
 TEST(WorkersFromEnvTest, UnsetUsesHardwareDefaultSilently) {
   std::ostringstream warn;
+  Logger logger(&warn);
   int hardware =
       std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
-  EXPECT_EQ(ThreadPool::WorkersFromEnv(nullptr, warn),
+  EXPECT_EQ(ThreadPool::WorkersFromEnv(nullptr, logger),
             std::max(0, hardware - 1));
   EXPECT_TRUE(warn.str().empty());
 }
@@ -160,33 +162,41 @@ TEST(WorkersFromEnvTest, InvalidInputWarnsAndFallsBack) {
       std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
   for (const char* bad : {"junk", "", "12x", "1.5"}) {
     std::ostringstream warn;
-    EXPECT_EQ(ThreadPool::WorkersFromEnv(bad, warn),
+    Logger logger(&warn);
+    EXPECT_EQ(ThreadPool::WorkersFromEnv(bad, logger),
               std::max(0, hardware - 1))
         << "'" << bad << "'";
     EXPECT_NE(warn.str().find("MVROB_POOL_WORKERS"), std::string::npos)
+        << "'" << bad << "'";
+    EXPECT_NE(warn.str().find("\"site\":\"pool.workers\""),
+              std::string::npos)
         << "'" << bad << "'";
   }
 }
 
 TEST(WorkersFromEnvTest, OutOfRangeClampsWithWarning) {
   std::ostringstream warn;
-  EXPECT_EQ(ThreadPool::WorkersFromEnv("-3", warn), 1);
+  Logger logger(&warn);
+  EXPECT_EQ(ThreadPool::WorkersFromEnv("-3", logger), 1);
   EXPECT_NE(warn.str().find("MVROB_POOL_WORKERS"), std::string::npos);
 
   std::ostringstream warn_zero;
-  EXPECT_EQ(ThreadPool::WorkersFromEnv("0", warn_zero), 1);
+  Logger logger_zero(&warn_zero);
+  EXPECT_EQ(ThreadPool::WorkersFromEnv("0", logger_zero), 1);
   EXPECT_FALSE(warn_zero.str().empty());
 
   int hardware =
       std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
   std::ostringstream warn_big;
-  EXPECT_EQ(ThreadPool::WorkersFromEnv("999999", warn_big), hardware);
+  Logger logger_big(&warn_big);
+  EXPECT_EQ(ThreadPool::WorkersFromEnv("999999", logger_big), hardware);
   EXPECT_FALSE(warn_big.str().empty());
 }
 
 TEST(WorkersFromEnvTest, ValidInRangeValueIsSilent) {
   std::ostringstream warn;
-  EXPECT_EQ(ThreadPool::WorkersFromEnv("1", warn), 1);
+  Logger logger(&warn);
+  EXPECT_EQ(ThreadPool::WorkersFromEnv("1", logger), 1);
   EXPECT_TRUE(warn.str().empty());
 }
 

@@ -1,0 +1,186 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mvrob {
+namespace {
+
+using std::chrono::seconds;
+using std::chrono::steady_clock;
+
+TEST(LogLevelTest, RoundTripsNames) {
+  EXPECT_EQ(LogLevelToString(LogLevel::kDebug), "debug");
+  EXPECT_EQ(LogLevelToString(LogLevel::kInfo), "info");
+  EXPECT_EQ(LogLevelToString(LogLevel::kWarn), "warn");
+  EXPECT_EQ(LogLevelToString(LogLevel::kError), "error");
+  EXPECT_EQ(LogLevelToString(LogLevel::kOff), "off");
+
+  EXPECT_EQ(ParseLogLevel("debug").value(), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO").value(), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("Warn").value(), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("warning").value(), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error").value(), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("off").value(), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("none").value(), LogLevel::kOff);
+  EXPECT_FALSE(ParseLogLevel("verbose").ok());
+  EXPECT_FALSE(ParseLogLevel("").ok());
+}
+
+TEST(LoggerTest, EmitsOneJsonLinePerRecord) {
+  std::ostringstream sink;
+  Logger logger(&sink);
+  logger.Log(LogLevel::kWarn, "test.site", "something happened",
+             {LogField("text", "value"), LogField("count", 7),
+              LogField("flag", true)});
+
+  std::string line = sink.str();
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(line.find('\n'), line.size() - 1) << "exactly one line";
+  EXPECT_NE(line.find("\"ts_us\":"), std::string::npos);
+  EXPECT_NE(line.find("\"level\":\"warn\""), std::string::npos);
+  EXPECT_NE(line.find("\"site\":\"test.site\""), std::string::npos);
+  EXPECT_NE(line.find("\"msg\":\"something happened\""), std::string::npos);
+  // String fields are quoted; numeric and boolean fields are not.
+  EXPECT_NE(line.find("\"text\":\"value\""), std::string::npos);
+  EXPECT_NE(line.find("\"count\":7"), std::string::npos);
+  EXPECT_NE(line.find("\"flag\":true"), std::string::npos);
+}
+
+TEST(LoggerTest, OmitsEmptyFieldsObject) {
+  std::ostringstream sink;
+  Logger logger(&sink);
+  logger.Log(LogLevel::kInfo, "s", "plain");
+  EXPECT_EQ(sink.str().find("\"fields\""), std::string::npos);
+}
+
+TEST(LoggerTest, RespectsMinimumLevel) {
+  std::ostringstream sink;
+  Logger::Options options;
+  options.min_level = LogLevel::kWarn;
+  Logger logger(&sink, options);
+
+  EXPECT_FALSE(logger.enabled(LogLevel::kDebug));
+  EXPECT_FALSE(logger.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.enabled(LogLevel::kWarn));
+  EXPECT_TRUE(logger.enabled(LogLevel::kError));
+
+  logger.Log(LogLevel::kInfo, "s", "dropped");
+  EXPECT_TRUE(sink.str().empty());
+  logger.Log(LogLevel::kError, "s", "kept");
+  EXPECT_NE(sink.str().find("kept"), std::string::npos);
+
+  logger.set_min_level(LogLevel::kOff);
+  EXPECT_FALSE(logger.enabled(LogLevel::kError));
+  logger.Log(LogLevel::kError, "s", "silenced");
+  EXPECT_EQ(sink.str().find("silenced"), std::string::npos);
+}
+
+TEST(LoggerTest, NullSinkDropsEverything) {
+  Logger logger(nullptr);
+  logger.Log(LogLevel::kError, "s", "nowhere");  // Must not crash.
+  EXPECT_EQ(logger.dropped(), 0u);
+}
+
+int CountLines(const std::string& text) {
+  int lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  return lines;
+}
+
+TEST(LoggerTest, RateLimitsPerSite) {
+  std::ostringstream sink;
+  Logger::Options options;
+  options.burst = 2;
+  options.window = seconds(60);
+  Logger logger(&sink, options);
+
+  const steady_clock::time_point t0 = steady_clock::now();
+  for (int i = 0; i < 5; ++i) {
+    logger.LogAt(t0, LogLevel::kInfo, "noisy", "spam");
+  }
+  EXPECT_EQ(CountLines(sink.str()), 2);
+  EXPECT_EQ(logger.dropped(), 3u);
+
+  // A different site has its own budget.
+  logger.LogAt(t0, LogLevel::kInfo, "quiet", "fine");
+  EXPECT_EQ(CountLines(sink.str()), 3);
+
+  // After the window rolls over, the first emitted record surfaces the
+  // suppressed count.
+  sink.str("");
+  logger.LogAt(t0 + seconds(61), LogLevel::kInfo, "noisy", "resumed");
+  EXPECT_EQ(CountLines(sink.str()), 1);
+  EXPECT_NE(sink.str().find("\"suppressed\":3"), std::string::npos);
+
+  // The count was consumed; the next record carries none.
+  sink.str("");
+  logger.LogAt(t0 + seconds(61), LogLevel::kInfo, "noisy", "again");
+  EXPECT_EQ(sink.str().find("\"suppressed\""), std::string::npos);
+}
+
+TEST(LoggerTest, BurstZeroDisablesRateLimiting) {
+  std::ostringstream sink;
+  Logger::Options options;
+  options.burst = 0;
+  Logger logger(&sink, options);
+  const steady_clock::time_point t0 = steady_clock::now();
+  for (int i = 0; i < 100; ++i) {
+    logger.LogAt(t0, LogLevel::kInfo, "s", "m");
+  }
+  EXPECT_EQ(CountLines(sink.str()), 100);
+  EXPECT_EQ(logger.dropped(), 0u);
+}
+
+TEST(LoggerTest, ConcurrentWritersProduceWholeLines) {
+  std::ostringstream sink;
+  Logger::Options options;
+  options.burst = 0;  // No rate limiting: every record lands.
+  Logger logger(&sink, options);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&logger, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        logger.Log(LogLevel::kInfo, "concurrent", "msg",
+                   {LogField("thread", t), LogField("i", i)});
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::string text = sink.str();
+  EXPECT_EQ(CountLines(text), kThreads * kPerThread);
+  // Every line is a complete record: starts with '{' and ends with '}'.
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    EXPECT_EQ(text[start], '{');
+    EXPECT_EQ(text[end - 1], '}');
+    start = end + 1;
+  }
+}
+
+TEST(LoggerTest, EscapesJsonInMessageAndFields) {
+  std::ostringstream sink;
+  Logger logger(&sink);
+  logger.Log(LogLevel::kInfo, "s", "quote \" and \\ backslash",
+             {LogField("k", "line\nbreak")});
+  const std::string line = sink.str();
+  EXPECT_NE(line.find("quote \\\" and \\\\ backslash"), std::string::npos);
+  EXPECT_NE(line.find("line\\nbreak"), std::string::npos);
+  // The rendered record is still a single physical line.
+  EXPECT_EQ(CountLines(line), 1);
+}
+
+}  // namespace
+}  // namespace mvrob

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <string>
 #include <thread>
@@ -378,6 +379,186 @@ TEST(CensusBoundaryTest, UnlimitedCapDoesNotOverflow) {
   // Exact-cap boundary: 20 interleavings fit a cap of 20, not of 19.
   EXPECT_TRUE(ComputeScheduleCensus(*txns, alloc, 20).ok());
   EXPECT_FALSE(ComputeScheduleCensus(*txns, alloc, 19).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Sliding-window instruments, driven by a deterministic fake clock.
+
+using std::chrono::seconds;
+using std::chrono::steady_clock;
+
+TEST(WindowedCounterTest, TracksTotalAndWindow) {
+  WindowedCounter counter(/*window_seconds=*/10);
+  const steady_clock::time_point t0 = steady_clock::now();
+
+  counter.Add(5, t0);
+  counter.Add(3, t0 + seconds(1));
+  EXPECT_EQ(counter.total(), 8u);
+  EXPECT_EQ(counter.WindowTotal(t0 + seconds(1)), 8u);
+
+  // Nine seconds later the t0 slot has aged out of the 10s window.
+  EXPECT_EQ(counter.WindowTotal(t0 + seconds(10)), 3u);
+  // And one more second retires the t0+1 slot too.
+  EXPECT_EQ(counter.WindowTotal(t0 + seconds(11)), 0u);
+  // The lifetime total never decays.
+  EXPECT_EQ(counter.total(), 8u);
+}
+
+TEST(WindowedCounterTest, RateDividesByAgeWhileYoung) {
+  WindowedCounter counter(/*window_seconds=*/60);
+  const steady_clock::time_point t0 = steady_clock::now();
+  counter.Add(30, t0);
+  // Age 1s: a fresh instrument reports 30/s, not 30/60.
+  EXPECT_DOUBLE_EQ(counter.RatePerSecond(t0), 30.0);
+  // At age 2s the divisor grows with the age.
+  EXPECT_DOUBLE_EQ(counter.RatePerSecond(t0 + seconds(1)), 15.0);
+  // Past one full window the divisor is the window length.
+  EXPECT_DOUBLE_EQ(counter.RatePerSecond(t0 + seconds(59)), 0.5);
+  EXPECT_DOUBLE_EQ(counter.RatePerSecond(t0 + seconds(600)), 0.0);
+}
+
+TEST(WindowedCounterTest, SlotsAreReusedAcrossWindows) {
+  WindowedCounter counter(/*window_seconds=*/3);
+  const steady_clock::time_point t0 = steady_clock::now();
+  // Write the same ring slot (sec % 3) in two different windows; the old
+  // content must be discarded, not accumulated.
+  counter.Add(7, t0);
+  counter.Add(2, t0 + seconds(3));
+  EXPECT_EQ(counter.WindowTotal(t0 + seconds(3)), 2u);
+  EXPECT_EQ(counter.total(), 9u);
+}
+
+TEST(WindowedHistogramTest, QuantilesDecayWithTheWindow) {
+  WindowedHistogram histogram(/*window_seconds=*/10);
+  const steady_clock::time_point t0 = steady_clock::now();
+
+  // A slow burst at t0, then fast observations five seconds later.
+  for (int i = 0; i < 100; ++i) histogram.Observe(1000, t0);
+  for (int i = 0; i < 100; ++i) histogram.Observe(1, t0 + seconds(5));
+
+  WindowedHistogramStats both = histogram.WindowStats(t0 + seconds(5));
+  EXPECT_EQ(both.count, 200u);
+  EXPECT_EQ(both.max, 1000u);
+  EXPECT_GE(both.p95, 512u);  // The slow burst still dominates the tail.
+
+  // Eleven seconds after t0 the slow burst has aged out: only the fast
+  // observations remain, and the quantiles collapse accordingly.
+  WindowedHistogramStats fast_only = histogram.WindowStats(t0 + seconds(11));
+  EXPECT_EQ(fast_only.count, 100u);
+  EXPECT_EQ(fast_only.max, 1u);
+  EXPECT_LE(fast_only.p99, 1u);
+  EXPECT_EQ(fast_only.sum, 100u);
+
+  // And once everything is stale the window reads empty.
+  WindowedHistogramStats empty = histogram.WindowStats(t0 + seconds(60));
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.p50, 0u);
+  EXPECT_EQ(histogram.total_count(), 200u);
+}
+
+TEST(WindowedRegistryTest, SnapshotCarriesWindowedSections) {
+  MetricsRegistry registry;
+  const steady_clock::time_point t0 = steady_clock::now();
+  registry.windowed_counter("live.commits{level=SI}", 60).Add(10, t0);
+  registry.windowed_histogram("live.latency{level=SI}", 60).Observe(50, t0);
+
+  MetricsSnapshot snapshot = registry.Snapshot(t0);
+  ASSERT_EQ(snapshot.windowed_counters.size(), 1u);
+  EXPECT_EQ(snapshot.windowed_counters[0].first, "live.commits{level=SI}");
+  EXPECT_EQ(snapshot.windowed_counters[0].second.total, 10u);
+  EXPECT_EQ(snapshot.windowed_counters[0].second.window_total, 10u);
+  EXPECT_EQ(snapshot.windowed_counters[0].second.window_seconds, 60u);
+  ASSERT_EQ(snapshot.windowed_histograms.size(), 1u);
+  EXPECT_EQ(snapshot.windowed_histograms[0].second.total_count, 1u);
+  EXPECT_EQ(snapshot.windowed_histograms[0].second.window.max, 50u);
+
+  // The JSON snapshot keeps the legacy sections and adds the windowed
+  // ones (additive: version stays 1 for existing consumers).
+  const std::string json = registry.SnapshotJson();
+  EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"windowed_counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"windowed_histograms\""), std::string::npos);
+}
+
+TEST(LiveTelemetryTest, DriverRecordsPerLevelCommits) {
+  TransactionSet txns = Tpcc();
+  Allocation alloc = Allocation::AllSI(txns.size());
+  MetricsRegistry registry;
+  LiveTelemetry live = MakeLiveTelemetry(registry, /*window_seconds=*/60);
+
+  Engine engine(txns.num_objects());
+  RandomRunOptions options;
+  options.seed = 3;
+  options.live = &live;
+  DriverReport report = RunRandom(engine, txns, alloc, options);
+  ASSERT_GT(report.committed, 0u);
+
+  // Every commit ran at SI, so the SI series carries the full count and
+  // the commit-latency summary saw one observation per commit.
+  WindowedCounter& si_commits =
+      registry.windowed_counter("mvcc.live.commits{level=SI}");
+  EXPECT_EQ(si_commits.total(), report.committed);
+  EXPECT_EQ(registry.windowed_counter("mvcc.live.commits{level=RC}").total(),
+            0u);
+  EXPECT_EQ(
+      registry.windowed_histogram("mvcc.live.commit_latency_us{level=SI}")
+          .total_count(),
+      report.committed);
+}
+
+TEST(LiveTelemetryTest, AttachingLiveSeriesDoesNotChangeTheRun) {
+  TransactionSet txns = Tpcc();
+  Allocation alloc = Allocation::AllSSI(txns.size());
+
+  Engine plain(txns.num_objects());
+  RandomRunOptions options;
+  options.seed = 11;
+  DriverReport baseline = RunRandom(plain, txns, alloc, options);
+
+  MetricsRegistry registry;
+  LiveTelemetry live = MakeLiveTelemetry(registry);
+  Engine instrumented(txns.num_objects());
+  options.live = &live;
+  DriverReport observed = RunRandom(instrumented, txns, alloc, options);
+
+  EXPECT_EQ(observed.committed, baseline.committed);
+  EXPECT_EQ(observed.attempts, baseline.attempts);
+  EXPECT_EQ(observed.aborted_programs, baseline.aborted_programs);
+  EXPECT_EQ(observed.deadlock_victims, baseline.deadlock_victims);
+  EXPECT_EQ(instrumented.stats().commits, plain.stats().commits);
+}
+
+TEST(LiveTelemetryTest, StopFlagEndsTheRunEarly) {
+  TransactionSet txns = Tpcc();
+  Allocation alloc = Allocation::AllSI(txns.size());
+  std::atomic<bool> stop{true};  // Raised before the first step.
+
+  Engine engine(txns.num_objects());
+  RandomRunOptions options;
+  options.stop = &stop;
+  DriverReport report = RunRandom(engine, txns, alloc, options);
+  EXPECT_EQ(report.committed, 0u);
+  EXPECT_EQ(report.attempts, 0u);
+}
+
+TEST(LiveTelemetryTest, ContinuousModeRunsUntilStepBudget) {
+  TransactionSet txns = Tpcc();
+  Allocation alloc = Allocation::AllSI(txns.size());
+
+  // A batch run of this workload ends after every program committed; a
+  // continuous run keeps re-enqueueing programs until the step budget.
+  Engine batch_engine(txns.num_objects());
+  RandomRunOptions batch;
+  batch.seed = 5;
+  DriverReport batch_report = RunRandom(batch_engine, txns, alloc, batch);
+
+  Engine cont_engine(txns.num_objects());
+  RandomRunOptions continuous = batch;
+  continuous.continuous = true;
+  continuous.max_steps = 50'000;
+  DriverReport cont_report =
+      RunRandom(cont_engine, txns, alloc, continuous);
+  EXPECT_GT(cont_report.committed, batch_report.committed);
 }
 
 }  // namespace

@@ -1,0 +1,150 @@
+// Prometheus text-exposition renderer tests (common/prom.h): name
+// sanitization, label parsing/escaping, per-family shapes, and a golden
+// exposition rendered from a deterministic registry.
+// Regenerate the golden with MVROB_UPDATE_GOLDEN=1 ./prom_test.
+#include "common/prom.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/metrics.h"
+
+namespace mvrob {
+namespace {
+
+TEST(PromNameTest, SanitizesToMetricAlphabet) {
+  EXPECT_EQ(SanitizePromName("mvcc.commits"), "mvcc_commits");
+  EXPECT_EQ(SanitizePromName("already_fine:x9"), "already_fine:x9");
+  EXPECT_EQ(SanitizePromName("weird name/with-junk"), "weird_name_with_junk");
+  EXPECT_EQ(SanitizePromName("9starts_with_digit"), "_9starts_with_digit");
+  EXPECT_EQ(SanitizePromName(""), "_");
+}
+
+TEST(PromNameTest, EscapesLabelValues) {
+  EXPECT_EQ(EscapePromLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapePromLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapePromLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapePromLabelValue("a\nb"), "a\\nb");
+}
+
+TEST(PromNameTest, ParsesLabeledSeriesNames) {
+  PromSeriesName plain = ParsePromSeriesName("mvcc.commits");
+  EXPECT_EQ(plain.base, "mvcc.commits");
+  EXPECT_TRUE(plain.labels.empty());
+
+  PromSeriesName labeled =
+      ParsePromSeriesName("mvcc.live.aborts{level=SI,reason=ssi}");
+  EXPECT_EQ(labeled.base, "mvcc.live.aborts");
+  ASSERT_EQ(labeled.labels.size(), 2u);
+  EXPECT_EQ(labeled.labels[0].first, "level");
+  EXPECT_EQ(labeled.labels[0].second, "SI");
+  EXPECT_EQ(labeled.labels[1].first, "reason");
+  EXPECT_EQ(labeled.labels[1].second, "ssi");
+
+  // An unterminated brace is treated as part of a plain name.
+  PromSeriesName broken = ParsePromSeriesName("odd{name");
+  EXPECT_EQ(broken.base, "odd{name");
+  EXPECT_TRUE(broken.labels.empty());
+}
+
+TEST(PromRenderTest, CountersGetTotalSuffixAndTypeHeader) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.emplace_back("driver.runs", 3);
+  const std::string text = RenderPrometheusText(snapshot);
+  EXPECT_NE(text.find("# TYPE mvrob_driver_runs_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mvrob_driver_runs_total 3\n"), std::string::npos);
+}
+
+TEST(PromRenderTest, LabeledFamiliesShareOneTypeHeader) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.emplace_back("live.commits{level=RC}", 1);
+  snapshot.counters.emplace_back("live.commits{level=SI}", 2);
+  const std::string text = RenderPrometheusText(snapshot);
+  size_t first = text.find("# TYPE mvrob_live_commits_total counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE mvrob_live_commits_total counter", first + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("mvrob_live_commits_total{level=\"RC\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mvrob_live_commits_total{level=\"SI\"} 2\n"),
+            std::string::npos);
+}
+
+TEST(PromRenderTest, HistogramsRenderCumulativeBuckets) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("latency");
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(5);  // Bucket [4, 7].
+  const std::string text = RenderPrometheusText(registry);
+  EXPECT_NE(text.find("# TYPE mvrob_latency histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("mvrob_latency_bucket{le=\"0\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mvrob_latency_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mvrob_latency_bucket{le=\"7\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mvrob_latency_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mvrob_latency_sum 6\n"), std::string::npos);
+  EXPECT_NE(text.find("mvrob_latency_count 3\n"), std::string::npos);
+}
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(MVROB_GOLDEN_DIR) + "/" + name;
+}
+
+void CompareGolden(const std::string& name, const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("MVROB_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream file(path);
+    ASSERT_TRUE(file.good()) << "cannot write " << path;
+    file << actual;
+    return;
+  }
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good())
+      << "missing golden file " << path
+      << " — regenerate with MVROB_UPDATE_GOLDEN=1 ./prom_test";
+  std::ostringstream expected;
+  expected << file.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "golden mismatch for " << name
+      << " — regenerate with MVROB_UPDATE_GOLDEN=1 ./prom_test if the "
+         "change is intended";
+}
+
+// One deterministic registry exercising every instrument kind, evaluated
+// at a fixed instant so windowed rates and quantiles are stable.
+TEST(PromRenderTest, GoldenExposition) {
+  MetricsRegistry registry;
+  registry.counter("mvcc.commits").Add(42);
+  registry.counter("mvcc.aborts{reason=write_conflict}").Add(4);
+  registry.counter("mvcc.aborts{reason=ssi}").Add(1);
+  registry.gauge("pool.size").Set(8);
+  Histogram& h = registry.histogram("phase.check_us");
+  h.Observe(0);
+  h.Observe(3);
+  h.Observe(100);
+
+  WindowedCounter& wc =
+      registry.windowed_counter("live.commits{level=SI}", 60);
+  WindowedHistogram& wh =
+      registry.windowed_histogram("live.commit_latency_us{level=SI}", 60);
+  // One fixed instant drives every windowed instrument: all observations
+  // land in the epoch second, so the rate divides by an age of exactly 1s.
+  const auto now = std::chrono::steady_clock::now();
+  wc.Add(30, now);
+  for (uint64_t v : {8u, 8u, 8u, 16u, 120u}) wh.Observe(v, now);
+
+  CompareGolden("metrics.prom", RenderPrometheusText(registry.Snapshot(now)));
+}
+
+}  // namespace
+}  // namespace mvrob
