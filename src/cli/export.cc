@@ -64,20 +64,29 @@ void PeriodicMetricsExporter::Stop() {
   if (thread_.joinable()) thread_.join();
 }
 
+void PeriodicMetricsExporter::ExportOnce() {
+  Status written = ExportMetricsFiles(registry_, stats_path_, trace_path_);
+  if (!written.ok()) {
+    GlobalLogger().Log(LogLevel::kWarn, "cli.metrics_export",
+                       "periodic metrics export failed",
+                       {LogField("error", written.ToString())});
+  }
+}
+
 void PeriodicMetricsExporter::Run() {
   std::unique_lock<std::mutex> lock(mu_);
   while (!stopping_) {
     cv_.wait_for(lock, interval_, [this] { return stopping_; });
     if (stopping_) break;
     lock.unlock();
-    Status written = ExportMetricsFiles(registry_, stats_path_, trace_path_);
-    if (!written.ok()) {
-      GlobalLogger().Log(LogLevel::kWarn, "cli.metrics_export",
-                         "periodic metrics export failed",
-                         {LogField("error", written.ToString())});
-    }
+    ExportOnce();
     lock.lock();
   }
+  lock.unlock();
+  // Final snapshot on the way out so Stop()'s documented contract — the
+  // files reflect end-of-run state after the join — holds for every
+  // caller, not just those that re-export afterwards.
+  ExportOnce();
 }
 
 }  // namespace mvrob

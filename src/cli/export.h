@@ -48,6 +48,7 @@ class PeriodicMetricsExporter {
 
  private:
   void Run();
+  void ExportOnce();
 
   const MetricsRegistry& registry_;
   const std::string stats_path_;

@@ -54,14 +54,19 @@ uint64_t WallClockMicros() {
 }
 
 // Runs one robustness check and renders the /witness payload: the verdict
-// wrapper plus the full provenance report from core/witness.
+// wrapper plus the full provenance report from core/witness. `stop` cancels
+// the scan mid-check so shutdown never waits for a full pass; a cancelled
+// check returns the empty string and the caller keeps the previous payload.
 std::string CheckAndRenderWitness(const ServeParams& params,
-                                  MetricsRegistry& registry, uint64_t check) {
+                                  MetricsRegistry& registry, uint64_t check,
+                                  const std::atomic<bool>* stop) {
   CheckOptions options;
   options.num_threads = params.threads;
   options.metrics = &registry;
+  options.cancel = stop;
   RobustnessResult result =
       CheckRobustness(params.txns, params.alloc, options);
+  if (result.cancelled) return std::string();
   JsonWriter json;
   json.BeginObject();
   json.Key("robust");
@@ -194,7 +199,9 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
     }
   });
 
-  // Witness thread: checks robustness immediately, then on a cadence.
+  // Witness thread: checks robustness immediately, then on a cadence. The
+  // stop flag doubles as the check's cancellation hook, so SIGTERM does
+  // not stall behind an in-flight scan of a large workload.
   std::thread witness_thread([&] {
     std::unique_lock<std::mutex> lock(stop_mu);
     while (!stop.load(std::memory_order_relaxed)) {
@@ -202,11 +209,13 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
       uint64_t check;
       {
         std::lock_guard<std::mutex> state_lock(witness.mu);
-        check = ++witness.checks;
+        check = witness.checks + 1;
       }
-      std::string rendered = CheckAndRenderWitness(params, registry, check);
-      {
+      std::string rendered =
+          CheckAndRenderWitness(params, registry, check, &stop);
+      if (!rendered.empty()) {
         std::lock_guard<std::mutex> state_lock(witness.mu);
+        witness.checks = check;
         witness.json = std::move(rendered);
       }
       lock.lock();

@@ -2,11 +2,20 @@
 
 #include <arpa/inet.h>
 #include <fcntl.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+// All socket writes go through send(..., MSG_NOSIGNAL) so a peer that
+// resets the connection mid-response yields EPIPE (handled as a drop)
+// instead of a process-killing SIGPIPE. Platforms without the flag fall
+// back to 0 and must ignore SIGPIPE themselves.
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
 
 #include <cctype>
 #include <cerrno>
@@ -54,6 +63,26 @@ std::string RenderResponse(const HttpResponse& response, bool head_only) {
 bool SetNonBlocking(int fd) {
   const int flags = fcntl(fd, F_GETFL, 0);
   return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// Resolves `host` to an IPv4 address: numeric addresses directly via
+// inet_pton, anything else (e.g. "localhost") through getaddrinfo.
+Status ResolveIPv4(const std::string& host, in_addr* out) {
+  if (::inet_pton(AF_INET, host.c_str(), out) == 1) return Status::Ok();
+  addrinfo hints = {};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &results);
+  if (rc != 0 || results == nullptr) {
+    if (results != nullptr) ::freeaddrinfo(results);
+    return Status::InvalidArgument(
+        StrCat("cannot resolve '", host,
+               "': ", rc != 0 ? gai_strerror(rc) : "no IPv4 address"));
+  }
+  *out = reinterpret_cast<sockaddr_in*>(results->ai_addr)->sin_addr;
+  ::freeaddrinfo(results);
+  return Status::Ok();
 }
 
 }  // namespace
@@ -105,10 +134,11 @@ Status HttpServer::Start() {
   sockaddr_in addr = {};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+  if (Status resolved = ResolveIPv4(options_.host, &addr.sin_addr);
+      !resolved.ok()) {
     CloseAll();
     return Status::InvalidArgument(
-        StrCat("invalid listen address '", options_.host, "'"));
+        StrCat("invalid listen address: ", resolved.message()));
   }
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
       0) {
@@ -254,8 +284,11 @@ Status HttpServer::Serve() {
         }
       } else if (conn.responding) {
         while (conn.out_off < conn.out.size()) {
-          const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_off,
-                                    conn.out.size() - conn.out_off);
+          // MSG_NOSIGNAL: a peer reset surfaces as EPIPE (drop below), not
+          // as a SIGPIPE that would kill the whole serving process.
+          const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_off,
+                                   conn.out.size() - conn.out_off,
+                                   MSG_NOSIGNAL);
           if (n > 0) {
             conn.out_off += static_cast<size_t>(n);
             conn.last_activity = now;
@@ -300,9 +333,9 @@ StatusOr<HttpResponse> HttpGet(const std::string& host, int port,
   sockaddr_in addr = {};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+  if (Status resolved = ResolveIPv4(host, &addr.sin_addr); !resolved.ok()) {
     ::close(fd);
-    return Status::InvalidArgument(StrCat("invalid address '", host, "'"));
+    return resolved;
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     Status status = Status::Internal(
@@ -315,8 +348,8 @@ StatusOr<HttpResponse> HttpGet(const std::string& host, int port,
              "\r\nConnection: close\r\n\r\n");
   size_t sent = 0;
   while (sent < request.size()) {
-    const ssize_t n =
-        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
     if (n <= 0) {
       ::close(fd);
       return Status::Internal(StrCat("send: ", std::strerror(errno)));

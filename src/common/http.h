@@ -38,6 +38,8 @@ class HttpServer {
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
   struct Options {
+    /// Listen address: a numeric IPv4 address or a hostname ("localhost")
+    /// resolved to one via getaddrinfo.
     std::string host = "127.0.0.1";
     uint16_t port = 0;  // 0 = ephemeral.
     /// Connections beyond this are accepted and immediately answered 503.

@@ -171,7 +171,8 @@ ConstBitSpan RobustnessAnalyzer::RcCandidatesFor(TxnId t1, int k) const {
 
 std::optional<CounterexampleChain> RobustnessAnalyzer::CheckRow(
     const Allocation& alloc, ConstBitSpan ssi_mask, TxnId t1,
-    const std::atomic<uint32_t>* best, uint64_t* words_scanned) const {
+    const std::atomic<uint32_t>* best, const std::atomic<bool>* cancel,
+    uint64_t* words_scanned) const {
   const size_t n = txns_.size();
   const uint64_t words_per_row = (n + 63) / 64;
   uint64_t mask_ops = 0;  // Word-wise row operations; flushed on return.
@@ -201,6 +202,10 @@ std::optional<CounterexampleChain> RobustnessAnalyzer::CheckRow(
     if (best != nullptr && t1 >= best->load(std::memory_order_relaxed)) {
       if (words_scanned != nullptr) *words_scanned += mask_ops * words_per_row;
       return std::nullopt;  // A lower row already holds a witness.
+    }
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      if (words_scanned != nullptr) *words_scanned += mask_ops * words_per_row;
+      return std::nullopt;  // Caller marks the result cancelled.
     }
     // Tm candidates for this pair: allocation-independent base (ww
     // constraint towards Tm + condition (5)) minus the SSI exclusions
@@ -258,7 +263,9 @@ void RecordCheckMetrics(MetricsRegistry* metrics,
   metrics->counter("analyzer.triples_examined").Add(result.triples_examined);
   metrics->counter("analyzer.bitset_words_scanned").Add(words_scanned);
   metrics->counter("analyzer.rows_scanned").Add(rows_scanned);
-  if (!result.robust) {
+  if (result.cancelled) {
+    metrics->counter("analyzer.checks_cancelled").Increment();
+  } else if (!result.robust) {
     metrics->counter("analyzer.counterexamples_found").Increment();
   }
 }
@@ -284,11 +291,15 @@ RobustnessResult RobustnessAnalyzer::Check(const Allocation& alloc,
 
   uint64_t words_scanned = 0;
   uint64_t rows_scanned = 0;
+  const std::atomic<bool>* cancel = options.cancel;
+  auto cancelled = [cancel] {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  };
   const int threads = ThreadPool::ResolveThreads(options.num_threads);
   if (threads <= 1) {
-    for (TxnId t1 = 0; t1 < n; ++t1) {
+    for (TxnId t1 = 0; t1 < n && !cancelled(); ++t1) {
       std::optional<CounterexampleChain> chain = CheckRow(
-          alloc, ssi_mask, t1, nullptr,
+          alloc, ssi_mask, t1, nullptr, cancel,
           metrics != nullptr ? &words_scanned : nullptr);
       ++rows_scanned;
       if (chain.has_value()) {
@@ -299,7 +310,13 @@ RobustnessResult RobustnessAnalyzer::Check(const Allocation& alloc,
         break;
       }
     }
-    if (result.robust) result.triples_examined = internal::TriplesWhenRobust(n);
+    if (cancelled()) {
+      // Partial scan: strip any verdict so nothing downstream trusts it.
+      result = RobustnessResult{};
+      result.cancelled = true;
+    } else if (result.robust) {
+      result.triples_examined = internal::TriplesWhenRobust(n);
+    }
     if (metrics != nullptr) {
       metrics->histogram("analyzer.rows_per_thread").Observe(rows_scanned);
       RecordCheckMetrics(metrics, result, words_scanned, rows_scanned);
@@ -332,9 +349,10 @@ RobustnessResult RobustnessAnalyzer::Check(const Allocation& alloc,
       n, threads,
       [&](size_t i) {
         if (i >= best.load(std::memory_order_acquire)) return;
+        if (cancelled()) return;
         uint64_t row_words = 0;
         std::optional<CounterexampleChain> chain =
-            CheckRow(alloc, ssi_mask, static_cast<TxnId>(i), &best,
+            CheckRow(alloc, ssi_mask, static_cast<TxnId>(i), &best, cancel,
                      instrumented ? &row_words : nullptr);
         if (instrumented) {
           words_total.fetch_add(row_words, std::memory_order_relaxed);
@@ -351,7 +369,11 @@ RobustnessResult RobustnessAnalyzer::Check(const Allocation& alloc,
       },
       metrics);
   uint32_t winner = best.load(std::memory_order_acquire);
-  if (winner < n) {
+  if (cancelled()) {
+    // Some rows were skipped or abandoned; any witness found is not
+    // necessarily the deterministic lowest one, so drop the verdict.
+    result.cancelled = true;
+  } else if (winner < n) {
     std::optional<CounterexampleChain>& chain = rows[winner];
     result.robust = false;
     result.triples_examined =

@@ -90,12 +90,15 @@ class RobustnessAnalyzer {
 
   /// Scans one t1 row: returns the lowest-(t2, tm) witness chain of the
   /// row, or nullopt. When `best` is non-null the scan abandons early
-  /// once a lower t1 row is known to have a witness. When `words_scanned`
-  /// is non-null, the number of 64-bit words touched by the row's
-  /// word-wise mask operations is accumulated into it.
+  /// once a lower t1 row is known to have a witness; when `cancel` is
+  /// non-null and raised, the scan abandons at the next t2 boundary
+  /// (Check maps this to a cancelled result). When `words_scanned` is
+  /// non-null, the number of 64-bit words touched by the row's word-wise
+  /// mask operations is accumulated into it.
   std::optional<CounterexampleChain> CheckRow(
       const Allocation& alloc, ConstBitSpan ssi_mask, TxnId t1,
-      const std::atomic<uint32_t>* best, uint64_t* words_scanned) const;
+      const std::atomic<uint32_t>* best, const std::atomic<bool>* cancel,
+      uint64_t* words_scanned) const;
 
   int first_ww_idx(TxnId i, TxnId j) const {
     return first_ww_idx_[i * txns_.size() + j];

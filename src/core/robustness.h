@@ -1,6 +1,7 @@
 #ifndef MVROB_CORE_ROBUSTNESS_H_
 #define MVROB_CORE_ROBUSTNESS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -54,6 +55,11 @@ struct RobustnessResult {
   /// parallel) reports the identical value for the identical verdict; see
   /// internal::TriplesWhenRobust / internal::TriplesUpToWitness.
   uint64_t triples_examined = 0;
+  /// True when CheckOptions::cancel was raised before the scan completed.
+  /// A cancelled result carries no verdict: robust stays true,
+  /// counterexample is empty, and triples_examined is 0 — callers must
+  /// discard it.
+  bool cancelled = false;
 };
 
 /// Tuning knobs threaded from the CLI/tools down to the checkers.
@@ -69,6 +75,13 @@ struct CheckOptions {
   /// instrumentation; collection never changes results — asserted by the
   /// parallel differential tests.
   MetricsRegistry* metrics = nullptr;
+  /// Optional cooperative cancellation flag, polled inside the triple
+  /// scan. When it becomes true mid-check, CheckRobustness(txns, alloc,
+  /// options) / RobustnessAnalyzer::Check return promptly with
+  /// RobustnessResult::cancelled set (and no verdict). Lets a long-running
+  /// caller — e.g. `mvrob serve`'s periodic witness check — shut down
+  /// without waiting for a full scan. Null (the default) disables polling.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Algorithm 1: decides whether `txns` is robust against `alloc`, i.e.

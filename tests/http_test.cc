@@ -2,7 +2,11 @@
 // GET routing, error statuses, and clean cross-thread shutdown.
 #include "common/http.h"
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <string>
 #include <thread>
@@ -92,6 +96,73 @@ TEST(HttpServerTest, ServesManySequentialRequests) {
 
 TEST(HttpServerTest, ShutdownWithoutRequestsIsClean) {
   WithServer(EchoHandler, [](int) {});
+}
+
+TEST(HttpServerTest, ResolvesHostnames) {
+  HttpServer::Options options;
+  options.host = "localhost";
+  HttpServer server(EchoHandler, options);
+  Status started = server.Start();
+  ASSERT_TRUE(started.ok()) << started.ToString();
+  std::thread serve_thread([&server] {
+    Status served = server.Serve();
+    EXPECT_TRUE(served.ok()) << served.ToString();
+  });
+  StatusOr<HttpResponse> response =
+      HttpGet("localhost", server.port(), "/hello");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->body, "hi\n");
+  server.Shutdown();
+  serve_thread.join();
+}
+
+TEST(HttpServerTest, UnresolvableHostIsError) {
+  HttpServer::Options options;
+  options.host = "::1";  // IPv6 literal: never resolves as AF_INET.
+  HttpServer server(EchoHandler, options);
+  EXPECT_FALSE(server.Start().ok());
+}
+
+// A client that resets the connection mid-response must not take the
+// server down (historically: an unhandled SIGPIPE from the response write
+// killed the whole process) — later requests still get served.
+TEST(HttpServerTest, SurvivesClientAbortMidResponse) {
+  // Large enough that the response cannot fit in the socket buffers, so
+  // the server is still writing when the client resets the connection.
+  const std::string big(8 * 1024 * 1024, 'x');
+  WithServer(
+      [&big](const HttpRequest&) {
+        HttpResponse response;
+        response.body = big;
+        return response;
+      },
+      [&big](int port) {
+        for (int i = 0; i < 3; ++i) {
+          const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+          ASSERT_GE(fd, 0);
+          sockaddr_in addr = {};
+          addr.sin_family = AF_INET;
+          addr.sin_port = htons(static_cast<uint16_t>(port));
+          ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+          ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                              sizeof(addr)),
+                    0);
+          const char request[] = "GET /big HTTP/1.1\r\n\r\n";
+          ASSERT_GT(::send(fd, request, sizeof(request) - 1, 0), 0);
+          // Wait for the first response bytes so the server is mid-write,
+          // then close with SO_LINGER 0 — an immediate RST, after which
+          // the server's next write on this connection fails.
+          char buffer[1024];
+          ASSERT_GT(::recv(fd, buffer, sizeof(buffer), 0), 0);
+          const linger hard_reset = {1, 0};
+          ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_reset,
+                       sizeof(hard_reset));
+          ::close(fd);
+        }
+        StatusOr<HttpResponse> response = HttpGet("127.0.0.1", port, "/big");
+        ASSERT_TRUE(response.ok()) << response.status().ToString();
+        EXPECT_EQ(response->body.size(), big.size());
+      });
 }
 
 TEST(HttpServerTest, ServeWithoutStartFails) {

@@ -6,6 +6,7 @@
 // verify end-to-end as a real counterexample schedule.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 
 #include "common/metrics.h"
@@ -198,6 +199,41 @@ TEST(TriplesContractTest, ClosedFormMatchesEnumeration) {
       }
     }
     EXPECT_EQ(internal::TriplesWhenRobust(n), count) << "n=" << n;
+  }
+}
+
+// CheckOptions::cancel: a raised flag strips the verdict at every thread
+// count; an unraised flag leaves results bit-identical to the reference.
+TEST(CancellationTest, RaisedCancelYieldsNoVerdict) {
+  TransactionSet txns = MakeWorkload(7);
+  Allocation alloc = Allocation::AllRC(txns.size());
+  RobustnessAnalyzer analyzer(txns);
+  std::atomic<bool> cancel{true};
+
+  for (int threads : {1, 4}) {
+    MetricsRegistry registry;
+    CheckOptions options;
+    options.num_threads = threads;
+    options.metrics = &registry;
+    options.cancel = &cancel;
+    RobustnessResult result = analyzer.Check(alloc, options);
+    EXPECT_TRUE(result.cancelled) << "threads " << threads;
+    EXPECT_TRUE(result.robust);
+    EXPECT_FALSE(result.counterexample.has_value());
+    EXPECT_EQ(result.triples_examined, 0u);
+    EXPECT_EQ(registry.counter("analyzer.checks_cancelled").value(), 1u);
+    EXPECT_EQ(registry.counter("analyzer.counterexamples_found").value(), 0u);
+  }
+
+  cancel.store(false);
+  RobustnessResult reference = CheckRobustness(txns, alloc);
+  for (int threads : {1, 4}) {
+    CheckOptions options;
+    options.num_threads = threads;
+    options.cancel = &cancel;
+    RobustnessResult live = analyzer.Check(alloc, options);
+    EXPECT_FALSE(live.cancelled);
+    ExpectSameResult(txns, alloc, reference, live, "uncancelled");
   }
 }
 
