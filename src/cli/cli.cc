@@ -29,6 +29,8 @@
 #include "mvcc/roundtrip.h"
 #include "mvcc/trace.h"
 #include "oracle/brute_force.h"
+#include "promote/export.h"
+#include "promote/optimizer.h"
 #include "oracle/split_enumerator.h"
 #include "oracle/statistics.h"
 #include "schedule/anomaly.h"
@@ -58,6 +60,8 @@ commands:
   validate   round-trip recorded engine runs through the formal checker
   crosscheck validate Algorithm 1 against the exhaustive oracles
   shell      interactive session: add transactions, watch the optimum move
+  promote    search for reads to promote (SELECT ... FOR UPDATE) so a
+             strictly cheaper allocation becomes robust
   serve      run the workload continuously and expose live telemetry
              over HTTP: /metrics (Prometheus), /healthz, /snapshot,
              /witness
@@ -104,6 +108,23 @@ common flags:
   --log-level <level>      minimum structured-log severity on stderr:
                            debug, info, warn, error, off (default info;
                            env MVROB_LOG_LEVEL)
+
+promote flags:
+  --budget <n>             promotion budget: at most <n> reads are
+                           promoted (default 8)
+  --target <spec|level>    target mode: find promotions making the
+                           workload robust under this fixed allocation
+                           ("T1=RC T2=SI", unmentioned: --default, which
+                           defaults to RC here; or a bare level name for
+                           a uniform target, e.g. --target RC)
+  --promotion-json <file|-> promotion-plan provenance as JSON
+                           (docs/formats.md, "Promotion plan")
+  --validate-runs <n>      after the search, certify the promoted
+                           workload with <n> recorded engine runs
+                           through the round-trip validator (default 0
+                           = skip; exits 2 on any disagreement)
+  --weight-si <n>          allocation cost of one SI slot (default 1)
+  --weight-ssi <n>         allocation cost of one SSI slot (default 2)
 
 serve flags:
   --port <n>               listen port (default 0 = ephemeral)
@@ -874,6 +895,121 @@ int CmdCrossCheck(const Flags& flags, std::ostream& out, std::ostream& err) {
   return agree ? 0 : 2;
 }
 
+// Witness-guided read promotion (docs/promotion.md): search for a small
+// set of SELECT ... FOR UPDATE promotions under which Algorithm 2 returns
+// a strictly cheaper allocation — or, with --target, under which a fixed
+// allocation becomes robust.
+int CmdPromote(const Flags& flags, std::ostream& out, std::ostream& err,
+               MetricsRegistry* metrics) {
+  StatusOr<TransactionSet> txns = LoadTxns(flags);
+  if (!txns.ok()) return Fail(err, txns.status());
+  StatusOr<CheckOptions> check = LoadCheckOptions(flags, metrics);
+  if (!check.ok()) return Fail(err, check.status());
+  PromoteOptions options;
+  options.check = *check;
+  StatusOr<int> budget = IntFlag(flags, "budget", options.max_promotions, 0,
+                                 std::numeric_limits<int>::max());
+  if (!budget.ok()) return Fail(err, budget.status());
+  options.max_promotions = *budget;
+  StatusOr<int> weight_si =
+      IntFlag(flags, "weight-si", options.weight_si, 0, 1 << 20);
+  if (!weight_si.ok()) return Fail(err, weight_si.status());
+  options.weight_si = *weight_si;
+  StatusOr<int> weight_ssi =
+      IntFlag(flags, "weight-ssi", options.weight_ssi, 0, 1 << 20);
+  if (!weight_ssi.ok()) return Fail(err, weight_ssi.status());
+  options.weight_ssi = *weight_ssi;
+
+  StatusOr<PromotionPlan> plan = [&]() -> StatusOr<PromotionPlan> {
+    if (!flags.Has("target")) return OptimizePromotions(*txns, options);
+    // Target mode: "T1=RC T2=SI" with --default (RC here) for the rest,
+    // or a bare level name for a uniform target.
+    const std::string spec = flags.Get("target");
+    StatusOr<IsolationLevel> uniform = ParseIsolationLevel(spec);
+    if (uniform.ok()) {
+      return PromoteForTarget(*txns, Allocation(txns->size(), *uniform),
+                              options);
+    }
+    IsolationLevel fallback = IsolationLevel::kRC;
+    if (flags.Has("default")) {
+      StatusOr<IsolationLevel> parsed =
+          ParseIsolationLevel(flags.Get("default"));
+      if (!parsed.ok()) return parsed.status();
+      fallback = *parsed;
+    }
+    StatusOr<Allocation> target = ParseAllocation(*txns, spec, fallback);
+    if (!target.ok()) return target.status();
+    return PromoteForTarget(*txns, *target, options);
+  }();
+  if (!plan.ok()) return Fail(err, plan.status());
+
+  // Optional certification, run before emission so the JSON document can
+  // carry the verdict: the promoted workload must round-trip through the
+  // engine + formal machinery without a single disagreement, and the
+  // promoted allocation being robust means zero anomalous runs.
+  std::optional<RoundTripReport> validation;
+  StatusOr<int> validate_runs =
+      IntFlag(flags, "validate-runs", 0, 0, std::numeric_limits<int>::max());
+  if (!validate_runs.ok()) return Fail(err, validate_runs.status());
+  if (*validate_runs > 0) {
+    StatusOr<int> concurrency =
+        IntFlag(flags, "concurrency", 4, 1, std::numeric_limits<int>::max());
+    if (!concurrency.ok()) return Fail(err, concurrency.status());
+    StatusOr<uint64_t> seed = Uint64Flag(flags, "seed", 0);
+    if (!seed.ok()) return Fail(err, seed.status());
+    RoundTripOptions rt;
+    rt.runs = *validate_runs;
+    rt.concurrency = *concurrency;
+    rt.seed = *seed;
+    rt.check = *check;
+    rt.metrics = metrics;
+    StatusOr<RoundTripReport> report =
+        ValidateEngineRuns(plan->promoted, plan->after_allocation, rt);
+    if (!report.ok()) return Fail(err, report.status());
+    validation = *std::move(report);
+  }
+  std::string validation_json;
+  if (validation.has_value()) {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("runs");
+    json.Uint(validation->runs);
+    json.Key("certified");
+    json.Uint(validation->certified);
+    json.Key("disagreements");
+    json.Uint(validation->disagreements);
+    json.Key("serializable_runs");
+    json.Uint(validation->serializable_runs);
+    json.Key("anomalous_runs");
+    json.Uint(validation->anomalous_runs);
+    json.Key("skipped_unexportable");
+    json.Uint(validation->skipped_unexportable);
+    json.Key("allocation_robust");
+    json.Bool(validation->allocation_robust);
+    json.EndObject();
+    validation_json = json.str();
+  }
+
+  if (flags.Has("json")) {
+    out << PromotionPlanJson(*txns, *plan, options, validation_json) << "\n";
+  } else {
+    out << PromotionPlanToString(*txns, *plan);
+    if (validation.has_value()) {
+      out << "\nvalidation of the promoted workload under the after "
+             "allocation:\n"
+          << validation->ToString();
+    }
+  }
+  if (flags.Has("promotion-json")) {
+    Status emitted = EmitArtifact(
+        flags.Get("promotion-json"),
+        PromotionPlanJson(*txns, *plan, options, validation_json), out);
+    if (!emitted.ok()) return Fail(err, emitted);
+  }
+  if (validation.has_value() && validation->disagreements != 0) return 2;
+  return 0;
+}
+
 int Dispatch(const std::string& command, const Flags& flags, std::istream& in,
              std::ostream& out, std::ostream& err, MetricsRegistry* metrics) {
   if (command == "check") return CmdCheck(flags, out, err, metrics);
@@ -886,6 +1022,7 @@ int Dispatch(const std::string& command, const Flags& flags, std::istream& in,
   if (command == "simulate") return CmdSimulate(flags, out, err, metrics);
   if (command == "validate") return CmdValidate(flags, out, err, metrics);
   if (command == "shell") return CmdShell(flags, in, out, err, metrics);
+  if (command == "promote") return CmdPromote(flags, out, err, metrics);
   if (command == "serve") return CmdServe(flags, out, err);
   err << "error: unknown command '" << command << "'\n" << kUsage;
   return 1;

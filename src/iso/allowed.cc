@@ -1,5 +1,7 @@
 #include "iso/allowed.h"
 
+#include <optional>
+
 #include "common/string_util.h"
 #include "iso/dangerous_structure.h"
 
@@ -19,10 +21,39 @@ bool WriteRespectsCommitOrder(const Schedule& s, OpRef write) {
   return true;
 }
 
+namespace {
+
+// Latest write of the read's own transaction on the same object preceding
+// the read in program order, if any. Promoted reads (W[x] inserted right
+// before R[x], src/promote/) and write-then-read programs make these
+// reads observe the session's buffered version at every isolation level
+// — the engine's (and Postgres's) read-your-own-writes rule.
+std::optional<OpRef> LatestOwnWriteBefore(const TransactionSet& txns,
+                                          OpRef read) {
+  const Operation& op = txns.op(read);
+  const Transaction& t = txns.txn(read.txn);
+  std::optional<OpRef> latest;
+  for (int i = 0; i < read.index; ++i) {
+    const Operation& w = t.op(i);
+    if (w.IsWrite() && w.object == op.object) latest = OpRef{read.txn, i};
+  }
+  return latest;
+}
+
+}  // namespace
+
 bool ReadLastCommittedRelativeTo(const Schedule& s, OpRef read, OpRef anchor) {
   const TransactionSet& txns = s.txns();
   const Operation& op = txns.op(read);
   OpRef observed = s.VersionRead(read);
+
+  // Read-your-own-writes: once the transaction has written the object, the
+  // read must observe exactly the latest preceding own write — the
+  // committed-version rules below only govern reads of foreign versions.
+  if (std::optional<OpRef> own = LatestOwnWriteBefore(txns, read);
+      own.has_value()) {
+    return observed == *own;
+  }
 
   // First condition: op_0, or a version committed before the anchor.
   if (!observed.IsOp0()) {

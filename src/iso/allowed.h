@@ -21,6 +21,11 @@ bool WriteRespectsCommitOrder(const Schedule& s, OpRef write);
 /// `anchor` (an operation of the same transaction): it observes op_0 or a
 /// version committed before `anchor`, and no other version of t was
 /// committed before `anchor` and installed after the observed one.
+/// Exception — read-your-own-writes: when an earlier operation of the same
+/// transaction writes t (write-then-read programs, promoted reads), the
+/// read conforms iff it observes exactly the latest preceding own write,
+/// matching the engine's (and Postgres's) buffered-value rule at every
+/// isolation level.
 bool ReadLastCommittedRelativeTo(const Schedule& s, OpRef read, OpRef anchor);
 
 /// True if `txn` writes to an object modified earlier by a concurrent

@@ -51,9 +51,22 @@ StatusOr<Schedule> MaterializeSchedule(const TransactionSet* txns,
       anchor_position = position[txns->txn(ref.txn).first_ref()];
     }
     OpRef observed = OpRef::Op0();
-    // Writes are already in <<_s order; the last qualifying one wins.
-    for (const OpRef& write : version_order[op.object]) {
-      if (commit_position(write.txn) < anchor_position) observed = write;
+    // Read-your-own-writes: the latest preceding own write wins at every
+    // level (the engine's buffered-value rule); only reads with no earlier
+    // own write fall through to the committed-version rules.
+    bool own_write = false;
+    for (int i = 0; i < ref.index; ++i) {
+      const Operation& earlier = txns->txn(ref.txn).op(i);
+      if (earlier.IsWrite() && earlier.object == op.object) {
+        observed = OpRef{ref.txn, i};
+        own_write = true;
+      }
+    }
+    if (!own_write) {
+      // Writes are already in <<_s order; the last qualifying one wins.
+      for (const OpRef& write : version_order[op.object]) {
+        if (commit_position(write.txn) < anchor_position) observed = write;
+      }
     }
     versions[ref] = observed;
   }

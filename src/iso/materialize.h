@@ -19,7 +19,10 @@ namespace mvrob {
 /// determined*:
 ///  - <<_s orders versions by the writer's commit position (program order
 ///    breaking ties within a transaction), and
-///  - v_s maps each read to the newest version committed before its anchor.
+///  - v_s maps each read to the newest version committed before its anchor
+///    — unless an earlier operation of the same transaction wrote the
+///    object, in which case the read observes that own write
+///    (read-your-own-writes, matching the engine's buffered-value rule).
 ///
 /// Therefore: an interleaving admits an allowed schedule under A iff
 /// AllowedUnder(Materialize(...), A) — the foundation of the exhaustive

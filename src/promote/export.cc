@@ -1,0 +1,167 @@
+#include "promote/export.h"
+
+#include "common/json.h"
+#include "common/string_util.h"
+#include "iso/isolation_level.h"
+
+namespace mvrob {
+
+namespace {
+
+void AllocationJson(const TransactionSet& txns, const Allocation& alloc,
+                    JsonWriter& json) {
+  json.BeginObject();
+  for (TxnId t = 0; t < txns.size(); ++t) {
+    json.Key(txns.txn(t).name());
+    json.String(IsolationLevelToString(alloc.level(t)));
+  }
+  json.EndObject();
+}
+
+void CostJson(const AllocationCost& cost, JsonWriter& json) {
+  json.BeginObject();
+  json.Key("weighted");
+  json.Int(cost.weighted);
+  json.Key("rc");
+  json.Uint(cost.rc);
+  json.Key("si");
+  json.Uint(cost.si);
+  json.Key("ssi");
+  json.Uint(cost.ssi);
+  json.EndObject();
+}
+
+void PromotionJson(const TransactionSet& txns, OpRef read, JsonWriter& json) {
+  json.BeginObject();
+  json.Key("txn");
+  json.String(txns.txn(read.txn).name());
+  json.Key("op_index");
+  json.Int(read.index);
+  json.Key("object");
+  json.String(txns.ObjectName(txns.op(read).object));
+  json.Key("op");
+  json.String(txns.FormatOp(read));
+  json.EndObject();
+}
+
+std::string CostSummary(const AllocationCost& cost) {
+  return StrCat(cost.ssi, " SSI + ", cost.si, " SI + ", cost.rc,
+                " RC (weighted cost ", cost.weighted, ")");
+}
+
+}  // namespace
+
+std::string PromotionPlanJson(const TransactionSet& txns,
+                              const PromotionPlan& plan,
+                              const PromoteOptions& options,
+                              std::string_view validation_json) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("version");
+  json.Uint(1);
+  json.Key("kind");
+  json.String("promotion_plan");
+  json.Key("mode");
+  json.String(plan.target_mode ? "target" : "budget");
+  if (plan.target_mode && plan.target.has_value()) {
+    json.Key("target");
+    AllocationJson(txns, *plan.target, json);
+    json.Key("target_met");
+    json.Bool(plan.target_met);
+  }
+  json.Key("weights");
+  json.BeginObject();
+  json.Key("si");
+  json.Int(options.weight_si);
+  json.Key("ssi");
+  json.Int(options.weight_ssi);
+  json.EndObject();
+  json.Key("promotions");
+  json.BeginArray();
+  for (OpRef read : plan.promotions.reads()) {
+    PromotionJson(txns, read, json);
+  }
+  json.EndArray();
+  json.Key("before");
+  json.BeginObject();
+  json.Key("allocation");
+  AllocationJson(txns, plan.before_allocation, json);
+  json.Key("cost");
+  CostJson(plan.before_cost, json);
+  json.EndObject();
+  json.Key("after");
+  json.BeginObject();
+  json.Key("allocation");
+  AllocationJson(txns, plan.after_allocation, json);
+  json.Key("cost");
+  CostJson(plan.after_cost, json);
+  json.EndObject();
+  json.Key("improved");
+  json.Bool(plan.improved);
+  json.Key("rounds");
+  json.BeginArray();
+  for (const PromotionRound& round : plan.rounds) {
+    json.BeginObject();
+    json.Key("promoted");
+    PromotionJson(txns, round.promoted, json);
+    json.Key("cost_after");
+    CostJson(round.cost_after, json);
+    json.Key("candidates_evaluated");
+    json.Uint(round.candidates_evaluated);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("used_exhaustive");
+  json.Bool(plan.used_exhaustive);
+  json.Key("cancelled");
+  json.Bool(plan.cancelled);
+  json.Key("effort");
+  json.BeginObject();
+  json.Key("allocations_computed");
+  json.Uint(plan.allocations_computed);
+  json.Key("robustness_checks");
+  json.Uint(plan.robustness_checks);
+  json.EndObject();
+  json.Key("promoted_workload");
+  json.String(plan.promoted.ToString());
+  if (!validation_json.empty()) {
+    json.Key("validation");
+    json.RawValue(validation_json);
+  }
+  json.EndObject();
+  return json.str();
+}
+
+std::string PromotionPlanToString(const TransactionSet& txns,
+                                  const PromotionPlan& plan) {
+  std::string out;
+  if (plan.target_mode && plan.target.has_value()) {
+    out += StrCat("target allocation: ", plan.target->ToString(txns), "\n");
+    out += StrCat("target met:        ", plan.target_met ? "yes" : "no", "\n");
+  }
+  if (plan.promotions.empty()) {
+    out += "promotions: none\n";
+  } else {
+    out += StrCat("promotions (", plan.promotions.size(), "):\n");
+    for (OpRef read : plan.promotions.reads()) {
+      out += StrCat("  promote ", txns.FormatOp(read), " of ",
+                    txns.txn(read.txn).name(), " (object ",
+                    txns.ObjectName(txns.op(read).object),
+                    " -> SELECT ... FOR UPDATE)\n");
+    }
+  }
+  out += StrCat("before: ", plan.before_allocation.ToString(txns), "\n");
+  out += StrCat("        ", CostSummary(plan.before_cost), "\n");
+  out += StrCat("after:  ", plan.after_allocation.ToString(txns), "\n");
+  out += StrCat("        ", CostSummary(plan.after_cost), "\n");
+  out += StrCat("verdict: ",
+                plan.improved
+                    ? "strictly cheaper allocation after promotion"
+                    : "no improvement found",
+                plan.used_exhaustive ? " (exhaustive fallback used)" : "",
+                plan.cancelled ? " (search cancelled; best-so-far)" : "",
+                "\n");
+  return out;
+}
+
+}  // namespace mvrob

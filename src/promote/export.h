@@ -1,0 +1,31 @@
+#ifndef MVROB_PROMOTE_EXPORT_H_
+#define MVROB_PROMOTE_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "promote/optimizer.h"
+
+namespace mvrob {
+
+/// `promote --promotion-json`: the full promotion plan as JSON —
+/// {"version":1,"kind":"promotion_plan"} with the chosen promotions (each
+/// read's transaction, program index, object, and rendered operation), the
+/// before/after optimal allocations and their costs, the per-round search
+/// trace, the rewritten workload text, and the search-effort counters.
+/// When `validation_json` is non-empty it must be a complete rendered JSON
+/// value (the round-trip certification summary built by the caller, which
+/// owns the engine dependency) and is spliced in verbatim under
+/// "validation". Schema in docs/formats.md, "Promotion plan".
+std::string PromotionPlanJson(const TransactionSet& txns,
+                              const PromotionPlan& plan,
+                              const PromoteOptions& options,
+                              std::string_view validation_json = {});
+
+/// Human-readable rendering of the plan, used by `mvrob promote` stdout.
+std::string PromotionPlanToString(const TransactionSet& txns,
+                                  const PromotionPlan& plan);
+
+}  // namespace mvrob
+
+#endif  // MVROB_PROMOTE_EXPORT_H_

@@ -53,10 +53,20 @@ bool RefWriteRespectsCommitOrder(const RefView& v, OpRef write) {
   return true;
 }
 
-// Definition: read-last-committed relative to anchor position.
+// Definition: read-last-committed relative to anchor position, with the
+// read-your-own-writes exception: a read preceded by an own write on the
+// object observes the latest such write at every level.
 bool RefReadLastCommitted(const RefView& v, OpRef read, int anchor_pos) {
   ObjectId object = v.txns->op(read).object;
   OpRef observed = v.s->VersionRead(read);
+  const Transaction& reader = v.txns->txn(read.txn);
+  OpRef own = OpRef::Op0();
+  for (int i = 0; i < read.index; ++i) {
+    if (reader.op(i).IsWrite() && reader.op(i).object == object) {
+      own = OpRef{read.txn, i};
+    }
+  }
+  if (!own.IsOp0()) return observed == own;
   if (!observed.IsOp0() && !(v.CommitPos(observed.txn) < anchor_pos)) {
     return false;
   }

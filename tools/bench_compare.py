@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
-"""Bench-regression gate: diff a fresh BENCH_robustness.json against the
-committed baseline.
+"""Bench-regression gate: diff a fresh benchmark JSON (BENCH_robustness,
+BENCH_promotion, ...) against the committed baseline.
 
 Two kinds of checks, reflecting the two kinds of numbers in the file:
 
@@ -8,9 +8,12 @@ Two kinds of checks, reflecting the two kinds of numbers in the file:
    (default 2.0x, overridable with --threshold or MVROB_BENCH_THRESHOLD).
    Timings are machine-dependent, so the gate is deliberately loose: it
    catches algorithmic regressions (a 10x blowup), not noise;
- - the audited work counter analyzer.triples_examined from the embedded
-   metrics snapshot, which is machine-INDEPENDENT and must match exactly
-   (the scan contract of core/robustness.h).
+ - machine-INDEPENDENT outcome numbers, which must match exactly:
+   the audited work counter analyzer.triples_examined from the embedded
+   metrics snapshot (the scan contract of core/robustness.h), and the
+   promotion-outcome counters (before_weighted, after_weighted,
+   promotions) that BM_OptimizePromotions attaches to its rows — a
+   changed allocation cost is a behavior change, not noise.
 
 A benchmark present in the baseline but missing from the fresh run fails
 the gate (silently dropping a benchmark is how regressions hide); new
@@ -43,6 +46,23 @@ def benchmark_times(doc):
             continue
         times[bench["name"]] = float(bench["cpu_time"])
     return times
+
+
+# Benchmark counters that are deterministic outcomes of the code under
+# benchmark (not timings): compared exactly when present in the baseline.
+EXACT_COUNTERS = ("before_weighted", "after_weighted", "promotions")
+
+
+def outcome_counters(doc):
+    """name -> {counter: value} for the exact-checked counters."""
+    outcomes = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        exact = {key: bench[key] for key in EXACT_COUNTERS if key in bench}
+        if exact:
+            outcomes[bench["name"]] = exact
+    return outcomes
 
 
 def triples_examined(doc):
@@ -99,6 +119,23 @@ def main():
                 f"{base_time:.0f}ns ({ratio:.2f}x > {args.threshold:.2f}x)")
     for name in sorted(set(fresh_times) - set(baseline_times)):
         print(f"  {'new':>10}  {'':>7}  {name}")
+
+    fresh_outcomes = outcome_counters(fresh)
+    for name, base_exact in sorted(outcome_counters(baseline).items()):
+        fresh_exact = fresh_outcomes.get(name)
+        if fresh_exact is None:
+            # Already reported as a disappeared benchmark above.
+            continue
+        for key, base_value in sorted(base_exact.items()):
+            fresh_value = fresh_exact.get(key)
+            if fresh_value != base_value:
+                failures.append(
+                    f"{name}: {key} changed: {fresh_value} vs baseline "
+                    f"{base_value} — promotion outcomes are machine-"
+                    "independent, so this is a behavior change, not noise")
+            else:
+                print(f"  {'ok':>10}  {'exact':>7}  {name}:{key} = "
+                      f"{base_value}")
 
     fresh_triples = triples_examined(fresh)
     base_triples = triples_examined(baseline)

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Runs the promotion benchmarks and emits BENCH_promotion.json (Google
+# Benchmark's JSON format). The BM_OptimizePromotions rows carry the
+# machine-INDEPENDENT outcome of the search as counters (before_weighted,
+# after_weighted, promotions); tools/bench_compare.py checks those exactly,
+# so a changed allocation cost fails the gate as a behavior change rather
+# than hiding inside timing noise. The BM_Throughput rows carry the
+# promoted-vs-SSI engine comparison and are gated on cpu_time only.
+#
+# usage: tools/bench_promotion_to_json.sh [build-dir] [output.json]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_promotion.json}"
+BIN="$BUILD_DIR/bench/bench_promotion"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found — build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+"$BIN" \
+  --benchmark_filter='BM_(OptimizePromotions|Throughput)' \
+  --benchmark_format=json \
+  --benchmark_out_format=json \
+  --benchmark_out="$OUT" \
+  --benchmark_min_time=0.05 >/dev/null
+
+echo "wrote $OUT"

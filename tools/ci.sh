@@ -149,6 +149,39 @@ build/tools/mvrob validate --workload smallbank:c=2 --runs 50 --seed 7
 build/tools/mvrob validate --workload smallbank:c=2 --default RC \
   --runs 50 --seed 7
 
+echo "==== promotion smoke (promote + certified engine runs) ===="
+# Acceptance bar for the promotion optimizer: on the bundled TPC-C and
+# SmallBank workloads the search must find a strictly cheaper allocation,
+# and the promoted workload must certify against the engine (exit 2 on
+# any theory/execution disagreement).
+for spec in smallbank:c=2 tpcc:w=1,d=2; do
+  PROMOTE_OUT="$(mktemp)"
+  build/tools/mvrob promote --workload "$spec" --json \
+    --validate-runs 50 --seed 7 >"$PROMOTE_OUT"
+  python3 - "$spec" "$PROMOTE_OUT" <<'PY'
+import json, sys
+
+spec = sys.argv[1]
+with open(sys.argv[2]) as f:
+    plan = json.load(f)
+assert plan["kind"] == "promotion_plan", plan.get("kind")
+before = plan["before"]["cost"]["weighted"]
+after = plan["after"]["cost"]["weighted"]
+assert plan["improved"] and after < before, (
+    f"{spec}: promote must be strictly cheaper, got {before} -> {after}")
+assert plan["promotions"], f"{spec}: improved plan lists no promotions"
+print(f"promotion smoke OK: {spec} weighted {before} -> {after} "
+      f"({len(plan['promotions'])} promotions, engine-certified)")
+PY
+  rm -f "$PROMOTE_OUT"
+done
+
+echo "==== docs gate (flags + links + tutorial smoke) ===="
+# Documentation must stay true: every flag in docs/cli.md exists in
+# `mvrob --help`, every relative markdown link resolves, and every
+# command block in docs/tutorial.md re-runs with its documented output.
+python3 tools/check_docs.py build/tools/mvrob
+
 echo "==== bench-regression gate ===="
 # Fresh benchmark run diffed against the committed baseline
 # (bench/baselines/). Warn-only when seeding a missing baseline or with
@@ -165,6 +198,23 @@ else
   python3 tools/bench_compare.py "$FRESH_BENCH" "$BASELINE"
 fi
 rm -f "$FRESH_BENCH"
+
+echo "==== promotion bench gate ===="
+# Same machinery for the promotion benchmarks; the BM_OptimizePromotions
+# outcome counters (before/after weighted cost, promotion count) are
+# machine-independent and compared exactly.
+PROMO_BASELINE="bench/baselines/BENCH_promotion.baseline.json"
+FRESH_PROMO="$(mktemp)"
+tools/bench_promotion_to_json.sh build "$FRESH_PROMO"
+if [[ ! -f "$PROMO_BASELINE" ]]; then
+  echo "no baseline at $PROMO_BASELINE — seeding from this run"
+  python3 tools/bench_compare.py "$FRESH_PROMO" "$PROMO_BASELINE" --update
+elif [[ "${MVROB_BENCH_GATE:-fail}" == "warn" ]]; then
+  python3 tools/bench_compare.py "$FRESH_PROMO" "$PROMO_BASELINE" --warn-only
+else
+  python3 tools/bench_compare.py "$FRESH_PROMO" "$PROMO_BASELINE"
+fi
+rm -f "$FRESH_PROMO"
 
 echo "==== TSan build (MVROB_SANITIZE=thread) ===="
 cmake -B build-tsan -S . -DMVROB_SANITIZE=thread >/dev/null
