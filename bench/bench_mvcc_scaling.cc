@@ -1,0 +1,101 @@
+// Throughput-vs-cores curves for the many-core MVCC engine (EXPERIMENTS.md
+// E22): committed transactions per second as the worker count sweeps
+// 1/2/4/8, per allocation (A_RC, A_SI, A_SSI, mixed) and contention level
+// (uniform vs theta=0.99 Zipfian YCSB).
+//
+// Each iteration executes a fixed step budget through RunConcurrent on a
+// fresh engine, so real_time per iteration is the scaling signal
+// (UseRealTime: the workers are internal threads). The rows feed
+// tools/bench_compare.py, which groups them by the /threads:N name suffix
+// and gates the speedup curve against bench/baselines/.
+#include <benchmark/benchmark.h>
+
+#include "common/log.h"
+#include "iso/allocation.h"
+#include "mvcc/concurrent_driver.h"
+#include "mvcc/concurrent_engine.h"
+#include "workloads/registry.h"
+
+namespace mvrob {
+namespace {
+
+// Steps per iteration: enough commits (~10k at 6 steps/txn) for a stable
+// rate, small enough that the sweep stays CI-friendly.
+constexpr uint64_t kStepsPerIteration = 65'536;
+
+Allocation MixedThirds(size_t n) {
+  std::vector<IsolationLevel> levels(n);
+  for (size_t i = 0; i < n; ++i) {
+    levels[i] = kAllIsolationLevels[i % kAllIsolationLevels.size()];
+  }
+  return Allocation(std::move(levels));
+}
+
+void BM_MvccScaling(benchmark::State& state, const char* spec,
+                    Allocation (*make_alloc)(size_t)) {
+  StatusOr<Workload> workload = MakeNamedWorkload(spec);
+  if (!workload.ok()) {
+    state.SkipWithError(workload.status().ToString().c_str());
+    return;
+  }
+  const TransactionSet& txns = workload->txns;
+  const Allocation alloc = make_alloc(txns.size());
+  const size_t threads = static_cast<size_t>(state.range(0));
+
+  uint64_t committed = 0;
+  uint64_t attempts = 0;
+  for (auto _ : state) {
+    ConcurrentEngine engine(txns.num_objects(), threads);
+    RandomRunOptions options;
+    options.seed = 42;
+    options.continuous = true;
+    options.max_steps = kStepsPerIteration;
+    DriverReport report = RunConcurrent(engine, txns, alloc, options);
+    committed += report.committed;
+    attempts += report.attempts;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(committed));
+  state.counters["commits_per_sec"] = benchmark::Counter(
+      static_cast<double>(committed), benchmark::Counter::kIsRate);
+  state.counters["abort_rate"] =
+      attempts > 0 ? 1.0 - static_cast<double>(committed) /
+                               static_cast<double>(attempts)
+                   : 0.0;
+}
+
+// Low contention: uniform key choice over a key space much larger than
+// the worker count, so shards rarely collide. High contention: classic
+// YCSB hot spots (theta=0.99) over few keys.
+constexpr const char* kLow = "ycsb:a,n=64,k=1024,theta=0,seed=1";
+constexpr const char* kHigh = "ycsb:a,n=64,k=64,theta=0.99,seed=1";
+
+#define MVROB_SCALING_BENCH(name, spec, alloc)                      \
+  BENCHMARK_CAPTURE(BM_MvccScaling, name, spec, alloc)              \
+      ->ArgName("threads")                                          \
+      ->Arg(1)                                                      \
+      ->Arg(2)                                                      \
+      ->Arg(4)                                                      \
+      ->Arg(8)                                                      \
+      ->UseRealTime()
+
+MVROB_SCALING_BENCH(RC_low, kLow, Allocation::AllRC);
+MVROB_SCALING_BENCH(SI_low, kLow, Allocation::AllSI);
+MVROB_SCALING_BENCH(SSI_low, kLow, Allocation::AllSSI);
+MVROB_SCALING_BENCH(MIX_low, kLow, MixedThirds);
+MVROB_SCALING_BENCH(RC_high, kHigh, Allocation::AllRC);
+MVROB_SCALING_BENCH(SI_high, kHigh, Allocation::AllSI);
+MVROB_SCALING_BENCH(SSI_high, kHigh, Allocation::AllSSI);
+MVROB_SCALING_BENCH(MIX_high, kHigh, MixedThirds);
+
+}  // namespace
+}  // namespace mvrob
+
+int main(int argc, char** argv) {
+  // Epoch GC logs one info line per reclamation — noise at bench volume.
+  mvrob::GlobalLogger().set_min_level(mvrob::LogLevel::kWarn);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

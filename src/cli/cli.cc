@@ -24,6 +24,8 @@
 #include "core/witness.h"
 #include "iso/allowed.h"
 #include "iso/materialize.h"
+#include "mvcc/concurrent_driver.h"
+#include "mvcc/concurrent_engine.h"
 #include "mvcc/driver.h"
 #include "mvcc/recorder.h"
 #include "mvcc/roundtrip.h"
@@ -87,6 +89,12 @@ common flags:
                            validate: default 200)
   --concurrency <n>        sessions in flight (simulate, validate;
                            default 4)
+  --engine-threads <n>     OS worker threads for the MVCC engine
+                           (simulate, validate, serve; default 1 = the
+                           deterministic driver, >1 = the sharded
+                           many-core engine; validate then also replays
+                           every concurrent run on the single-threaded
+                           oracle)
   --seed <n>               base RNG seed (simulate, validate; default 0)
   --witness-json <file|->  structured witness provenance as JSON: every
                            counterexample edge with its conflict type,
@@ -611,9 +619,15 @@ int CmdSimulate(const Flags& flags, std::ostream& out, std::ostream& err,
   if (!concurrency.ok()) return Fail(err, concurrency.status());
   StatusOr<uint64_t> seed = Uint64Flag(flags, "seed", 0);
   if (!seed.ok()) return Fail(err, seed.status());
+  StatusOr<int> engine_threads =
+      IntFlag(flags, "engine-threads", 1, 1, 256);
+  if (!engine_threads.ok()) return Fail(err, engine_threads.status());
+  const bool concurrent = *engine_threads > 1;
 
   out << "simulating " << *runs << " executions of " << txns->size()
-      << " transactions under " << alloc->ToString(*txns) << "\n";
+      << " transactions under " << alloc->ToString(*txns);
+  if (concurrent) out << " (" << *engine_threads << " engine threads)";
+  out << "\n";
   // --record-schedule / --record-trace export the *last* run; the recorder
   // is cleared between runs so the files cover one complete execution.
   const bool recording =
@@ -626,22 +640,40 @@ int CmdSimulate(const Flags& flags, std::ostream& out, std::ostream& err,
   uint64_t serializable = 0;
   std::map<std::string, int> anomaly_counts;
   for (int r = 0; r < *runs; ++r) {
-    EngineOptions engine_options;
-    engine_options.metrics = metrics;
-    if (recorder.has_value()) {
-      recorder->Clear();
-      engine_options.recorder = &*recorder;
-    }
-    Engine engine(txns->num_objects(), engine_options);
+    if (recorder.has_value()) recorder->Clear();
     RandomRunOptions options;
     options.concurrency = *concurrency;
     options.seed = *seed + static_cast<uint64_t>(r);
     options.metrics = metrics;
-    DriverReport report = RunRandom(engine, *txns, *alloc, options);
+    // Engines live in optionals so one loop body serves both paths.
+    std::optional<Engine> engine;
+    std::optional<ConcurrentEngine> concurrent_engine;
+    DriverReport report;
+    if (concurrent) {
+      ConcurrentEngineOptions engine_options;
+      engine_options.metrics = metrics;
+      if (recorder.has_value()) engine_options.recorder = &*recorder;
+      concurrent_engine.emplace(txns->num_objects(),
+                                static_cast<size_t>(*engine_threads),
+                                engine_options);
+      options.engine_threads = *engine_threads;
+      report = RunConcurrent(*concurrent_engine, *txns, *alloc, options);
+    } else {
+      EngineOptions engine_options;
+      engine_options.metrics = metrics;
+      if (recorder.has_value()) engine_options.recorder = &*recorder;
+      engine.emplace(txns->num_objects(), engine_options);
+      report = RunRandom(*engine, *txns, *alloc, options);
+    }
+    const EngineStats stats =
+        concurrent ? concurrent_engine->stats() : engine->stats();
     commits += report.committed;
-    fuw += engine.stats().aborts_write_conflict;
-    ssi += engine.stats().aborts_ssi;
-    StatusOr<ExportedRun> run = ExportCommittedRun(engine, *txns);
+    fuw += stats.aborts_write_conflict;
+    ssi += stats.aborts_ssi;
+    StatusOr<ExportedRun> run =
+        concurrent ? ExportCommittedSessions(
+                         concurrent_engine->SessionSnapshot(), *txns)
+                   : ExportCommittedRun(*engine, *txns);
     if (!run.ok()) continue;
     StatusOr<Schedule> schedule = run->BuildSchedule();
     if (!schedule.ok()) continue;
@@ -705,11 +737,15 @@ int CmdValidate(const Flags& flags, std::ostream& out, std::ostream& err,
   if (!concurrency.ok()) return Fail(err, concurrency.status());
   StatusOr<uint64_t> seed = Uint64Flag(flags, "seed", 0);
   if (!seed.ok()) return Fail(err, seed.status());
+  StatusOr<int> engine_threads =
+      IntFlag(flags, "engine-threads", 1, 1, 256);
+  if (!engine_threads.ok()) return Fail(err, engine_threads.status());
 
   RoundTripOptions options;
   options.runs = *runs;
   options.concurrency = *concurrency;
   options.seed = *seed;
+  options.engine_threads = *engine_threads;
   options.check = *check;
   options.metrics = metrics;
   StatusOr<RoundTripReport> report =
@@ -851,6 +887,10 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   StatusOr<int> threads = IntFlag(flags, "threads", 1);
   if (!threads.ok()) return Fail(err, threads.status());
   params.threads = *threads;
+  StatusOr<int> engine_threads =
+      IntFlag(flags, "engine-threads", 1, 1, 256);
+  if (!engine_threads.ok()) return Fail(err, engine_threads.status());
+  params.engine_threads = *engine_threads;
 
   return RunServe(std::move(params), out, err);
 }

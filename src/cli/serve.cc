@@ -18,6 +18,8 @@
 #include "common/string_util.h"
 #include "core/robustness.h"
 #include "core/witness.h"
+#include "mvcc/concurrent_driver.h"
+#include "mvcc/concurrent_engine.h"
 #include "mvcc/driver.h"
 #include "mvcc/engine.h"
 
@@ -180,10 +182,8 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
   uint64_t epochs = 0;
   uint64_t committed = 0;
   std::thread driver([&] {
+    const bool concurrent = params.engine_threads > 1;
     while (!stop.load(std::memory_order_relaxed)) {
-      EngineOptions engine_options;
-      engine_options.metrics = &registry;
-      Engine engine(params.txns.num_objects(), engine_options);
       RandomRunOptions options;
       options.concurrency = params.concurrency;
       options.seed = params.seed + epochs;
@@ -192,8 +192,21 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
       options.stop = &stop;
       options.continuous = true;
       options.live = &live;
-      DriverReport report = RunRandom(engine, params.txns, params.alloc,
-                                      options);
+      DriverReport report;
+      if (concurrent) {
+        ConcurrentEngineOptions engine_options;
+        engine_options.metrics = &registry;
+        ConcurrentEngine engine(
+            params.txns.num_objects(),
+            static_cast<size_t>(params.engine_threads), engine_options);
+        options.engine_threads = params.engine_threads;
+        report = RunConcurrent(engine, params.txns, params.alloc, options);
+      } else {
+        EngineOptions engine_options;
+        engine_options.metrics = &registry;
+        Engine engine(params.txns.num_objects(), engine_options);
+        report = RunRandom(engine, params.txns, params.alloc, options);
+      }
       committed += report.committed;
       ++epochs;
     }

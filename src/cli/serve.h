@@ -34,6 +34,11 @@ struct ServeParams {
   uint64_t seed = 0;
   /// Worker threads for the periodic robustness check.
   int threads = 1;
+  /// MVCC engine worker threads. 1 = the deterministic driver with
+  /// epoch-driven version GC; > 1 = the sharded many-core engine
+  /// (mvcc/concurrent_engine.h) with per-shard telemetry and epoch GC
+  /// running inside the engine.
+  int engine_threads = 1;
 };
 
 /// Runs the workload continuously on the MVCC engine while serving

@@ -61,6 +61,28 @@ StatusOr<int> ParseInt(std::string_view text, int min, int max) {
   return static_cast<int>(*parsed);
 }
 
+StatusOr<double> ParseDouble(std::string_view text, double min, double max) {
+  if (text.empty()) {
+    return Status::InvalidArgument("expected a number, got an empty string");
+  }
+  double value{};
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, value,
+                                   std::chars_format::fixed);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::InvalidArgument(
+        StrCat("'", text, "' is out of range [", min, ", ", max, "]"));
+  }
+  if (ec != std::errc() || ptr != end) {
+    return Status::InvalidArgument(StrCat("'", text, "' is not a number"));
+  }
+  if (!(value >= min && value <= max)) {
+    return Status::InvalidArgument(
+        StrCat("'", text, "' is out of range [", min, ", ", max, "]"));
+  }
+  return value;
+}
+
 std::vector<std::string> SplitAndTrim(std::string_view input, char delimiter) {
   std::vector<std::string> pieces;
   size_t start = 0;

@@ -38,6 +38,15 @@ StatusOr<int> ParseInt(std::string_view text,
                        int min = std::numeric_limits<int>::min(),
                        int max = std::numeric_limits<int>::max());
 
+/// Strict decimal parsing for real-valued knobs (e.g. the YCSB Zipfian
+/// theta). Accepts plain fixed-point notation ("0.99", "-1.5", "2"); the
+/// whole string must parse, and NaN/inf and values outside [min, max] are
+/// rejected.
+StatusOr<double> ParseDouble(
+    std::string_view text,
+    double min = std::numeric_limits<double>::lowest(),
+    double max = std::numeric_limits<double>::max());
+
 /// Joins the elements of `parts` with `separator` using operator<<.
 template <typename Container>
 std::string Join(const Container& parts, std::string_view separator) {

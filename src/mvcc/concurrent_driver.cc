@@ -1,0 +1,207 @@
+#include "mvcc/concurrent_driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+
+namespace mvrob {
+namespace {
+
+/// Workers settle their local step count against the shared budget in
+/// batches, so the hot loop does not contend on one atomic per operation.
+constexpr uint64_t kStepBatch = 256;
+
+/// Decorrelates per-worker rng streams derived from one seed
+/// (splitmix64 finalizer).
+uint64_t MixSeed(uint64_t seed, uint64_t worker) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ull * (worker + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+DriverReport RunConcurrent(ConcurrentEngine& engine,
+                           const TransactionSet& programs,
+                           const Allocation& alloc,
+                           const RandomRunOptions& options) {
+  PhaseTimer timer(options.metrics, "driver.run_concurrent");
+  const size_t workers = engine.num_workers();
+  const LiveTelemetry* live = options.live;
+
+  std::atomic<uint64_t> shared_steps{0};
+  std::atomic<bool> out_of_budget{false};
+  auto stop_requested = [&]() {
+    return out_of_budget.load(std::memory_order_relaxed) ||
+           (options.stop != nullptr &&
+            options.stop->load(std::memory_order_relaxed));
+  };
+
+  std::mutex report_mu;
+  DriverReport report;
+
+  auto worker_fn = [&](size_t w) {
+    Rng rng(MixSeed(options.seed, w));
+    std::vector<TxnId> mine;
+    for (TxnId t = static_cast<TxnId>(w); t < programs.size();
+         t += static_cast<TxnId>(workers)) {
+      mine.push_back(t);
+    }
+    std::shuffle(mine.begin(), mine.end(), rng.engine());
+
+    DriverReport local;
+    uint64_t local_steps = 0;
+    // Disjoint per-worker value streams keep written values unique
+    // process-wide without sharing a counter.
+    Value next_value = (static_cast<Value>(w) << 40) + 1;
+
+    auto count_step = [&]() {
+      if (++local_steps < kStepBatch) return;
+      uint64_t total =
+          shared_steps.fetch_add(local_steps, std::memory_order_relaxed) +
+          local_steps;
+      local_steps = 0;
+      if (total >= options.max_steps) {
+        out_of_budget.store(true, std::memory_order_relaxed);
+      }
+    };
+    auto live_abort = [&](TxnId t, AbortReason reason) {
+      if (live == nullptr) return;
+      const LiveTelemetry::PerLevel& slot =
+          live->per_level[static_cast<size_t>(alloc.level(t))];
+      WindowedCounter* counter = nullptr;
+      switch (reason) {
+        case AbortReason::kWriteConflict:
+          counter = slot.aborts_write_conflict;
+          break;
+        case AbortReason::kSsiDangerousStructure:
+          counter = slot.aborts_ssi;
+          break;
+        case AbortReason::kUser:
+          counter = slot.aborts_deadlock;
+          break;
+        case AbortReason::kNone:
+          break;
+      }
+      if (counter != nullptr) counter->Increment();
+    };
+
+    // Runs one program to commit (or until it gives up / the run stops).
+    auto run_program = [&](TxnId t) {
+      const Transaction& program = programs.txn(t);
+      int retries_left = options.max_retries;
+      while (!stop_requested()) {
+        engine.Begin(w, alloc.level(t));
+        ++local.attempts;
+        std::chrono::steady_clock::time_point attempt_start{};
+        if (live != nullptr) {
+          attempt_start = std::chrono::steady_clock::now();
+        }
+        bool aborted = false;
+        bool lock_conflict = false;
+        bool committed = false;
+        AbortReason reason = AbortReason::kNone;
+        for (int i = 0; !aborted && !committed; ++i) {
+          const Operation& op = program.op(i);
+          count_step();
+          if (op.IsRead()) {
+            engine.Read(w, op.object);
+          } else if (op.IsWrite()) {
+            WriteResult result = engine.Write(w, op.object, next_value++);
+            if (result.status == StepStatus::kBlocked) {
+              // No-wait: abort this attempt and retry after a yield. Does
+              // not consume the retry budget (the deterministic driver
+              // would have waited here, not aborted).
+              ++local.blocked_steps;
+              engine.Abort(w);
+              aborted = true;
+              lock_conflict = true;
+              reason = AbortReason::kUser;
+            } else if (result.status == StepStatus::kAborted) {
+              aborted = true;
+              reason = result.abort_reason;
+            }
+          } else {
+            CommitResult result = engine.Commit(w);
+            if (result.status == StepStatus::kOk) {
+              committed = true;
+            } else {
+              aborted = true;
+              reason = result.abort_reason;
+            }
+          }
+        }
+        if (committed) {
+          ++local.committed;
+          if (live != nullptr) {
+            const LiveTelemetry::PerLevel& slot =
+                live->per_level[static_cast<size_t>(alloc.level(t))];
+            if (slot.commits != nullptr) slot.commits->Increment();
+            if (slot.commit_latency_us != nullptr) {
+              const auto now = std::chrono::steady_clock::now();
+              slot.commit_latency_us->Observe(
+                  static_cast<uint64_t>(
+                      std::chrono::duration_cast<std::chrono::microseconds>(
+                          now - attempt_start)
+                          .count()),
+                  now);
+            }
+          }
+          return;
+        }
+        live_abort(t, reason);
+        if (lock_conflict) {
+          ++local.deadlock_victims;
+          std::this_thread::yield();
+          continue;
+        }
+        if (retries_left-- <= 0) {
+          ++local.aborted_programs;
+          return;
+        }
+      }
+    };
+
+    do {
+      for (TxnId t : mine) {
+        if (stop_requested()) break;
+        run_program(t);
+      }
+    } while (options.continuous && !stop_requested() && !mine.empty());
+
+    // Flush the step remainder and merge the worker's tallies.
+    shared_steps.fetch_add(local_steps, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(report_mu);
+    report.committed += local.committed;
+    report.aborted_programs += local.aborted_programs;
+    report.attempts += local.attempts;
+    report.blocked_steps += local.blocked_steps;
+    report.deadlock_victims += local.deadlock_victims;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    threads.emplace_back(worker_fn, w);
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  if (MetricsRegistry* metrics = options.metrics; metrics != nullptr) {
+    metrics->counter("driver.runs").Increment();
+    metrics->counter("driver.committed").Add(report.committed);
+    metrics->counter("driver.attempts").Add(report.attempts);
+    metrics->counter("driver.aborted_programs").Add(report.aborted_programs);
+    metrics->counter("driver.deadlock_victims").Add(report.deadlock_victims);
+    metrics->counter("driver.blocked_steps").Add(report.blocked_steps);
+  }
+  return report;
+}
+
+}  // namespace mvrob

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <deque>
 
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/string_util.h"
@@ -97,10 +98,6 @@ struct ProgramState {
   std::chrono::steady_clock::time_point attempt_start{};
 };
 
-// Steps between engine vacuums in continuous mode (keeps the version
-// store bounded on long-running serves without touching batch runs).
-constexpr uint64_t kContinuousVacuumPeriod = 16384;
-
 }  // namespace
 
 DriverReport RunRandom(Engine& engine, const TransactionSet& programs,
@@ -123,6 +120,8 @@ DriverReport RunRandom(Engine& engine, const TransactionSet& programs,
 
   std::vector<TxnId> window;
   uint64_t steps = 0;
+  uint64_t commits_at_last_gc = 0;
+  uint64_t gc_epoch = 0;
 
   const LiveTelemetry* live = options.live;
   auto live_level = [&](TxnId t) -> const LiveTelemetry::PerLevel& {
@@ -275,8 +274,26 @@ DriverReport RunRandom(Engine& engine, const TransactionSet& programs,
         admit();
       }
     }
-    if (options.continuous && steps % kContinuousVacuumPeriod == 0) {
-      engine.Vacuum();
+    // Epoch-driven version reclamation in continuous mode: one sweep per
+    // commits_per_epoch commits (not per elapsed steps, so an idle or
+    // conflict-heavy serve does not churn the store), with a structured
+    // log line per reclamation.
+    if (options.continuous && options.commits_per_epoch != 0 &&
+        report.committed - commits_at_last_gc >= options.commits_per_epoch) {
+      commits_at_last_gc = report.committed;
+      size_t reclaimed = engine.Vacuum();
+      ++gc_epoch;
+      if (MetricsRegistry* metrics = options.metrics; metrics != nullptr) {
+        metrics->counter("mvcc.gc.epochs").Increment();
+        metrics->counter("mvcc.gc.reclaimed").Add(reclaimed);
+      }
+      Logger& logger = GlobalLogger();
+      if (logger.enabled(LogLevel::kInfo)) {
+        logger.Log(LogLevel::kInfo, "mvcc.gc", "epoch reclamation",
+                   {{"epoch", gc_epoch},
+                    {"commits", report.committed},
+                    {"reclaimed", static_cast<uint64_t>(reclaimed)}});
+      }
     }
   }
   if (MetricsRegistry* metrics = options.metrics; metrics != nullptr) {

@@ -82,13 +82,25 @@ struct RandomRunOptions {
   const std::atomic<bool>* stop = nullptr;
   /// Continuous (serve) mode: a program that commits or exhausts its
   /// retries is reset and re-enqueued, so the run ends only via `stop` or
-  /// `max_steps`. The engine is vacuumed periodically to keep the version
-  /// store bounded. Scheduling stays deterministic for a fixed seed and
-  /// step budget.
+  /// `max_steps`. Version GC is epoch-driven (see commits_per_epoch) to
+  /// keep the version store bounded. Scheduling stays deterministic for a
+  /// fixed seed and step budget.
   bool continuous = false;
   /// Live windowed per-isolation-level instruments (serve mode). Null
   /// disables; like `metrics`, attaching it never changes the run.
   const LiveTelemetry* live = nullptr;
+  /// Engine worker threads. 1 selects the deterministic single-threaded
+  /// driver (RunRandom); > 1 selects the many-core engine path
+  /// (RunConcurrent in mvcc/concurrent_driver.h), which executes programs
+  /// on engine_threads OS threads. Ignored by RunRandom itself.
+  int engine_threads = 1;
+  /// Key-space shards for the many-core engine (0 = auto).
+  size_t engine_shards = 0;
+  /// Continuous mode: commits per version-reclamation epoch. Every
+  /// commits_per_epoch commits the driver (or the concurrent engine)
+  /// reclaims versions below the oldest live snapshot and logs one
+  /// structured "mvcc.gc" line with the reclaimed count. 0 disables GC.
+  uint64_t commits_per_epoch = 4096;
 };
 
 /// Executes every program of `programs` once (plus retries) under the

@@ -1,8 +1,11 @@
 #include "mvcc/roundtrip.h"
 
+#include <optional>
+
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "iso/allowed.h"
+#include "mvcc/concurrent_driver.h"
 #include "mvcc/driver.h"
 #include "mvcc/trace.h"
 #include "schedule/anomaly.h"
@@ -64,17 +67,32 @@ StatusOr<RoundTripReport> ValidateEngineRuns(const TransactionSet& txns,
   report.allocation_robust = verdict.robust;
   report.triples_examined = verdict.triples_examined;
 
+  const bool concurrent = options.engine_threads > 1;
   ScheduleRecorder recorder(options.recorder_capacity);
   for (int run = 0; run < options.runs; ++run) {
     recorder.Clear();
-    EngineOptions engine_options;
-    engine_options.ssi_mode = options.ssi_mode;
-    engine_options.recorder = &recorder;
-    Engine engine(txns.num_objects(), engine_options);
     RandomRunOptions run_options;
     run_options.concurrency = options.concurrency;
     run_options.seed = options.seed + static_cast<uint64_t>(run);
-    RunRandom(engine, txns, alloc, run_options);
+    // Engines live in optionals so one loop body serves both paths.
+    std::optional<Engine> engine;
+    std::optional<ConcurrentEngine> concurrent_engine;
+    if (concurrent) {
+      ConcurrentEngineOptions engine_options;
+      engine_options.ssi_mode = options.ssi_mode;
+      engine_options.recorder = &recorder;
+      concurrent_engine.emplace(txns.num_objects(),
+                                static_cast<size_t>(options.engine_threads),
+                                engine_options);
+      run_options.engine_threads = options.engine_threads;
+      RunConcurrent(*concurrent_engine, txns, alloc, run_options);
+    } else {
+      EngineOptions engine_options;
+      engine_options.ssi_mode = options.ssi_mode;
+      engine_options.recorder = &recorder;
+      engine.emplace(txns.num_objects(), engine_options);
+      RunRandom(*engine, txns, alloc, run_options);
+    }
     ++report.runs;
 
     if (recorder.dropped() > 0) {
@@ -107,7 +125,11 @@ StatusOr<RoundTripReport> ValidateEngineRuns(const TransactionSet& txns,
     // recording must equal the one exported from the live engine.
     StatusOr<ExportedRun> from_recording =
         BuildRunFromRecording(*parsed, txns);
-    StatusOr<ExportedRun> from_engine = ExportCommittedRun(engine, txns);
+    StatusOr<ExportedRun> from_engine =
+        concurrent
+            ? ExportCommittedSessions(concurrent_engine->SessionSnapshot(),
+                                      txns)
+            : ExportCommittedRun(*engine, txns);
     if (from_recording.ok() != from_engine.ok()) {
       AddFailure(&report, run,
                  StrCat("exportability disagrees: recording says ",
@@ -184,6 +206,56 @@ StatusOr<RoundTripReport> ValidateEngineRuns(const TransactionSet& txns,
                             ? std::string("?")
                             : anomalies[0].ToString(recorded_schedule->txns())));
       continue;
+    }
+
+    // Stage 6 (concurrent runs only): differential oracle. The exported
+    // interleaving must replay cleanly on a fresh single-threaded engine
+    // and reproduce the identical schedule, proving the concurrent
+    // execution equivalent to a deterministic interleaving.
+    if (concurrent) {
+      Engine oracle(from_engine->txns.num_objects(),
+                    EngineOptions{SsiMode::kExact, nullptr, nullptr});
+      StatusOr<DriverReport> replay =
+          RunExactInterleaving(oracle, from_engine->txns,
+                               from_engine->allocation, from_engine->order);
+      if (!replay.ok()) {
+        AddFailure(&report, run,
+                   StrCat("concurrent run has no deterministic replay: ",
+                          replay.status().message()));
+        continue;
+      }
+      StatusOr<ExportedRun> oracle_run =
+          ExportCommittedRun(oracle, from_engine->txns);
+      if (!oracle_run.ok()) {
+        AddFailure(&report, run,
+                   StrCat("deterministic replay does not export: ",
+                          oracle_run.status().message()));
+        continue;
+      }
+      // Structural comparison: order, version function and version order
+      // all use positional txn ids, so this is insensitive to session
+      // naming (the oracle numbers sessions densely while the concurrent
+      // engine's committed ids have gaps from retried no-wait attempts).
+      bool same_programs =
+          oracle_run->txns.size() == from_engine->txns.size();
+      for (TxnId t = 0; same_programs && t < oracle_run->txns.size(); ++t) {
+        const Transaction& a = oracle_run->txns.txn(t);
+        const Transaction& b = from_engine->txns.txn(t);
+        same_programs = a.num_ops() == b.num_ops();
+        for (int i = 0; same_programs && i < a.num_ops(); ++i) {
+          same_programs = a.op(i) == b.op(i);
+        }
+      }
+      if (!same_programs ||
+          oracle_run->allocation != from_engine->allocation ||
+          oracle_run->order != from_engine->order ||
+          oracle_run->versions != from_engine->versions ||
+          oracle_run->version_order != from_engine->version_order) {
+        AddFailure(&report, run,
+                   "deterministic replay of the concurrent run diverges "
+                   "from the recorded schedule");
+        continue;
+      }
     }
     ++report.certified;
   }

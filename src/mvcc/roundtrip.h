@@ -21,6 +21,12 @@ struct RoundTripOptions {
   int runs = 200;
   int concurrency = 4;
   uint64_t seed = 0;
+  /// Engine worker threads per run. 1 = the deterministic single-threaded
+  /// driver; > 1 runs the many-core engine (RunConcurrent) and adds a
+  /// differential stage: the exported interleaving must replay cleanly on
+  /// a fresh single-threaded engine and produce the identical schedule,
+  /// i.e. every concurrent run is equivalent to a deterministic one.
+  int engine_threads = 1;
   SsiMode ssi_mode = SsiMode::kExact;
   size_t recorder_capacity = ScheduleRecorder::kDefaultCapacity;
   /// Knobs for the robustness verdict computed once up front.
@@ -70,7 +76,12 @@ struct RoundTripReport {
 ///  5. if the formal checker certifies (txns, alloc) robust, every
 ///     recorded run is conflict serializable — robustness is closed under
 ///     subsets, and a committed run is a subset of the programs, so a
-///     single non-serializable run refutes the verdict.
+///     single non-serializable run refutes the verdict;
+///  6. with engine_threads > 1, the exported interleaving additionally
+///     replays step for step on a fresh single-threaded engine and must
+///     yield the identical schedule — every concurrent execution is
+///     equivalent to some deterministic interleaving (the deterministic
+///     driver is the correctness oracle for the many-core engine).
 ///
 /// Any violation counts as a disagreement. Fails with InvalidArgument on
 /// configuration errors (allocation size mismatch, recorder capacity too

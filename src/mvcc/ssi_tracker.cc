@@ -46,6 +46,32 @@ bool PotentialRwAntiEdge(const MemberView& a, const MemberView& b) {
   return false;
 }
 
+// A structure completed by this commit involves the candidate (the commit
+// is the last event of the three transactions), but scanning all triples
+// keeps the check simple and exact; the early concurrency filters keep it
+// cheap in practice.
+bool DangerousStructureAmong(const std::vector<MemberView>& members,
+                             SessionId candidate) {
+  for (const MemberView& t1 : members) {
+    for (const MemberView& t2 : members) {
+      if (t2.id == t1.id || !Concurrent(t1, t2)) continue;
+      if (!(t2.commit_ts > 0) || !RwAntiEdge(t1, t2)) continue;
+      for (const MemberView& t3 : members) {
+        if (t3.id == t2.id || !Concurrent(t2, t3)) continue;
+        if (t1.id != candidate && t2.id != candidate && t3.id != candidate) {
+          continue;
+        }
+        // Commit-order conditions: C3 <= C1 (equality iff T3 = T1) and
+        // C3 < C2.
+        bool c3_le_c1 = t3.id == t1.id || t3.commit_ts < t1.commit_ts;
+        if (!c3_le_c1 || !(t3.commit_ts < t2.commit_ts)) continue;
+        if (RwAntiEdge(t2, t3)) return true;
+      }
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 bool SsiTracker::WouldCompleteDangerousStructure(
@@ -65,29 +91,22 @@ bool SsiTracker::WouldCompleteDangerousStructure(
           MemberView{id, &record, record.commit_ts, record.commit_step});
     }
   }
+  return DangerousStructureAmong(members, candidate);
+}
 
-  // A structure completed by this commit involves the candidate (the commit
-  // is the last event of the three transactions), but scanning all triples
-  // keeps the check simple and exact; the early concurrency filters keep it
-  // cheap in practice.
-  for (const MemberView& t1 : members) {
-    for (const MemberView& t2 : members) {
-      if (t2.id == t1.id || !Concurrent(t1, t2)) continue;
-      if (!(t2.commit_ts > 0) || !RwAntiEdge(t1, t2)) continue;
-      for (const MemberView& t3 : members) {
-        if (t3.id == t2.id || !Concurrent(t2, t3)) continue;
-        if (t1.id != candidate && t2.id != candidate && t3.id != candidate) {
-          continue;
-        }
-        // Commit-order conditions: C3 <= C1 (equality iff T3 = T1) and
-        // C3 < C2.
-        bool c3_le_c1 = t3.id == t1.id || t3.commit_ts < t1.commit_ts;
-        if (!c3_le_c1 || !(t3.commit_ts < t2.commit_ts)) continue;
-        if (RwAntiEdge(t2, t3)) return true;
-      }
-    }
+bool SsiTracker::WouldCompleteDangerousStructure(
+    const std::vector<std::pair<SessionId, const SessionRecord*>>& committed,
+    SessionId candidate_id, const SessionRecord& candidate_record,
+    Timestamp candidate_commit_ts, uint64_t candidate_commit_step) {
+  std::vector<MemberView> members;
+  members.reserve(committed.size() + 1);
+  for (const auto& [id, record] : committed) {
+    members.push_back(
+        MemberView{id, record, record->commit_ts, record->commit_step});
   }
-  return false;
+  members.push_back(MemberView{candidate_id, &candidate_record,
+                               candidate_commit_ts, candidate_commit_step});
+  return DangerousStructureAmong(members, candidate_id);
 }
 
 bool SsiTracker::WouldCreatePivot(const std::vector<SessionRecord>& sessions,

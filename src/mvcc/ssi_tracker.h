@@ -1,6 +1,7 @@
 #ifndef MVROB_MVCC_SSI_TRACKER_H_
 #define MVROB_MVCC_SSI_TRACKER_H_
 
+#include <utility>
 #include <vector>
 
 #include "mvcc/engine.h"
@@ -24,6 +25,17 @@ class SsiTracker {
   /// members are already-committed SSI sessions.
   static bool WouldCompleteDangerousStructure(
       const std::vector<SessionRecord>& sessions, SessionId candidate,
+      Timestamp candidate_commit_ts, uint64_t candidate_commit_step);
+
+  /// The same exact check against an explicit registry of
+  /// already-committed SSI sessions — the concurrent engine's, which
+  /// cannot hand out a dense session vector — with the (active) candidate
+  /// supplied out of line. The referenced records must not change while
+  /// the check runs; the concurrent engine guarantees this by publishing
+  /// registry entries only after commit under its commit mutex.
+  static bool WouldCompleteDangerousStructure(
+      const std::vector<std::pair<SessionId, const SessionRecord*>>& committed,
+      SessionId candidate_id, const SessionRecord& candidate_record,
       Timestamp candidate_commit_ts, uint64_t candidate_commit_step);
 
   /// Conservative flag check (SsiMode::kConservative): true iff, treating

@@ -35,20 +35,25 @@ void VersionStore::Install(ObjectId object, StoredVersion version) {
 
 size_t VersionStore::Vacuum(Timestamp horizon) {
   size_t dropped = 0;
-  for (std::vector<StoredVersion>& chain : chains_) {
-    // Keep the newest version with commit_ts <= horizon plus everything
-    // after it.
-    size_t keep_from = 0;
-    for (size_t i = 0; i < chain.size(); ++i) {
-      if (chain[i].commit_ts <= horizon) keep_from = i;
-    }
-    if (keep_from > 0) {
-      chain.erase(chain.begin(),
-                  chain.begin() + static_cast<std::ptrdiff_t>(keep_from));
-      dropped += keep_from;
-    }
+  for (ObjectId object = 0; object < chains_.size(); ++object) {
+    dropped += VacuumObject(object, horizon);
   }
   return dropped;
+}
+
+size_t VersionStore::VacuumObject(ObjectId object, Timestamp horizon) {
+  std::vector<StoredVersion>& chain = chains_[object];
+  // Keep the newest version with commit_ts <= horizon plus everything
+  // after it.
+  size_t keep_from = 0;
+  for (size_t i = 0; i < chain.size(); ++i) {
+    if (chain[i].commit_ts <= horizon) keep_from = i;
+  }
+  if (keep_from > 0) {
+    chain.erase(chain.begin(),
+                chain.begin() + static_cast<std::ptrdiff_t>(keep_from));
+  }
+  return keep_from;
 }
 
 size_t VersionStore::TotalVersions() const {

@@ -67,6 +67,11 @@ class VersionStore {
   /// Snapshot reads at timestamps >= horizon are unaffected.
   size_t Vacuum(Timestamp horizon);
 
+  /// Vacuum restricted to one object's chain, so the sharded engine can
+  /// reclaim shard by shard under the owning latch. Same keep rule and
+  /// return value as Vacuum.
+  size_t VacuumObject(ObjectId object, Timestamp horizon);
+
   /// Total stored versions across all objects (initial versions included).
   size_t TotalVersions() const;
 

@@ -15,11 +15,12 @@ namespace mvrob {
 namespace {
 
 // "k=v" pairs after the colon; bare tokens (like the ycsb mix letter) map
-// to themselves with an empty value.
+// to themselves with an empty value. Values stay raw strings so each
+// workload can parse them at the right type (int counts, double skews).
 struct Spec {
   std::string name;
   std::vector<std::string> bare;
-  std::map<std::string, int> values;
+  std::map<std::string, std::string> values;
 };
 
 StatusOr<Spec> ParseSpec(std::string_view text) {
@@ -36,30 +37,49 @@ StatusOr<Spec> ParseSpec(std::string_view text) {
     std::string key(StripWhitespace(std::string_view(token).substr(0, eq)));
     std::string_view value =
         StripWhitespace(std::string_view(token).substr(eq + 1));
-    StatusOr<int> number =
-        ParseInt(value, 0, std::numeric_limits<int>::max());
-    if (!number.ok()) {
+    if (value.empty()) {
       return Status::InvalidArgument(
-          StrCat("invalid value in '", token, "': ", number.status().message()));
+          StrCat("invalid value in '", token, "': empty"));
     }
-    spec.values[key] = *number;
+    spec.values[key] = std::string(value);
   }
   return spec;
 }
 
-// Fetches spec.values[key] or `fallback`; records the key as consumed.
+// Fetches spec.values[key] or `fallback`, strictly parsed at the
+// requested type; records the key as consumed. The first malformed value
+// sticks as an error returned by CheckNoLeftovers.
 class SpecReader {
  public:
   explicit SpecReader(const Spec& spec) : spec_(spec) {}
 
   int Get(const std::string& key, int fallback) {
-    consumed_.push_back(key);
-    auto it = spec_.values.find(key);
-    return it == spec_.values.end() ? fallback : it->second;
+    const std::string* raw = Consume(key);
+    if (raw == nullptr) return fallback;
+    StatusOr<int> number =
+        ParseInt(*raw, 0, std::numeric_limits<int>::max());
+    if (!number.ok()) {
+      NoteError(key, *raw, number.status());
+      return fallback;
+    }
+    return *number;
   }
 
-  /// InvalidArgument if the spec named a key this workload does not have.
+  double GetDouble(const std::string& key, double fallback) {
+    const std::string* raw = Consume(key);
+    if (raw == nullptr) return fallback;
+    StatusOr<double> number = ParseDouble(*raw, 0.0, 1e6);
+    if (!number.ok()) {
+      NoteError(key, *raw, number.status());
+      return fallback;
+    }
+    return *number;
+  }
+
+  /// InvalidArgument if a consumed value was malformed or the spec named a
+  /// key this workload does not have.
   Status CheckNoLeftovers() const {
+    if (!error_.ok()) return error_;
     for (const auto& [key, value] : spec_.values) {
       bool known = false;
       for (const std::string& name : consumed_) {
@@ -75,8 +95,24 @@ class SpecReader {
   }
 
  private:
+  const std::string* Consume(const std::string& key) {
+    consumed_.push_back(key);
+    auto it = spec_.values.find(key);
+    return it == spec_.values.end() ? nullptr : &it->second;
+  }
+
+  void NoteError(const std::string& key, const std::string& raw,
+                 const Status& status) {
+    if (error_.ok()) {
+      error_ = Status::InvalidArgument(
+          StrCat("invalid value in '", key, "=", raw, "': ",
+                 status.message()));
+    }
+  }
+
   const Spec& spec_;
   std::vector<std::string> consumed_;
+  Status error_ = Status::Ok();
 };
 
 }  // namespace
@@ -134,6 +170,8 @@ StatusOr<Workload> MakeNamedWorkload(std::string_view text) {
     }
     params.num_txns = reader.Get("n", params.num_txns);
     params.num_keys = reader.Get("k", params.num_keys);
+    params.keys_per_txn = reader.Get("kpt", params.keys_per_txn);
+    params.zipf_theta = reader.GetDouble("theta", params.zipf_theta);
     params.seed = static_cast<uint64_t>(reader.Get("seed", 0));
     Status leftovers = reader.CheckNoLeftovers();
     if (!leftovers.ok()) return leftovers;

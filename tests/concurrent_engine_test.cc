@@ -1,0 +1,336 @@
+// Tests for the many-core MVCC engine: the deterministic single-threaded
+// driver is the correctness oracle. Every concurrent run is recorded,
+// round-tripped through the validator, checked against Definition 2.4,
+// and replayed step for step on a fresh single-threaded engine
+// (RoundTripOptions::engine_threads > 1 adds that differential stage).
+// The multi-worker tests double as the TSan workload for the
+// MVROB_SANITIZE=thread CI stage.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "iso/allocation.h"
+#include "mvcc/concurrent_driver.h"
+#include "mvcc/concurrent_engine.h"
+#include "mvcc/roundtrip.h"
+#include "workloads/registry.h"
+
+namespace mvrob {
+namespace {
+
+constexpr size_t kWorkers = 4;
+
+// ---------------------------------------------------------------------------
+// Engine-level semantics (single worker: the concurrent engine must agree
+// with the sequential one when there is no concurrency).
+
+TEST(ConcurrentEngineTest, SequentialReadsAndWritesBehaveLikeEngine) {
+  ConcurrentEngine engine(/*num_objects=*/3, /*num_workers=*/1);
+
+  engine.Begin(0, IsolationLevel::kSI);
+  ReadResult initial = engine.Read(0, 0);
+  ASSERT_EQ(initial.status, StepStatus::kOk);
+  EXPECT_EQ(initial.value, 0);
+  EXPECT_EQ(initial.version_writer, kInvalidSessionId);
+
+  WriteResult write = engine.Write(0, 0, 41);
+  ASSERT_EQ(write.status, StepStatus::kOk);
+  ReadResult own = engine.Read(0, 0);
+  ASSERT_EQ(own.status, StepStatus::kOk);
+  EXPECT_EQ(own.value, 41);  // Reads observe the session's own buffer.
+  EXPECT_TRUE(own.own_write);
+
+  CommitResult commit = engine.Commit(0);
+  ASSERT_EQ(commit.status, StepStatus::kOk);
+  EXPECT_EQ(commit.commit_ts, 1u);
+  EXPECT_EQ(engine.clock(), 1u);
+
+  engine.Begin(0, IsolationLevel::kRC);
+  ReadResult after = engine.Read(0, 0);
+  EXPECT_EQ(after.value, 41);
+  EXPECT_EQ(engine.Commit(0).status, StepStatus::kOk);
+}
+
+TEST(ConcurrentEngineTest, NoWaitWriteReturnsBlockedOnForeignRowLock) {
+  ConcurrentEngine engine(/*num_objects=*/2, /*num_workers=*/2);
+
+  engine.Begin(0, IsolationLevel::kRC);
+  ASSERT_EQ(engine.Write(0, 0, 7).status, StepStatus::kOk);
+
+  engine.Begin(1, IsolationLevel::kRC);
+  WriteResult blocked = engine.Write(1, 0, 8);
+  EXPECT_EQ(blocked.status, StepStatus::kBlocked);
+  EXPECT_EQ(blocked.blocker, 0u);  // Session 0 holds the row lock.
+
+  // A disjoint object is untouched by the lock.
+  EXPECT_EQ(engine.Write(1, 1, 9).status, StepStatus::kOk);
+  engine.Abort(1);
+
+  ASSERT_EQ(engine.Commit(0).status, StepStatus::kOk);
+
+  // After the lock is released the same write succeeds.
+  engine.Begin(1, IsolationLevel::kRC);
+  EXPECT_EQ(engine.Write(1, 0, 10).status, StepStatus::kOk);
+  EXPECT_EQ(engine.Commit(1).status, StepStatus::kOk);
+}
+
+TEST(ConcurrentEngineTest, FirstUpdaterWinsAcrossWorkers) {
+  ConcurrentEngine engine(/*num_objects=*/1, /*num_workers=*/2);
+
+  // Anchor worker 1's snapshot before worker 0 commits.
+  engine.Begin(1, IsolationLevel::kSI);
+  ASSERT_EQ(engine.Read(1, 0).status, StepStatus::kOk);
+
+  engine.Begin(0, IsolationLevel::kSI);
+  ASSERT_EQ(engine.Write(0, 0, 1).status, StepStatus::kOk);
+  ASSERT_EQ(engine.Commit(0).status, StepStatus::kOk);
+
+  // Worker 1 now writes an object with a version after its snapshot:
+  // first-updater-wins aborts it.
+  WriteResult conflict = engine.Write(1, 0, 2);
+  EXPECT_EQ(conflict.status, StepStatus::kAborted);
+  EXPECT_EQ(conflict.abort_reason, AbortReason::kWriteConflict);
+
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.aborts_write_conflict, 1u);
+  EXPECT_EQ(stats.commits, 1u);
+}
+
+TEST(ConcurrentEngineTest, SsiWriteSkewIsDetectedAcrossWorkers) {
+  ConcurrentEngine engine(/*num_objects=*/2, /*num_workers=*/2);
+
+  // Classic write skew: T0 reads x writes y, T1 reads y writes x, both
+  // anchored on the initial snapshot. Under SSI the second commit must
+  // abort with a dangerous structure.
+  engine.Begin(0, IsolationLevel::kSSI);
+  engine.Begin(1, IsolationLevel::kSSI);
+  ASSERT_EQ(engine.Read(0, 0).status, StepStatus::kOk);
+  ASSERT_EQ(engine.Read(1, 1).status, StepStatus::kOk);
+  ASSERT_EQ(engine.Write(0, 1, 1).status, StepStatus::kOk);
+  ASSERT_EQ(engine.Write(1, 0, 2).status, StepStatus::kOk);
+
+  ASSERT_EQ(engine.Commit(0).status, StepStatus::kOk);
+  CommitResult second = engine.Commit(1);
+  EXPECT_EQ(second.status, StepStatus::kAborted);
+  EXPECT_EQ(second.abort_reason, AbortReason::kSsiDangerousStructure);
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-based garbage collection.
+
+TEST(ConcurrentEngineTest, EpochGcReclaimsVersionsBelowTheHorizon) {
+  ConcurrentEngineOptions options;
+  options.commits_per_epoch = 0;  // Manual GC only.
+  ConcurrentEngine engine(/*num_objects=*/1, /*num_workers=*/1, options);
+
+  constexpr int kCommits = 10;
+  for (int i = 0; i < kCommits; ++i) {
+    engine.Begin(0, IsolationLevel::kRC);
+    ASSERT_EQ(engine.Write(0, 0, i + 1).status, StepStatus::kOk);
+    ASSERT_EQ(engine.Commit(0).status, StepStatus::kOk);
+  }
+  // Initial version + one per commit.
+  EXPECT_EQ(engine.TotalVersions(), static_cast<size_t>(kCommits) + 1);
+
+  // No session is active, so the horizon is the clock: everything but the
+  // newest version is reclaimable.
+  size_t reclaimed = engine.RunEpochGc();
+  EXPECT_EQ(reclaimed, static_cast<size_t>(kCommits));
+  EXPECT_EQ(engine.TotalVersions(), 1u);
+  EXPECT_EQ(engine.gc_epochs(), 1u);
+  EXPECT_EQ(engine.gc_reclaimed(), static_cast<size_t>(kCommits));
+
+  // The surviving version carries the newest value.
+  engine.Begin(0, IsolationLevel::kSI);
+  ReadResult read = engine.Read(0, 0);
+  EXPECT_EQ(read.value, kCommits);
+  EXPECT_EQ(engine.Commit(0).status, StepStatus::kOk);
+}
+
+TEST(ConcurrentEngineTest, EpochGcRespectsPublishedSnapshots) {
+  ConcurrentEngineOptions options;
+  options.commits_per_epoch = 0;
+  ConcurrentEngine engine(/*num_objects=*/1, /*num_workers=*/2, options);
+
+  engine.Begin(0, IsolationLevel::kRC);
+  ASSERT_EQ(engine.Write(0, 0, 1).status, StepStatus::kOk);
+  ASSERT_EQ(engine.Commit(0).status, StepStatus::kOk);
+
+  // Worker 1 anchors a snapshot at ts=1, then worker 0 commits twice more.
+  engine.Begin(1, IsolationLevel::kSI);
+  ReadResult pinned = engine.Read(1, 0);
+  ASSERT_EQ(pinned.value, 1);
+  for (int i = 0; i < 2; ++i) {
+    engine.Begin(0, IsolationLevel::kRC);
+    ASSERT_EQ(engine.Write(0, 0, 10 + i).status, StepStatus::kOk);
+    ASSERT_EQ(engine.Commit(0).status, StepStatus::kOk);
+  }
+  ASSERT_EQ(engine.TotalVersions(), 4u);
+
+  // GC must keep the version worker 1's snapshot reads (commit_ts=1) and
+  // everything after it; only the initial version may go.
+  EXPECT_EQ(engine.RunEpochGc(), 1u);
+  ReadResult still_pinned = engine.Read(1, 0);
+  EXPECT_EQ(still_pinned.status, StepStatus::kOk);
+  EXPECT_EQ(still_pinned.value, 1);
+  ASSERT_EQ(engine.Commit(1).status, StepStatus::kOk);
+
+  // With the snapshot retired the horizon catches up to the clock.
+  EXPECT_EQ(engine.RunEpochGc(), 2u);
+  EXPECT_EQ(engine.TotalVersions(), 1u);
+}
+
+TEST(ConcurrentEngineTest, AutomaticEpochsFireEveryNWriterCommits) {
+  ConcurrentEngineOptions options;
+  options.commits_per_epoch = 4;
+  ConcurrentEngine engine(/*num_objects=*/1, /*num_workers=*/1, options);
+
+  for (int i = 0; i < 9; ++i) {
+    engine.Begin(0, IsolationLevel::kRC);
+    ASSERT_EQ(engine.Write(0, 0, i + 1).status, StepStatus::kOk);
+    ASSERT_EQ(engine.Commit(0).status, StepStatus::kOk);
+  }
+  // Writer commits 4 and 8 crossed epoch boundaries.
+  EXPECT_EQ(engine.gc_epochs(), 2u);
+  EXPECT_GT(engine.gc_reclaimed(), 0u);
+  EXPECT_LT(engine.TotalVersions(), 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard telemetry.
+
+TEST(ConcurrentEngineTest, ExportsPerShardAndGcTelemetry) {
+  MetricsRegistry metrics;
+  ConcurrentEngineOptions options;
+  options.num_shards = 4;
+  options.commits_per_epoch = 0;
+  options.metrics = &metrics;
+  ConcurrentEngine engine(/*num_objects=*/8, /*num_workers=*/2, options);
+  ASSERT_EQ(engine.num_shards(), 4u);
+
+  // Objects 0..7 spread round-robin: each shard owns 2 initial versions.
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(
+        metrics.gauge(StrCat("mvcc.shard.versions{shard=", s, "}")).value(),
+        2);
+  }
+
+  // Object 1 lives in shard 1: its gauge moves, the others stay.
+  engine.Begin(0, IsolationLevel::kRC);
+  ASSERT_EQ(engine.Write(0, 1, 5).status, StepStatus::kOk);
+  ASSERT_EQ(engine.Commit(0).status, StepStatus::kOk);
+  EXPECT_EQ(metrics.gauge("mvcc.shard.versions{shard=1}").value(), 3);
+  EXPECT_EQ(metrics.gauge("mvcc.shard.versions{shard=0}").value(), 2);
+
+  engine.RunEpochGc();
+  EXPECT_EQ(metrics.counter("mvcc.gc.epochs").value(), 1u);
+  EXPECT_EQ(metrics.counter("mvcc.gc.reclaimed").value(), 1u);
+  EXPECT_EQ(metrics.gauge("mvcc.shard.versions{shard=1}").value(), 2);
+  EXPECT_EQ(metrics.gauge("mvcc.gc.horizon").value(),
+            static_cast<int64_t>(engine.clock()));
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent driver + validator: the differential property test. Every
+// recorded concurrent run must (1) round-trip through text, (2) satisfy
+// Definition 2.4 under its allocation, (3) agree with the anomaly
+// classifier, and (4) replay identically on the single-threaded oracle.
+
+Allocation MixedOf(size_t n) {
+  std::vector<IsolationLevel> levels(n);
+  for (size_t i = 0; i < n; ++i) {
+    levels[i] = kAllIsolationLevels[i % kAllIsolationLevels.size()];
+  }
+  return Allocation(std::move(levels));
+}
+
+void ValidateConcurrentWorkload(const std::string& spec,
+                                Allocation (*make_alloc)(size_t), int runs,
+                                uint64_t seed) {
+  StatusOr<Workload> workload = MakeNamedWorkload(spec);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  RoundTripOptions options;
+  options.runs = runs;
+  options.seed = seed;
+  options.engine_threads = static_cast<int>(kWorkers);
+  StatusOr<RoundTripReport> report = ValidateEngineRuns(
+      workload->txns, make_alloc(workload->txns.size()), options);
+  ASSERT_TRUE(report.ok()) << spec << ": " << report.status().ToString();
+  EXPECT_EQ(report->disagreements, 0u) << spec << ":\n" << report->ToString();
+  EXPECT_EQ(report->runs, static_cast<uint64_t>(runs));
+  EXPECT_GT(report->certified, 0u) << spec;
+}
+
+TEST(ConcurrentDifferentialTest, SmallBankAgainstDeterministicOracle) {
+  ValidateConcurrentWorkload("smallbank:c=3", &Allocation::AllSSI,
+                             /*runs=*/25, /*seed=*/11);
+}
+
+TEST(ConcurrentDifferentialTest, TpccAgainstDeterministicOracle) {
+  ValidateConcurrentWorkload("tpcc", &Allocation::AllSI, /*runs=*/20,
+                             /*seed=*/12);
+}
+
+TEST(ConcurrentDifferentialTest, YcsbLowContentionUnderRc) {
+  ValidateConcurrentWorkload("ycsb:a,n=16,k=64,theta=0", &Allocation::AllRC,
+                             /*runs=*/25, /*seed=*/13);
+}
+
+TEST(ConcurrentDifferentialTest, YcsbHighContentionMixedLevels) {
+  ValidateConcurrentWorkload("ycsb:a,n=16,k=8,theta=0.99,kpt=3", &MixedOf,
+                             /*runs=*/25, /*seed=*/14);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-worker, multi-epoch stress: N workers hammer a small hot set with
+// epoch GC firing concurrently. Primarily a TSan workload; the invariant
+// checks are the engine's own counters.
+
+TEST(ConcurrentStressTest, WorkersAndEpochGcRaceCleanly) {
+  StatusOr<Workload> workload =
+      MakeNamedWorkload("ycsb:a,n=32,k=8,theta=0.9");
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  const Allocation alloc = MixedOf(workload->txns.size());
+
+  ConcurrentEngineOptions engine_options;
+  engine_options.commits_per_epoch = 8;  // Many epochs per run.
+  ConcurrentEngine engine(workload->txns.num_objects(), kWorkers,
+                          engine_options);
+
+  RandomRunOptions run_options;
+  run_options.seed = 99;
+  run_options.continuous = true;
+  run_options.max_steps = 60'000;
+  DriverReport report =
+      RunConcurrent(engine, workload->txns, alloc, run_options);
+
+  EXPECT_GT(report.committed, 0u);
+  EXPECT_GT(engine.gc_epochs(), 0u);
+  // GC never reclaims the newest version of an object: a full sweep with
+  // no sessions active leaves exactly one version per object.
+  engine.RunEpochGc();
+  EXPECT_EQ(engine.TotalVersions(),
+            static_cast<size_t>(workload->txns.num_objects()));
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.commits, report.committed);
+}
+
+TEST(ConcurrentStressTest, StopFlagHaltsContinuousRun) {
+  StatusOr<Workload> workload = MakeNamedWorkload("ycsb:a,n=8,k=16");
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  ConcurrentEngine engine(workload->txns.num_objects(), kWorkers);
+
+  std::atomic<bool> stop{true};  // Pre-set: workers must exit promptly.
+  RandomRunOptions run_options;
+  run_options.continuous = true;
+  run_options.stop = &stop;
+  DriverReport report =
+      RunConcurrent(engine, workload->txns,
+                    Allocation::AllSI(workload->txns.size()), run_options);
+  EXPECT_EQ(report.committed, 0u);
+}
+
+}  // namespace
+}  // namespace mvrob

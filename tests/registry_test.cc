@@ -36,6 +36,33 @@ TEST(RegistryTest, YcsbMixes) {
   EXPECT_FALSE(MakeNamedWorkload("ycsb:z").ok());
 }
 
+TEST(RegistryTest, YcsbSkewAndKeysPerTxn) {
+  // theta=0 is uniform: with many keys and a fixed seed the workload must
+  // differ from the hot-spot default (theta=0.99).
+  StatusOr<Workload> uniform =
+      MakeNamedWorkload("ycsb:a,n=16,k=64,theta=0,seed=3");
+  ASSERT_TRUE(uniform.ok()) << uniform.status().ToString();
+  StatusOr<Workload> skewed =
+      MakeNamedWorkload("ycsb:a,n=16,k=64,theta=0.99,seed=3");
+  ASSERT_TRUE(skewed.ok()) << skewed.status().ToString();
+  EXPECT_NE(uniform->txns.ToString(), skewed->txns.ToString());
+
+  // kpt widens each transaction's footprint.
+  StatusOr<Workload> wide = MakeNamedWorkload("ycsb:c,n=4,k=32,kpt=5");
+  ASSERT_TRUE(wide.ok()) << wide.status().ToString();
+  for (const Transaction& txn : wide->txns.txns()) {
+    EXPECT_EQ(txn.num_ops(), 6);  // 5 distinct reads + commit.
+  }
+
+  // Malformed or out-of-range values are rejected, not silently defaulted.
+  StatusOr<Workload> junk = MakeNamedWorkload("ycsb:a,theta=abc");
+  EXPECT_FALSE(junk.ok());
+  EXPECT_NE(junk.status().message().find("theta"), std::string::npos)
+      << junk.status().ToString();
+  EXPECT_FALSE(MakeNamedWorkload("ycsb:a,theta=-1").ok());
+  EXPECT_FALSE(MakeNamedWorkload("ycsb:a,theta=").ok());
+}
+
 TEST(RegistryTest, SyntheticSpec) {
   StatusOr<Workload> synth =
       MakeNamedWorkload("synthetic:n=7,o=5,w=50,h=40,seed=2");

@@ -19,8 +19,20 @@ A benchmark present in the baseline but missing from the fresh run fails
 the gate (silently dropping a benchmark is how regressions hide); new
 benchmarks are reported and pass.
 
+Scaling benchmarks (names carrying a /threads:N suffix, e.g.
+BM_MvccScaling/RC_low/threads:4/real_time) get two extra treatments:
+their ratio check uses real_time rather than cpu_time (the workers are
+internal threads, so cpu_time aggregates all cores and hides scaling),
+and the rows of one family are grouped into a throughput-vs-threads
+curve. --min-speedup PATTERN=X (repeatable) asserts that, in the FRESH
+run, every matching curve speeds up at least X-fold from its lowest to
+its highest thread count — the acceptance gate for the many-core engine,
+only meaningful on a machine with that many cores (ci.sh guards it with
+nproc).
+
 usage: bench_compare.py <fresh.json> <baseline.json> [--threshold X]
                         [--warn-only] [--update]
+                        [--min-speedup PATTERN=X ...]
 
 --update writes the fresh results over the baseline (seeding or refreshing
 it) and exits 0. --warn-only reports regressions but exits 0; ci.sh uses
@@ -30,7 +42,13 @@ it for the seeding run and MVROB_BENCH_GATE=warn.
 import argparse
 import json
 import os
+import re
 import sys
+
+# "<family>/threads:<n>" with Google Benchmark's optional trailing
+# "/real_time" (UseRealTime) modifier.
+THREADS_SUFFIX = re.compile(r"^(?P<family>.+)/threads:(?P<n>\d+)"
+                            r"(?P<modifier>/real_time)?$")
 
 
 def load(path):
@@ -39,13 +57,62 @@ def load(path):
 
 
 def benchmark_times(doc):
-    """name -> cpu_time (ns), skipping aggregate rows."""
+    """name -> time (ns), skipping aggregate rows.
+
+    Scaling rows (/threads:N suffix) are compared on real_time; everything
+    else on cpu_time.
+    """
     times = {}
     for bench in doc.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
-        times[bench["name"]] = float(bench["cpu_time"])
+        metric = "real_time" if THREADS_SUFFIX.match(bench["name"]) \
+            else "cpu_time"
+        times[bench["name"]] = float(bench[metric])
     return times
+
+
+def scaling_curves(doc):
+    """family -> {threads: real_time (ns)} for /threads:N benchmarks."""
+    curves = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        match = THREADS_SUFFIX.match(bench["name"])
+        if not match:
+            continue
+        family = match.group("family")
+        curves.setdefault(family, {})[int(match.group("n"))] = \
+            float(bench["real_time"])
+    return curves
+
+
+def check_min_speedups(curves, requirements):
+    """Returns failure strings for unmet PATTERN=X speedup requirements."""
+    failures = []
+    for pattern, minimum in requirements:
+        matched = {name: curve for name, curve in curves.items()
+                   if pattern in name}
+        if not matched:
+            failures.append(f"--min-speedup {pattern}={minimum}: no "
+                            "scaling benchmark matches the pattern")
+            continue
+        for name, curve in sorted(matched.items()):
+            if len(curve) < 2:
+                failures.append(f"{name}: only one thread count; cannot "
+                                "compute a speedup")
+                continue
+            low, high = min(curve), max(curve)
+            # Fixed work per iteration: speedup = time(low)/time(high).
+            speedup = curve[low] / curve[high] if curve[high] > 0 else 0.0
+            marker = "ok" if speedup >= minimum else "TOO SLOW"
+            print(f"  {marker:>10}  {speedup:6.2f}x  {name} "
+                  f"(threads {low} -> {high}, need >= {minimum:.2f}x)")
+            if speedup < minimum:
+                failures.append(
+                    f"{name}: speedup {speedup:.2f}x from {low} to {high} "
+                    f"threads is below the required {minimum:.2f}x")
+    return failures
 
 
 # Benchmark counters that are deterministic outcomes of the code under
@@ -87,7 +154,23 @@ def main():
                         help="report regressions but exit 0")
     parser.add_argument("--update", action="store_true",
                         help="write fresh results over the baseline")
+    parser.add_argument(
+        "--min-speedup", action="append", default=[],
+        metavar="PATTERN=X",
+        help="require every fresh /threads:N curve whose family name "
+             "contains PATTERN to speed up >= X-fold from its lowest to "
+             "its highest thread count (repeatable)")
     args = parser.parse_args()
+
+    requirements = []
+    for spec in args.min_speedup:
+        pattern, sep, value = spec.rpartition("=")
+        try:
+            if not sep or not pattern:
+                raise ValueError
+            requirements.append((pattern, float(value)))
+        except ValueError:
+            parser.error(f"--min-speedup expects PATTERN=X, got {spec!r}")
 
     fresh = load(args.fresh)
 
@@ -149,6 +232,13 @@ def main():
         else:
             print(f"  {'ok':>10}  {'exact':>7}  "
                   f"analyzer.triples_examined = {base_triples}")
+
+    curves = scaling_curves(fresh)
+    for family, curve in sorted(curves.items()):
+        points = ", ".join(f"{n}t={curve[n] / 1e6:.1f}ms"
+                           for n in sorted(curve))
+        print(f"  {'curve':>10}  {'':>7}  {family}: {points}")
+    failures += check_min_speedups(curves, requirements)
 
     if not failures:
         print(f"bench gate OK: {len(baseline_times)} benchmarks within "

@@ -5,11 +5,16 @@
 # (Legacy/Bitset on the RMW clique and readers/writers families) and the
 # sequential-vs-parallel thread sweep.
 #
-# usage: tools/bench_to_json.sh [build-dir] [output.json]
+# With a third argument, additionally runs the many-core MVCC scaling
+# sweep (bench_mvcc_scaling) into that file — the throughput-vs-threads
+# curves that bench_compare.py groups by the /threads:N name suffix.
+#
+# usage: tools/bench_to_json.sh [build-dir] [output.json] [scaling.json]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_robustness.json}"
+SCALING_OUT="${3:-}"
 BIN="$BUILD_DIR/bench/bench_robustness"
 
 if [[ ! -x "$BIN" ]]; then
@@ -52,3 +57,17 @@ else
 fi
 
 echo "wrote $OUT"
+
+if [[ -n "$SCALING_OUT" ]]; then
+  SCALING_BIN="$BUILD_DIR/bench/bench_mvcc_scaling"
+  if [[ ! -x "$SCALING_BIN" ]]; then
+    echo "error: $SCALING_BIN not found — build first" >&2
+    exit 1
+  fi
+  "$SCALING_BIN" \
+    --benchmark_format=json \
+    --benchmark_out_format=json \
+    --benchmark_out="$SCALING_OUT" \
+    --benchmark_min_time=0.1 >/dev/null
+  echo "wrote $SCALING_OUT"
+fi

@@ -199,6 +199,43 @@ else
 fi
 rm -f "$FRESH_BENCH"
 
+echo "==== many-core scaling bench gate ===="
+# Throughput-vs-threads curves of the concurrent MVCC engine, grouped by
+# the /threads:N name suffix and compared on real_time. The >=3x speedup
+# assertion (8 threads vs 1, low-contention YCSB under RC) only holds on
+# a machine that actually has 8 cores, so it is gated on nproc. The
+# per-row ratio threshold is looser than the default 2.0x: real_time of
+# thread counts above the core count is scheduling-noise-dominated
+# (8 workers time-slicing one core swing >2x run to run), and the curve
+# shape is what the speedup assertion checks.
+SCALING_THRESHOLD=4.0
+SCALING_BASELINE="bench/baselines/BENCH_mvcc_scaling.baseline.json"
+FRESH_SCALING="$(mktemp)"
+build/bench/bench_mvcc_scaling \
+  --benchmark_format=json \
+  --benchmark_out_format=json \
+  --benchmark_out="$FRESH_SCALING" \
+  --benchmark_min_time=0.1 >/dev/null
+SPEEDUP_ARGS=()
+if [[ "$(nproc)" -ge 8 ]]; then
+  SPEEDUP_ARGS=(--min-speedup 'BM_MvccScaling/RC_low=3.0')
+else
+  echo "note: $(nproc) core(s) < 8 — skipping the scaling speedup assertion"
+fi
+if [[ ! -f "$SCALING_BASELINE" ]]; then
+  echo "no baseline at $SCALING_BASELINE — seeding from this run"
+  python3 tools/bench_compare.py "$FRESH_SCALING" "$SCALING_BASELINE" --update
+  python3 tools/bench_compare.py "$FRESH_SCALING" "$SCALING_BASELINE" \
+    --threshold "$SCALING_THRESHOLD" --warn-only "${SPEEDUP_ARGS[@]}"
+elif [[ "${MVROB_BENCH_GATE:-fail}" == "warn" ]]; then
+  python3 tools/bench_compare.py "$FRESH_SCALING" "$SCALING_BASELINE" \
+    --threshold "$SCALING_THRESHOLD" --warn-only "${SPEEDUP_ARGS[@]}"
+else
+  python3 tools/bench_compare.py "$FRESH_SCALING" "$SCALING_BASELINE" \
+    --threshold "$SCALING_THRESHOLD" "${SPEEDUP_ARGS[@]}"
+fi
+rm -f "$FRESH_SCALING"
+
 echo "==== promotion bench gate ===="
 # Same machinery for the promotion benchmarks; the BM_OptimizePromotions
 # outcome counters (before/after weighted cost, promotion count) are
@@ -219,10 +256,10 @@ rm -f "$FRESH_PROMO"
 echo "==== TSan build (MVROB_SANITIZE=thread) ===="
 cmake -B build-tsan -S . -DMVROB_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS" --target \
-  common_test parallel_differential_test
+  common_test parallel_differential_test concurrent_engine_test
 MVROB_POOL_WORKERS=3 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir build-tsan --output-on-failure -j"$JOBS" \
-  -R 'ThreadPool|ParallelDifferential|ParallelAllocation|IncrementalParallel'
+  -R 'ThreadPool|ParallelDifferential|ParallelAllocation|IncrementalParallel|Concurrent'
 
 echo "==== ASan build (MVROB_SANITIZE=address) ===="
 cmake -B build-asan -S . -DMVROB_SANITIZE=address >/dev/null
