@@ -66,7 +66,7 @@ commands:
              strictly cheaper allocation becomes robust
   serve      run the workload continuously and expose live telemetry
              over HTTP: /metrics (Prometheus), /healthz, /snapshot,
-             /witness
+             /witness, /allocation
   help       this text
 
 common flags:
@@ -95,6 +95,10 @@ common flags:
                            many-core engine; validate then also replays
                            every concurrent run on the single-threaded
                            oracle)
+  --engine-shards <n>      key-space shards of the many-core engine
+                           (simulate, validate, serve; default 0 = auto
+                           = max(16, 4*threads); ignored when
+                           --engine-threads is 1)
   --seed <n>               base RNG seed (simulate, validate; default 0)
   --witness-json <file|->  structured witness provenance as JSON: every
                            counterexample edge with its conflict type,
@@ -143,6 +147,17 @@ serve flags:
                            SIGINT/SIGTERM)
   --window <s>             sliding window of the live per-level series
                            (default 60)
+  --adapt                  adaptive allocation: re-derive SI/SSI cost
+                           weights from the live windowed telemetry,
+                           re-run Algorithm 2 (and the promotion
+                           optimizer under --adapt-budget), and hot-swap
+                           the allocation at the next engine epoch;
+                           every installed allocation passes a fresh
+                           robustness check first
+  --adapt-interval <s>     seconds between controller decisions
+                           (default 30)
+  --adapt-budget <n>       promotion budget per decision (default 0 =
+                           allocation-only decisions)
 )";
 
 // Parsed flag map; flags are --name value pairs except boolean switches.
@@ -157,7 +172,7 @@ struct Flags {
 
 bool IsSwitch(const std::string& flag) {
   return flag == "dot" || flag == "timeline" || flag == "rcsi" ||
-         flag == "explain" || flag == "json";
+         flag == "explain" || flag == "json" || flag == "adapt";
 }
 // Note: --pin and --atmost take values and are not switches.
 
@@ -622,6 +637,9 @@ int CmdSimulate(const Flags& flags, std::ostream& out, std::ostream& err,
   StatusOr<int> engine_threads =
       IntFlag(flags, "engine-threads", 1, 1, 256);
   if (!engine_threads.ok()) return Fail(err, engine_threads.status());
+  StatusOr<int> engine_shards =
+      IntFlag(flags, "engine-shards", 0, 1, 1 << 16);
+  if (!engine_shards.ok()) return Fail(err, engine_shards.status());
   const bool concurrent = *engine_threads > 1;
 
   out << "simulating " << *runs << " executions of " << txns->size()
@@ -651,6 +669,7 @@ int CmdSimulate(const Flags& flags, std::ostream& out, std::ostream& err,
     DriverReport report;
     if (concurrent) {
       ConcurrentEngineOptions engine_options;
+      engine_options.num_shards = static_cast<size_t>(*engine_shards);
       engine_options.metrics = metrics;
       if (recorder.has_value()) engine_options.recorder = &*recorder;
       concurrent_engine.emplace(txns->num_objects(),
@@ -740,12 +759,16 @@ int CmdValidate(const Flags& flags, std::ostream& out, std::ostream& err,
   StatusOr<int> engine_threads =
       IntFlag(flags, "engine-threads", 1, 1, 256);
   if (!engine_threads.ok()) return Fail(err, engine_threads.status());
+  StatusOr<int> engine_shards =
+      IntFlag(flags, "engine-shards", 0, 1, 1 << 16);
+  if (!engine_shards.ok()) return Fail(err, engine_shards.status());
 
   RoundTripOptions options;
   options.runs = *runs;
   options.concurrency = *concurrency;
   options.seed = *seed;
   options.engine_threads = *engine_threads;
+  options.engine_shards = static_cast<size_t>(*engine_shards);
   options.check = *check;
   options.metrics = metrics;
   StatusOr<RoundTripReport> report =
@@ -891,6 +914,21 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
       IntFlag(flags, "engine-threads", 1, 1, 256);
   if (!engine_threads.ok()) return Fail(err, engine_threads.status());
   params.engine_threads = *engine_threads;
+  StatusOr<int> engine_shards =
+      IntFlag(flags, "engine-shards", 0, 1, 1 << 16);
+  if (!engine_shards.ok()) return Fail(err, engine_shards.status());
+  params.engine_shards = static_cast<size_t>(*engine_shards);
+
+  params.adapt = flags.Has("adapt");
+  StatusOr<int> adapt_interval =
+      IntFlag(flags, "adapt-interval", 30, 1,
+              std::numeric_limits<int>::max());
+  if (!adapt_interval.ok()) return Fail(err, adapt_interval.status());
+  params.adapt_interval_s = *adapt_interval;
+  StatusOr<int> adapt_budget =
+      IntFlag(flags, "adapt-budget", 0, 0, 1 << 20);
+  if (!adapt_budget.ok()) return Fail(err, adapt_budget.status());
+  params.adapt_budget = *adapt_budget;
 
   return RunServe(std::move(params), out, err);
 }

@@ -6,9 +6,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 
+#include "adapt/controller.h"
 #include "cli/export.h"
 #include "common/http.h"
 #include "common/json.h"
@@ -55,19 +57,22 @@ uint64_t WallClockMicros() {
           .count());
 }
 
-// Runs one robustness check and renders the /witness payload: the verdict
-// wrapper plus the full provenance report from core/witness. `stop` cancels
-// the scan mid-check so shutdown never waits for a full pass; a cancelled
-// check returns the empty string and the caller keeps the previous payload.
+// Runs one robustness check on the given (workload, allocation) pair — the
+// *active* pair, which the adaptive controller may have swapped — and
+// renders the /witness payload: the verdict wrapper plus the full
+// provenance report from core/witness. `stop` cancels the scan mid-check so
+// shutdown never waits for a full pass; a cancelled check returns the empty
+// string and the caller keeps the previous payload.
 std::string CheckAndRenderWitness(const ServeParams& params,
+                                  const TransactionSet& txns,
+                                  const Allocation& alloc,
                                   MetricsRegistry& registry, uint64_t check,
                                   const std::atomic<bool>* stop) {
   CheckOptions options;
   options.num_threads = params.threads;
   options.metrics = &registry;
   options.cancel = stop;
-  RobustnessResult result =
-      CheckRobustness(params.txns, params.alloc, options);
+  RobustnessResult result = CheckRobustness(txns, alloc, options);
   if (result.cancelled) return std::string();
   JsonWriter json;
   json.BeginObject();
@@ -78,24 +83,57 @@ std::string CheckAndRenderWitness(const ServeParams& params,
   json.Key("checked_at_us");
   json.Uint(WallClockMicros());
   json.Key("witness");
-  json.RawValue(RobustnessWitnessJson(params.txns, params.alloc, result));
+  json.RawValue(RobustnessWitnessJson(txns, alloc, result));
   json.EndObject();
   return json.str();
 }
 
 constexpr const char* kIndexBody =
     "mvrob serve\n"
-    "  /healthz   liveness probe\n"
-    "  /metrics   Prometheus text exposition\n"
-    "  /snapshot  JSON metrics snapshot\n"
-    "  /witness   latest robustness verdict with provenance\n";
+    "  /healthz     liveness probe\n"
+    "  /metrics     Prometheus text exposition\n"
+    "  /snapshot    JSON metrics snapshot\n"
+    "  /witness     latest robustness verdict with provenance\n"
+    "  /allocation  active allocation + adaptive-controller decisions\n";
 
 }  // namespace
 
 int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
+  // The CLI validates --port at flag-parse time; re-validate here so a
+  // programmatic caller cannot silently truncate (e.g. 70000 -> 4464) on
+  // the uint16_t narrowing below.
+  if (params.port < 0 || params.port > 65535) {
+    err << "error: invalid port " << params.port
+        << ": must be in [0, 65535]\n";
+    return 1;
+  }
+
   MetricsRegistry registry;
   const LiveTelemetry live = MakeLiveTelemetry(registry, params.window_s);
   WitnessState witness;
+
+  std::atomic<bool> stop{false};
+  std::mutex stop_mu;
+  std::condition_variable stop_cv;
+
+  // The generation-counted slot holding the (workload, allocation) pair
+  // the driver executes and the witness thread certifies. Static serves
+  // never write it after construction; with --adapt the controller
+  // installs freshly certified pairs and the driver picks them up at the
+  // next engine-epoch boundary.
+  ActiveAllocation active(params.txns, params.alloc);
+
+  std::optional<AdaptController> controller;
+  if (params.adapt) {
+    AdaptControllerOptions adapt_options;
+    adapt_options.interval_s = params.adapt_interval_s;
+    adapt_options.promotion_budget = params.adapt_budget;
+    adapt_options.check.num_threads = params.threads;
+    adapt_options.check.metrics = &registry;
+    adapt_options.check.cancel = &stop;
+    adapt_options.metrics = &registry;
+    controller.emplace(params.txns, &live, &active, adapt_options);
+  }
 
   HttpServer::Options http_options;
   http_options.host = params.host;
@@ -122,6 +160,12 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
             response.body = witness.json;
             response.body += "\n";
           }
+        } else if (request.path == "/allocation") {
+          response.content_type = "application/json";
+          response.body = controller.has_value()
+                              ? controller->StatusJson()
+                              : StaticAllocationJson(active);
+          response.body += "\n";
         } else if (request.path == "/") {
           response.body = kIndexBody;
         } else {
@@ -172,18 +216,19 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
                       LogField("window_s",
                                static_cast<uint64_t>(params.window_s))});
 
-  std::atomic<bool> stop{false};
-  std::mutex stop_mu;
-  std::condition_variable stop_cv;
-
   // Driver thread: runs the workload continuously in bounded engine
-  // epochs. Commits/aborts land on the live windowed series as they
-  // happen; lifetime engine counters accumulate across epochs.
+  // epochs. Each epoch snapshots the active (workload, allocation) pair —
+  // the epoch boundary is where an adaptive swap takes effect. Commits/
+  // aborts land on the live windowed series as they happen; lifetime
+  // engine counters accumulate across epochs.
   uint64_t epochs = 0;
   uint64_t committed = 0;
   std::thread driver([&] {
     const bool concurrent = params.engine_threads > 1;
     while (!stop.load(std::memory_order_relaxed)) {
+      TransactionSet txns;
+      Allocation alloc;
+      active.Snapshot(&txns, &alloc);
       RandomRunOptions options;
       options.concurrency = params.concurrency;
       options.seed = params.seed + epochs;
@@ -195,26 +240,29 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
       DriverReport report;
       if (concurrent) {
         ConcurrentEngineOptions engine_options;
+        engine_options.num_shards = params.engine_shards;
         engine_options.metrics = &registry;
         ConcurrentEngine engine(
-            params.txns.num_objects(),
+            txns.num_objects(),
             static_cast<size_t>(params.engine_threads), engine_options);
         options.engine_threads = params.engine_threads;
-        report = RunConcurrent(engine, params.txns, params.alloc, options);
+        report = RunConcurrent(engine, txns, alloc, options);
       } else {
         EngineOptions engine_options;
         engine_options.metrics = &registry;
-        Engine engine(params.txns.num_objects(), engine_options);
-        report = RunRandom(engine, params.txns, params.alloc, options);
+        Engine engine(txns.num_objects(), engine_options);
+        report = RunRandom(engine, txns, alloc, options);
       }
       committed += report.committed;
       ++epochs;
     }
   });
 
-  // Witness thread: checks robustness immediately, then on a cadence. The
-  // stop flag doubles as the check's cancellation hook, so SIGTERM does
-  // not stall behind an in-flight scan of a large workload.
+  // Witness thread: checks robustness immediately, then on a cadence,
+  // always against the *active* pair (so /witness certifies what the
+  // engine is actually running, including adaptive swaps). The stop flag
+  // doubles as the check's cancellation hook, so SIGTERM does not stall
+  // behind an in-flight scan of a large workload.
   std::thread witness_thread([&] {
     std::unique_lock<std::mutex> lock(stop_mu);
     while (!stop.load(std::memory_order_relaxed)) {
@@ -224,8 +272,11 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
         std::lock_guard<std::mutex> state_lock(witness.mu);
         check = witness.checks + 1;
       }
+      TransactionSet txns;
+      Allocation alloc;
+      active.Snapshot(&txns, &alloc);
       std::string rendered =
-          CheckAndRenderWitness(params, registry, check, &stop);
+          CheckAndRenderWitness(params, txns, alloc, registry, check, &stop);
       if (!rendered.empty()) {
         std::lock_guard<std::mutex> state_lock(witness.mu);
         witness.checks = check;
@@ -236,6 +287,14 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
                        [&] { return stop.load(std::memory_order_relaxed); });
     }
   });
+
+  // Controller thread (--adapt): observe → weigh → allocate → certify →
+  // install, immediately and then on its own cadence.
+  std::thread adapt_thread;
+  if (controller.has_value()) {
+    adapt_thread =
+        std::thread([&] { controller->Run(stop, stop_mu, stop_cv); });
+  }
 
   // Duration backstop: shuts the server down after --duration seconds.
   std::thread timer;
@@ -259,6 +318,7 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
   stop_cv.notify_all();
   driver.join();
   witness_thread.join();
+  if (adapt_thread.joinable()) adapt_thread.join();
   if (timer.joinable()) timer.join();
 
   if (!served.ok()) {

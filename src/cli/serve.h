@@ -39,13 +39,30 @@ struct ServeParams {
   /// (mvcc/concurrent_engine.h) with per-shard telemetry and epoch GC
   /// running inside the engine.
   int engine_threads = 1;
+  /// Key-space shards for the many-core engine (0 = auto). Ignored when
+  /// engine_threads == 1.
+  size_t engine_shards = 0;
+
+  /// Adaptive allocation (adapt/controller.h): when true, a controller
+  /// thread re-derives cost weights from the live telemetry every
+  /// adapt_interval_s seconds, re-runs Algorithm 2 (plus the promotion
+  /// optimizer when adapt_budget > 0), and hot-swaps the driver's
+  /// allocation at the next engine-epoch boundary — every installed
+  /// allocation passes a fresh robustness check first. Off by default;
+  /// with adapt == false the serve behavior is unchanged.
+  bool adapt = false;
+  /// Seconds between controller decisions.
+  int adapt_interval_s = 30;
+  /// Promotion budget per decision; 0 = allocation-only decisions.
+  int adapt_budget = 0;
 };
 
 /// Runs the workload continuously on the MVCC engine while serving
 /// /metrics (Prometheus text exposition), /healthz, /snapshot (JSON
-/// metrics snapshot) and /witness (latest robustness verdict) over HTTP.
-/// Blocks until SIGINT/SIGTERM or the duration elapses; returns 0 on a
-/// clean shutdown.
+/// metrics snapshot), /witness (latest robustness verdict) and
+/// /allocation (active allocation + adaptive-controller decisions) over
+/// HTTP. Blocks until SIGINT/SIGTERM or the duration elapses; returns 0
+/// on a clean shutdown.
 int RunServe(ServeParams params, std::ostream& out, std::ostream& err);
 
 }  // namespace mvrob

@@ -94,8 +94,9 @@ struct RandomRunOptions {
   /// (RunConcurrent in mvcc/concurrent_driver.h), which executes programs
   /// on engine_threads OS threads. Ignored by RunRandom itself.
   int engine_threads = 1;
-  /// Key-space shards for the many-core engine (0 = auto).
-  size_t engine_shards = 0;
+  // Note: key-space sharding is an engine-construction knob, not a run
+  // knob — set ConcurrentEngineOptions::num_shards (CLI --engine-shards)
+  // when building the ConcurrentEngine.
   /// Continuous mode: commits per version-reclamation epoch. Every
   /// commits_per_epoch commits the driver (or the concurrent engine)
   /// reclaims versions below the oldest live snapshot and logs one

@@ -79,8 +79,12 @@ StatusOr<RoundTripReport> ValidateEngineRuns(const TransactionSet& txns,
     std::optional<ConcurrentEngine> concurrent_engine;
     if (concurrent) {
       ConcurrentEngineOptions engine_options;
+      engine_options.num_shards = options.engine_shards;
       engine_options.ssi_mode = options.ssi_mode;
       engine_options.recorder = &recorder;
+      // Surfaces the per-shard/GC series for `mvrob validate
+      // --engine-shards`; attaching metrics never changes a run.
+      engine_options.metrics = options.metrics;
       concurrent_engine.emplace(txns.num_objects(),
                                 static_cast<size_t>(options.engine_threads),
                                 engine_options);

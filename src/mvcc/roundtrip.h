@@ -27,6 +27,9 @@ struct RoundTripOptions {
   /// a fresh single-threaded engine and produce the identical schedule,
   /// i.e. every concurrent run is equivalent to a deterministic one.
   int engine_threads = 1;
+  /// Key-space shards for the many-core engine (0 = auto); ignored when
+  /// engine_threads == 1.
+  size_t engine_shards = 0;
   SsiMode ssi_mode = SsiMode::kExact;
   size_t recorder_capacity = ScheduleRecorder::kDefaultCapacity;
   /// Knobs for the robustness verdict computed once up front.

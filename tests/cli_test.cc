@@ -9,8 +9,12 @@
 #include <thread>
 
 #include "cli/cli.h"
+#include "cli/serve.h"
 #include "common/http.h"
 #include "common/string_util.h"
+#include "core/robustness.h"
+#include "iso/allocation.h"
+#include "txn/parser.h"
 
 namespace mvrob {
 namespace {
@@ -456,12 +460,40 @@ TEST(CliTest, ServeRejectsBadFlags) {
       {{"serve", "--txns", kWriteSkew, "--window", "0"}, "--window"},
       {{"serve", "--txns", kWriteSkew, "--concurrency", "0"},
        "--concurrency"},
+      {{"serve", "--txns", kWriteSkew, "--adapt-interval", "0"},
+       "--adapt-interval"},
+      {{"serve", "--txns", kWriteSkew, "--adapt-budget", "-1"},
+       "--adapt-budget"},
+      {{"serve", "--txns", kWriteSkew, "--engine-shards", "0"},
+       "--engine-shards"},
+      {{"simulate", "--txns", kWriteSkew, "--engine-shards", "abc"},
+       "--engine-shards"},
+      {{"validate", "--txns", kWriteSkew, "--engine-shards", "-3"},
+       "--engine-shards"},
   };
   for (const Case& c : cases) {
     CliResult result = RunTool(c.args);
     EXPECT_EQ(result.code, 1) << Join(c.args, " ");
     EXPECT_NE(result.err.find(c.needle), std::string::npos)
         << Join(c.args, " ") << " stderr: " << result.err;
+  }
+}
+
+TEST(CliTest, RunServeRejectsOutOfRangePortDirectly) {
+  // The flag parser already rejects --port 70000; this guards the
+  // programmatic path, where an unvalidated int would silently truncate
+  // to uint16_t (70000 -> 4464).
+  StatusOr<TransactionSet> txns = ParseTransactionSet(kWriteSkew);
+  ASSERT_TRUE(txns.ok());
+  for (int port : {-1, 65536, 70000}) {
+    ServeParams params;
+    params.txns = *txns;
+    params.alloc = Allocation::AllSSI(txns->size());
+    params.port = port;
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(RunServe(std::move(params), out, err), 1) << port;
+    EXPECT_NE(err.str().find("port"), std::string::npos) << err.str();
   }
 }
 
@@ -529,6 +561,17 @@ TEST(CliTest, ServeExposesTelemetryAndShutsDownOnSigterm) {
   EXPECT_NE(witness->body.find("\"robust\":true"), std::string::npos);
   EXPECT_NE(witness->body.find("\"checked_at_us\""), std::string::npos);
 
+  // Without --adapt, /allocation reports the static pair at generation 0.
+  StatusOr<HttpResponse> allocation =
+      HttpGet("127.0.0.1", port, "/allocation");
+  ASSERT_TRUE(allocation.ok()) << allocation.status().ToString();
+  EXPECT_EQ(allocation->status, 200);
+  EXPECT_EQ(allocation->content_type, "application/json");
+  EXPECT_NE(allocation->body.find("\"adapt\":false"), std::string::npos);
+  EXPECT_NE(allocation->body.find("\"generation\":0"), std::string::npos);
+  EXPECT_NE(allocation->body.find("\"allocation_text\":\"T1=SSI T2=SSI\""),
+            std::string::npos);
+
   StatusOr<HttpResponse> missing = HttpGet("127.0.0.1", port, "/nope");
   ASSERT_TRUE(missing.ok()) << missing.status().ToString();
   EXPECT_EQ(missing->status, 404);
@@ -539,6 +582,86 @@ TEST(CliTest, ServeExposesTelemetryAndShutsDownOnSigterm) {
   EXPECT_EQ(code, 0) << err.str();
   EXPECT_NE(out.str().find("serving on http://127.0.0.1:"),
             std::string::npos);
+  EXPECT_NE(out.str().find("shutdown"), std::string::npos);
+  std::remove(port_path.c_str());
+}
+
+TEST(CliTest, ServeAdaptReallocatesRobustlyAndShutsDownOnSigterm) {
+  // Started deliberately away from the optimum (--default SSI while
+  // Algorithm 2 yields T1=SI T2=SI T3=RC), so the controller's first
+  // decision must install a swap.
+  const char* kShifted = "T1: R[x] W[x]\nT2: R[x] W[x]\nT3: R[q]";
+  std::string port_path = ::testing::TempDir() + "/mvrob_adapt_port";
+  std::remove(port_path.c_str());
+
+  std::ostringstream out;
+  std::ostringstream err;
+  int code = -1;
+  std::thread serve_thread([&] {
+    code = RunCli({"serve", "--txns", kShifted, "--default", "SSI",
+                   "--port-file", port_path, "--adapt", "--adapt-interval",
+                   "1", "--witness-interval", "1", "--duration", "60"},
+                  out, err);
+  });
+
+  std::string port_text = WaitForPortFile(port_path);
+  ASSERT_FALSE(port_text.empty()) << "server never published its port";
+  int port = std::stoi(port_text);
+
+  // Probe /allocation until the controller has installed a decision.
+  StatusOr<HttpResponse> allocation =
+      HttpGet("127.0.0.1", port, "/allocation");
+  for (int i = 0; i < 400; ++i) {
+    if (allocation.ok() && allocation->status == 200 &&
+        allocation->body.find("\"installed\":true") != std::string::npos) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    allocation = HttpGet("127.0.0.1", port, "/allocation");
+  }
+  ASSERT_TRUE(allocation.ok()) << allocation.status().ToString();
+  const std::string& body = allocation->body;
+  ASSERT_NE(body.find("\"installed\":true"), std::string::npos)
+      << "controller never installed a decision: " << body;
+  EXPECT_NE(body.find("\"adapt\":true"), std::string::npos);
+  EXPECT_EQ(body.find("\"swaps\":0"), std::string::npos);
+
+  // Re-check the installed allocation through the library: every swap
+  // must be robust. --adapt-budget defaults to 0, so the workload is the
+  // base one and the reported text parses against it.
+  const std::string text_key = "\"allocation_text\":\"";
+  size_t begin = body.find(text_key);
+  ASSERT_NE(begin, std::string::npos) << body;
+  begin += text_key.size();
+  const size_t end = body.find('"', begin);
+  ASSERT_NE(end, std::string::npos);
+  const std::string alloc_text = body.substr(begin, end - begin);
+  StatusOr<TransactionSet> txns = ParseTransactionSet(kShifted);
+  ASSERT_TRUE(txns.ok());
+  StatusOr<Allocation> installed =
+      ParseAllocation(*txns, alloc_text, IsolationLevel::kSSI);
+  ASSERT_TRUE(installed.ok()) << alloc_text;
+  EXPECT_TRUE(CheckRobustness(*txns, *installed).robust) << alloc_text;
+  // And it moved off the all-SSI start.
+  EXPECT_NE(*installed, Allocation::AllSSI(txns->size())) << alloc_text;
+
+  // The decision shows up on the Prometheus exposition.
+  StatusOr<HttpResponse> metrics = HttpGet("127.0.0.1", port, "/metrics");
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_NE(metrics->body.find("mvrob_adapt_decisions_total"),
+            std::string::npos);
+  EXPECT_EQ(metrics->body.find("mvrob_adapt_decisions_total 0\n"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("mvrob_adapt_weight{level=\"SI\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("mvrob_adapt_allocation{level=\"RC\"} 1"),
+            std::string::npos);
+
+  // SIGTERM lands while the controller keeps deciding every second; the
+  // cancel hook must let it exit cleanly mid-cycle.
+  raise(SIGTERM);
+  serve_thread.join();
+  EXPECT_EQ(code, 0) << err.str();
   EXPECT_NE(out.str().find("shutdown"), std::string::npos);
   std::remove(port_path.c_str());
 }

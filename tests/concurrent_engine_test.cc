@@ -232,6 +232,48 @@ TEST(ConcurrentEngineTest, ExportsPerShardAndGcTelemetry) {
             static_cast<int64_t>(engine.clock()));
 }
 
+// Counts the registry-visible mvcc.shard.versions{shard=K} series.
+size_t ShardSeriesCardinality(const MetricsRegistry& metrics) {
+  size_t cardinality = 0;
+  for (const auto& [name, value] : metrics.Snapshot().gauges) {
+    if (name.starts_with("mvcc.shard.versions{shard=")) ++cardinality;
+  }
+  return cardinality;
+}
+
+TEST(ConcurrentEngineTest, ShardOptionControlsRegistryCardinality) {
+  // The num_shards knob must be visible end to end: exactly K labeled
+  // shard series appear on the registry, no more, no fallback to auto.
+  for (size_t shards : {1u, 3u, 7u}) {
+    MetricsRegistry metrics;
+    ConcurrentEngineOptions options;
+    options.num_shards = shards;
+    options.metrics = &metrics;
+    ConcurrentEngine engine(/*num_objects=*/8, /*num_workers=*/2, options);
+    EXPECT_EQ(engine.num_shards(), shards);
+    EXPECT_EQ(ShardSeriesCardinality(metrics), shards);
+  }
+}
+
+TEST(ConcurrentEngineTest, RoundTripPlumbsEngineShards) {
+  // RoundTripOptions::engine_shards (the `mvrob validate --engine-shards`
+  // path) reaches ConcurrentEngineOptions::num_shards: the registry shows
+  // exactly the requested shard cardinality after a validated run.
+  StatusOr<Workload> workload = MakeNamedWorkload("smallbank:c=2");
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  MetricsRegistry metrics;
+  RoundTripOptions options;
+  options.runs = 2;
+  options.engine_threads = 2;
+  options.engine_shards = 3;
+  options.metrics = &metrics;
+  StatusOr<RoundTripReport> report = ValidateEngineRuns(
+      workload->txns, Allocation::AllSI(workload->txns.size()), options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->disagreements, 0u);
+  EXPECT_EQ(ShardSeriesCardinality(metrics), 3u);
+}
+
 // ---------------------------------------------------------------------------
 // Concurrent driver + validator: the differential property test. Every
 // recorded concurrent run must (1) round-trip through text, (2) satisfy

@@ -52,6 +52,66 @@ with open(sys.argv[1], "w") as f:
     json.dump(bench, f, indent=1)
 PY
   rm -f "$STATS_TMP"
+
+  # Fold the adaptive-allocation counters (adapt.*) from a short
+  # `serve --adapt` run into the same JSON (under "mvrob_adapt"), so the
+  # snapshot also records the controller's decision/swap journal.
+  ADAPT_PORT_FILE="$(mktemp)"
+  ADAPT_SNAP="$(mktemp)"
+  rm -f "$ADAPT_PORT_FILE"
+  "$MVROB" serve \
+    --txns 'T1: R[x] W[x]
+T2: R[x] W[x]
+T3: R[q]' \
+    --default SSI --adapt --adapt-interval 1 \
+    --port-file "$ADAPT_PORT_FILE" --witness-interval 5 --duration 60 \
+    >/dev/null 2>&1 &
+  ADAPT_PID=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$ADAPT_PORT_FILE" ]] && break
+    sleep 0.1
+  done
+  if [[ -s "$ADAPT_PORT_FILE" ]]; then
+    python3 - "$(cat "$ADAPT_PORT_FILE")" "$ADAPT_SNAP" <<'PY'
+import json, sys, time, urllib.request
+
+port, out = int(sys.argv[1]), sys.argv[2]
+base = f"http://127.0.0.1:{port}"
+snapshot = None
+for _ in range(200):  # Wait for the controller's first decision.
+    with urllib.request.urlopen(base + "/snapshot", timeout=5) as response:
+        snapshot = json.loads(response.read().decode())
+    if snapshot["counters"].get("adapt.decisions", 0) >= 1:
+        break
+    time.sleep(0.1)
+adapt = {
+    "counters": {k: v for k, v in snapshot["counters"].items()
+                 if k.startswith("adapt.")},
+    "gauges": {k: v for k, v in snapshot["gauges"].items()
+               if k.startswith("adapt.")},
+}
+with open(out, "w") as f:
+    json.dump(adapt, f)
+PY
+    kill -TERM "$ADAPT_PID" 2>/dev/null || true
+    wait "$ADAPT_PID" || true
+    python3 - "$OUT" "$ADAPT_SNAP" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+with open(sys.argv[2]) as f:
+    adapt = json.load(f)
+bench["mvrob_adapt"] = adapt
+with open(sys.argv[1], "w") as f:
+    json.dump(bench, f, indent=1)
+PY
+  else
+    kill -TERM "$ADAPT_PID" 2>/dev/null || true
+    wait "$ADAPT_PID" || true
+    echo "note: serve --adapt never published its port; skipping adapt fold" >&2
+  fi
+  rm -f "$ADAPT_PORT_FILE" "$ADAPT_SNAP"
 else
   echo "note: $MVROB not built; skipping metrics snapshot" >&2
 fi

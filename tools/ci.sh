@@ -127,6 +127,78 @@ else
 fi
 rm -f "$PORT_FILE" "$SERVE_OUT"
 
+echo "==== adapt smoke (serve --adapt closes the metrics -> allocation loop) ===="
+ADAPT_PORT_FILE="$(mktemp)"
+ADAPT_OUT="$(mktemp)"
+rm -f "$ADAPT_PORT_FILE"
+# Two RMW writers plus a read-only reporter: Algorithm 2's optimum is
+# T1=SI T2=SI T3=RC, so starting from all-SSI forces a certified swap.
+build/tools/mvrob serve \
+  --txns 'T1: R[x] W[x]
+T2: R[x] W[x]
+T3: R[q]' \
+  --default SSI --adapt --adapt-interval 1 \
+  --port-file "$ADAPT_PORT_FILE" --witness-interval 5 --duration 120 \
+  >"$ADAPT_OUT" 2>&1 &
+ADAPT_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "$ADAPT_PORT_FILE" ]] && break
+  sleep 0.1
+done
+[[ -s "$ADAPT_PORT_FILE" ]] || {
+  echo "error: serve --adapt never published its port" >&2
+  cat "$ADAPT_OUT" >&2
+  exit 1
+}
+python3 - "$(cat "$ADAPT_PORT_FILE")" <<'PY'
+import json, sys, time, urllib.request
+
+port = int(sys.argv[1])
+base = f"http://127.0.0.1:{port}"
+
+def get(path):
+    with urllib.request.urlopen(base + path, timeout=5) as response:
+        return response.read().decode()
+
+# Poll until the controller has installed at least one decision.
+payload = None
+for _ in range(200):
+    payload = json.loads(get("/allocation"))
+    if payload["adapt"] and payload["decisions"] >= 1 and payload["generation"] >= 1:
+        break
+    time.sleep(0.1)
+else:
+    raise AssertionError(f"no installed adapt decision: {payload}")
+
+assert payload["version"] == 1, payload["version"]
+# Every transaction must carry a legal isolation level.
+allocation = payload["allocation"]
+assert set(allocation) == {"T1", "T2", "T3"}, allocation
+for txn, level in allocation.items():
+    assert level in ("RC", "SI", "SSI"), (txn, level)
+# The installed decision in the history must have been certified robust.
+installed = [d for d in payload["history"] if d["installed"]]
+assert installed and all(d["robust"] for d in installed), payload["history"]
+weights = payload["weights"]
+assert 1 <= weights["si"] <= weights["ssi"], weights
+
+body = get("/metrics")
+assert "mvrob_adapt_decisions_total" in body, body[:400]
+assert 'mvrob_adapt_weight{level="SI"}' in body, body[:400]
+
+print(f"adapt smoke OK: port {port}, generation {payload['generation']}, "
+      f"allocation {payload['allocation_text']}")
+PY
+kill -TERM "$ADAPT_PID"
+if wait "$ADAPT_PID"; then
+  echo "adapt smoke OK (clean SIGTERM shutdown)"
+else
+  echo "error: serve --adapt exited non-zero after SIGTERM" >&2
+  cat "$ADAPT_OUT" >&2
+  exit 1
+fi
+rm -f "$ADAPT_PORT_FILE" "$ADAPT_OUT"
+
 echo "==== numeric-flag rejection smoke ===="
 for bad in "census --max abc" "simulate --runs 12x" "simulate --seed -1"; do
   if build/tools/mvrob $bad --workload tpcc:w=2,d=2 >/dev/null 2>&1; then
