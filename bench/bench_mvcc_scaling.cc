@@ -10,10 +10,14 @@
 // and gates the speedup curve against bench/baselines/.
 #include <benchmark/benchmark.h>
 
+#include <optional>
+
 #include "common/log.h"
 #include "iso/allocation.h"
 #include "mvcc/concurrent_driver.h"
 #include "mvcc/concurrent_engine.h"
+#include "mvcc/driver.h"
+#include "mvcc/txn_trace.h"
 #include "workloads/registry.h"
 
 namespace mvrob {
@@ -86,6 +90,54 @@ MVROB_SCALING_BENCH(RC_high, kHigh, Allocation::AllRC);
 MVROB_SCALING_BENCH(SI_high, kHigh, Allocation::AllSI);
 MVROB_SCALING_BENCH(SSI_high, kHigh, Allocation::AllSSI);
 MVROB_SCALING_BENCH(MIX_high, kHigh, MixedThirds);
+
+// Tracer-overhead guard (txn_trace.h): the deterministic driver on the
+// high-contention workload with the tracer detached (sample:0 — the
+// null-pointer fast path every untraced run takes), tracing every 16th
+// transaction (the documented serve setting), and tracing everything
+// (sample:1, worst case). sample:0 rides the same bench gate as the
+// scaling rows, so a cost leak onto the disabled path is a regression
+// the gate catches; the sampled rows quantify the opt-in overhead.
+void BM_MvccTracing(benchmark::State& state) {
+  StatusOr<Workload> workload = MakeNamedWorkload(kHigh);
+  if (!workload.ok()) {
+    state.SkipWithError(workload.status().ToString().c_str());
+    return;
+  }
+  const TransactionSet& txns = workload->txns;
+  const Allocation alloc = Allocation::AllSI(txns.size());
+  const uint64_t sample = static_cast<uint64_t>(state.range(0));
+
+  uint64_t committed = 0;
+  uint64_t attributed = 0;
+  for (auto _ : state) {
+    std::optional<TxnTracer> tracer;
+    if (sample > 0) {
+      TxnTracerOptions tracer_options;
+      tracer_options.sample_every_n = sample;
+      tracer.emplace(tracer_options);
+    }
+    TxnTracer* tracer_ptr = tracer.has_value() ? &*tracer : nullptr;
+    EngineOptions engine_options;
+    engine_options.tracer = tracer_ptr;
+    Engine engine(txns.num_objects(), engine_options);
+    RandomRunOptions options;
+    options.seed = 42;
+    options.continuous = true;
+    options.max_steps = kStepsPerIteration;
+    options.tracer = tracer_ptr;
+    DriverReport report = RunRandom(engine, txns, alloc, options);
+    committed += report.committed;
+    if (tracer_ptr != nullptr) attributed += tracer_ptr->aborts_attributed();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(committed));
+  state.counters["commits_per_sec"] = benchmark::Counter(
+      static_cast<double>(committed), benchmark::Counter::kIsRate);
+  state.counters["aborts_attributed"] =
+      static_cast<double>(attributed);
+}
+
+BENCHMARK(BM_MvccTracing)->ArgName("sample")->Arg(0)->Arg(16)->Arg(1);
 
 }  // namespace
 }  // namespace mvrob

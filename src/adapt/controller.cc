@@ -8,6 +8,7 @@
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "mvcc/txn_trace.h"
 
 namespace mvrob {
 namespace {
@@ -91,6 +92,10 @@ void WriteDecision(const AdaptDecision& d, JsonWriter& json) {
   json.Bool(d.installed);
   json.Key("generation");
   json.Uint(d.generation);
+  json.Key("top_conflicts");
+  json.BeginArray();
+  for (const std::string& c : d.top_conflicts) json.String(c);
+  json.EndArray();
   json.EndObject();
 }
 
@@ -174,6 +179,7 @@ AdaptController::AdaptController(TransactionSet base, const LiveTelemetry* live,
 
 bool AdaptController::DecideOnce(std::chrono::steady_clock::time_point now) {
   PhaseTimer timer(options_.metrics, "adapt.decide");
+  const auto decide_start = std::chrono::steady_clock::now();
 
   const LevelObservations obs =
       live_ != nullptr ? ObserveLevels(*live_, now) : LevelObservations{};
@@ -233,6 +239,15 @@ bool AdaptController::DecideOnce(std::chrono::steady_clock::time_point now) {
       ComputeAllocationCost(chosen_alloc, cost_options).weighted;
   decision.robustness_checks = robustness_checks;
   decision.robust = cert.robust;
+  if (options_.tracer != nullptr) {
+    for (const TraceConflictRow& row :
+         options_.tracer->TopConflicts(options_.top_conflicts)) {
+      decision.top_conflicts.push_back(
+          StrCat(row.victim, "->", row.conflicting, " ",
+                 ConflictTypeToString(row.type), " ",
+                 TraceAbortCauseToString(row.cause), " x", row.count));
+    }
+  }
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -278,6 +293,22 @@ bool AdaptController::DecideOnce(std::chrono::steady_clock::time_point now) {
     }
   }
 
+  if (options_.metrics != nullptr) {
+    const auto decide_end = std::chrono::steady_clock::now();
+    options_.metrics->windowed_histogram("adapt.decision_latency_us")
+        .Observe(static_cast<uint64_t>(
+                     std::chrono::duration_cast<std::chrono::microseconds>(
+                         decide_end - decide_start)
+                         .count()),
+                 decide_end);
+  }
+
+  std::string conflicts_text;
+  for (const std::string& c : decision.top_conflicts) {
+    if (!conflicts_text.empty()) conflicts_text += "; ";
+    conflicts_text += c;
+  }
+
   if (decision.installed) {
     GlobalLogger().Log(
         LogLevel::kInfo, "adapt.decision", "installed new allocation",
@@ -289,13 +320,15 @@ bool AdaptController::DecideOnce(std::chrono::steady_clock::time_point now) {
          LogField("promotions",
                   static_cast<uint64_t>(decision.promotions.size())),
          LogField("cost_weighted", decision.cost_weighted),
-         LogField("robustness_checks", decision.robustness_checks)});
+         LogField("robustness_checks", decision.robustness_checks),
+         LogField("conflicts", conflicts_text)});
   } else if (!decision.robust) {
     GlobalLogger().Log(
         LogLevel::kWarn, "adapt.decision",
         "candidate failed certification; keeping previous allocation",
         {LogField("decision", decision.id),
-         LogField("allocation", decision.allocation_text)});
+         LogField("allocation", decision.allocation_text),
+         LogField("conflicts", conflicts_text)});
   }
   return true;
 }

@@ -20,6 +20,7 @@
 namespace mvrob {
 
 class MetricsRegistry;
+class TxnTracer;
 
 /// The adaptive-allocation layer behind `mvrob serve --adapt`: a controller
 /// that closes the loop from the live per-level telemetry (PR 4) back into
@@ -124,6 +125,10 @@ struct AdaptDecision {
   bool installed = false;
   /// Slot generation after the decision.
   uint64_t generation = 0;
+  /// Top conflict pairs observed by the txn tracer at decision time
+  /// ("T1->T2 ww first_updater_wins x12"); empty without a tracer. The
+  /// live conflict evidence the decision's weights were derived under.
+  std::vector<std::string> top_conflicts;
 };
 
 struct AdaptControllerOptions {
@@ -135,8 +140,17 @@ struct AdaptControllerOptions {
   /// Forwarded to every Algorithm 1/2 run; `check.cancel` should be the
   /// serve stop flag so shutdown never waits behind a scan.
   CheckOptions check;
-  /// Optional sinks. The registry receives adapt.* counters and gauges.
+  /// Optional sinks. The registry receives adapt.* counters and gauges,
+  /// plus the adapt.decision_latency_us windowed histogram timing each
+  /// full observe -> weigh -> allocate -> certify -> install cycle.
   MetricsRegistry* metrics = nullptr;
+  /// Optional read-only txn tracer: each decision journals the tracer's
+  /// top-k conflict pairs (AdaptDecision::top_conflicts and the
+  /// adapt.decision log line), citing the live conflict evidence the
+  /// decision was made under. Null leaves the journal empty.
+  const TxnTracer* tracer = nullptr;
+  /// Conflict pairs journaled per decision.
+  size_t top_conflicts = 3;
   /// Decisions retained for the /allocation history (oldest dropped).
   size_t history_limit = 32;
 };

@@ -30,6 +30,7 @@
 #include "mvcc/recorder.h"
 #include "mvcc/roundtrip.h"
 #include "mvcc/trace.h"
+#include "mvcc/txn_trace.h"
 #include "oracle/brute_force.h"
 #include "promote/export.h"
 #include "promote/optimizer.h"
@@ -112,9 +113,17 @@ common flags:
   --threads <n>            worker threads for robustness checks (check,
                            allocate, report; default 1, 0 = all cores)
   --stats-json <file>      write a metrics snapshot (counters, gauges,
-                           histograms) as JSON after the command
+                           histograms) as JSON after the command (under
+                           serve: once, on clean shutdown)
   --trace-out <file>       write recorded phase spans as a Chrome
-                           trace_event file (chrome://tracing, Perfetto)
+                           trace_event file (chrome://tracing, Perfetto;
+                           under serve: once, on clean shutdown)
+  --trace-sample <n>       sample 1 in <n> logical transactions into
+                           per-attempt spans with causal abort
+                           attribution (simulate, serve). Sampled spans
+                           are merged into --trace-out with retries of
+                           one transaction linked by flow events; serve
+                           also exposes them at /trace
   --metrics-interval <s>   rewrite the --stats-json / --trace-out files
                            every <s> seconds while the command runs
   --log-level <level>      minimum structured-log severity on stderr:
@@ -621,7 +630,7 @@ int CmdReport(const Flags& flags, std::ostream& out, std::ostream& err,
 }
 
 int CmdSimulate(const Flags& flags, std::ostream& out, std::ostream& err,
-                MetricsRegistry* metrics) {
+                MetricsRegistry* metrics, TxnTracer* tracer) {
   StatusOr<TransactionSet> txns = LoadTxns(flags);
   if (!txns.ok()) return Fail(err, txns.status());
   StatusOr<Allocation> alloc = LoadAllocation(flags, *txns);
@@ -663,6 +672,7 @@ int CmdSimulate(const Flags& flags, std::ostream& out, std::ostream& err,
     options.concurrency = *concurrency;
     options.seed = *seed + static_cast<uint64_t>(r);
     options.metrics = metrics;
+    options.tracer = tracer;
     // Engines live in optionals so one loop body serves both paths.
     std::optional<Engine> engine;
     std::optional<ConcurrentEngine> concurrent_engine;
@@ -671,6 +681,7 @@ int CmdSimulate(const Flags& flags, std::ostream& out, std::ostream& err,
       ConcurrentEngineOptions engine_options;
       engine_options.num_shards = static_cast<size_t>(*engine_shards);
       engine_options.metrics = metrics;
+      engine_options.tracer = tracer;
       if (recorder.has_value()) engine_options.recorder = &*recorder;
       concurrent_engine.emplace(txns->num_objects(),
                                 static_cast<size_t>(*engine_threads),
@@ -680,6 +691,7 @@ int CmdSimulate(const Flags& flags, std::ostream& out, std::ostream& err,
     } else {
       EngineOptions engine_options;
       engine_options.metrics = metrics;
+      engine_options.tracer = tracer;
       if (recorder.has_value()) engine_options.recorder = &*recorder;
       engine.emplace(txns->num_objects(), engine_options);
       report = RunRandom(*engine, *txns, *alloc, options);
@@ -930,6 +942,19 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   if (!adapt_budget.ok()) return Fail(err, adapt_budget.status());
   params.adapt_budget = *adapt_budget;
 
+  StatusOr<uint64_t> trace_sample = Uint64Flag(flags, "trace-sample", 0);
+  if (!trace_sample.ok()) return Fail(err, trace_sample.status());
+  if (flags.Has("trace-sample") && *trace_sample == 0) {
+    return Fail(err,
+                Status::InvalidArgument("--trace-sample must be >= 1"));
+  }
+  params.trace_sample = *trace_sample;
+  // serve owns its export files: they are written once on clean shutdown
+  // (with the sampled txn spans merged into the trace), not by the
+  // end-of-command exporter in RunCli.
+  params.stats_json = flags.Get("stats-json");
+  params.trace_out = flags.Get("trace-out");
+
   return RunServe(std::move(params), out, err);
 }
 
@@ -1089,7 +1114,8 @@ int CmdPromote(const Flags& flags, std::ostream& out, std::ostream& err,
 }
 
 int Dispatch(const std::string& command, const Flags& flags, std::istream& in,
-             std::ostream& out, std::ostream& err, MetricsRegistry* metrics) {
+             std::ostream& out, std::ostream& err, MetricsRegistry* metrics,
+             TxnTracer* tracer) {
   if (command == "check") return CmdCheck(flags, out, err, metrics);
   if (command == "allocate") return CmdAllocate(flags, out, err, metrics);
   if (command == "explore") return CmdExplore(flags, out, err);
@@ -1097,7 +1123,9 @@ int Dispatch(const std::string& command, const Flags& flags, std::istream& in,
   if (command == "templates") return CmdTemplates(flags, out, err);
   if (command == "report") return CmdReport(flags, out, err, metrics);
   if (command == "crosscheck") return CmdCrossCheck(flags, out, err);
-  if (command == "simulate") return CmdSimulate(flags, out, err, metrics);
+  if (command == "simulate") {
+    return CmdSimulate(flags, out, err, metrics, tracer);
+  }
   if (command == "validate") return CmdValidate(flags, out, err, metrics);
   if (command == "shell") return CmdShell(flags, in, out, err, metrics);
   if (command == "promote") return CmdPromote(flags, out, err, metrics);
@@ -1132,15 +1160,39 @@ int RunCli(const std::vector<std::string>& args, std::istream& in,
     GlobalLogger().set_min_level(*level);
   }
 
+  const std::string& command = args[0];
+
   // --stats-json / --trace-out turn on metrics collection for the whole
   // command; without them no registry exists and every instrumentation
-  // site stays disabled (null sink).
+  // site stays disabled (null sink). serve owns its own registry and
+  // export files (written on clean shutdown, with sampled txn spans
+  // merged into the trace) — an outer registry here would clobber them
+  // with a near-empty snapshot after RunServe returns.
+  const bool serve_owns_exports = command == "serve";
   std::optional<MetricsRegistry> registry;
   MetricsRegistry* metrics = nullptr;
-  if (flags->Has("stats-json") || flags->Has("trace-out")) {
+  if (!serve_owns_exports &&
+      (flags->Has("stats-json") || flags->Has("trace-out"))) {
     registry.emplace();
     metrics = &*registry;
   }
+
+  // --trace-sample attaches a txn tracer to the simulate engines; serve
+  // builds its own from ServeParams::trace_sample.
+  std::optional<TxnTracer> tracer;
+  if (!serve_owns_exports && flags->Has("trace-sample")) {
+    StatusOr<uint64_t> trace_sample = Uint64Flag(*flags, "trace-sample", 0);
+    if (!trace_sample.ok()) return Fail(err, trace_sample.status());
+    if (*trace_sample == 0) {
+      return Fail(err,
+                  Status::InvalidArgument("--trace-sample must be >= 1"));
+    }
+    TxnTracerOptions tracer_options;
+    tracer_options.sample_every_n = *trace_sample;
+    tracer_options.metrics = metrics;
+    tracer.emplace(tracer_options);
+  }
+  TxnTracer* tracer_ptr = tracer.has_value() ? &*tracer : nullptr;
 
   // --metrics-interval rewrites the export files on a cadence while the
   // command runs (e.g. a long report), so progress can be tailed.
@@ -1152,24 +1204,25 @@ int RunCli(const std::vector<std::string>& args, std::istream& in,
     if (metrics == nullptr) {
       return Fail(err, Status::InvalidArgument(
                            "--metrics-interval requires --stats-json or "
-                           "--trace-out"));
+                           "--trace-out (and is not supported with "
+                           "serve, which exports on shutdown)"));
     }
     exporter.emplace(*registry, flags->Get("stats-json"),
                      flags->Get("trace-out"),
                      std::chrono::seconds(*interval));
   }
 
-  const std::string& command = args[0];
   int code;
   {
     // Top-level span covering the entire command.
     PhaseTimer timer(metrics, StrCat("cli.", command));
-    code = Dispatch(command, *flags, in, out, err, metrics);
+    code = Dispatch(command, *flags, in, out, err, metrics, tracer_ptr);
   }
   exporter.reset();  // Stop periodic writes before the final snapshot.
   if (registry.has_value()) {
-    Status written = ExportMetricsFiles(*registry, flags->Get("stats-json"),
-                                        flags->Get("trace-out"));
+    Status written =
+        ExportMetricsFiles(*registry, flags->Get("stats-json"),
+                           flags->Get("trace-out"), tracer_ptr);
     if (!written.ok()) return Fail(err, written);
   }
   return code;

@@ -2,9 +2,11 @@
 
 #include <fstream>
 
+#include "common/json.h"
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "mvcc/txn_trace.h"
 
 namespace mvrob {
 
@@ -32,16 +34,52 @@ Status EmitArtifact(const std::string& path, const std::string& content,
 
 Status ExportMetricsFiles(const MetricsRegistry& registry,
                           const std::string& stats_path,
-                          const std::string& trace_path) {
+                          const std::string& trace_path,
+                          const TxnTracer* tracer) {
   if (!stats_path.empty()) {
     Status written = WriteTextFile(stats_path, registry.SnapshotJson());
     if (!written.ok()) return written;
   }
   if (!trace_path.empty()) {
-    Status written = WriteTextFile(trace_path, registry.TraceJson());
+    const std::string trace = tracer == nullptr
+                                  ? registry.TraceJson()
+                                  : MergedTraceJson(registry, tracer);
+    Status written = WriteTextFile(trace_path, trace);
     if (!written.ok()) return written;
   }
   return Status::Ok();
+}
+
+std::string MergedTraceJson(const MetricsRegistry& registry,
+                            const TxnTracer* tracer) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("displayTimeUnit");
+  json.String("ms");
+  json.Key("traceEvents");
+  json.BeginArray();
+  for (const TraceEvent& event : registry.TraceEvents()) {
+    json.BeginObject();
+    json.Key("name");
+    json.String(event.name);
+    json.Key("cat");
+    json.String("mvrob");
+    json.Key("ph");
+    json.String("X");
+    json.Key("ts");
+    json.Uint(event.start_us);
+    json.Key("dur");
+    json.Uint(event.dur_us);
+    json.Key("pid");
+    json.Uint(1);
+    json.Key("tid");
+    json.Uint(event.tid);
+    json.EndObject();
+  }
+  if (tracer != nullptr) tracer->WriteChromeEvents(json);
+  json.EndArray();
+  json.EndObject();
+  return json.str();
 }
 
 PeriodicMetricsExporter::PeriodicMetricsExporter(

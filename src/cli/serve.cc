@@ -24,6 +24,7 @@
 #include "mvcc/concurrent_engine.h"
 #include "mvcc/driver.h"
 #include "mvcc/engine.h"
+#include "mvcc/txn_trace.h"
 
 namespace mvrob {
 namespace {
@@ -94,7 +95,9 @@ constexpr const char* kIndexBody =
     "  /metrics     Prometheus text exposition\n"
     "  /snapshot    JSON metrics snapshot\n"
     "  /witness     latest robustness verdict with provenance\n"
-    "  /allocation  active allocation + adaptive-controller decisions\n";
+    "  /allocation  active allocation + adaptive-controller decisions\n"
+    "  /trace       sampled txn traces with abort attribution "
+    "(--trace-sample)\n";
 
 }  // namespace
 
@@ -111,6 +114,17 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
   MetricsRegistry registry;
   const LiveTelemetry live = MakeLiveTelemetry(registry, params.window_s);
   WitnessState witness;
+
+  // Transaction tracer (--trace-sample): shared across engine epochs so
+  // the completed-trace ring and the conflict table span the whole serve.
+  std::optional<TxnTracer> tracer;
+  if (params.trace_sample > 0) {
+    TxnTracerOptions tracer_options;
+    tracer_options.sample_every_n = params.trace_sample;
+    tracer_options.metrics = &registry;
+    tracer.emplace(tracer_options);
+  }
+  TxnTracer* tracer_ptr = tracer.has_value() ? &*tracer : nullptr;
 
   std::atomic<bool> stop{false};
   std::mutex stop_mu;
@@ -132,6 +146,7 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
     adapt_options.check.metrics = &registry;
     adapt_options.check.cancel = &stop;
     adapt_options.metrics = &registry;
+    adapt_options.tracer = tracer_ptr;
     controller.emplace(params.txns, &live, &active, adapt_options);
   }
 
@@ -159,6 +174,15 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
             response.content_type = "application/json";
             response.body = witness.json;
             response.body += "\n";
+          }
+        } else if (request.path == "/trace") {
+          if (tracer.has_value()) {
+            response.content_type = "application/json";
+            response.body = tracer->StatusJson();
+            response.body += "\n";
+          } else {
+            response.status = 404;
+            response.body = "tracing disabled; restart with --trace-sample\n";
           }
         } else if (request.path == "/allocation") {
           response.content_type = "application/json";
@@ -237,11 +261,13 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
       options.stop = &stop;
       options.continuous = true;
       options.live = &live;
+      options.tracer = tracer_ptr;
       DriverReport report;
       if (concurrent) {
         ConcurrentEngineOptions engine_options;
         engine_options.num_shards = params.engine_shards;
         engine_options.metrics = &registry;
+        engine_options.tracer = tracer_ptr;
         ConcurrentEngine engine(
             txns.num_objects(),
             static_cast<size_t>(params.engine_threads), engine_options);
@@ -250,6 +276,7 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
       } else {
         EngineOptions engine_options;
         engine_options.metrics = &registry;
+        engine_options.tracer = tracer_ptr;
         Engine engine(txns.num_objects(), engine_options);
         report = RunRandom(engine, txns, alloc, options);
       }
@@ -328,6 +355,14 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
   GlobalLogger().Log(LogLevel::kInfo, "serve.shutdown", "clean shutdown",
                      {LogField("epochs", epochs),
                       LogField("committed", committed)});
+  if (!params.stats_json.empty() || !params.trace_out.empty()) {
+    Status written = ExportMetricsFiles(registry, params.stats_json,
+                                        params.trace_out, tracer_ptr);
+    if (!written.ok()) {
+      err << "error: " << written.ToString() << "\n";
+      return 1;
+    }
+  }
   out << "shutdown after " << epochs << " engine epoch(s), " << committed
       << " commit(s)\n";
   return 0;

@@ -55,6 +55,17 @@ struct ServeParams {
   int adapt_interval_s = 30;
   /// Promotion budget per decision; 0 = allocation-only decisions.
   int adapt_budget = 0;
+
+  /// Transaction tracing (mvcc/txn_trace.h): sample 1 in N logical
+  /// transactions into per-attempt spans with causal abort attribution,
+  /// served at /trace and exported on shutdown. 0 = tracing off (the
+  /// engines and drivers see a null tracer — zero cost, identical runs).
+  uint64_t trace_sample = 0;
+  /// Shutdown exports: when non-empty, the final metrics snapshot /
+  /// Chrome trace (merged with the sampled txn spans when tracing is on)
+  /// are written here on clean shutdown.
+  std::string stats_json;
+  std::string trace_out;
 };
 
 /// Runs the workload continuously on the MVCC engine while serving

@@ -426,6 +426,11 @@ std::string MetricsRegistry::TraceJson() const {
   return json.str();
 }
 
+std::vector<TraceEvent> MetricsRegistry::TraceEvents() const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  return events_;
+}
+
 uint32_t MetricsRegistry::CurrentThreadId() {
   static std::atomic<uint32_t> next_id{1};
   thread_local uint32_t id = next_id.fetch_add(1, std::memory_order_relaxed);

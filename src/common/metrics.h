@@ -268,6 +268,9 @@ class MetricsRegistry {
 
   std::string SnapshotJson() const;
   std::string TraceJson() const;
+  /// Copy of the recorded spans (for callers composing a merged Chrome
+  /// trace with events from other sources, e.g. the txn tracer).
+  std::vector<TraceEvent> TraceEvents() const;
 
   /// A small dense id for the calling thread (1, 2, ...), used as the
   /// trace `tid` and for per-thread work accounting.

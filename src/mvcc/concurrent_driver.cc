@@ -9,6 +9,7 @@
 
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "mvcc/txn_trace.h"
 
 namespace mvrob {
 namespace {
@@ -35,6 +36,8 @@ DriverReport RunConcurrent(ConcurrentEngine& engine,
   PhaseTimer timer(options.metrics, "driver.run_concurrent");
   const size_t workers = engine.num_workers();
   const LiveTelemetry* live = options.live;
+  TxnTracer* tracer = options.tracer;
+  if (tracer != nullptr) tracer->BeginRun(programs);
 
   std::atomic<uint64_t> shared_steps{0};
   std::atomic<bool> out_of_budget{false};
@@ -97,9 +100,14 @@ DriverReport RunConcurrent(ConcurrentEngine& engine,
     auto run_program = [&](TxnId t) {
       const Transaction& program = programs.txn(t);
       int retries_left = options.max_retries;
+      uint64_t flow = 0;
+      if (tracer != nullptr) flow = tracer->StartFlow(t, alloc.level(t));
       while (!stop_requested()) {
-        engine.Begin(w, alloc.level(t));
+        SessionId session = engine.Begin(w, alloc.level(t));
         ++local.attempts;
+        if (tracer != nullptr) {
+          tracer->BeginAttempt(flow, session, t, alloc.level(t));
+        }
         std::chrono::steady_clock::time_point attempt_start{};
         if (live != nullptr) {
           attempt_start = std::chrono::steady_clock::now();
@@ -113,6 +121,7 @@ DriverReport RunConcurrent(ConcurrentEngine& engine,
           count_step();
           if (op.IsRead()) {
             engine.Read(w, op.object);
+            if (tracer != nullptr) tracer->OnRead(flow, op.object);
           } else if (op.IsWrite()) {
             WriteResult result = engine.Write(w, op.object, next_value++);
             if (result.status == StepStatus::kBlocked) {
@@ -120,6 +129,15 @@ DriverReport RunConcurrent(ConcurrentEngine& engine,
               // not consume the retry budget (the deterministic driver
               // would have waited here, not aborted).
               ++local.blocked_steps;
+              if (tracer != nullptr) {
+                tracer->OnBlocked(flow, op.object, result.blocker);
+                ConflictAttribution attribution;
+                attribution.conflicting_session = result.blocker;
+                attribution.object = op.object;
+                attribution.type = ConflictType::kWW;
+                attribution.cause = TraceAbortCause::kNoWaitLockConflict;
+                tracer->AttributeAbort(session, attribution);
+              }
               engine.Abort(w);
               aborted = true;
               lock_conflict = true;
@@ -127,6 +145,8 @@ DriverReport RunConcurrent(ConcurrentEngine& engine,
             } else if (result.status == StepStatus::kAborted) {
               aborted = true;
               reason = result.abort_reason;
+            } else if (tracer != nullptr) {
+              tracer->OnWrite(flow, op.object);
             }
           } else {
             CommitResult result = engine.Commit(w);
@@ -138,7 +158,9 @@ DriverReport RunConcurrent(ConcurrentEngine& engine,
             }
           }
         }
+        if (tracer != nullptr) tracer->EndAttempt(flow, committed, reason);
         if (committed) {
+          if (tracer != nullptr) tracer->EndFlow(flow, true);
           ++local.committed;
           if (live != nullptr) {
             const LiveTelemetry::PerLevel& slot =
@@ -164,9 +186,13 @@ DriverReport RunConcurrent(ConcurrentEngine& engine,
         }
         if (retries_left-- <= 0) {
           ++local.aborted_programs;
+          if (tracer != nullptr) tracer->EndFlow(flow, false);
           return;
         }
       }
+      // Stopped mid-flight (or gave up above): close the flow if still
+      // open — EndFlow is idempotent.
+      if (tracer != nullptr) tracer->EndFlow(flow, false);
     };
 
     do {

@@ -9,6 +9,7 @@
 #include "common/string_util.h"
 #include "mvcc/recorder.h"
 #include "mvcc/ssi_tracker.h"
+#include "mvcc/txn_trace.h"
 
 namespace mvrob {
 namespace {
@@ -272,7 +273,20 @@ WriteResult ConcurrentEngine::Write(size_t worker, ObjectId object,
   // mutex), so aborting on it is still a true conflict.
   if (record.level != IsolationLevel::kRC &&
       store_.HasVersionAfter(object, record.snapshot_ts)) {
+    // Capture the conflicting version (the newest one) while the shard
+    // latch still pins the chain; attribute after unlock.
+    StoredVersion conflicting{};
+    if (options_.tracer != nullptr) conflicting = store_.Latest(object);
     shard.mu.unlock();
+    if (options_.tracer != nullptr) {
+      ConflictAttribution attribution;
+      attribution.conflicting_session = conflicting.writer;
+      attribution.object = object;
+      attribution.version_ts = conflicting.commit_ts;
+      attribution.type = ConflictType::kWW;
+      attribution.cause = TraceAbortCause::kFirstUpdaterWins;
+      options_.tracer->AttributeAbort(slot.id, attribution);
+    }
     AbortInternal(slot, AbortReason::kWriteConflict);
     result.status = StepStatus::kAborted;
     result.abort_reason = AbortReason::kWriteConflict;
@@ -315,7 +329,23 @@ CommitResult ConcurrentEngine::Commit(size_t worker) {
     if (record.level == IsolationLevel::kSSI &&
         SsiTracker::WouldCompleteDangerousStructure(ssi_committed_, slot.id,
                                                     record, ts, commit_step)) {
+      // The registry is only mutated under the commit mutex, so the detail
+      // scan must run before unlocking.
+      SsiConflictDetail detail;
+      if (options_.tracer != nullptr) {
+        detail = SsiTracker::FindDangerousStructureDetail(
+            ssi_committed_, slot.id, record, ts, commit_step);
+      }
       commit_lock.unlock();
+      if (options_.tracer != nullptr) {
+        ConflictAttribution attribution;
+        attribution.conflicting_session = detail.peer;
+        attribution.object = detail.object;
+        attribution.version_ts = detail.version_ts;
+        attribution.type = ConflictType::kRW;
+        attribution.cause = TraceAbortCause::kSsiDangerousStructure;
+        options_.tracer->AttributeAbort(slot.id, attribution);
+      }
       AbortInternal(slot, AbortReason::kSsiDangerousStructure);
       result.status = StepStatus::kAborted;
       result.abort_reason = AbortReason::kSsiDangerousStructure;

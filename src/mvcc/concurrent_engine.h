@@ -16,6 +16,7 @@ class Gauge;
 class Histogram;
 class MetricsRegistry;
 class ScheduleRecorder;
+class TxnTracer;
 struct EngineEvent;
 
 /// Tuning knobs for the many-core engine.
@@ -45,6 +46,13 @@ struct ConcurrentEngineOptions {
   /// round-trips through `mvrob validate` exactly like a single-threaded
   /// recording. Null disables recording.
   ScheduleRecorder* recorder = nullptr;
+  /// Optional transaction tracer (mvcc/txn_trace.h): causal attribution of
+  /// engine-initiated aborts (first-updater-wins, SSI dangerous
+  /// structure), same nullable zero-cost contract as the single-threaded
+  /// engine. The tracer serializes internally on one mutex; attribution
+  /// facts are captured under the owning shard/commit latch, so they are
+  /// consistent with the abort decision.
+  TxnTracer* tracer = nullptr;
 };
 
 /// The many-core MVCC engine: the same Postgres-modeled semantics as

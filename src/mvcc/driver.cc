@@ -8,6 +8,7 @@
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "mvcc/txn_trace.h"
 
 namespace mvrob {
 
@@ -93,6 +94,10 @@ struct ProgramState {
   SessionId waiting_on = kInvalidSessionId;
   bool done = false;
   bool gave_up = false;
+  // Tracing flow of the current logical execution (0 = unsampled);
+  // flow_started survives retries so StartFlow runs once per execution.
+  uint64_t flow = 0;
+  bool flow_started = false;
   // Wall-clock start of the current attempt; only read when live
   // telemetry is attached.
   std::chrono::steady_clock::time_point attempt_start{};
@@ -107,6 +112,9 @@ DriverReport RunRandom(Engine& engine, const TransactionSet& programs,
   DriverReport report;
   Rng rng(options.seed);
   Value next_value = 1;
+
+  TxnTracer* tracer = options.tracer;
+  if (tracer != nullptr) tracer->BeginRun(programs);
 
   std::vector<ProgramState> states(programs.size());
   for (ProgramState& state : states) {
@@ -156,14 +164,16 @@ DriverReport RunRandom(Engine& engine, const TransactionSet& programs,
     }
     return false;
   };
-  auto handle_abort = [&](TxnId t) {
+  auto handle_abort = [&](TxnId t, AbortReason reason) {
     ProgramState& state = states[t];
+    if (tracer != nullptr) tracer->EndAttempt(state.flow, false, reason);
     state.session = kInvalidSessionId;
     state.next_op = 0;
     state.waiting_on = kInvalidSessionId;
     if (state.retries_left-- <= 0) {
       state.gave_up = true;
       ++report.aborted_programs;
+      if (tracer != nullptr) tracer->EndFlow(state.flow, false);
       retire(t);
     }
   };
@@ -214,18 +224,35 @@ DriverReport RunRandom(Engine& engine, const TransactionSet& programs,
           victim = t;
         }
       }
+      if (tracer != nullptr) {
+        // The victim was waiting on `waiting_on` for its next write.
+        ConflictAttribution attribution;
+        attribution.conflicting_session = states[victim].waiting_on;
+        attribution.object =
+            programs.txn(victim).op(states[victim].next_op).object;
+        attribution.type = ConflictType::kWW;
+        attribution.cause = TraceAbortCause::kDeadlockVictim;
+        tracer->AttributeAbort(states[victim].session, attribution);
+      }
       engine.Abort(states[victim].session);
       ++report.deadlock_victims;
       live_abort(victim, AbortReason::kUser);
-      handle_abort(victim);
+      handle_abort(victim, AbortReason::kUser);
       admit();
       continue;
     }
     TxnId t = runnable[rng.Index(runnable.size())];
     ProgramState& state = states[t];
     if (state.session == kInvalidSessionId) {
+      if (tracer != nullptr && !state.flow_started) {
+        state.flow = tracer->StartFlow(t, alloc.level(t));
+        state.flow_started = true;
+      }
       state.session = engine.Begin(alloc.level(t));
       ++report.attempts;
+      if (tracer != nullptr) {
+        tracer->BeginAttempt(state.flow, state.session, t, alloc.level(t));
+      }
       if (live != nullptr) {
         state.attempt_start = std::chrono::steady_clock::now();
       }
@@ -235,24 +262,33 @@ DriverReport RunRandom(Engine& engine, const TransactionSet& programs,
     ++steps;
     if (op.IsRead()) {
       engine.Read(state.session, op.object);
+      if (tracer != nullptr) tracer->OnRead(state.flow, op.object);
       ++state.next_op;
     } else if (op.IsWrite()) {
       WriteResult result = engine.Write(state.session, op.object,
                                         next_value++);
       if (result.status == StepStatus::kOk) {
+        if (tracer != nullptr) tracer->OnWrite(state.flow, op.object);
         ++state.next_op;
       } else if (result.status == StepStatus::kBlocked) {
+        if (tracer != nullptr) {
+          tracer->OnBlocked(state.flow, op.object, result.blocker);
+        }
         ++report.blocked_steps;
         state.waiting_on = result.blocker;
       } else {
         live_abort(t, result.abort_reason);
-        handle_abort(t);
+        handle_abort(t, result.abort_reason);
       }
     } else {
       CommitResult result = engine.Commit(state.session);
       if (result.status == StepStatus::kOk) {
         state.done = true;
         ++report.committed;
+        if (tracer != nullptr) {
+          tracer->EndAttempt(state.flow, true, AbortReason::kNone);
+          tracer->EndFlow(state.flow, true);
+        }
         if (live != nullptr) {
           const LiveTelemetry::PerLevel& slot = live_level(t);
           if (slot.commits != nullptr) slot.commits->Increment();
@@ -270,7 +306,7 @@ DriverReport RunRandom(Engine& engine, const TransactionSet& programs,
         admit();
       } else {
         live_abort(t, result.abort_reason);
-        handle_abort(t);
+        handle_abort(t, result.abort_reason);
         admit();
       }
     }

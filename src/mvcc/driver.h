@@ -11,6 +11,7 @@
 
 namespace mvrob {
 
+class TxnTracer;
 class WindowedCounter;
 class WindowedHistogram;
 
@@ -102,6 +103,13 @@ struct RandomRunOptions {
   /// reclaims versions below the oldest live snapshot and logs one
   /// structured "mvcc.gc" line with the reclaimed count. 0 disables GC.
   uint64_t commits_per_epoch = 4096;
+  /// Optional transaction tracer (mvcc/txn_trace.h). The driver owns the
+  /// flow lifecycle: one flow per logical program execution, one attempt
+  /// span per engine session, ops on sampled flows, and attribution of
+  /// its own aborts (deadlock victims; the concurrent driver's no-wait
+  /// lock conflicts). Null disables tracing entirely; attaching a tracer
+  /// never changes scheduling — runs stay bit-identical.
+  TxnTracer* tracer = nullptr;
 };
 
 /// Executes every program of `programs` once (plus retries) under the

@@ -6,6 +6,7 @@
 #include "common/metrics.h"
 #include "mvcc/recorder.h"
 #include "mvcc/ssi_tracker.h"
+#include "mvcc/txn_trace.h"
 
 namespace mvrob {
 
@@ -127,6 +128,18 @@ WriteResult Engine::Write(SessionId session, ObjectId object, Value value) {
   // (Definition 2.3).
   if (record.level != IsolationLevel::kRC &&
       store_.HasVersionAfter(object, record.snapshot_ts)) {
+    if (options_.tracer != nullptr) {
+      // The conflicting version is the newest one: HasVersionAfter tests
+      // exactly its commit timestamp against the snapshot.
+      const StoredVersion& conflicting = store_.Latest(object);
+      ConflictAttribution attribution;
+      attribution.conflicting_session = conflicting.writer;
+      attribution.object = object;
+      attribution.version_ts = conflicting.commit_ts;
+      attribution.type = ConflictType::kWW;
+      attribution.cause = TraceAbortCause::kFirstUpdaterWins;
+      options_.tracer->AttributeAbort(session, attribution);
+    }
     AbortInternal(session, AbortReason::kWriteConflict);
     result.status = StepStatus::kAborted;
     result.abort_reason = AbortReason::kWriteConflict;
@@ -171,6 +184,17 @@ CommitResult Engine::Commit(SessionId session) {
         !SsiTracker::WouldCompleteDangerousStructure(sessions_, session,
                                                      clock_ + 1, step_ + 1)) {
       m_ssi_false_positives_->Increment();
+    }
+    if (options_.tracer != nullptr) {
+      const SsiConflictDetail detail = SsiTracker::FindDangerousStructureDetail(
+          sessions_, session, clock_ + 1, step_ + 1);
+      ConflictAttribution attribution;
+      attribution.conflicting_session = detail.peer;
+      attribution.object = detail.object;
+      attribution.version_ts = detail.version_ts;
+      attribution.type = ConflictType::kRW;
+      attribution.cause = TraceAbortCause::kSsiDangerousStructure;
+      options_.tracer->AttributeAbort(session, attribution);
     }
     AbortInternal(session, AbortReason::kSsiDangerousStructure);
     result.status = StepStatus::kAborted;

@@ -14,6 +14,7 @@ class Counter;
 class Histogram;
 class MetricsRegistry;
 class ScheduleRecorder;
+class TxnTracer;
 
 /// Lifecycle of an engine session.
 enum class TxnState : uint8_t { kActive, kCommitted, kAborted };
@@ -134,6 +135,14 @@ struct EngineOptions {
   /// file or a Chrome trace, and fed back through the formal checker by
   /// the round-trip validator. Null disables recording.
   ScheduleRecorder* recorder = nullptr;
+  /// Optional transaction tracer (mvcc/txn_trace.h). When attached, the
+  /// engine reports a causal attribution at each abort it initiates —
+  /// first-updater-wins (the conflicting version's writer) and SSI
+  /// dangerous structure (the rw-edge neighbor) — to the tracer's
+  /// conflict table and to the victim's sampled attempt span. Same
+  /// zero-cost contract as the other sinks: null disables every call
+  /// site, and the tracer never influences engine decisions.
+  TxnTracer* tracer = nullptr;
 };
 
 /// An in-memory multiversion engine executing transactions under

@@ -23,13 +23,21 @@ bool Concurrent(const MemberView& a, const MemberView& b) {
 // the version b writes. All writes of b install at b.commit_ts; a read of
 // a's own buffered write is treated as reading a's own version (installed
 // at a.commit_ts).
-bool RwAntiEdge(const MemberView& a, const MemberView& b) {
+bool RwAntiEdge(const MemberView& a, const MemberView& b,
+                ObjectId* edge_object = nullptr,
+                Timestamp* edge_version_ts = nullptr) {
   if (a.id == b.id) return false;
   for (const SessionReadRecord& read : a.record->reads) {
     if (!b.record->write_buffer.contains(read.object)) continue;
     Timestamp observed_ts =
         read.version_writer == a.id ? a.commit_ts : read.version_ts;
-    if (observed_ts < b.commit_ts) return true;
+    if (observed_ts < b.commit_ts) {
+      if (edge_object != nullptr) *edge_object = read.object;
+      if (edge_version_ts != nullptr) {
+        *edge_version_ts = read.version_writer == a.id ? 0 : read.version_ts;
+      }
+      return true;
+    }
   }
   return false;
 }
@@ -51,7 +59,8 @@ bool PotentialRwAntiEdge(const MemberView& a, const MemberView& b) {
 // keeps the check simple and exact; the early concurrency filters keep it
 // cheap in practice.
 bool DangerousStructureAmong(const std::vector<MemberView>& members,
-                             SessionId candidate) {
+                             SessionId candidate,
+                             SsiConflictDetail* detail = nullptr) {
   for (const MemberView& t1 : members) {
     for (const MemberView& t2 : members) {
       if (t2.id == t1.id || !Concurrent(t1, t2)) continue;
@@ -65,7 +74,24 @@ bool DangerousStructureAmong(const std::vector<MemberView>& members,
         // C3 < C2.
         bool c3_le_c1 = t3.id == t1.id || t3.commit_ts < t1.commit_ts;
         if (!c3_le_c1 || !(t3.commit_ts < t2.commit_ts)) continue;
-        if (RwAntiEdge(t2, t3)) return true;
+        if (RwAntiEdge(t2, t3)) {
+          if (detail != nullptr) {
+            // Attribute the rw edge adjacent to the candidate: its peer on
+            // that edge and the edge's object/version.
+            detail->found = true;
+            if (candidate == t2.id) {
+              detail->peer = t1.id;
+              RwAntiEdge(t1, t2, &detail->object, &detail->version_ts);
+            } else if (candidate == t1.id) {
+              detail->peer = t2.id;
+              RwAntiEdge(t1, t2, &detail->object, &detail->version_ts);
+            } else {
+              detail->peer = t2.id;
+              RwAntiEdge(t2, t3, &detail->object, &detail->version_ts);
+            }
+          }
+          return true;
+        }
       }
     }
   }
@@ -107,6 +133,57 @@ bool SsiTracker::WouldCompleteDangerousStructure(
   members.push_back(MemberView{candidate_id, &candidate_record,
                                candidate_commit_ts, candidate_commit_step});
   return DangerousStructureAmong(members, candidate_id);
+}
+
+namespace {
+
+// Shared member-pool construction for the dense-session overload.
+std::vector<MemberView> CommittedSsiMembers(
+    const std::vector<SessionRecord>& sessions, SessionId candidate,
+    Timestamp candidate_commit_ts, uint64_t candidate_commit_step) {
+  std::vector<MemberView> members;
+  for (SessionId id = 0; id < sessions.size(); ++id) {
+    const SessionRecord& record = sessions[id];
+    if (record.level != IsolationLevel::kSSI) continue;
+    if (id == candidate) {
+      members.push_back(
+          MemberView{id, &record, candidate_commit_ts, candidate_commit_step});
+    } else if (record.state == TxnState::kCommitted) {
+      members.push_back(
+          MemberView{id, &record, record.commit_ts, record.commit_step});
+    }
+  }
+  return members;
+}
+
+}  // namespace
+
+SsiConflictDetail SsiTracker::FindDangerousStructureDetail(
+    const std::vector<SessionRecord>& sessions, SessionId candidate,
+    Timestamp candidate_commit_ts, uint64_t candidate_commit_step) {
+  SsiConflictDetail detail;
+  DangerousStructureAmong(
+      CommittedSsiMembers(sessions, candidate, candidate_commit_ts,
+                          candidate_commit_step),
+      candidate, &detail);
+  return detail;
+}
+
+SsiConflictDetail SsiTracker::FindDangerousStructureDetail(
+    const std::vector<std::pair<SessionId, const SessionRecord*>>& committed,
+    SessionId candidate_id, const SessionRecord& candidate_record,
+    Timestamp candidate_commit_ts, uint64_t candidate_commit_step) {
+  std::vector<MemberView> members;
+  members.reserve(committed.size() + 1);
+  for (const auto& [id, record] : committed) {
+    members.push_back(
+        MemberView{id, record, record->commit_ts, record->commit_step});
+  }
+  members.push_back(MemberView{candidate_id, &candidate_record,
+                               candidate_commit_ts, candidate_commit_step});
+  SsiConflictDetail detail;
+  DangerousStructureAmong(members, candidate_id, &detail);
+  return detail;
 }
 
 bool SsiTracker::WouldCreatePivot(const std::vector<SessionRecord>& sessions,

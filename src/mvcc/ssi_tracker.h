@@ -18,6 +18,20 @@ namespace mvrob {
 /// commit-order optimization C3 <= C1, C3 < C2). Exactness matters for the
 /// conformance tests: every committed trace must map to a formal schedule
 /// allowed under the session allocation — no more, no less.
+/// Attribution of an SSI abort: the session on the other side of an
+/// rw-antidependency adjacent to the aborting candidate in the dangerous
+/// structure that refused the commit, and the object carrying that edge.
+/// `found` is false when no exact structure exists (possible under the
+/// conservative mode, which also aborts on false positives).
+struct SsiConflictDetail {
+  SessionId peer = kInvalidSessionId;
+  ObjectId object = kInvalidObjectId;
+  /// Commit timestamp of the version the edge's reader observed (0 for a
+  /// read of the reader's own buffered write).
+  Timestamp version_ts = 0;
+  bool found = false;
+};
+
 class SsiTracker {
  public:
   /// True iff committing `candidate` (with the given hypothetical commit
@@ -34,6 +48,19 @@ class SsiTracker {
   /// the check runs; the concurrent engine guarantees this by publishing
   /// registry entries only after commit under its commit mutex.
   static bool WouldCompleteDangerousStructure(
+      const std::vector<std::pair<SessionId, const SessionRecord*>>& committed,
+      SessionId candidate_id, const SessionRecord& candidate_record,
+      Timestamp candidate_commit_ts, uint64_t candidate_commit_step);
+
+  /// Attribution companions to the two exact checks above, for the trace
+  /// layer: re-run the search and report the rw-edge neighbor of the
+  /// candidate in the first dangerous structure found. Engines call these
+  /// only on the (rare) abort path of a traced run, so the extra scan is
+  /// pay-for-what-you-sample.
+  static SsiConflictDetail FindDangerousStructureDetail(
+      const std::vector<SessionRecord>& sessions, SessionId candidate,
+      Timestamp candidate_commit_ts, uint64_t candidate_commit_step);
+  static SsiConflictDetail FindDangerousStructureDetail(
       const std::vector<std::pair<SessionId, const SessionRecord*>>& committed,
       SessionId candidate_id, const SessionRecord& candidate_record,
       Timestamp candidate_commit_ts, uint64_t candidate_commit_step);

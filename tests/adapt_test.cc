@@ -10,6 +10,7 @@
 #include "core/robustness.h"
 #include "iso/allocation.h"
 #include "mvcc/driver.h"
+#include "mvcc/txn_trace.h"
 #include "txn/parser.h"
 
 namespace mvrob {
@@ -236,6 +237,58 @@ TEST(AdaptControllerTest, StatusJsonCarriesHistory) {
   EXPECT_NE(json.find("\"robust\":true"), std::string::npos);
   EXPECT_NE(json.find("\"installed\":true"), std::string::npos);
   EXPECT_NE(json.find("\"T3\":\"RC\""), std::string::npos);
+}
+
+TEST(AdaptControllerTest, DecisionLatencyHistogramIsObserved) {
+  TransactionSet base = Parse("T1: R[x] W[x]\nT2: R[x] W[x]\nT3: R[q]");
+  ActiveAllocation active(base, Allocation::AllSSI(base.size()));
+  MetricsRegistry registry;
+  AdaptControllerOptions options;
+  options.metrics = &registry;
+  AdaptController controller(base, /*live=*/nullptr, &active, options);
+  ASSERT_TRUE(controller.DecideOnce(steady_clock::now()));
+
+  // The windowed histogram timing the observe -> install cycle is
+  // registered and holds the decision's sample.
+  const std::string snapshot = registry.SnapshotJson();
+  EXPECT_NE(snapshot.find("adapt.decision_latency_us"), std::string::npos)
+      << snapshot;
+  EXPECT_NE(
+      snapshot.find("\"adapt.decision_latency_us\":{\"total_count\":1"),
+      std::string::npos)
+      << snapshot;
+}
+
+TEST(AdaptControllerTest, DecisionsJournalTracerTopConflicts) {
+  TransactionSet base = Parse("T1: W[x]\nT2: W[x]\nT3: R[q]");
+  ActiveAllocation active(base, Allocation::AllSSI(base.size()));
+
+  // Seed the tracer's conflict table with two attributed aborts:
+  // T2 lost to T1 on x, twice.
+  TxnTracer tracer;
+  tracer.BeginRun(base);
+  tracer.BeginAttempt(0, /*session=*/0, /*txn=*/0, IsolationLevel::kSI);
+  tracer.BeginAttempt(0, /*session=*/1, /*txn=*/1, IsolationLevel::kSI);
+  ConflictAttribution attribution;
+  attribution.conflicting_session = 0;
+  attribution.object = 0;
+  attribution.type = ConflictType::kWW;
+  attribution.cause = TraceAbortCause::kFirstUpdaterWins;
+  tracer.AttributeAbort(/*victim=*/1, attribution);
+  tracer.AttributeAbort(/*victim=*/1, attribution);
+
+  AdaptControllerOptions options;
+  options.tracer = &tracer;
+  options.top_conflicts = 2;
+  AdaptController controller(base, /*live=*/nullptr, &active, options);
+  ASSERT_TRUE(controller.DecideOnce(steady_clock::now()));
+
+  // The decision journals the live conflict evidence it was made under.
+  const std::string json = controller.StatusJson();
+  EXPECT_NE(json.find("\"top_conflicts\":[\"T2->T1 ww first_updater_wins "
+                      "x2\"]"),
+            std::string::npos)
+      << json;
 }
 
 TEST(AdaptControllerTest, HistoryIsBounded) {

@@ -470,6 +470,12 @@ TEST(CliTest, ServeRejectsBadFlags) {
        "--engine-shards"},
       {{"validate", "--txns", kWriteSkew, "--engine-shards", "-3"},
        "--engine-shards"},
+      {{"serve", "--txns", kWriteSkew, "--trace-sample", "0"},
+       "--trace-sample"},
+      {{"serve", "--txns", kWriteSkew, "--trace-sample", "abc"},
+       "--trace-sample"},
+      {{"simulate", "--txns", kWriteSkew, "--trace-sample", "0"},
+       "--trace-sample"},
   };
   for (const Case& c : cases) {
     CliResult result = RunTool(c.args);
@@ -572,6 +578,12 @@ TEST(CliTest, ServeExposesTelemetryAndShutsDownOnSigterm) {
   EXPECT_NE(allocation->body.find("\"allocation_text\":\"T1=SSI T2=SSI\""),
             std::string::npos);
 
+  // Without --trace-sample, /trace names the flag that would enable it.
+  StatusOr<HttpResponse> trace = HttpGet("127.0.0.1", port, "/trace");
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_EQ(trace->status, 404);
+  EXPECT_NE(trace->body.find("--trace-sample"), std::string::npos);
+
   StatusOr<HttpResponse> missing = HttpGet("127.0.0.1", port, "/nope");
   ASSERT_TRUE(missing.ok()) << missing.status().ToString();
   EXPECT_EQ(missing->status, 404);
@@ -584,6 +596,103 @@ TEST(CliTest, ServeExposesTelemetryAndShutsDownOnSigterm) {
             std::string::npos);
   EXPECT_NE(out.str().find("shutdown"), std::string::npos);
   std::remove(port_path.c_str());
+}
+
+TEST(CliTest, ServeTraceEndpointAttributesAbortsAndExportsOnShutdown) {
+  // A single hot object under SI: every concurrent writer but the first
+  // updater aborts, so /trace fills with attributed abort spans quickly.
+  const char* kHot = "T1: R[x] W[x]\nT2: R[x] W[x]\nT3: R[x] W[x]";
+  std::string port_path = ::testing::TempDir() + "/mvrob_trace_port";
+  std::string stats_path = ::testing::TempDir() + "/mvrob_trace_stats.json";
+  std::string trace_path = ::testing::TempDir() + "/mvrob_trace_out.json";
+  std::remove(port_path.c_str());
+  std::remove(stats_path.c_str());
+  std::remove(trace_path.c_str());
+
+  std::ostringstream out;
+  std::ostringstream err;
+  int code = -1;
+  std::thread serve_thread([&] {
+    code = RunCli({"serve", "--txns", kHot, "--default", "SI",
+                   "--port-file", port_path, "--concurrency", "8",
+                   "--trace-sample", "1", "--stats-json", stats_path,
+                   "--trace-out", trace_path, "--duration", "60"},
+                  out, err);
+  });
+
+  std::string port_text = WaitForPortFile(port_path);
+  ASSERT_FALSE(port_text.empty()) << "server never published its port";
+  int port = std::stoi(port_text);
+
+  // Poll /trace until an abort span carries a causal attribution naming
+  // the conflicting transaction.
+  StatusOr<HttpResponse> trace = HttpGet("127.0.0.1", port, "/trace");
+  for (int i = 0; i < 400; ++i) {
+    if (trace.ok() && trace->status == 200 &&
+        trace->body.find("\"attribution\"") != std::string::npos) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    trace = HttpGet("127.0.0.1", port, "/trace");
+  }
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_EQ(trace->status, 200);
+  EXPECT_EQ(trace->content_type, "application/json");
+  const std::string& body = trace->body;
+  EXPECT_NE(body.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(body.find("\"sample_every_n\":1"), std::string::npos);
+  ASSERT_NE(body.find("\"attribution\""), std::string::npos)
+      << "no attributed abort span in /trace: " << body.substr(0, 2000);
+  EXPECT_NE(body.find("\"conflicting\":\"T"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"cause\":\"first_updater_wins\""), std::string::npos);
+  EXPECT_NE(body.find("\"type\":\"ww\""), std::string::npos);
+  EXPECT_NE(body.find("\"object\":\"x\""), std::string::npos);
+
+  // The trace.* counter family rides the Prometheus exposition.
+  StatusOr<HttpResponse> metrics = HttpGet("127.0.0.1", port, "/metrics");
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_NE(metrics->body.find("mvrob_trace_flows_sampled_total"),
+            std::string::npos);
+  EXPECT_NE(
+      metrics->body.find("mvrob_trace_aborts_attributed_total{type=\"ww\"}"),
+      std::string::npos);
+
+  // SIGTERM → clean shutdown, which writes the export files exactly once.
+  raise(SIGTERM);
+  serve_thread.join();
+  EXPECT_EQ(code, 0) << err.str();
+
+  const std::string stats = Slurp(stats_path);
+  EXPECT_NE(stats.find("\"trace.flows_sampled\""), std::string::npos)
+      << stats_path << " missing or stale: " << stats.substr(0, 400);
+  const std::string chrome = Slurp(trace_path);
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  // Sampled attempt spans are merged in with their attribution args.
+  EXPECT_NE(chrome.find("\"cat\":\"txn\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"conflict_cause\":\"first_updater_wins\""),
+            std::string::npos);
+  std::remove(port_path.c_str());
+  std::remove(stats_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST(CliTest, SimulateTraceSampleMergesTxnSpansIntoTraceOut) {
+  const char* kHot = "T1: R[x] W[x]\nT2: R[x] W[x]\nT3: R[x] W[x]";
+  std::string trace_path = ::testing::TempDir() + "/mvrob_sim_trace.json";
+  std::remove(trace_path.c_str());
+  CliResult result =
+      RunTool({"simulate", "--txns", kHot, "--runs", "5", "--concurrency",
+               "8", "--trace-sample", "1", "--trace-out", trace_path});
+  EXPECT_EQ(result.code, 0) << result.err;
+  const std::string chrome = Slurp(trace_path);
+  // Phase spans (cat mvrob) and txn attempt spans (cat txn) share one
+  // traceEvents array.
+  EXPECT_NE(chrome.find("\"cat\":\"mvrob\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"cat\":\"txn\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"flow_id\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"conflict_cause\":\"first_updater_wins\""),
+            std::string::npos);
+  std::remove(trace_path.c_str());
 }
 
 TEST(CliTest, ServeAdaptReallocatesRobustlyAndShutsDownOnSigterm) {

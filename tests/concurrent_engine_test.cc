@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 
 #include "common/metrics.h"
 #include "common/string_util.h"
@@ -15,6 +16,7 @@
 #include "mvcc/concurrent_driver.h"
 #include "mvcc/concurrent_engine.h"
 #include "mvcc/roundtrip.h"
+#include "mvcc/txn_trace.h"
 #include "workloads/registry.h"
 
 namespace mvrob {
@@ -357,6 +359,62 @@ TEST(ConcurrentStressTest, WorkersAndEpochGcRaceCleanly) {
             static_cast<size_t>(workload->txns.num_objects()));
   EngineStats stats = engine.stats();
   EXPECT_EQ(stats.commits, report.committed);
+}
+
+TEST(ConcurrentTracingTest, WorkersRecordAttributedSpansRaceFree) {
+  // Tracer attached to the many-core engine under a hot-key workload:
+  // every worker records spans and the engine attributes aborts while the
+  // HTTP-style readers (StatusJson / TopConflicts / CompletedTraces) poll
+  // concurrently. Runs under the MVROB_SANITIZE=thread CI stage — the
+  // test's value is TSan proving the single-mutex tracer race-free.
+  StatusOr<Workload> workload =
+      MakeNamedWorkload("ycsb:a,n=16,k=4,theta=0.99");
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  const Allocation alloc = MixedOf(workload->txns.size());
+
+  TxnTracerOptions tracer_options;
+  tracer_options.sample_every_n = 2;
+  TxnTracer tracer(tracer_options);
+
+  // Contended runs abort with high probability each round; loop a few
+  // rounds so the assertion never flakes on a lucky schedule.
+  for (int round = 0; round < 50 && tracer.aborts_attributed() == 0;
+       ++round) {
+    ConcurrentEngineOptions engine_options;
+    engine_options.tracer = &tracer;
+    ConcurrentEngine engine(workload->txns.num_objects(), kWorkers,
+                            engine_options);
+    RandomRunOptions run_options;
+    run_options.seed = 7 + static_cast<uint64_t>(round);
+    run_options.tracer = &tracer;
+    // Continuous with a step budget: one-shot program lists are so short
+    // that workers can finish before ever overlapping.
+    run_options.continuous = true;
+    run_options.max_steps = 60'000;
+    std::atomic<bool> done{false};
+    std::thread reader([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        (void)tracer.StatusJson();
+        (void)tracer.TopConflicts(3);
+        (void)tracer.CompletedTraces();
+      }
+    });
+    RunConcurrent(engine, workload->txns, alloc, run_options);
+    done.store(true, std::memory_order_relaxed);
+    reader.join();
+  }
+
+  ASSERT_GT(tracer.aborts_attributed(), 0u);
+  EXPECT_GT(tracer.flows_sampled(), 0u);
+  // Attribution names resolve through the session table: at least one
+  // conflict row must cite a real transaction on both sides.
+  bool named = false;
+  for (const TraceConflictRow& row : tracer.TopConflicts(16)) {
+    if (row.victim != "?" && row.conflicting != "?") named = true;
+  }
+  EXPECT_TRUE(named);
+  const std::string status = tracer.StatusJson();
+  EXPECT_NE(status.find("\"version\":1"), std::string::npos);
 }
 
 TEST(ConcurrentStressTest, StopFlagHaltsContinuousRun) {

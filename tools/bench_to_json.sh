@@ -112,6 +112,65 @@ PY
     echo "note: serve --adapt never published its port; skipping adapt fold" >&2
   fi
   rm -f "$ADAPT_PORT_FILE" "$ADAPT_SNAP"
+
+  # Fold the transaction-tracer counters (trace.*) from a short
+  # `serve --trace-sample` run on a write hot spot into the same JSON
+  # (under "mvrob_trace"): sampled flows, spans, and attributed aborts.
+  TRACE_PORT_FILE="$(mktemp)"
+  TRACE_SNAP="$(mktemp)"
+  rm -f "$TRACE_PORT_FILE"
+  "$MVROB" serve \
+    --txns 'T1: R[x] W[x]
+T2: R[x] W[x]
+T3: R[x] W[x]' \
+    --default SI --concurrency 8 --trace-sample 1 \
+    --port-file "$TRACE_PORT_FILE" --duration 60 \
+    >/dev/null 2>&1 &
+  TRACE_PID=$!
+  for _ in $(seq 1 100); do
+    [[ -s "$TRACE_PORT_FILE" ]] && break
+    sleep 0.1
+  done
+  if [[ -s "$TRACE_PORT_FILE" ]]; then
+    python3 - "$(cat "$TRACE_PORT_FILE")" "$TRACE_SNAP" <<'PY'
+import json, sys, time, urllib.request
+
+port, out = int(sys.argv[1]), sys.argv[2]
+base = f"http://127.0.0.1:{port}"
+snapshot = None
+for _ in range(200):  # Wait for the first attributed abort.
+    with urllib.request.urlopen(base + "/snapshot", timeout=5) as response:
+        snapshot = json.loads(response.read().decode())
+    if any(k.startswith("trace.aborts_attributed") and v >= 1
+           for k, v in snapshot["counters"].items()):
+        break
+    time.sleep(0.1)
+trace = {
+    "counters": {k: v for k, v in snapshot["counters"].items()
+                 if k.startswith("trace.")},
+}
+with open(out, "w") as f:
+    json.dump(trace, f)
+PY
+    kill -TERM "$TRACE_PID" 2>/dev/null || true
+    wait "$TRACE_PID" || true
+    python3 - "$OUT" "$TRACE_SNAP" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+with open(sys.argv[2]) as f:
+    trace = json.load(f)
+bench["mvrob_trace"] = trace
+with open(sys.argv[1], "w") as f:
+    json.dump(bench, f, indent=1)
+PY
+  else
+    kill -TERM "$TRACE_PID" 2>/dev/null || true
+    wait "$TRACE_PID" || true
+    echo "note: serve --trace-sample never published its port; skipping trace fold" >&2
+  fi
+  rm -f "$TRACE_PORT_FILE" "$TRACE_SNAP"
 else
   echo "note: $MVROB not built; skipping metrics snapshot" >&2
 fi

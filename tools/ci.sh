@@ -199,6 +199,88 @@ else
 fi
 rm -f "$ADAPT_PORT_FILE" "$ADAPT_OUT"
 
+echo "==== trace smoke (serve --trace-sample attributes aborts at /trace) ===="
+TRACE_PORT_FILE="$(mktemp)"
+TRACE_SERVE_OUT="$(mktemp)"
+rm -f "$TRACE_PORT_FILE"
+# Three RMW writers on one hot key under SI: first-updater-wins fires
+# constantly, so the sampled span ring is dense with attributed aborts.
+build/tools/mvrob serve \
+  --txns 'T1: R[x] W[x]
+T2: R[x] W[x]
+T3: R[x] W[x]' \
+  --default SI --concurrency 8 --trace-sample 1 \
+  --port-file "$TRACE_PORT_FILE" --duration 120 \
+  >"$TRACE_SERVE_OUT" 2>&1 &
+TRACE_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "$TRACE_PORT_FILE" ]] && break
+  sleep 0.1
+done
+[[ -s "$TRACE_PORT_FILE" ]] || {
+  echo "error: serve --trace-sample never published its port" >&2
+  cat "$TRACE_SERVE_OUT" >&2
+  exit 1
+}
+python3 - "$(cat "$TRACE_PORT_FILE")" <<'PY'
+import json, sys, time, urllib.request
+
+port = int(sys.argv[1])
+base = f"http://127.0.0.1:{port}"
+
+# Poll until the span ring holds at least one attributed abort attempt.
+payload = None
+attributed = []
+for _ in range(200):
+    with urllib.request.urlopen(base + "/trace", timeout=5) as response:
+        payload = json.loads(response.read().decode())
+    attributed = [
+        (trace, attempt)
+        for trace in payload["traces"]
+        for attempt in trace["attempts"]
+        if "attribution" in attempt
+    ]
+    if payload["aborts_attributed"] >= 1 and attributed:
+        break
+    time.sleep(0.1)
+else:
+    raise AssertionError(f"no attributed abort span: {str(payload)[:300]}")
+
+assert payload["version"] == 1, payload["version"]
+assert payload["sample_every_n"] == 1, payload["sample_every_n"]
+assert payload["flows_sampled"] >= 1, payload["flows_sampled"]
+# Every attributed span must name the conflicting transaction and carry
+# the full causal chain: object, conflict type, and abort cause.
+for trace, attempt in attributed:
+    attribution = attempt["attribution"]
+    assert attribution["conflicting"].startswith("T"), attribution
+    assert attribution["object"] == "x", attribution
+    assert attribution["type"] == "ww", attribution
+    assert attribution["cause"] == "first_updater_wins", attribution
+# The aggregate conflict table names both sides of the hottest edge.
+row = payload["conflicts"][0]
+assert row["victim"].startswith("T") and row["conflicting"].startswith("T"), row
+assert row["count"] >= 1, row
+
+print(f"trace smoke OK: port {port}, {len(attributed)} attributed spans "
+      f"in the ring, {payload['aborts_attributed']} aborts attributed, "
+      f"hottest edge {row['victim']}->{row['conflicting']} x{row['count']}")
+PY
+kill -TERM "$TRACE_PID"
+if wait "$TRACE_PID"; then
+  grep -q "shutdown" "$TRACE_SERVE_OUT" || {
+    echo "error: serve --trace-sample did not report a clean shutdown" >&2
+    cat "$TRACE_SERVE_OUT" >&2
+    exit 1
+  }
+  echo "trace smoke OK (clean SIGTERM shutdown)"
+else
+  echo "error: serve --trace-sample exited non-zero after SIGTERM" >&2
+  cat "$TRACE_SERVE_OUT" >&2
+  exit 1
+fi
+rm -f "$TRACE_PORT_FILE" "$TRACE_SERVE_OUT"
+
 echo "==== numeric-flag rejection smoke ===="
 for bad in "census --max abc" "simulate --runs 12x" "simulate --seed -1"; do
   if build/tools/mvrob $bad --workload tpcc:w=2,d=2 >/dev/null 2>&1; then
