@@ -13,6 +13,8 @@
 #include <optional>
 
 #include "common/log.h"
+#include "common/profiler.h"
+#include "common/status.h"
 #include "iso/allocation.h"
 #include "mvcc/concurrent_driver.h"
 #include "mvcc/concurrent_engine.h"
@@ -138,6 +140,52 @@ void BM_MvccTracing(benchmark::State& state) {
 }
 
 BENCHMARK(BM_MvccTracing)->ArgName("sample")->Arg(0)->Arg(16)->Arg(1);
+
+// Profiler-overhead guard (common/profiler.h): the same deterministic run
+// with the sampling profiler detached (hz:0 — the zero-cost path every
+// unprofiled run takes) versus attached at the serve default (hz:97) and
+// a deliberately hot rate (hz:997). hz:0 rides the bench gate, so any
+// cost leaking onto the detached path is a regression the gate catches;
+// the sampled rows bound the signal-delivery overhead of live profiling.
+void BM_ProfilerOverhead(benchmark::State& state) {
+  StatusOr<Workload> workload = MakeNamedWorkload(kHigh);
+  if (!workload.ok()) {
+    state.SkipWithError(workload.status().ToString().c_str());
+    return;
+  }
+  const TransactionSet& txns = workload->txns;
+  const Allocation alloc = Allocation::AllSI(txns.size());
+  const int hz = static_cast<int>(state.range(0));
+
+  ProfiledThreadScope scope("bench.profiler_overhead");
+  if (hz > 0) {
+    ProfilerOptions profile_options;
+    profile_options.hz = hz;
+    Status started = Profiler::Start(profile_options);
+    if (!started.ok()) {
+      state.SkipWithError(started.ToString().c_str());
+      return;
+    }
+  }
+  uint64_t committed = 0;
+  for (auto _ : state) {
+    Engine engine(txns.num_objects());
+    RandomRunOptions options;
+    options.seed = 42;
+    options.continuous = true;
+    options.max_steps = kStepsPerIteration;
+    DriverReport report = RunRandom(engine, txns, alloc, options);
+    committed += report.committed;
+  }
+  if (hz > 0) Profiler::Stop();
+  state.SetItemsProcessed(static_cast<int64_t>(committed));
+  state.counters["commits_per_sec"] = benchmark::Counter(
+      static_cast<double>(committed), benchmark::Counter::kIsRate);
+  state.counters["samples"] =
+      static_cast<double>(Profiler::samples_total());
+}
+
+BENCHMARK(BM_ProfilerOverhead)->ArgName("hz")->Arg(0)->Arg(97)->Arg(997);
 
 }  // namespace
 }  // namespace mvrob

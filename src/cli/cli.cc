@@ -10,10 +10,13 @@
 
 #include "cli/export.h"
 #include "cli/serve.h"
+#include "common/crash.h"
 #include "common/json.h"
 #include "common/log.h"
 #include "common/metrics.h"
+#include "common/profiler.h"
 #include "common/string_util.h"
+#include "common/version.h"
 #include "core/constrained_allocation.h"
 #include "core/explain.h"
 #include "core/incremental.h"
@@ -67,7 +70,8 @@ commands:
              strictly cheaper allocation becomes robust
   serve      run the workload continuously and expose live telemetry
              over HTTP: /metrics (Prometheus), /healthz, /snapshot,
-             /witness, /allocation
+             /witness, /allocation, /debug/pprof, /debug/stacks
+  version    print build information (git describe, compiler, sanitizer)
   help       this text
 
 common flags:
@@ -129,6 +133,15 @@ common flags:
   --log-level <level>      minimum structured-log severity on stderr:
                            debug, info, warn, error, off (default info;
                            env MVROB_LOG_LEVEL)
+  --profile-hz <n>         sampling CPU profiler rate, samples per second
+                           of on-CPU time per thread (check, allocate,
+                           simulate, promote, serve; default 0 = off;
+                           serve exposes the live profile at
+                           /debug/pprof and as mvrob_profile_* series)
+  --profile-out <file>     write the aggregate folded-stack profile here
+                           when the command finishes (implies
+                           --profile-hz 97 when the rate is unset;
+                           render with tools/flamegraph.py)
 
 promote flags:
   --budget <n>             promotion budget: at most <n> reads are
@@ -955,6 +968,17 @@ int CmdServe(const Flags& flags, std::ostream& out, std::ostream& err) {
   params.stats_json = flags.Get("stats-json");
   params.trace_out = flags.Get("trace-out");
 
+  // serve also owns the profiler lifecycle (started with the server,
+  // exported on clean shutdown); --profile-out alone implies the default
+  // sampling rate, mirroring the non-serve commands.
+  StatusOr<int> profile_hz = IntFlag(flags, "profile-hz", 0, 0, 1000);
+  if (!profile_hz.ok()) return Fail(err, profile_hz.status());
+  params.profile_hz = *profile_hz;
+  params.profile_out = flags.Get("profile-out");
+  if (params.profile_hz == 0 && !params.profile_out.empty()) {
+    params.profile_hz = ProfilerOptions().hz;
+  }
+
   return RunServe(std::move(params), out, err);
 }
 
@@ -1147,6 +1171,15 @@ int RunCli(const std::vector<std::string>& args, std::istream& in,
     out << kUsage;
     return args.empty() ? 1 : 0;
   }
+  if (args[0] == "version" || args[0] == "--version") {
+    out << BuildInfoText();
+    return 0;
+  }
+  // Register the invoking thread for the profiler/watchdog/crash stack
+  // machinery and arm the crash flight recorder: any fatal signal from
+  // here on writes mvrob.crash.<pid>.txt next to the working directory.
+  ProfiledThreadScope main_scope("main");
+  InstallCrashRecorder(CrashRecorderOptions{});
   StatusOr<Flags> flags = ParseFlags(args, 1);
   if (!flags.ok()) return Fail(err, flags.status());
 
@@ -1212,11 +1245,39 @@ int RunCli(const std::vector<std::string>& args, std::istream& in,
                      std::chrono::seconds(*interval));
   }
 
+  // --profile-hz / --profile-out: sample the whole command (serve starts
+  // its own profiler with the server instead). --profile-out alone
+  // implies the default rate.
+  StatusOr<int> profile_hz = IntFlag(*flags, "profile-hz", 0, 0, 1000);
+  if (!profile_hz.ok()) return Fail(err, profile_hz.status());
+  const std::string profile_out = flags->Get("profile-out");
+  int effective_hz = *profile_hz;
+  if (effective_hz == 0 && !profile_out.empty()) {
+    effective_hz = ProfilerOptions().hz;
+  }
+  bool profiling = false;
+  if (!serve_owns_exports && effective_hz > 0) {
+    ProfilerOptions profile_options;
+    profile_options.hz = effective_hz;
+    profile_options.metrics = metrics;
+    Status started = Profiler::Start(profile_options);
+    if (!started.ok()) return Fail(err, started);
+    profiling = true;
+  }
+
   int code;
   {
     // Top-level span covering the entire command.
     PhaseTimer timer(metrics, StrCat("cli.", command));
     code = Dispatch(command, *flags, in, out, err, metrics, tracer_ptr);
+  }
+  if (profiling) {
+    Profiler::Stop();
+    if (!profile_out.empty()) {
+      Status written = WriteTextFile(
+          profile_out, Profiler::RenderFolded(Profiler::CountsSnapshot()));
+      if (!written.ok()) return Fail(err, written);
+    }
   }
   exporter.reset();  // Stop periodic writes before the final snapshot.
   if (registry.has_value()) {

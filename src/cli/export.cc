@@ -1,6 +1,8 @@
 #include "cli/export.h"
 
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 
 #include "common/json.h"
 #include "common/log.h"
@@ -11,6 +13,21 @@
 namespace mvrob {
 
 Status WriteTextFile(const std::string& path, const std::string& content) {
+  // --stats-json / --trace-out commonly point into per-run output trees
+  // that don't exist yet; create missing parents rather than failing on
+  // open, and name the offending path when creation is impossible (e.g. a
+  // parent component is a regular file).
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      return Status::NotFound(StrCat("cannot create parent directory ",
+                                     parent.string(), " for ", path, ": ",
+                                     ec.message()));
+    }
+  }
   std::ofstream file(path);
   if (!file) {
     return Status::NotFound(StrCat("cannot open ", path, " for writing"));

@@ -2,8 +2,11 @@
 
 #include <csignal>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <condition_variable>
 #include <mutex>
 #include <optional>
@@ -16,8 +19,11 @@
 #include "common/json.h"
 #include "common/log.h"
 #include "common/metrics.h"
+#include "common/profiler.h"
 #include "common/prom.h"
 #include "common/string_util.h"
+#include "common/version.h"
+#include "common/watchdog.h"
 #include "core/robustness.h"
 #include "core/witness.h"
 #include "mvcc/concurrent_driver.h"
@@ -68,11 +74,13 @@ std::string CheckAndRenderWitness(const ServeParams& params,
                                   const TransactionSet& txns,
                                   const Allocation& alloc,
                                   MetricsRegistry& registry, uint64_t check,
-                                  const std::atomic<bool>* stop) {
+                                  const std::atomic<bool>* stop,
+                                  Watchdog* watchdog) {
   CheckOptions options;
   options.num_threads = params.threads;
   options.metrics = &registry;
   options.cancel = stop;
+  options.watchdog = watchdog;
   RobustnessResult result = CheckRobustness(txns, alloc, options);
   if (result.cancelled) return std::string();
   JsonWriter json;
@@ -91,13 +99,53 @@ std::string CheckAndRenderWitness(const ServeParams& params,
 
 constexpr const char* kIndexBody =
     "mvrob serve\n"
-    "  /healthz     liveness probe\n"
-    "  /metrics     Prometheus text exposition\n"
-    "  /snapshot    JSON metrics snapshot\n"
-    "  /witness     latest robustness verdict with provenance\n"
-    "  /allocation  active allocation + adaptive-controller decisions\n"
-    "  /trace       sampled txn traces with abort attribution "
-    "(--trace-sample)\n";
+    "  /healthz       liveness probe with build info (JSON)\n"
+    "  /metrics       Prometheus text exposition\n"
+    "  /snapshot      JSON metrics snapshot\n"
+    "  /witness       latest robustness verdict with provenance\n"
+    "  /allocation    active allocation + adaptive-controller decisions\n"
+    "  /trace         sampled txn traces with abort attribution "
+    "(--trace-sample)\n"
+    "  /debug/pprof   folded-stack CPU profile; ?seconds=N for an "
+    "on-demand window\n"
+    "  /debug/stacks  current stacks of all registered threads, "
+    "symbolized\n";
+
+// "seconds=N" from a raw query string; `fallback` when absent/garbled.
+// Clamped to [1, 30] so one profile window cannot hold the single-threaded
+// serve loop (and a pending SIGTERM) hostage for minutes.
+int ProfileWindowSeconds(const std::string& query, int fallback) {
+  int seconds = fallback;
+  const size_t key = query.find("seconds=");
+  if (key != std::string::npos) {
+    seconds = atoi(query.c_str() + key + strlen("seconds="));
+  }
+  return std::clamp(seconds, 1, 30);
+}
+
+// Sleeps out a profile window in short slices, heartbeating the handler's
+// watchdog scope and bailing early on server shutdown.
+void SleepProfileWindow(int seconds, WatchdogScope& watch,
+                        const HttpServer& server) {
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+  while (std::chrono::steady_clock::now() < until &&
+         !server.shutting_down()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    watch.Heartbeat();
+  }
+}
+
+std::string HealthzJson() {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("status");
+  json.String("ok");
+  json.Key("build");
+  json.RawValue(BuildInfoJson());
+  json.EndObject();
+  return json.str();
+}
 
 }  // namespace
 
@@ -114,6 +162,14 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
   MetricsRegistry registry;
   const LiveTelemetry live = MakeLiveTelemetry(registry, params.window_s);
   WitnessState witness;
+
+  // Stall watchdog: always on in serve mode. Long phases (engine workers,
+  // GC sweeps, robustness scans, HTTP handlers) register heartbeat scopes
+  // below; stalls land in the structured log with a symbolized stack and
+  // on mvrob_watchdog_stalls_total{site=...}.
+  Watchdog::Options watchdog_options;
+  watchdog_options.metrics = &registry;
+  Watchdog watchdog(watchdog_options);
 
   // Transaction tracer (--trace-sample): shared across engine epochs so
   // the completed-trace ring and the conflict table span the whole serve.
@@ -145,6 +201,7 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
     adapt_options.check.num_threads = params.threads;
     adapt_options.check.metrics = &registry;
     adapt_options.check.cancel = &stop;
+    adapt_options.check.watchdog = &watchdog;
     adapt_options.metrics = &registry;
     adapt_options.tracer = tracer_ptr;
     controller.emplace(params.txns, &live, &active, adapt_options);
@@ -153,11 +210,52 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
   HttpServer::Options http_options;
   http_options.host = params.host;
   http_options.port = static_cast<uint16_t>(params.port);
+  // The server pointer is only needed by the handler for shutdown checks
+  // during profile windows; filled right after construction.
+  HttpServer* server_ptr = nullptr;
   HttpServer server(
       [&](const HttpRequest& request) {
+        WatchdogScope watch(&watchdog, "http.handler",
+                            std::chrono::seconds(10));
         HttpResponse response;
         if (request.path == "/healthz") {
-          response.body = "ok\n";
+          response.content_type = "application/json";
+          response.body = HealthzJson();
+          response.body += "\n";
+        } else if (request.path == "/debug/pprof") {
+          response.content_type = "text/plain; charset=utf-8";
+          if (Profiler::active()) {
+            if (request.query.find("seconds=") != std::string::npos) {
+              // Windowed view of the already-running profiler.
+              const int seconds = ProfileWindowSeconds(request.query, 2);
+              const Profiler::Counts before = Profiler::CountsSnapshot();
+              SleepProfileWindow(seconds, watch, *server_ptr);
+              response.body = Profiler::RenderFolded(
+                  Profiler::DiffCounts(Profiler::CountsSnapshot(), before));
+            } else {
+              response.body =
+                  Profiler::RenderFolded(Profiler::CountsSnapshot());
+            }
+          } else {
+            // Profiler detached (--profile-hz 0): run one on-demand window
+            // at the default rate for this request only.
+            const int seconds = ProfileWindowSeconds(request.query, 2);
+            ProfilerOptions profile_options;
+            profile_options.metrics = &registry;
+            Status started = Profiler::Start(profile_options);
+            if (!started.ok()) {
+              response.status = 503;
+              response.body = started.ToString() + "\n";
+            } else {
+              SleepProfileWindow(seconds, watch, *server_ptr);
+              Profiler::Stop();
+              response.body =
+                  Profiler::RenderFolded(Profiler::CountsSnapshot());
+            }
+          }
+        } else if (request.path == "/debug/stacks") {
+          response.content_type = "text/plain; charset=utf-8";
+          response.body = RenderThreadStacksText(CaptureAllThreadStacks());
         } else if (request.path == "/metrics") {
           response.content_type = "text/plain; version=0.0.4; charset=utf-8";
           response.body = RenderPrometheusText(registry);
@@ -199,6 +297,7 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
         return response;
       },
       http_options);
+  server_ptr = &server;
 
   // SIGINT/SIGTERM → clean shutdown. Installed before the port is
   // published so a watcher that reads the port file can signal us
@@ -222,6 +321,21 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
     restore_signals();
     err << "error: " << started.ToString() << "\n";
     return 1;
+  }
+
+  // Continuous profiling (--profile-hz): sample for the whole serve,
+  // exposed live at /debug/pprof and written to --profile-out on clean
+  // shutdown.
+  if (params.profile_hz > 0) {
+    ProfilerOptions profile_options;
+    profile_options.hz = params.profile_hz;
+    profile_options.metrics = &registry;
+    Status profiling = Profiler::Start(profile_options);
+    if (!profiling.ok()) {
+      restore_signals();
+      err << "error: " << profiling.ToString() << "\n";
+      return 1;
+    }
   }
   if (!params.port_file.empty()) {
     Status written =
@@ -248,6 +362,7 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
   uint64_t epochs = 0;
   uint64_t committed = 0;
   std::thread driver([&] {
+    ProfiledThreadScope profile_scope("serve.driver");
     const bool concurrent = params.engine_threads > 1;
     while (!stop.load(std::memory_order_relaxed)) {
       TransactionSet txns;
@@ -262,12 +377,14 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
       options.continuous = true;
       options.live = &live;
       options.tracer = tracer_ptr;
+      options.watchdog = &watchdog;
       DriverReport report;
       if (concurrent) {
         ConcurrentEngineOptions engine_options;
         engine_options.num_shards = params.engine_shards;
         engine_options.metrics = &registry;
         engine_options.tracer = tracer_ptr;
+        engine_options.watchdog = &watchdog;
         ConcurrentEngine engine(
             txns.num_objects(),
             static_cast<size_t>(params.engine_threads), engine_options);
@@ -291,6 +408,7 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
   // doubles as the check's cancellation hook, so SIGTERM does not stall
   // behind an in-flight scan of a large workload.
   std::thread witness_thread([&] {
+    ProfiledThreadScope profile_scope("serve.witness");
     std::unique_lock<std::mutex> lock(stop_mu);
     while (!stop.load(std::memory_order_relaxed)) {
       lock.unlock();
@@ -303,7 +421,8 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
       Allocation alloc;
       active.Snapshot(&txns, &alloc);
       std::string rendered =
-          CheckAndRenderWitness(params, txns, alloc, registry, check, &stop);
+          CheckAndRenderWitness(params, txns, alloc, registry, check, &stop,
+                                &watchdog);
       if (!rendered.empty()) {
         std::lock_guard<std::mutex> state_lock(witness.mu);
         witness.checks = check;
@@ -319,8 +438,10 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
   // install, immediately and then on its own cadence.
   std::thread adapt_thread;
   if (controller.has_value()) {
-    adapt_thread =
-        std::thread([&] { controller->Run(stop, stop_mu, stop_cv); });
+    adapt_thread = std::thread([&] {
+      ProfiledThreadScope profile_scope("adapt.controller");
+      controller->Run(stop, stop_mu, stop_cv);
+    });
   }
 
   // Duration backstop: shuts the server down after --duration seconds.
@@ -334,7 +455,10 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
     });
   }
 
-  Status served = server.Serve();
+  Status served = [&] {
+    ProfiledThreadScope http_scope("http");
+    return server.Serve();
+  }();
 
   restore_signals();
 
@@ -347,6 +471,19 @@ int RunServe(ServeParams params, std::ostream& out, std::ostream& err) {
   witness_thread.join();
   if (adapt_thread.joinable()) adapt_thread.join();
   if (timer.joinable()) timer.join();
+
+  if (Profiler::active()) {
+    Profiler::Stop();
+    if (!params.profile_out.empty()) {
+      Status written = WriteTextFile(
+          params.profile_out,
+          Profiler::RenderFolded(Profiler::CountsSnapshot()));
+      if (!written.ok()) {
+        err << "error: " << written.ToString() << "\n";
+        return 1;
+      }
+    }
+  }
 
   if (!served.ok()) {
     err << "error: " << served.ToString() << "\n";

@@ -66,6 +66,16 @@ struct ServeParams {
   /// are written here on clean shutdown.
   std::string stats_json;
   std::string trace_out;
+
+  /// Continuous profiling (common/profiler.h): when > 0 the sampling
+  /// profiler starts with the server at this per-thread hz, feeding
+  /// /debug/pprof and the mvrob_profile_* series. 0 leaves the profiler
+  /// detached (no timers, no signals, bit-identical runs); /debug/pprof
+  /// then falls back to an on-demand window per request.
+  int profile_hz = 0;
+  /// When non-empty, the aggregate folded-stack profile is written here on
+  /// clean shutdown (requires profile_hz > 0).
+  std::string profile_out;
 };
 
 /// Runs the workload continuously on the MVCC engine while serving

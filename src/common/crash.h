@@ -1,0 +1,54 @@
+#ifndef MVROB_COMMON_CRASH_H_
+#define MVROB_COMMON_CRASH_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace mvrob {
+
+/// --- Crash flight recorder ------------------------------------------------
+///
+/// A fatal-signal handler (SIGSEGV / SIGBUS / SIGABRT / SIGFPE / SIGILL)
+/// that writes a postmortem file before the process dies:
+///
+///   mvrob.crash.<pid>.txt
+///     === mvrob crash flight recorder ===   banner + signal + fault addr
+///     --- faulting stack ---                backtrace_symbols_fd frames
+///     --- recent profiler samples ---       last few stacks per thread ring
+///     --- recent log events ---             last N structured log lines
+///
+/// The handler is strictly async-signal-safe: everything it emits goes
+/// through write(2) on a file opened with open(2); the output path is
+/// precomputed at install time; symbolization uses backtrace_symbols_fd
+/// (no malloc). After dumping, the signal is re-raised with its default
+/// disposition so exit status / core dumps behave exactly as without the
+/// recorder. See docs/formats.md for the file schema.
+struct CrashRecorderOptions {
+  /// Directory for the crash file; empty means the current directory.
+  std::string directory;
+};
+
+/// Installs the handler (idempotent; later calls just update the path).
+Status InstallCrashRecorder(const CrashRecorderOptions& options = {});
+
+/// True once InstallCrashRecorder succeeded.
+bool CrashRecorderInstalled();
+
+/// The precomputed path the handler will write ("" before install).
+std::string CrashFilePath();
+
+/// Appends one structured-log line to the in-memory ring the crash dump
+/// drains. Fed by Logger on every emitted record; cheap (one memcpy into a
+/// fixed slot), lock-free, and torn reads under concurrency are acceptable
+/// — this is best-effort postmortem context, not a durable log.
+void CrashLogRingAppend(std::string_view line);
+
+/// Deliberately dereferences null. Exists so tests (and manual smoke runs)
+/// can produce a real SIGSEGV whose faulting frame names this function.
+[[gnu::noinline]] void CrashForTesting();
+
+}  // namespace mvrob
+
+#endif  // MVROB_COMMON_CRASH_H_

@@ -70,6 +70,13 @@ class HttpServer {
   /// signal handler (one relaxed store + one write(2) on a pipe).
   void Shutdown();
 
+  /// True once Shutdown() was requested. Lets long-running handlers (e.g.
+  /// a /debug/pprof?seconds=N window) bail out early instead of delaying
+  /// the serve loop's exit.
+  bool shutting_down() const {
+    return shutdown_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Connection;
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "common/crash.h"
 #include "common/json.h"
 #include "common/string_util.h"
 
@@ -114,6 +115,9 @@ void Logger::LogAt(std::chrono::steady_clock::time_point now, LogLevel level,
     json.EndObject();
   }
   json.EndObject();
+  // Mirror every emitted record into the crash flight recorder's in-memory
+  // ring so postmortems carry the last few log lines.
+  CrashLogRingAppend(json.str());
   *sink_ << json.str() << '\n';
   sink_->flush();
 }

@@ -142,11 +142,17 @@ void WindowedHistogram::Observe(uint64_t value,
   slot.sum += value;
   slot.max = std::max(slot.max, value);
   total_count_ += 1;
+  total_sum_ += value;
 }
 
 uint64_t WindowedHistogram::total_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return total_count_;
+}
+
+uint64_t WindowedHistogram::total_sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_sum_;
 }
 
 WindowedHistogramStats WindowedHistogram::WindowStats(
@@ -272,6 +278,7 @@ MetricsSnapshot MetricsRegistry::Snapshot(
   for (const auto& [name, histogram] : windowed_histograms_) {
     MetricsSnapshot::WindowedHistogramState state;
     state.total_count = histogram->total_count();
+    state.total_sum = histogram->total_sum();
     state.window_seconds = histogram->window_seconds();
     state.window = histogram->WindowStats(now);
     snapshot.windowed_histograms.emplace_back(name, state);
@@ -374,6 +381,8 @@ std::string MetricsRegistry::SnapshotJson() const {
     json.BeginObject();
     json.Key("total_count");
     json.Uint(state.total_count);
+    json.Key("total_sum");
+    json.Uint(state.total_sum);
     json.Key("window_seconds");
     json.Uint(state.window_seconds);
     json.Key("count");

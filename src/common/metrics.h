@@ -151,6 +151,10 @@ class WindowedHistogram {
   void Observe(uint64_t value, std::chrono::steady_clock::time_point now);
 
   uint64_t total_count() const;
+  /// Lifetime sum of all observed values (not just the trailing window);
+  /// with total_count this backs the monotonic Prometheus _sum/_count
+  /// companions that make PromQL rate()/mean queries possible.
+  uint64_t total_sum() const;
   uint32_t window_seconds() const { return window_; }
 
   /// Merges the live slots and computes count/sum/max plus p50/p95/p99
@@ -174,6 +178,7 @@ class WindowedHistogram {
   mutable std::mutex mu_;
   std::vector<Slot> slots_;  // window_ per-second slots.
   uint64_t total_count_ = 0;
+  uint64_t total_sum_ = 0;
 };
 
 /// One completed span for the Chrome trace_event export: a named interval
@@ -207,6 +212,7 @@ struct MetricsSnapshot {
   };
   struct WindowedHistogramState {
     uint64_t total_count = 0;
+    uint64_t total_sum = 0;
     uint32_t window_seconds = 0;
     WindowedHistogramStats window;
   };

@@ -188,10 +188,14 @@ std::string RenderPrometheusText(const MetricsSnapshot& snapshot,
           << LabelBlock(series.labels, {{"quantile", std::string(q)}}) << ' '
           << value << '\n';
     }
+    // Lifetime (monotonic) companions, per the summary-type contract: a
+    // windowed sum/count would go backwards as slots expire and break
+    // PromQL rate()/mean. The windowed view stays available through the
+    // quantile gauges above and /snapshot.
     out << family << "_sum" << LabelBlock(series.labels) << ' '
-        << state.window.sum << '\n';
+        << state.total_sum << '\n';
     out << family << "_count" << LabelBlock(series.labels) << ' '
-        << state.window.count << '\n';
+        << state.total_count << '\n';
   }
 
   return out.str();

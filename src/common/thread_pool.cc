@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "common/metrics.h"
+#include "common/profiler.h"
 #include "common/string_util.h"
 
 namespace mvrob {
@@ -20,7 +21,12 @@ thread_local bool t_in_parallel_for = false;
 ThreadPool::ThreadPool(int num_workers) {
   workers_.reserve(static_cast<size_t>(std::max(0, num_workers)));
   for (int i = 0; i < num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      // The shared pool's only data-parallel client is the robustness
+      // analyzer, so profiles/stack dumps label these threads accordingly.
+      ProfiledThreadScope profile_scope(StrCat("analyzer.worker.", i));
+      WorkerLoop();
+    });
   }
 }
 

@@ -1,0 +1,42 @@
+#include "common/version.h"
+
+#include "common/json.h"
+#include "common/string_util.h"
+#include "common/version_info.h"
+
+namespace mvrob {
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info = {
+      MVROB_GIT_DESCRIBE,
+      "" __VERSION__,
+      MVROB_BUILD_TYPE,
+      MVROB_SANITIZE_MODE,
+  };
+  return info;
+}
+
+std::string BuildInfoText() {
+  const BuildInfo& info = GetBuildInfo();
+  return StrCat("mvrob ", info.git_describe, "\ncompiler: ", info.compiler,
+                "\nbuild_type: ", info.build_type,
+                "\nsanitizer: ", info.sanitizer, "\n");
+}
+
+std::string BuildInfoJson() {
+  const BuildInfo& info = GetBuildInfo();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("git_describe");
+  json.String(info.git_describe);
+  json.Key("compiler");
+  json.String(info.compiler);
+  json.Key("build_type");
+  json.String(info.build_type);
+  json.Key("sanitizer");
+  json.String(info.sanitizer);
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace mvrob

@@ -1,0 +1,30 @@
+#ifndef MVROB_COMMON_VERSION_H_
+#define MVROB_COMMON_VERSION_H_
+
+#include <string>
+#include <string_view>
+
+namespace mvrob {
+
+/// Build identity baked in at compile/configure time: the CMake-generated
+/// version_info.h supplies `git describe` / build type / sanitizer mode,
+/// and the compiler identifies itself via __VERSION__. One source feeds
+/// `mvrob version`, the serve /healthz body, and crash/log banners.
+struct BuildInfo {
+  std::string_view git_describe;
+  std::string_view compiler;
+  std::string_view build_type;
+  std::string_view sanitizer;  // "none", "thread" or "address".
+};
+
+const BuildInfo& GetBuildInfo();
+
+/// Multi-line human rendering (the `mvrob version` output).
+std::string BuildInfoText();
+
+/// {"git_describe":...,"compiler":...,"build_type":...,"sanitizer":...}
+std::string BuildInfoJson();
+
+}  // namespace mvrob
+
+#endif  // MVROB_COMMON_VERSION_H_

@@ -1,0 +1,136 @@
+#include "common/watchdog.h"
+
+#include <string.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/profiler.h"
+#include "common/string_util.h"
+
+namespace mvrob {
+
+Watchdog::Watchdog(Options options) : options_(options) {
+  monitor_ = std::thread([this] { MonitorLoop(); });
+}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  monitor_.join();
+}
+
+int64_t Watchdog::NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Watchdog::Slot* Watchdog::Claim(std::string_view site,
+                                std::chrono::milliseconds deadline) {
+  for (Slot& slot : slots_) {
+    bool expected = false;
+    if (!slot.active.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+      continue;
+    }
+    // Fill while logically invisible: the monitor skips slots whose
+    // deadline_at_ms is 0.
+    slot.deadline_at_ms.store(0, std::memory_order_relaxed);
+    slot.flagged.store(false, std::memory_order_relaxed);
+    slot.deadline_ms = deadline.count();
+    strncpy(slot.site, std::string(site).c_str(), sizeof(slot.site) - 1);
+    slot.site[sizeof(slot.site) - 1] = '\0';
+    slot.tid = gettid();
+    slot.deadline_at_ms.store(NowMs() + slot.deadline_ms,
+                              std::memory_order_release);
+    return &slot;
+  }
+  Logger& logger = options_.logger != nullptr ? *options_.logger
+                                              : GlobalLogger();
+  logger.Log(LogLevel::kWarn, "watchdog.slots",
+             "watchdog slot table full; scope unmonitored",
+             {{"site", std::string(site)}});
+  return nullptr;
+}
+
+void Watchdog::Release(Slot* slot) {
+  slot->deadline_at_ms.store(0, std::memory_order_release);
+  slot->active.store(false, std::memory_order_release);
+}
+
+void Watchdog::FlagStall(Slot& slot, int64_t now_ms) {
+  stalls_.fetch_add(1, std::memory_order_relaxed);
+  const std::string site(slot.site);
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter(StrCat("watchdog.stalls{site=", site, "}"))
+        .Add(1);
+  }
+  Logger& logger = options_.logger != nullptr ? *options_.logger
+                                              : GlobalLogger();
+  const int64_t deadline_at = slot.deadline_at_ms.load(std::memory_order_relaxed);
+  const int64_t overdue_ms = deadline_at > 0 ? now_ms - deadline_at : 0;
+  std::string stack = "<unavailable>";
+  std::string role = "?";
+  if (options_.capture_stacks) {
+    ThreadStack captured;
+    if (CaptureThreadStackByTid(slot.tid, &captured)) {
+      stack = RenderStackFolded(captured.frames);
+      role = captured.role;
+    }
+  }
+  logger.Log(LogLevel::kError, "watchdog.stall",
+             "monitored scope missed its deadline",
+             {{"stall_site", site},
+              {"tid", static_cast<int64_t>(slot.tid)},
+              {"role", role},
+              {"deadline_ms", slot.deadline_ms},
+              {"overdue_ms", overdue_ms},
+              {"stack", stack}});
+}
+
+void Watchdog::MonitorLoop() {
+  ProfiledThreadScope thread_scope("watchdog.monitor");
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, options_.poll_interval, [&] { return stop_; });
+      if (stop_) return;
+    }
+    const int64_t now_ms = NowMs();
+    for (Slot& slot : slots_) {
+      if (!slot.active.load(std::memory_order_acquire)) continue;
+      const int64_t deadline_at =
+          slot.deadline_at_ms.load(std::memory_order_acquire);
+      if (deadline_at == 0 || now_ms <= deadline_at) continue;
+      if (slot.flagged.exchange(true, std::memory_order_acq_rel)) continue;
+      FlagStall(slot, now_ms);
+    }
+  }
+}
+
+WatchdogScope::WatchdogScope(Watchdog* dog, std::string_view site,
+                             std::chrono::milliseconds deadline)
+    : dog_(dog) {
+  if (dog_ == nullptr) return;
+  slot_ = dog_->Claim(site, deadline);
+}
+
+WatchdogScope::~WatchdogScope() {
+  if (dog_ == nullptr || slot_ == nullptr) return;
+  dog_->Release(slot_);
+}
+
+void WatchdogScope::Heartbeat() {
+  if (dog_ == nullptr || slot_ == nullptr) return;
+  slot_->deadline_at_ms.store(Watchdog::NowMs() + slot_->deadline_ms,
+                              std::memory_order_release);
+  slot_->flagged.store(false, std::memory_order_release);
+}
+
+}  // namespace mvrob

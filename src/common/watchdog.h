@@ -1,0 +1,110 @@
+#ifndef MVROB_COMMON_WATCHDOG_H_
+#define MVROB_COMMON_WATCHDOG_H_
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <thread>
+
+namespace mvrob {
+
+class Logger;
+class MetricsRegistry;
+
+/// A stall watchdog for long-running phases. Phases that can legitimately
+/// take a while — robustness checks, engine epochs, GC sweeps, HTTP
+/// handlers — wrap themselves in a WatchdogScope carrying a site name and
+/// a deadline, and call Heartbeat() as they make progress. A monitor
+/// thread polls all live scopes; when one goes past its deadline without a
+/// heartbeat it is flagged exactly once per stall instance: the stalled
+/// thread's stack is captured (via the profiler's remote capture) and
+/// dumped to the structured log together with the site/role context, and
+/// `watchdog.stalls{site=...}` is bumped (rendered to Prometheus as
+/// mvrob_watchdog_stalls_total{site=...}). A heartbeat re-arms the scope,
+/// so a phase that stalls, recovers and stalls again fires again.
+///
+/// Passing a null Watchdog* anywhere a scope is created disables the scope
+/// entirely (same null-pointer convention as tracer/metrics).
+class Watchdog {
+ public:
+  struct Options {
+    std::chrono::milliseconds poll_interval{200};
+    /// Sink for watchdog.stalls{site=...}; null disables counters.
+    MetricsRegistry* metrics = nullptr;
+    /// Structured log for stall dumps; null means GlobalLogger().
+    Logger* logger = nullptr;
+    /// Capture + symbolize the stalled thread's stack in the dump. Tests
+    /// that only care about detection can turn this off.
+    bool capture_stacks = true;
+  };
+
+  Watchdog() : Watchdog(Options()) {}
+  explicit Watchdog(Options options);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Total stall instances flagged so far.
+  uint64_t stalls() const { return stalls_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class WatchdogScope;
+
+  static constexpr size_t kMaxScopes = 64;
+  static constexpr size_t kMaxSite = 48;
+
+  struct Slot {
+    std::atomic<bool> active{false};
+    std::atomic<int64_t> deadline_at_ms{0};  // Steady-clock ms of expiry.
+    std::atomic<bool> flagged{false};
+    int64_t deadline_ms = 0;  // Scope deadline; re-armed by Heartbeat.
+    char site[kMaxSite] = {};
+    pid_t tid = 0;
+  };
+
+  Slot* Claim(std::string_view site, std::chrono::milliseconds deadline);
+  void Release(Slot* slot);
+  void MonitorLoop();
+  void FlagStall(Slot& slot, int64_t now_ms);
+  static int64_t NowMs();
+
+  const Options options_;
+  Slot slots_[kMaxScopes];
+  std::atomic<uint64_t> stalls_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread monitor_;
+};
+
+/// RAII registration of one monitored phase on the current thread. Cheap:
+/// slot claim on entry, atomic stores per heartbeat. Null `dog` makes the
+/// whole scope (and Heartbeat) a no-op.
+class WatchdogScope {
+ public:
+  WatchdogScope(Watchdog* dog, std::string_view site,
+                std::chrono::milliseconds deadline);
+  ~WatchdogScope();
+
+  WatchdogScope(const WatchdogScope&) = delete;
+  WatchdogScope& operator=(const WatchdogScope&) = delete;
+
+  /// Progress signal: pushes the deadline out and clears any stall flag.
+  /// Safe to call from threads other than the registering one (a parallel
+  /// phase may heartbeat from its workers).
+  void Heartbeat();
+
+ private:
+  Watchdog* dog_ = nullptr;
+  Watchdog::Slot* slot_ = nullptr;
+};
+
+}  // namespace mvrob
+
+#endif  // MVROB_COMMON_WATCHDOG_H_

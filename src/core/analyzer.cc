@@ -6,6 +6,7 @@
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/watchdog.h"
 #include "core/mixed_iso_graph.h"
 #include "txn/conflict.h"
 
@@ -283,6 +284,11 @@ RobustnessResult RobustnessAnalyzer::Check(const Allocation& alloc,
     return result;
   }
   PhaseTimer scan_timer(metrics, "analyzer.triple_scan");
+  // One heartbeat per completed row (from whichever thread finished it):
+  // rows complete many times a second on any healthy check, so a silent
+  // wedge inside the scan trips the deadline.
+  WatchdogScope watch(options.watchdog, "analyzer.triple_scan",
+                      std::chrono::seconds(30));
 
   DenseBitset ssi_mask(n);
   for (TxnId t = 0; t < n; ++t) {
@@ -302,6 +308,7 @@ RobustnessResult RobustnessAnalyzer::Check(const Allocation& alloc,
           alloc, ssi_mask, t1, nullptr, cancel,
           metrics != nullptr ? &words_scanned : nullptr);
       ++rows_scanned;
+      watch.Heartbeat();
       if (chain.has_value()) {
         result.robust = false;
         result.triples_examined = internal::TriplesUpToWitness(
@@ -354,6 +361,7 @@ RobustnessResult RobustnessAnalyzer::Check(const Allocation& alloc,
         std::optional<CounterexampleChain> chain =
             CheckRow(alloc, ssi_mask, static_cast<TxnId>(i), &best, cancel,
                      instrumented ? &row_words : nullptr);
+        watch.Heartbeat();
         if (instrumented) {
           words_total.fetch_add(row_words, std::memory_order_relaxed);
           (*slots)[MetricsRegistry::CurrentThreadId() % slots->size()]

@@ -13,6 +13,7 @@
 namespace mvrob {
 
 class MetricsRegistry;
+class Watchdog;
 
 /// The witness extracted by Algorithm 1 when a set of transactions is not
 /// robust against an allocation: the skeleton of a multiversion split
@@ -82,6 +83,11 @@ struct CheckOptions {
   /// caller — e.g. `mvrob serve`'s periodic witness check — shut down
   /// without waiting for a full scan. Null (the default) disables polling.
   const std::atomic<bool>* cancel = nullptr;
+  /// Optional stall watchdog (common/watchdog.h): the triple scan runs
+  /// under a monitored "analyzer.triple_scan" scope, heartbeating once per
+  /// completed row, so a wedged check surfaces with a symbolized stack.
+  /// Null (the default) disables monitoring; never changes results.
+  Watchdog* watchdog = nullptr;
 };
 
 /// Algorithm 1: decides whether `txns` is robust against `alloc`, i.e.

@@ -8,7 +8,10 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/profiler.h"
 #include "common/rng.h"
+#include "common/string_util.h"
+#include "common/watchdog.h"
 #include "mvcc/txn_trace.h"
 
 namespace mvrob {
@@ -51,6 +54,13 @@ DriverReport RunConcurrent(ConcurrentEngine& engine,
   DriverReport report;
 
   auto worker_fn = [&](size_t w) {
+    // Visible to the sampling profiler / stack dumps under a stable role,
+    // and stall-monitored: the scope is re-armed every settled step batch,
+    // so a worker wedged inside the engine (latch cycle, stuck commit)
+    // trips the watchdog with this thread's stack.
+    ProfiledThreadScope profile_scope(StrCat("engine.worker.", w));
+    WatchdogScope watch(options.watchdog, "engine.worker",
+                        std::chrono::seconds(10));
     Rng rng(MixSeed(options.seed, w));
     std::vector<TxnId> mine;
     for (TxnId t = static_cast<TxnId>(w); t < programs.size();
@@ -71,6 +81,7 @@ DriverReport RunConcurrent(ConcurrentEngine& engine,
           shared_steps.fetch_add(local_steps, std::memory_order_relaxed) +
           local_steps;
       local_steps = 0;
+      watch.Heartbeat();
       if (total >= options.max_steps) {
         out_of_budget.store(true, std::memory_order_relaxed);
       }

@@ -7,6 +7,7 @@
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/watchdog.h"
 #include "mvcc/recorder.h"
 #include "mvcc/ssi_tracker.h"
 #include "mvcc/txn_trace.h"
@@ -469,6 +470,9 @@ size_t ConcurrentEngine::RunEpochGc() {
   bool expected = false;
   if (!gc_running_.compare_exchange_strong(expected, true)) return 0;
 
+  // Per-shard heartbeats: a sweep wedged on one shard latch stalls out.
+  WatchdogScope watch(options_.watchdog, "mvcc.gc", std::chrono::seconds(10));
+
   // Horizon: the clock first, then the published slots. A worker whose
   // snapshot publish we miss here sampled its snapshot after our clock
   // read, so its snapshot is >= this horizon and stays readable.
@@ -481,6 +485,7 @@ size_t ConcurrentEngine::RunEpochGc() {
   size_t reclaimed = 0;
   const size_t objects = store_.num_objects();
   for (size_t s = 0; s < num_shards_; ++s) {
+    watch.Heartbeat();
     Shard& shard = shards_[s];
     size_t shard_reclaimed = 0;
     LockShard(shard);

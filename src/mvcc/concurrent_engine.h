@@ -17,6 +17,7 @@ class Histogram;
 class MetricsRegistry;
 class ScheduleRecorder;
 class TxnTracer;
+class Watchdog;
 struct EngineEvent;
 
 /// Tuning knobs for the many-core engine.
@@ -53,6 +54,10 @@ struct ConcurrentEngineOptions {
   /// facts are captured under the owning shard/commit latch, so they are
   /// consistent with the abort decision.
   TxnTracer* tracer = nullptr;
+  /// Optional stall watchdog: epoch GC sweeps run under a monitored scope
+  /// so a sweep wedged on a shard latch produces a symbolized stall dump.
+  /// Null disables (the usual zero-cost-when-detached contract).
+  Watchdog* watchdog = nullptr;
 };
 
 /// The many-core MVCC engine: the same Postgres-modeled semantics as

@@ -8,6 +8,7 @@
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "common/watchdog.h"
 #include "mvcc/txn_trace.h"
 
 namespace mvrob {
@@ -203,8 +204,15 @@ DriverReport RunRandom(Engine& engine, const TransactionSet& programs,
            options.stop->load(std::memory_order_relaxed);
   };
 
+  // Stall monitoring: one scope for the whole run, re-armed every few
+  // hundred retired steps. A healthy driver beats many times per second;
+  // a wedged engine call leaves the deadline to expire.
+  WatchdogScope watch(options.watchdog, "driver.run_random",
+                      std::chrono::seconds(10));
+
   admit();
   while (!window.empty() && steps < options.max_steps && !stop_requested()) {
+    if ((steps & 0xFF) == 0) watch.Heartbeat();
     // Pick a runnable program uniformly at random.
     std::vector<TxnId> runnable;
     for (TxnId t : window) {
@@ -317,7 +325,12 @@ DriverReport RunRandom(Engine& engine, const TransactionSet& programs,
     if (options.continuous && options.commits_per_epoch != 0 &&
         report.committed - commits_at_last_gc >= options.commits_per_epoch) {
       commits_at_last_gc = report.committed;
-      size_t reclaimed = engine.Vacuum();
+      size_t reclaimed;
+      {
+        WatchdogScope gc_watch(options.watchdog, "mvcc.gc",
+                               std::chrono::seconds(10));
+        reclaimed = engine.Vacuum();
+      }
       ++gc_epoch;
       if (MetricsRegistry* metrics = options.metrics; metrics != nullptr) {
         metrics->counter("mvcc.gc.epochs").Increment();

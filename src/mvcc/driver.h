@@ -12,6 +12,7 @@
 namespace mvrob {
 
 class TxnTracer;
+class Watchdog;
 class WindowedCounter;
 class WindowedHistogram;
 
@@ -110,6 +111,13 @@ struct RandomRunOptions {
   /// lock conflicts). Null disables tracing entirely; attaching a tracer
   /// never changes scheduling — runs stay bit-identical.
   TxnTracer* tracer = nullptr;
+  /// Optional stall watchdog (common/watchdog.h). The drivers register a
+  /// heartbeat-carrying scope per driving thread and beat it as steps
+  /// retire, so a wedged engine phase (latch cycle, runaway GC sweep)
+  /// surfaces as a symbolized stall dump instead of silent hang. Null
+  /// (the default) disables monitoring; like tracer/metrics, attaching it
+  /// never changes the run.
+  Watchdog* watchdog = nullptr;
 };
 
 /// Executes every program of `programs` once (plus retries) under the

@@ -302,12 +302,31 @@ TEST(CliTest, StatsJsonAndTraceOutAreWritten) {
   std::remove(trace_path.c_str());
 }
 
-TEST(CliTest, StatsJsonReportsUnwritablePath) {
+TEST(CliTest, StatsJsonCreatesMissingParentDirectories) {
+  // A deep, previously nonexistent parent chain is created on demand.
+  std::string dir = ::testing::TempDir() + "/mvrob_cli_mkdir/a/b";
+  std::string stats_path = dir + "/stats.json";
   CliResult result =
       RunTool({"check", "--txns", kWriteSkew, "--default", "SSI",
-               "--stats-json", "/nonexistent-dir/stats.json"});
+               "--stats-json", stats_path});
+  EXPECT_EQ(result.code, 0) << result.err;
+  std::ifstream stats(stats_path);
+  EXPECT_TRUE(stats.good()) << stats_path;
+  std::remove(stats_path.c_str());
+}
+
+TEST(CliTest, StatsJsonReportsUncreatableParentByName) {
+  // /proc rejects mkdir, so parent creation fails — and the error must
+  // name the directory it could not create.
+  CliResult result =
+      RunTool({"check", "--txns", kWriteSkew, "--default", "SSI",
+               "--stats-json", "/proc/mvrob-nonexistent/stats.json"});
   EXPECT_EQ(result.code, 1);
-  EXPECT_NE(result.err.find("stats"), std::string::npos);
+  EXPECT_NE(result.err.find("cannot create parent directory"),
+            std::string::npos)
+      << result.err;
+  EXPECT_NE(result.err.find("/proc/mvrob-nonexistent"), std::string::npos)
+      << result.err;
 }
 
 // Reads a file written by a CLI run and deletes it.
@@ -538,7 +557,28 @@ TEST(CliTest, ServeExposesTelemetryAndShutsDownOnSigterm) {
   StatusOr<HttpResponse> health = HttpGet("127.0.0.1", port, "/healthz");
   ASSERT_TRUE(health.ok()) << health.status().ToString();
   EXPECT_EQ(health->status, 200);
-  EXPECT_EQ(health->body, "ok\n");
+  EXPECT_EQ(health->content_type, "application/json");
+  EXPECT_NE(health->body.find("\"status\":\"ok\""), std::string::npos)
+      << health->body;
+  EXPECT_NE(health->body.find("\"git_describe\""), std::string::npos);
+  EXPECT_NE(health->body.find("\"compiler\""), std::string::npos);
+  EXPECT_NE(health->body.find("\"sanitizer\""), std::string::npos);
+
+  StatusOr<HttpResponse> index = HttpGet("127.0.0.1", port, "/");
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_EQ(index->status, 200);
+  for (const char* endpoint :
+       {"/healthz", "/metrics", "/snapshot", "/witness", "/allocation",
+        "/trace", "/debug/pprof", "/debug/stacks"}) {
+    EXPECT_NE(index->body.find(endpoint), std::string::npos) << endpoint;
+  }
+
+  StatusOr<HttpResponse> stacks = HttpGet("127.0.0.1", port, "/debug/stacks");
+  ASSERT_TRUE(stacks.ok()) << stacks.status().ToString();
+  EXPECT_EQ(stacks->status, 200);
+  EXPECT_NE(stacks->body.find("role=serve.driver"), std::string::npos)
+      << stacks->body;
+  EXPECT_NE(stacks->body.find("role=serve.witness"), std::string::npos);
 
   StatusOr<HttpResponse> metrics = HttpGet("127.0.0.1", port, "/metrics");
   ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
@@ -596,6 +636,107 @@ TEST(CliTest, ServeExposesTelemetryAndShutsDownOnSigterm) {
             std::string::npos);
   EXPECT_NE(out.str().find("shutdown"), std::string::npos);
   std::remove(port_path.c_str());
+}
+
+TEST(CliTest, ServeProfilerFeedsPprofAndWatchdogStaysQuiet) {
+  std::string port_path = ::testing::TempDir() + "/mvrob_profile_port";
+  std::string profile_path = ::testing::TempDir() + "/mvrob_profile.folded";
+  std::remove(port_path.c_str());
+  std::remove(profile_path.c_str());
+
+  std::ostringstream out;
+  std::ostringstream err;
+  int code = -1;
+  std::thread serve_thread([&] {
+    code = RunCli({"serve", "--txns", kWriteSkew, "--default", "SSI",
+                   "--port-file", port_path, "--witness-interval", "1",
+                   "--profile-hz", "97", "--profile-out", profile_path,
+                   "--duration", "60"},
+                  out, err);
+  });
+
+  std::string port_text = WaitForPortFile(port_path);
+  ASSERT_FALSE(port_text.empty()) << "server never published its port";
+  int port = std::stoi(port_text);
+
+  // Cumulative /debug/pprof (profiler live, no window): poll until the
+  // sampler attributes work to the engine-driver thread.
+  StatusOr<HttpResponse> pprof = HttpGet("127.0.0.1", port, "/debug/pprof");
+  for (int i = 0; i < 400; ++i) {
+    if (pprof.ok() && pprof->status == 200 &&
+        pprof->body.find("serve.driver;") != std::string::npos) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    pprof = HttpGet("127.0.0.1", port, "/debug/pprof");
+  }
+  ASSERT_TRUE(pprof.ok()) << pprof.status().ToString();
+  EXPECT_EQ(pprof->status, 200);
+  ASSERT_NE(pprof->body.find("serve.driver;"), std::string::npos)
+      << "no samples attributed to the engine driver:\n"
+      << pprof->body.substr(0, 2000);
+
+  // Windowed view: a short seconds= query returns a (possibly smaller)
+  // well-formed folded profile without wedging the serve loop.
+  StatusOr<HttpResponse> window =
+      HttpGet("127.0.0.1", port, "/debug/pprof?seconds=1", /*timeout_ms=*/15'000);
+  ASSERT_TRUE(window.ok()) << window.status().ToString();
+  EXPECT_EQ(window->status, 200);
+
+  // A healthy serve never trips the watchdog: no stall series exists.
+  StatusOr<HttpResponse> metrics = HttpGet("127.0.0.1", port, "/metrics");
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(metrics->body.find("mvrob_watchdog_stalls_total"),
+            std::string::npos)
+      << "watchdog fired during a healthy serve";
+  // The profiler's own series are exported.
+  EXPECT_NE(metrics->body.find("mvrob_profile_samples_total"),
+            std::string::npos);
+
+  raise(SIGTERM);
+  serve_thread.join();
+  EXPECT_EQ(code, 0) << err.str();
+
+  // --profile-out: aggregate folded stacks exported on clean shutdown.
+  std::string folded = Slurp(profile_path);
+  EXPECT_NE(folded.find("serve.driver;"), std::string::npos)
+      << folded.substr(0, 2000);
+  std::remove(port_path.c_str());
+}
+
+TEST(CliTest, VersionPrintsBuildInfo) {
+  CliResult result = RunTool({"version"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_EQ(result.out.rfind("mvrob ", 0), 0u) << result.out;
+  EXPECT_NE(result.out.find("compiler:"), std::string::npos);
+  EXPECT_NE(result.out.find("build_type:"), std::string::npos);
+  EXPECT_NE(result.out.find("sanitizer:"), std::string::npos);
+}
+
+TEST(CliTest, ProfileFlagsOnABatchCommand) {
+  // --profile-out alone implies the default rate and writes the folded
+  // aggregate when the command finishes (possibly empty on a fast run,
+  // but the file must exist).
+  std::string profile_path = ::testing::TempDir() + "/mvrob_check.folded";
+  std::remove(profile_path.c_str());
+  CliResult result =
+      RunTool({"check", "--txns", kWriteSkew, "--default", "SSI",
+               "--profile-out", profile_path});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("robust: yes"), std::string::npos);
+  std::ifstream profile(profile_path);
+  EXPECT_TRUE(profile.good()) << profile_path;
+  std::remove(profile_path.c_str());
+
+  // Junk rates are rejected with the flag named.
+  CliResult junk = RunTool({"check", "--txns", kWriteSkew, "--default",
+                            "SSI", "--profile-hz", "abc"});
+  EXPECT_EQ(junk.code, 1);
+  EXPECT_NE(junk.err.find("--profile-hz"), std::string::npos);
+  CliResult range = RunTool({"check", "--txns", kWriteSkew, "--default",
+                             "SSI", "--profile-hz", "5000"});
+  EXPECT_EQ(range.code, 1);
+  EXPECT_NE(range.err.find("--profile-hz"), std::string::npos);
 }
 
 TEST(CliTest, ServeTraceEndpointAttributesAbortsAndExportsOnShutdown) {

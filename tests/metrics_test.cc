@@ -449,11 +449,14 @@ TEST(WindowedHistogramTest, QuantilesDecayWithTheWindow) {
   EXPECT_LE(fast_only.p99, 1u);
   EXPECT_EQ(fast_only.sum, 100u);
 
-  // And once everything is stale the window reads empty.
+  // And once everything is stale the window reads empty — but the
+  // lifetime totals stay monotonic: they feed the Prometheus _sum/_count
+  // companions, which must never move backwards.
   WindowedHistogramStats empty = histogram.WindowStats(t0 + seconds(60));
   EXPECT_EQ(empty.count, 0u);
   EXPECT_EQ(empty.p50, 0u);
   EXPECT_EQ(histogram.total_count(), 200u);
+  EXPECT_EQ(histogram.total_sum(), 100u * 1000u + 100u * 1u);
 }
 
 TEST(WindowedRegistryTest, SnapshotCarriesWindowedSections) {
@@ -470,6 +473,7 @@ TEST(WindowedRegistryTest, SnapshotCarriesWindowedSections) {
   EXPECT_EQ(snapshot.windowed_counters[0].second.window_seconds, 60u);
   ASSERT_EQ(snapshot.windowed_histograms.size(), 1u);
   EXPECT_EQ(snapshot.windowed_histograms[0].second.total_count, 1u);
+  EXPECT_EQ(snapshot.windowed_histograms[0].second.total_sum, 50u);
   EXPECT_EQ(snapshot.windowed_histograms[0].second.window.max, 50u);
 
   // The JSON snapshot keeps the legacy sections and adds the windowed
@@ -478,6 +482,7 @@ TEST(WindowedRegistryTest, SnapshotCarriesWindowedSections) {
   EXPECT_NE(json.find("\"version\":1"), std::string::npos);
   EXPECT_NE(json.find("\"windowed_counters\""), std::string::npos);
   EXPECT_NE(json.find("\"windowed_histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_sum\":50"), std::string::npos);
 }
 
 TEST(LiveTelemetryTest, DriverRecordsPerLevelCommits) {

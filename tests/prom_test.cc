@@ -140,6 +140,10 @@ TEST(PromRenderTest, GoldenExposition) {
   // One fixed instant drives every windowed instrument: all observations
   // land in the epoch second, so the rate divides by an age of exactly 1s.
   const auto now = std::chrono::steady_clock::now();
+  // A stale observation well outside the 60s window: absent from the
+  // windowed buckets and rate, but still counted by the lifetime _sum /
+  // _count companions (kept monotonic so PromQL rate() works on them).
+  wh.Observe(40, now - std::chrono::minutes(5));
   wc.Add(30, now);
   for (uint64_t v : {8u, 8u, 8u, 16u, 120u}) wh.Observe(v, now);
 

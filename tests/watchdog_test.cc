@@ -1,0 +1,120 @@
+#include "common/watchdog.h"
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/profiler.h"
+
+namespace mvrob {
+namespace {
+
+using std::chrono::milliseconds;
+
+Watchdog::Options FastOptions(MetricsRegistry* metrics, Logger* logger) {
+  Watchdog::Options options;
+  options.poll_interval = milliseconds(20);
+  options.metrics = metrics;
+  options.logger = logger;
+  return options;
+}
+
+TEST(WatchdogTest, FlagsAStallExactlyOnceWithASymbolizedStack) {
+  MetricsRegistry registry;
+  std::ostringstream log_sink;
+  Logger logger(&log_sink, {.min_level = LogLevel::kDebug});
+  Watchdog dog(FastOptions(&registry, &logger));
+
+  std::atomic<bool> quit{false};
+  std::thread stalled([&] {
+    ProfiledThreadScope scope("test.stalled");
+    WatchdogScope watch(&dog, "test.wedged_phase", milliseconds(50));
+    // A wedged phase: no heartbeat, well past the deadline across many
+    // monitor polls — which must flag it exactly once.
+    while (!quit.load()) {
+      std::this_thread::sleep_for(milliseconds(10));
+    }
+  });
+  std::this_thread::sleep_for(milliseconds(500));
+  quit.store(true);
+  stalled.join();
+
+  EXPECT_EQ(dog.stalls(), 1u);
+  EXPECT_EQ(
+      registry.counter("watchdog.stalls{site=test.wedged_phase}").value(),
+      1u);
+  const std::string log = log_sink.str();
+  EXPECT_NE(log.find("\"site\":\"watchdog.stall\""), std::string::npos)
+      << log;
+  EXPECT_NE(log.find("test.wedged_phase"), std::string::npos) << log;
+  EXPECT_NE(log.find("\"role\":\"test.stalled\""), std::string::npos) << log;
+  EXPECT_NE(log.find("\"stack\":"), std::string::npos) << log;
+  // The stalled thread sat in a sleep; its captured stack symbolizes into
+  // real frames, not bare hex.
+  EXPECT_NE(log.find("sleep"), std::string::npos) << log;
+}
+
+TEST(WatchdogTest, HeartbeatKeepsAHealthyPhaseUnflagged) {
+  MetricsRegistry registry;
+  std::ostringstream log_sink;
+  Logger logger(&log_sink, {.min_level = LogLevel::kDebug});
+  Watchdog dog(FastOptions(&registry, &logger));
+  {
+    WatchdogScope watch(&dog, "test.healthy", milliseconds(100));
+    for (int i = 0; i < 10; ++i) {
+      std::this_thread::sleep_for(milliseconds(30));
+      watch.Heartbeat();
+    }
+  }
+  EXPECT_EQ(dog.stalls(), 0u);
+  EXPECT_EQ(log_sink.str().find("watchdog.stall"), std::string::npos);
+}
+
+TEST(WatchdogTest, RecoveredPhaseCanStallAgain) {
+  Watchdog::Options options;
+  options.poll_interval = milliseconds(20);
+  options.capture_stacks = false;  // Detection only; keeps the test fast.
+  std::ostringstream log_sink;
+  Logger logger(&log_sink, {.min_level = LogLevel::kOff});
+  options.logger = &logger;
+  Watchdog dog(options);
+  {
+    WatchdogScope watch(&dog, "test.flapping", milliseconds(60));
+    std::this_thread::sleep_for(milliseconds(200));  // First stall.
+    EXPECT_EQ(dog.stalls(), 1u);
+    watch.Heartbeat();  // Recovery re-arms the scope...
+    std::this_thread::sleep_for(milliseconds(200));  // ...second stall.
+  }
+  EXPECT_EQ(dog.stalls(), 2u);
+}
+
+TEST(WatchdogTest, NullWatchdogMakesScopesFree) {
+  WatchdogScope watch(nullptr, "test.noop", milliseconds(1));
+  watch.Heartbeat();  // Must not crash; whole scope is a no-op.
+  std::this_thread::sleep_for(milliseconds(10));
+}
+
+TEST(WatchdogTest, ScopesReleaseSlotsForReuse) {
+  Watchdog::Options options;
+  options.poll_interval = milliseconds(50);
+  options.capture_stacks = false;
+  std::ostringstream log_sink;
+  Logger logger(&log_sink, {.min_level = LogLevel::kOff});
+  options.logger = &logger;
+  Watchdog dog(options);
+  // Far more scope lifetimes than slots: they must recycle cleanly.
+  for (int i = 0; i < 300; ++i) {
+    WatchdogScope watch(&dog, "test.churn", milliseconds(10'000));
+    watch.Heartbeat();
+  }
+  EXPECT_EQ(dog.stalls(), 0u);
+}
+
+}  // namespace
+}  // namespace mvrob

@@ -88,7 +88,18 @@ def get(path, retries=50):
     raise AssertionError(f"{path} never became ready")
 
 status, body = get("/healthz")
-assert status == 200 and body == "ok\n", (status, body)
+health = json.loads(body)
+assert status == 200 and health["status"] == "ok", (status, body)
+for key in ("git_describe", "compiler", "sanitizer"):
+    assert key in health["build"], f"missing {key!r} in /healthz build info"
+
+status, body = get("/")
+for endpoint in ("/healthz", "/metrics", "/snapshot", "/witness",
+                 "/allocation", "/trace", "/debug/pprof", "/debug/stacks"):
+    assert endpoint in body, f"index page missing {endpoint}"
+
+status, body = get("/debug/stacks")
+assert status == 200 and "role=serve.driver" in body, body[:400]
 
 status, body = get("/metrics")
 assert status == 200, status
@@ -281,6 +292,76 @@ else
 fi
 rm -f "$TRACE_PORT_FILE" "$TRACE_SERVE_OUT"
 
+echo "==== profile smoke (serve --profile-hz + /debug/pprof + flamegraph) ===="
+PROFILE_PORT_FILE="$(mktemp)"
+PROFILE_SERVE_OUT="$(mktemp)"
+PROFILE_FOLDED="$(mktemp)"
+PROFILE_SVG="$(mktemp)"
+rm -f "$PROFILE_PORT_FILE"
+# Hot Zipfian workload on internal engine threads so the sampler has real
+# engine work to catch; 97hz continuous profiling from the first request.
+build/tools/mvrob serve --workload 'ycsb:a,n=64,k=64,theta=0.99,seed=1' \
+  --default SI --concurrency 8 --profile-hz 97 \
+  --port-file "$PROFILE_PORT_FILE" --witness-interval 5 --duration 120 \
+  >"$PROFILE_SERVE_OUT" 2>&1 &
+PROFILE_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "$PROFILE_PORT_FILE" ]] && break
+  sleep 0.1
+done
+[[ -s "$PROFILE_PORT_FILE" ]] || {
+  echo "error: serve --profile-hz never published its port" >&2
+  cat "$PROFILE_SERVE_OUT" >&2
+  exit 1
+}
+python3 - "$(cat "$PROFILE_PORT_FILE")" "$PROFILE_FOLDED" <<'PY'
+import sys, urllib.request
+
+port = int(sys.argv[1])
+base = f"http://127.0.0.1:{port}"
+
+# A 2-second on-demand window against the live profiler: the folded
+# stacks must attribute samples to the engine driver threads and reach
+# down into named engine symbols.
+with urllib.request.urlopen(base + "/debug/pprof?seconds=2",
+                            timeout=30) as response:
+    folded = response.read().decode()
+assert folded.strip(), "empty /debug/pprof window"
+lines = [line for line in folded.splitlines() if line.strip()]
+for line in lines:
+    stack, _, count = line.rpartition(" ")
+    assert stack and int(count) > 0, f"malformed folded line: {line!r}"
+assert any(line.startswith("serve.driver;") for line in lines), lines[:5]
+assert "mvrob::" in folded, folded[:400]
+
+with urllib.request.urlopen(base + "/debug/stacks", timeout=10) as response:
+    stacks = response.read().decode()
+assert "role=serve.driver" in stacks, stacks[:400]
+
+with open(sys.argv[2], "w") as f:
+    f.write(folded)
+print(f"profile smoke OK: port {port}, {len(lines)} folded stacks")
+PY
+python3 tools/flamegraph.py "$PROFILE_FOLDED" > "$PROFILE_SVG"
+grep -q "<svg" "$PROFILE_SVG" || {
+  echo "error: flamegraph.py did not render an SVG" >&2
+  exit 1
+}
+kill -TERM "$PROFILE_PID"
+if wait "$PROFILE_PID"; then
+  grep -q "shutdown" "$PROFILE_SERVE_OUT" || {
+    echo "error: serve --profile-hz did not report a clean shutdown" >&2
+    cat "$PROFILE_SERVE_OUT" >&2
+    exit 1
+  }
+  echo "profile smoke OK (flamegraph rendered, clean SIGTERM shutdown)"
+else
+  echo "error: serve --profile-hz exited non-zero after SIGTERM" >&2
+  cat "$PROFILE_SERVE_OUT" >&2
+  exit 1
+fi
+rm -f "$PROFILE_PORT_FILE" "$PROFILE_SERVE_OUT" "$PROFILE_FOLDED" "$PROFILE_SVG"
+
 echo "==== numeric-flag rejection smoke ===="
 for bad in "census --max abc" "simulate --runs 12x" "simulate --seed -1"; do
   if build/tools/mvrob $bad --workload tpcc:w=2,d=2 >/dev/null 2>&1; then
@@ -410,7 +491,7 @@ rm -f "$FRESH_PROMO"
 echo "==== TSan build (MVROB_SANITIZE=thread) ===="
 cmake -B build-tsan -S . -DMVROB_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS" --target \
-  common_test parallel_differential_test concurrent_engine_test
+  common_test parallel_differential_test concurrent_engine_test profiler_test
 MVROB_POOL_WORKERS=3 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir build-tsan --output-on-failure -j"$JOBS" \
   -R 'ThreadPool|ParallelDifferential|ParallelAllocation|IncrementalParallel|Concurrent'

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Render a folded-stack profile (mvrob --profile-out, /debug/pprof) as a
+standalone SVG flame graph.
+
+Input format, one stack per line (docs/formats.md, "Folded stacks"):
+
+    role;outer;...;leaf <count>
+
+Frames are drawn bottom-up (root at the bottom), width proportional to the
+inclusive sample count, with the usual hover-title tooltips. Pure stdlib —
+no external dependencies — so it runs anywhere the repo builds.
+
+Usage:
+    tools/flamegraph.py profile.folded > profile.svg
+    curl -s localhost:PORT/debug/pprof?seconds=2 | tools/flamegraph.py - > profile.svg
+
+Exit 0 on success (including an empty profile, which renders a placeholder),
+1 on unreadable input.
+"""
+
+import html
+import sys
+
+WIDTH = 1200          # Total SVG width in px.
+ROW = 16              # Row height per frame in px.
+FONT = 11             # Label font size.
+MIN_PX = 0.3          # Frames narrower than this are elided.
+PAD_TOP = 34          # Title strip.
+PAD_BOTTOM = 6
+
+
+class Node:
+    __slots__ = ("name", "value", "children")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+        self.children = {}
+
+    def child(self, name):
+        node = self.children.get(name)
+        if node is None:
+            node = Node(name)
+            self.children[name] = node
+        return node
+
+
+def parse(lines):
+    """Folded lines -> root Node with inclusive counts."""
+    root = Node("all")
+    for raw in lines:
+        line = raw.rstrip("\n")
+        if not line:
+            continue
+        stack, sep, count = line.rpartition(" ")
+        if not sep:
+            continue
+        try:
+            samples = int(count)
+        except ValueError:
+            continue
+        if samples <= 0 or not stack:
+            continue
+        root.value += samples
+        node = root
+        for frame in stack.split(";"):
+            node = node.child(frame or "?")
+            node.value += samples
+    return root
+
+
+def depth(node):
+    if not node.children:
+        return 1
+    return 1 + max(depth(child) for child in node.children.values())
+
+
+def color(name, level):
+    """Deterministic warm palette keyed on the frame name."""
+    h = 0
+    for ch in name:
+        h = (h * 31 + ord(ch)) & 0xFFFFFFFF
+    red = 205 + (h % 50)
+    green = 80 + ((h >> 8) % 110)
+    blue = (h >> 16) % 55
+    if level == 0:  # Role row: cool tint so thread roles stand out.
+        return "rgb(%d,%d,%d)" % (blue + 100, green, red - 60)
+    return "rgb(%d,%d,%d)" % (red, green, blue)
+
+
+def emit(node, x, level, total, height, out):
+    """Depth-first rectangle emission; children left-to-right by name."""
+    width = node.value / total * WIDTH
+    if width < MIN_PX:
+        return
+    y = height - PAD_BOTTOM - (level + 1) * ROW
+    label = node.name
+    title = "%s (%d samples, %.1f%%)" % (
+        label, node.value, node.value / total * 100.0)
+    # ~7px per glyph at 11px font; truncate to what fits.
+    max_chars = int(width / 7)
+    text = label if len(label) <= max_chars else label[:max(0, max_chars - 1)] + "…"
+    out.append(
+        '<g><title>%s</title>'
+        '<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="%s" '
+        'rx="1" stroke="white" stroke-width="0.4"/>' % (
+            html.escape(title), x, y, max(width - 0.2, 0.1), ROW - 1,
+            color(node.name, level)))
+    if max_chars >= 3:
+        out.append(
+            '<text x="%.2f" y="%d" font-size="%d" '
+            'font-family="monospace" fill="#1a1a1a">%s</text>' % (
+                x + 2, y + ROW - 5, FONT, html.escape(text)))
+    out.append("</g>")
+    cx = x
+    for name in sorted(node.children):
+        child = node.children[name]
+        emit(child, cx, level + 1, total, height, out)
+        cx += child.value / total * WIDTH
+
+
+def render(root, source):
+    levels = depth(root)
+    height = PAD_TOP + levels * ROW + PAD_BOTTOM
+    out = [
+        '<?xml version="1.0" standalone="no"?>',
+        '<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" '
+        'viewBox="0 0 %d %d">' % (WIDTH, height, WIDTH, height),
+        '<rect x="0" y="0" width="%d" height="%d" fill="#fdfdf6"/>' % (
+            WIDTH, height),
+        '<text x="%d" y="20" font-size="14" font-family="sans-serif" '
+        'text-anchor="middle">mvrob flame graph — %s — %d samples</text>' % (
+            WIDTH // 2, html.escape(source), root.value),
+    ]
+    if root.value > 0:
+        emit(root, 0.0, 0, root.value, height, out)
+    else:
+        out.append(
+            '<text x="%d" y="%d" font-size="12" font-family="sans-serif" '
+            'text-anchor="middle">no samples</text>' % (
+                WIDTH // 2, height // 2))
+    out.append("</svg>")
+    return "\n".join(out) + "\n"
+
+
+def main(argv):
+    if len(argv) != 2 or argv[1] in ("-h", "--help"):
+        sys.stderr.write(__doc__)
+        return 1
+    source = argv[1]
+    try:
+        if source == "-":
+            lines = sys.stdin.readlines()
+            source = "stdin"
+        else:
+            with open(source, encoding="utf-8", errors="replace") as fh:
+                lines = fh.readlines()
+    except OSError as err:
+        sys.stderr.write("flamegraph.py: %s\n" % err)
+        return 1
+    sys.stdout.write(render(parse(lines), source))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
