@@ -43,7 +43,10 @@
 #include "schedule/dot.h"
 #include "schedule/serializability.h"
 #include "templates/parser.h"
+#include "templates/predicate.h"
+#include "templates/promote.h"
 #include "templates/robustness.h"
+#include "templates/witness.h"
 #include "txn/parser.h"
 #include "workloads/registry.h"
 #include "workloads/stats.h"
@@ -60,7 +63,9 @@ commands:
   allocate   compute the optimal robust allocation (Algorithm 2)
   explore    analyze one schedule: dependencies, SeG, allowed-under
   census     enumerate all interleavings: allowed / anomalous counts
-  templates  per-program allocation for a template workload
+  templates  per-program allocation for a template workload: predicate
+             reads (key ranges), declared functional constraints, refined
+             template-pair conflicts, promotion, engine certification
   report     full markdown analysis of a workload
   simulate   execute the workload on the MVCC engine and report outcomes
   validate   round-trip recorded engine runs through the formal checker
@@ -88,7 +93,10 @@ common flags:
   --pin "T1=RC ..."        fix transactions to exact levels (allocate)
   --atmost "T2=SI ..."     per-transaction upper bounds (allocate)
   --max <n>                interleaving cap (census; default 2000000)
-  --templates <text|@file> template DSL (templates)
+  --templates <text|@file> template DSL (templates); v2 adds predicate
+                           reads R[key_$lo..$hi] / R[key_*D], `function`
+                           declarations and `constraint` lines
+                           (docs/templates.md)
   --json                   machine-readable output (check, allocate)
   --runs <n>               engine executions (simulate: default 20,
                            validate: default 200)
@@ -160,6 +168,22 @@ promote flags:
   --weight-si <n>          allocation cost of one SI slot (default 1)
   --weight-ssi <n>         allocation cost of one SSI slot (default 2)
 
+templates flags:
+  --no-constraints         drop the declared functional constraints and
+                           analyze under the distinct-parameter rule
+                           alone (the comparison baseline)
+  --copies <n>             instances per admissible parameter assignment
+                           in the canonical instantiation (default 2)
+  --max-instances <n>      refuse canonical instantiations larger than
+                           this many transactions (default 4096)
+  --promote                search for template reads to promote
+                           (SELECT ... FOR UPDATE across every instance)
+                           so a strictly cheaper per-template allocation
+                           becomes robust
+  (--explain, --rcsi, --witness-json and --validate-runs also apply at
+   template granularity; the witness JSON names which predicate or
+   constraint discharged each template-pair conflict, see docs/formats.md)
+
 serve flags:
   --port <n>               listen port (default 0 = ephemeral)
   --host <addr>            listen address (default 127.0.0.1)
@@ -194,7 +218,8 @@ struct Flags {
 
 bool IsSwitch(const std::string& flag) {
   return flag == "dot" || flag == "timeline" || flag == "rcsi" ||
-         flag == "explain" || flag == "json" || flag == "adapt";
+         flag == "explain" || flag == "json" || flag == "adapt" ||
+         flag == "no-constraints" || flag == "promote";
 }
 // Note: --pin and --atmost take values and are not switches.
 
@@ -564,13 +589,155 @@ int CmdTemplates(const Flags& flags, std::ostream& out, std::ostream& err) {
   }
   StatusOr<std::string> text = LoadText(flags.Get("templates"));
   if (!text.ok()) return Fail(err, text.status());
-  StatusOr<TemplateSet> set = ParseTemplateSet(*text);
-  if (!set.ok()) return Fail(err, set.status());
-  StatusOr<TemplateAllocationResult> result =
-      ComputeOptimalTemplateAllocation(*set);
-  if (!result.ok()) return Fail(err, result.status());
-  out << "optimal per-program allocation: "
-      << FormatTemplateAllocation(*set, result->levels) << "\n";
+  StatusOr<TemplateSet> parsed = ParseTemplateSet(*text);
+  if (!parsed.ok()) return Fail(err, parsed.status());
+  TemplateSet set =
+      flags.Has("no-constraints") ? parsed->WithoutConstraints() : *parsed;
+
+  InstantiationOptions inst;
+  StatusOr<int> copies =
+      IntFlag(flags, "copies", inst.copies_per_assignment, 1, 8);
+  if (!copies.ok()) return Fail(err, copies.status());
+  inst.copies_per_assignment = *copies;
+  StatusOr<int> max_instances =
+      IntFlag(flags, "max-instances", inst.max_instances, 1);
+  if (!max_instances.ok()) return Fail(err, max_instances.status());
+  inst.max_instances = *max_instances;
+
+  TemplateWitnessInputs witness;
+  std::optional<TemplateAllocation> levels;
+
+  std::optional<RcSiTemplateAllocationResult> rcsi;
+  if (flags.Has("rcsi")) {
+    StatusOr<RcSiTemplateAllocationResult> result =
+        ComputeOptimalRcSiTemplateAllocation(set, inst);
+    if (!result.ok()) return Fail(err, result.status());
+    rcsi = *std::move(result);
+    if (!rcsi->allocatable) {
+      out << "NOT robustly {RC, SI}-allocatable at template granularity.\n"
+          << "witness: "
+          << rcsi->counterexample->ToString(rcsi->instantiation.txns);
+      if (!rcsi->world.empty()) out << " [world " << rcsi->world << "]";
+      out << "\n";
+    } else {
+      levels = *rcsi->levels;
+      out << "optimal {RC, SI} per-program allocation: "
+          << FormatTemplateAllocation(set, *levels) << "\n";
+    }
+  } else {
+    StatusOr<TemplateAllocationResult> result =
+        ComputeOptimalTemplateAllocation(set, inst);
+    if (!result.ok()) return Fail(err, result.status());
+    levels = result->levels;
+    witness.worlds = result->worlds;
+    witness.robustness_checks = result->robustness_checks;
+    out << "optimal per-program allocation: "
+        << FormatTemplateAllocation(set, *levels) << "\n";
+    if (result->worlds > 1) {
+      out << "function worlds checked: " << result->worlds
+          << " (robust in every interpretation of the declared "
+             "functions)\n";
+    }
+  }
+
+  // The refined potential-conflict relation, with attribution: which
+  // constraint or predicate discharged each template-op pair relative to
+  // the distinct-parameter baseline.
+  StatusOr<TemplateConflictAnalysis> conflicts =
+      AnalyzeTemplateConflicts(set, inst);
+  if (conflicts.ok()) {
+    out << "template-pair conflicts: " << conflicts->conflicting_pairs
+        << " (distinct-parameter baseline: "
+        << conflicts->baseline_conflicting_pairs << ")\n";
+    if (flags.Has("explain")) {
+      for (const TemplateOpPairConflict& pair : conflicts->op_pairs) {
+        if (pair.conflicts || !pair.baseline_conflicts) continue;
+        out << "  " << set.tmpl(pair.tmpl_a).name() << ".op" << pair.op_a
+            << " x " << set.tmpl(pair.tmpl_b).name() << ".op" << pair.op_b
+            << " (" << pair.kind << "): discharged by "
+            << pair.discharged_by << "\n";
+      }
+    }
+  }
+
+  std::optional<TemplateExplanation> explanation;
+  if (flags.Has("explain") && levels.has_value()) {
+    StatusOr<TemplateExplanation> explained =
+        ExplainTemplateAllocation(set, *levels, inst);
+    if (!explained.ok()) return Fail(err, explained.status());
+    explanation = *std::move(explained);
+    out << "\nwhy no template can run lower:\n"
+        << explanation->ToString(set);
+  }
+
+  std::optional<TemplatePromotionPlan> promotion;
+  if (flags.Has("promote")) {
+    StatusOr<TemplatePromotionPlan> plan =
+        OptimizeTemplatePromotions(set, PromoteOptions{}, inst);
+    if (!plan.ok()) return Fail(err, plan.status());
+    promotion = *std::move(plan);
+    if (promotion->improved) {
+      out << "\ntemplate promotions (SELECT ... FOR UPDATE): "
+          << FormatTemplatePromotions(set, promotion->promotions) << "\n"
+          << "  before: "
+          << FormatTemplateAllocation(set, promotion->before_levels)
+          << " (weighted " << promotion->before_cost.weighted << ")\n"
+          << "  after:  "
+          << FormatTemplateAllocation(set, promotion->after_levels)
+          << " (weighted " << promotion->after_cost.weighted << ")\n";
+    } else {
+      out << "\nno template promotion lowers the allocation cost\n";
+    }
+  }
+
+  // Engine certification: every world's canonical instantiation is run on
+  // the MVCC engine under the computed per-template allocation and
+  // round-tripped through the formal checker.
+  uint64_t disagreements = 0;
+  StatusOr<int> validate_runs =
+      IntFlag(flags, "validate-runs", 0, 0, std::numeric_limits<int>::max());
+  if (!validate_runs.ok()) return Fail(err, validate_runs.status());
+  if (*validate_runs > 0 && levels.has_value()) {
+    StatusOr<uint64_t> seed = Uint64Flag(flags, "seed", 0);
+    if (!seed.ok()) return Fail(err, seed.status());
+    StatusOr<std::vector<WorldInstantiation>> worlds =
+        InstantiateAllWorlds(set, inst);
+    if (!worlds.ok()) return Fail(err, worlds.status());
+    for (const WorldInstantiation& world : *worlds) {
+      std::vector<IsolationLevel> instance_levels;
+      for (int tmpl : world.instantiation.template_of_txn) {
+        instance_levels.push_back((*levels)[static_cast<size_t>(tmpl)]);
+      }
+      RoundTripOptions rt;
+      rt.runs = *validate_runs;
+      rt.seed = *seed;
+      StatusOr<RoundTripReport> report = ValidateEngineRuns(
+          world.instantiation.txns, Allocation(std::move(instance_levels)),
+          rt);
+      if (!report.ok()) return Fail(err, report.status());
+      disagreements += report->disagreements;
+      out << "validation: runs=" << report->runs
+          << " certified=" << report->certified
+          << " disagreements=" << report->disagreements
+          << " anomalous=" << report->anomalous_runs;
+      if (!world.instantiation.world.empty()) {
+        out << " [world " << world.instantiation.world << "]";
+      }
+      out << "\n";
+    }
+  }
+
+  if (flags.Has("witness-json")) {
+    if (levels.has_value()) witness.levels = &*levels;
+    if (conflicts.ok()) witness.conflicts = &*conflicts;
+    if (explanation.has_value()) witness.explanation = &*explanation;
+    if (promotion.has_value()) witness.promotion = &*promotion;
+    Status emitted = EmitArtifact(flags.Get("witness-json"),
+                                  TemplateWitnessJson(set, witness), out);
+    if (!emitted.ok()) return Fail(err, emitted);
+  }
+  if (rcsi.has_value() && !rcsi->allocatable) return 1;
+  if (disagreements != 0) return 2;
   return 0;
 }
 

@@ -14,6 +14,11 @@ namespace mvrob {
 
 RobustnessAnalyzer::RobustnessAnalyzer(const TransactionSet& txns,
                                        MetricsRegistry* metrics)
+    : RobustnessAnalyzer(txns, ConflictPruner{}, metrics) {}
+
+RobustnessAnalyzer::RobustnessAnalyzer(const TransactionSet& txns,
+                                       const ConflictPruner& pruner,
+                                       MetricsRegistry* metrics)
     : txns_(txns), metrics_(metrics) {
   const size_t n = txns.size();
   conflict_ = BitMatrix(n, n);
@@ -34,6 +39,9 @@ RobustnessAnalyzer::RobustnessAnalyzer(const TransactionSet& txns,
       const Transaction& ti = txns.txn(i);
       for (TxnId j = 0; j < n; ++j) {
         if (i == j) continue;
+        // A sound pruner clearing the pair means no operation-level
+        // conflict exists; the sentinel defaults already encode that.
+        if (!pruner.MayConflict(i, j)) continue;
         const Transaction& tj = txns.txn(j);
         int& first_ww = first_ww_idx_[i * n + j];
         int& first_rw = first_rw_idx_[i * n + j];

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/bitset.h"
+#include "core/conflict.h"
 #include "core/robustness.h"
 
 namespace mvrob {
@@ -50,6 +51,15 @@ class RobustnessAnalyzer {
   /// takes precedence for the latter. Collection never changes results.
   explicit RobustnessAnalyzer(const TransactionSet& txns,
                               MetricsRegistry* metrics = nullptr);
+
+  /// Same, with a group-level ConflictPruner (core/conflict.h): pairs the
+  /// pruner rules out skip the per-operation scans during matrix
+  /// construction. The pruner must be sound (see ConflictPruner), in
+  /// which case every matrix — and therefore every Check result — is
+  /// identical to the unpruned analyzer's. The referenced pruner tables
+  /// only need to outlive the constructor.
+  RobustnessAnalyzer(const TransactionSet& txns, const ConflictPruner& pruner,
+                     MetricsRegistry* metrics);
 
   /// Algorithm 1 for one allocation; equivalent to CheckRobustness.
   RobustnessResult Check(const Allocation& alloc) const;

@@ -7,11 +7,17 @@ namespace mvrob {
 
 OptimalAllocationResult ComputeOptimalAllocation(const TransactionSet& txns,
                                                  const CheckOptions& options) {
-  PhaseTimer timer(options.metrics, "allocation.algorithm2");
-  OptimalAllocationResult result;
   // All 2|T| robustness checks run over the same transaction set, so the
   // analyzer's conflict matrices and pivot components amortize fully.
   RobustnessAnalyzer analyzer(txns, options.metrics);
+  return ComputeOptimalAllocation(analyzer, options);
+}
+
+OptimalAllocationResult ComputeOptimalAllocation(
+    const RobustnessAnalyzer& analyzer, const CheckOptions& options) {
+  PhaseTimer timer(options.metrics, "allocation.algorithm2");
+  const TransactionSet& txns = analyzer.txns();
+  OptimalAllocationResult result;
   result.allocation = Allocation::AllSSI(txns.size());
   uint64_t levels_tried = 0;
   for (TxnId t = 0; t < txns.size(); ++t) {

@@ -29,6 +29,15 @@ struct OptimalAllocationResult {
 OptimalAllocationResult ComputeOptimalAllocation(const TransactionSet& txns,
                                                  const CheckOptions& options = {});
 
+class RobustnessAnalyzer;
+
+/// Algorithm 2 over a caller-provided analyzer, so callers that already
+/// hold one — the template layer runs Algorithm 2 once per function world
+/// over conflict-pruned analyzers — reuse its matrices and pivot caches
+/// instead of rebuilding them.
+OptimalAllocationResult ComputeOptimalAllocation(
+    const RobustnessAnalyzer& analyzer, const CheckOptions& options = {});
+
 }  // namespace mvrob
 
 #endif  // MVROB_CORE_OPTIMAL_ALLOCATION_H_

@@ -1,0 +1,182 @@
+#include "templates/constraint.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace mvrob {
+namespace {
+
+// All tables arg_size -> [0, result_size), optionally injective.
+std::vector<std::vector<int>> EnumerateTables(int arg_size, int result_size,
+                                              bool injective) {
+  std::vector<std::vector<int>> tables;
+  std::vector<int> table(arg_size, 0);
+  while (true) {
+    bool ok = true;
+    if (injective) {
+      for (int i = 0; i < arg_size && ok; ++i) {
+        for (int j = i + 1; j < arg_size; ++j) {
+          if (table[i] == table[j]) {
+            ok = false;
+            break;
+          }
+        }
+      }
+    }
+    if (ok) tables.push_back(table);
+    int k = 0;
+    while (k < arg_size && ++table[k] == result_size) {
+      table[k] = 0;
+      ++k;
+    }
+    if (k == arg_size) break;
+  }
+  return tables;
+}
+
+std::string TableToString(const std::vector<int>& table) {
+  std::vector<std::string> cells;
+  for (int v : table) cells.push_back(StrCat(v));
+  return StrCat("{", Join(cells, ","), "}");
+}
+
+}  // namespace
+
+int FunctionWorld::Apply(const std::string& func, int arg) const {
+  auto it = tables.find(func);
+  if (it == tables.end() || arg < 0 ||
+      arg >= static_cast<int>(it->second.size())) {
+    return -1;
+  }
+  return it->second[arg];
+}
+
+StatusOr<std::vector<FunctionWorld>> EnumerateFunctionWorlds(
+    const TemplateSet& set, int max_worlds) {
+  std::vector<FunctionWorld> worlds = {FunctionWorld{}};
+  for (const FunctionDecl& func : set.functions()) {
+    std::vector<std::vector<int>> tables =
+        EnumerateTables(set.DomainSize(func.arg_domain),
+                        set.DomainSize(func.result_domain), func.injective);
+    if (worlds.size() * tables.size() >
+        static_cast<size_t>(std::max(max_worlds, 1))) {
+      return Status::ResourceExhausted(StrCat(
+          "functional-constraint interpretation space exceeds ", max_worlds,
+          " worlds; shrink the canonical domains or drop function "
+          "constraints"));
+    }
+    std::vector<FunctionWorld> next;
+    next.reserve(worlds.size() * tables.size());
+    for (const FunctionWorld& world : worlds) {
+      for (const std::vector<int>& table : tables) {
+        FunctionWorld extended = world;
+        extended.tables[func.name] = table;
+        extended.name = extended.name.empty()
+                            ? StrCat(func.name, "=", TableToString(table))
+                            : StrCat(extended.name, " ", func.name, "=",
+                                     TableToString(table));
+        next.push_back(std::move(extended));
+      }
+    }
+    worlds = std::move(next);
+  }
+  return worlds;
+}
+
+ConstraintIndex::ConstraintIndex(const TemplateSet& set) {
+  Compile(set, set.constraints());
+}
+
+ConstraintIndex::ConstraintIndex(
+    const TemplateSet& set, const std::vector<FunctionalConstraint>& active) {
+  Compile(set, active);
+}
+
+void ConstraintIndex::Compile(
+    const TemplateSet& set, const std::vector<FunctionalConstraint>& active) {
+  per_template_.resize(set.size());
+  for (size_t t = 0; t < set.size(); ++t) {
+    const TransactionTemplate& tmpl = set.tmpl(t);
+    PerTemplate& compiled = per_template_[t];
+    for (const FunctionalConstraint& c : active) {
+      if (c.tmpl != tmpl.name()) continue;
+      int left = tmpl.FindParam(c.left);
+      int right = tmpl.FindParam(c.right);
+      switch (c.kind) {
+        case FunctionalConstraint::Kind::kEquality:
+          compiled.equal.emplace_back(left, right);
+          break;
+        case FunctionalConstraint::Kind::kDisjointness:
+          compiled.distinct.emplace_back(left, right);
+          break;
+        case FunctionalConstraint::Kind::kFunction:
+          compiled.deps.push_back(Dep{left, right, c.func});
+          break;
+      }
+    }
+    // Same-domain pairs remain implicitly distinct unless explicitly
+    // equated (directly or transitively).
+    const std::vector<ParamDecl>& params = tmpl.params();
+    std::vector<int> parent(params.size());
+    for (size_t i = 0; i < params.size(); ++i) parent[i] = static_cast<int>(i);
+    auto find = [&](int x) {
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    for (const auto& [a, b] : compiled.equal) parent[find(a)] = find(b);
+    for (size_t i = 0; i < params.size(); ++i) {
+      for (size_t j = i + 1; j < params.size(); ++j) {
+        if (params[i].domain != params[j].domain) continue;
+        if (find(static_cast<int>(i)) == find(static_cast<int>(j))) continue;
+        compiled.implicit_distinct.emplace_back(static_cast<int>(i),
+                                                static_cast<int>(j));
+      }
+    }
+  }
+}
+
+bool ConstraintIndex::Admits(size_t tmpl, const std::vector<int>& values,
+                             const FunctionWorld& world,
+                             bool distinct_same_domain) const {
+  const PerTemplate& compiled = per_template_[tmpl];
+  for (const auto& [a, b] : compiled.equal) {
+    if (values[a] != values[b]) return false;
+  }
+  for (const auto& [a, b] : compiled.distinct) {
+    if (values[a] == values[b]) return false;
+  }
+  for (const Dep& dep : compiled.deps) {
+    if (values[dep.determined] != world.Apply(dep.func, values[dep.arg])) {
+      return false;
+    }
+  }
+  if (distinct_same_domain) {
+    for (const auto& [a, b] : compiled.implicit_distinct) {
+      if (values[a] == values[b]) return false;
+    }
+  }
+  return true;
+}
+
+void ForEachAdmissibleAssignment(
+    const TemplateSet& set, size_t tmpl, const ConstraintIndex& index,
+    const FunctionWorld& world, bool distinct_same_domain,
+    const std::function<void(const std::vector<int>&)>& visit) {
+  const std::vector<ParamDecl>& params = set.tmpl(tmpl).params();
+  std::vector<int> values(params.size(), 0);
+  while (true) {
+    if (index.Admits(tmpl, values, world, distinct_same_domain)) {
+      visit(values);
+    }
+    size_t k = 0;
+    while (k < params.size() &&
+           ++values[k] == set.DomainSize(params[k].domain)) {
+      values[k] = 0;
+      ++k;
+    }
+    if (k == params.size()) break;
+  }
+}
+
+}  // namespace mvrob

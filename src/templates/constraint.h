@@ -1,0 +1,88 @@
+#ifndef MVROB_TEMPLATES_CONSTRAINT_H_
+#define MVROB_TEMPLATES_CONSTRAINT_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "templates/template.h"
+
+namespace mvrob {
+
+/// A concrete interpretation of every declared function symbol over the
+/// canonical domains: tables[f][v] is the value index of f(v).
+///
+/// Functional dependencies constrain assignments *relative to an unknown
+/// function*: "o = ord(c)" promises that o is determined by c, not which
+/// table ord denotes. A template set is robust under its constraints iff
+/// it is robust for every interpretation, so the template layer enumerates
+/// all interpretations ("worlds") over the canonical domains — exact
+/// relative to canonical instantiation — instead of guessing one.
+struct FunctionWorld {
+  std::map<std::string, std::vector<int>> tables;
+  /// "ord={1,0}" label for witnesses; empty when no functions are declared.
+  std::string name;
+
+  int Apply(const std::string& func, int arg) const;
+};
+
+/// Enumerates every interpretation of the set's function symbols over the
+/// canonical domain sizes (injective functions only range over injective
+/// tables). A set without function symbols yields the single empty world.
+/// ResourceExhausted when the interpretation space exceeds `max_worlds`
+/// (shrink the canonical domains or drop function constraints).
+StatusOr<std::vector<FunctionWorld>> EnumerateFunctionWorlds(
+    const TemplateSet& set, int max_worlds = 64);
+
+/// Compiled per-template constraints for fast admissibility tests during
+/// instantiation and template-pair conflict analysis.
+class ConstraintIndex {
+ public:
+  /// Compiles every constraint declared on `set`.
+  explicit ConstraintIndex(const TemplateSet& set);
+  /// Compiles only `active` (which must be valid constraints of `set`) —
+  /// used to attribute which single constraint discharges a conflict.
+  ConstraintIndex(const TemplateSet& set,
+                  const std::vector<FunctionalConstraint>& active);
+
+  /// True when `values` (one value index per parameter of template `tmpl`)
+  /// satisfies every compiled constraint under `world`, plus the implicit
+  /// distinct-same-domain rule when `distinct_same_domain` is set. Pairs
+  /// related by an explicit equality constraint are exempt from the
+  /// implicit rule.
+  bool Admits(size_t tmpl, const std::vector<int>& values,
+              const FunctionWorld& world, bool distinct_same_domain) const;
+
+ private:
+  struct Dep {
+    int determined = 0;
+    int arg = 0;
+    std::string func;
+  };
+  struct PerTemplate {
+    std::vector<std::pair<int, int>> equal;
+    std::vector<std::pair<int, int>> distinct;
+    std::vector<Dep> deps;
+    /// Same-domain parameter pairs subject to the implicit rule (explicitly
+    /// equated pairs removed).
+    std::vector<std::pair<int, int>> implicit_distinct;
+  };
+  void Compile(const TemplateSet& set,
+               const std::vector<FunctionalConstraint>& active);
+
+  std::vector<PerTemplate> per_template_;
+};
+
+/// Enumerates the admissible parameter assignments of template `tmpl`
+/// (value indices per parameter) under `index` and `world`, in odometer
+/// order.
+void ForEachAdmissibleAssignment(
+    const TemplateSet& set, size_t tmpl, const ConstraintIndex& index,
+    const FunctionWorld& world, bool distinct_same_domain,
+    const std::function<void(const std::vector<int>&)>& visit);
+
+}  // namespace mvrob
+
+#endif  // MVROB_TEMPLATES_CONSTRAINT_H_

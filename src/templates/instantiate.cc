@@ -1,63 +1,85 @@
 #include "templates/instantiate.h"
 
-#include <functional>
-#include <map>
+#include <set>
+#include <string>
 
 #include "common/string_util.h"
 
 namespace mvrob {
 namespace {
 
-// Enumerates parameter assignments for `tmpl` as value indices per
-// parameter; returns false from the visitor to stop.
-void ForEachAssignment(
-    const TemplateSet& set, const TransactionTemplate& tmpl,
-    bool distinct_same_domain,
-    const std::function<void(const std::vector<int>&)>& visit) {
-  const std::vector<ParamDecl>& params = tmpl.params();
-  std::vector<int> values(params.size(), 0);
-  while (true) {
-    bool admissible = true;
-    if (distinct_same_domain) {
-      for (size_t i = 0; i < params.size() && admissible; ++i) {
-        for (size_t j = i + 1; j < params.size(); ++j) {
-          if (params[i].domain == params[j].domain &&
-              values[i] == values[j]) {
-            admissible = false;
-            break;
+// Expands one template op under a concrete assignment into the list of
+// object names it touches: point patterns yield one name, predicate reads
+// one name per matching key (cartesian over multiple predicate segments;
+// an empty range yields none).
+std::vector<std::string> ExpandObjects(const TemplateSet& set,
+                                       const TransactionTemplate& tmpl,
+                                       const TemplateOp& op,
+                                       const std::vector<int>& values) {
+  std::vector<std::string> objects = {""};
+  for (const PatternSegment& seg : op.segments) {
+    switch (seg.kind) {
+      case PatternSegment::Kind::kLiteral:
+        for (std::string& object : objects) object += seg.text;
+        break;
+      case PatternSegment::Kind::kParam: {
+        std::string value = StrCat(values[tmpl.FindParam(seg.text)]);
+        for (std::string& object : objects) object += value;
+        break;
+      }
+      case PatternSegment::Kind::kWildcard: {
+        std::vector<std::string> forked;
+        int size = set.DomainSize(seg.text);
+        forked.reserve(objects.size() * size);
+        for (const std::string& object : objects) {
+          for (int v = 0; v < size; ++v) {
+            forked.push_back(StrCat(object, v));
           }
         }
+        objects = std::move(forked);
+        break;
+      }
+      case PatternSegment::Kind::kRange: {
+        int lo = values[tmpl.FindParam(seg.lo)];
+        int hi = values[tmpl.FindParam(seg.hi)];
+        std::vector<std::string> forked;
+        for (const std::string& object : objects) {
+          for (int v = lo; v <= hi; ++v) {
+            forked.push_back(StrCat(object, v));
+          }
+        }
+        objects = std::move(forked);
+        break;
       }
     }
-    if (admissible) visit(values);
-    // Odometer.
-    size_t k = 0;
-    while (k < params.size() &&
-           ++values[k] == set.DomainSize(params[k].domain)) {
-      values[k] = 0;
-      ++k;
-    }
-    if (k == params.size()) break;
   }
+  return objects;
 }
 
 }  // namespace
 
+std::vector<std::string> ExpandTemplateOpObjects(
+    const TemplateSet& set, const TransactionTemplate& tmpl,
+    const TemplateOp& op, const std::vector<int>& values) {
+  return ExpandObjects(set, tmpl, op, values);
+}
+
 StatusOr<Instantiation> InstantiateTemplates(
-    const TemplateSet& set, const InstantiationOptions& options) {
+    const TemplateSet& set, const FunctionWorld& world,
+    const InstantiationOptions& options) {
   Instantiation result;
+  result.world = world.name;
   Status failure;
+  ConstraintIndex index(set);
 
   for (size_t t = 0; t < set.size(); ++t) {
     const TransactionTemplate& tmpl = set.tmpl(t);
-    ForEachAssignment(
-        set, tmpl, options.distinct_same_domain_params,
+    ForEachAdmissibleAssignment(
+        set, t, index, world, options.distinct_same_domain_params,
         [&](const std::vector<int>& values) {
           if (!failure.ok()) return;
-          std::map<std::string, std::string> assignment;
           std::string suffix;
           for (size_t p = 0; p < tmpl.params().size(); ++p) {
-            assignment[tmpl.params()[p].name] = StrCat(values[p]);
             suffix += StrCat("_", tmpl.params()[p].name, values[p]);
           }
           for (int copy = 0; copy < options.copies_per_assignment; ++copy) {
@@ -69,13 +91,28 @@ StatusOr<Instantiation> InstantiateTemplates(
               return;
             }
             std::vector<Operation> ops;
-            for (const TemplateOp& op : tmpl.ops()) {
-              ObjectId object = result.txns.InternObject(
-                  TransactionTemplate::Substitute(op.object_pattern,
-                                                  assignment));
-              ops.push_back(op.type == OpType::kRead
-                                ? Operation::Read(object)
-                                : Operation::Write(object));
+            std::vector<int> op_of_op;
+            std::set<std::string> reads_seen;
+            for (size_t o = 0; o < tmpl.ops().size(); ++o) {
+              const TemplateOp& op = tmpl.ops()[o];
+              std::set<std::string> in_this_op;
+              for (const std::string& name :
+                   ExpandObjects(set, tmpl, op, values)) {
+                if (op.type == OpType::kRead && op.IsPredicate()) {
+                  // A predicate read names each matching key once, and a
+                  // key already read by an earlier op adds nothing.
+                  if (!in_this_op.insert(name).second) continue;
+                  if (reads_seen.count(name) > 0) continue;
+                }
+                ObjectId object = result.txns.InternObject(name);
+                if (op.type == OpType::kRead) {
+                  reads_seen.insert(name);
+                  ops.push_back(Operation::Read(object));
+                } else {
+                  ops.push_back(Operation::Write(object));
+                }
+                op_of_op.push_back(static_cast<int>(o));
+              }
             }
             StatusOr<TxnId> id = result.txns.AddTransaction(
                 StrCat(tmpl.name(), suffix, "#", copy + 1), std::move(ops));
@@ -84,9 +121,37 @@ StatusOr<Instantiation> InstantiateTemplates(
               return;
             }
             result.template_of_txn.push_back(static_cast<int>(t));
+            result.template_op_of_op.push_back(std::move(op_of_op));
           }
         });
     if (!failure.ok()) return failure;
+  }
+  return result;
+}
+
+StatusOr<Instantiation> InstantiateTemplates(
+    const TemplateSet& set, const InstantiationOptions& options) {
+  if (!set.functions().empty()) {
+    return Status::InvalidArgument(
+        "template set declares function symbols; instantiate per world "
+        "(InstantiateAllWorlds)");
+  }
+  return InstantiateTemplates(set, FunctionWorld{}, options);
+}
+
+StatusOr<std::vector<WorldInstantiation>> InstantiateAllWorlds(
+    const TemplateSet& set, const InstantiationOptions& options) {
+  StatusOr<std::vector<FunctionWorld>> worlds =
+      EnumerateFunctionWorlds(set, options.max_worlds);
+  if (!worlds.ok()) return worlds.status();
+  std::vector<WorldInstantiation> result;
+  result.reserve(worlds->size());
+  for (FunctionWorld& world : *worlds) {
+    StatusOr<Instantiation> instantiation =
+        InstantiateTemplates(set, world, options);
+    if (!instantiation.ok()) return instantiation.status();
+    result.push_back(WorldInstantiation{std::move(world),
+                                        std::move(instantiation).value()});
   }
   return result;
 }

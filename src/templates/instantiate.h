@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "templates/constraint.h"
 #include "templates/template.h"
 #include "txn/transaction_set.h"
 
@@ -16,12 +17,16 @@ struct InstantiationOptions {
   int copies_per_assignment = 2;
   /// Skip assignments that bind two parameters of the same domain to the
   /// same value (the standard "distinct parameters" reading of templates
-  /// like Amalgamate(n1, n2); richer inequality constraints are the
-  /// functional constraints of Vandevoort et al. ICDT'22 and out of
-  /// scope).
+  /// like Amalgamate(n1, n2)). Explicit equality constraints override the
+  /// rule for the equated pair; the richer inequality and functional
+  /// dependencies of Vandevoort et al. ICDT'22 are the declared
+  /// constraints of the template set.
   bool distinct_same_domain_params = true;
   /// Refuse instantiations larger than this many transactions.
   int max_instances = 4096;
+  /// Refuse function-constraint interpretation spaces larger than this
+  /// many worlds (see EnumerateFunctionWorlds).
+  int max_worlds = 64;
 };
 
 /// A finite instantiation of a template set: the concrete transactions plus
@@ -29,10 +34,21 @@ struct InstantiationOptions {
 struct Instantiation {
   TransactionSet txns;
   std::vector<int> template_of_txn;
+  /// For each transaction, the template-op index each instance operation
+  /// (commit excluded) was expanded from. Predicate reads expand one
+  /// template op into several point reads, so this is not the identity.
+  std::vector<std::vector<int>> template_op_of_op;
+  /// Label of the function world this instantiation was built under
+  /// (empty without function constraints).
+  std::string world;
 };
 
 /// Instantiates every template for every admissible parameter assignment
-/// over the declared domains, `copies_per_assignment` times.
+/// over the declared domains, `copies_per_assignment` times, under the
+/// given function-world interpretation. Predicate reads expand into the
+/// point reads of every matching key (sound and exact over the canonical
+/// finite domains, since every write in the set names keys over the same
+/// domains); duplicate reads arising from the expansion are emitted once.
 ///
 /// Canonicity: robustness of the *template* set means robustness of every
 /// set of transactions instantiable from it. Counterexamples (Definition
@@ -41,6 +57,31 @@ struct Instantiation {
 /// exhaustive; the template property tests validate empirically that the
 /// answer is stable when domains and copies grow.
 StatusOr<Instantiation> InstantiateTemplates(
+    const TemplateSet& set, const FunctionWorld& world,
+    const InstantiationOptions& options = {});
+
+/// The concrete keys one template op touches under an assignment (`values`
+/// holds one value index per template parameter): one key for a point
+/// pattern, one per matching key for a predicate read, none for an empty
+/// range. Shared by instantiation and the template-pair conflict analysis
+/// in predicate.h.
+std::vector<std::string> ExpandTemplateOpObjects(
+    const TemplateSet& set, const TransactionTemplate& tmpl,
+    const TemplateOp& op, const std::vector<int>& values);
+
+/// Single-world convenience overload: valid only when the set declares no
+/// function symbols (InvalidArgument otherwise — enumerate the worlds).
+StatusOr<Instantiation> InstantiateTemplates(
+    const TemplateSet& set, const InstantiationOptions& options = {});
+
+/// One instantiation per function world. Template-level verdicts quantify
+/// over every world: the set is robust iff each world's instantiation is.
+struct WorldInstantiation {
+  FunctionWorld world;
+  Instantiation instantiation;
+};
+
+StatusOr<std::vector<WorldInstantiation>> InstantiateAllWorlds(
     const TemplateSet& set, const InstantiationOptions& options = {});
 
 }  // namespace mvrob

@@ -54,4 +54,21 @@ GetHighBid(i:I): R[highbid_$i]
 )"));
 }
 
+TemplateSet TpccScanTemplates(int items) {
+  return MustParse(StrCat("domain I ", items, "\n", R"(
+NewOrder(i:I): R[dnext] W[dnext] R[sqty_$i] W[sqty_$i]
+StockScan(lo:I, hi:I): R[dnext] R[sqty_$lo..$hi]
+Restock(i:I): R[sqty_$i] W[sqty_$i] W[slog_$i]
+)"));
+}
+
+TemplateSet ConstraintShowcaseTemplates(bool constrained, int items) {
+  std::string text = StrCat("domain D ", items, "\n", R"(
+Audit(lo:D, hi:D): R[item_$lo..$hi]
+Move(src:D, dst:D): R[item_$src] W[item_$dst]
+)");
+  if (constrained) text += "constraint Move: src == dst\n";
+  return MustParse(text);
+}
+
 }  // namespace mvrob

@@ -17,6 +17,23 @@ TemplateSet SmallBankTemplates(int customers = 2);
 /// The auction scenario as templates (see workloads/auction.h).
 TemplateSet AuctionTemplates(int items = 1, int bidders = 2);
 
+/// TPC-C's stock-level flavor with a real range read: StockScan reads the
+/// stock quantities of an item range (the "last 20 orders" scan) instead
+/// of a single point, next to NewOrder-style point RMWs on the same keys.
+/// Exercises the v2 predicate-read path end to end.
+TemplateSet TpccScanTemplates(int items = 3);
+
+/// The documented "constraint buys a cheaper allocation" showcase
+/// (docs/templates.md, docs/tutorial.md): a range-scanning Audit over
+/// item_* plus a Move(src, dst) point RMW-shaped writer. Under the
+/// distinct-parameter rule Move(src != dst) instances form pure write
+/// skew and both templates need SSI; declaring `constraint Move: src ==
+/// dst` turns every Move into a same-key RMW and the optimal allocation
+/// drops to all-SI. With `constrained = false` the constraint line is
+/// omitted (the baseline the docs compare against).
+TemplateSet ConstraintShowcaseTemplates(bool constrained = true,
+                                        int items = 3);
+
 }  // namespace mvrob
 
 #endif  // MVROB_TEMPLATES_LIBRARY_H_

@@ -55,6 +55,70 @@ StatusOr<std::vector<ParamDecl>> ParseParams(std::string_view decl,
   return params;
 }
 
+Status ParseVersionLine(std::string_view line) {
+  std::vector<std::string> parts = SplitAndTrim(line, ' ');
+  if (parts.size() != 2 || (parts[1] != "1" && parts[1] != "2")) {
+    return Status::InvalidArgument(
+        StrCat("unsupported template format version in '", line,
+               "', expected: version 1|2"));
+  }
+  return Status::Ok();
+}
+
+Status ParseFunctionLine(std::string_view line, TemplateSet& set) {
+  std::vector<std::string> parts = SplitAndTrim(line, ' ');
+  bool injective = parts.size() == 5 && parts[4] == "injective";
+  if (parts.size() != 4 && !injective) {
+    return Status::InvalidArgument(
+        StrCat("malformed function declaration '", line,
+               "', expected: function NAME ARG_DOMAIN RESULT_DOMAIN "
+               "[injective]"));
+  }
+  return set.DeclareFunction(
+      FunctionDecl{parts[1], parts[2], parts[3], injective});
+}
+
+StatusOr<FunctionalConstraint> ParseConstraintLine(std::string_view line) {
+  Status malformed = Status::InvalidArgument(
+      StrCat("malformed constraint '", line,
+             "', expected: constraint Template: a == b | a != b | "
+             "b = f(a)"));
+  std::string_view rest = line.substr(std::string_view("constraint").size());
+  size_t colon = rest.find(':');
+  if (colon == std::string_view::npos) return malformed;
+  FunctionalConstraint constraint;
+  constraint.tmpl = std::string(StripWhitespace(rest.substr(0, colon)));
+  std::string_view expr = StripWhitespace(rest.substr(colon + 1));
+  if (constraint.tmpl.empty() || expr.empty()) return malformed;
+  size_t eq = expr.find("==");
+  size_t neq = expr.find("!=");
+  if (eq != std::string_view::npos) {
+    constraint.kind = FunctionalConstraint::Kind::kEquality;
+    constraint.left = std::string(StripWhitespace(expr.substr(0, eq)));
+    constraint.right = std::string(StripWhitespace(expr.substr(eq + 2)));
+  } else if (neq != std::string_view::npos) {
+    constraint.kind = FunctionalConstraint::Kind::kDisjointness;
+    constraint.left = std::string(StripWhitespace(expr.substr(0, neq)));
+    constraint.right = std::string(StripWhitespace(expr.substr(neq + 2)));
+  } else {
+    size_t assign = expr.find('=');
+    size_t open = expr.find('(');
+    if (assign == std::string_view::npos || open == std::string_view::npos ||
+        open < assign || expr.back() != ')') {
+      return malformed;
+    }
+    constraint.kind = FunctionalConstraint::Kind::kFunction;
+    constraint.left = std::string(StripWhitespace(expr.substr(0, assign)));
+    constraint.func = std::string(
+        StripWhitespace(expr.substr(assign + 1, open - assign - 1)));
+    constraint.right = std::string(StripWhitespace(
+        expr.substr(open + 1, expr.size() - open - 2)));
+    if (constraint.func.empty()) return malformed;
+  }
+  if (constraint.left.empty() || constraint.right.empty()) return malformed;
+  return constraint;
+}
+
 StatusOr<std::vector<TemplateOp>> ParseBody(std::string_view body,
                                             std::string_view line) {
   std::vector<TemplateOp> ops;
@@ -77,12 +141,31 @@ StatusOr<std::vector<TemplateOp>> ParseBody(std::string_view body,
 
 StatusOr<TemplateSet> ParseTemplateSet(std::string_view text) {
   TemplateSet set;
+  // Constraints may appear anywhere in the file; they are validated after
+  // every template is known.
+  std::vector<FunctionalConstraint> pending_constraints;
   for (const std::string& raw_line : SplitAndTrim(text, '\n')) {
     std::string_view line = StripWhitespace(raw_line);
     if (line.empty() || line[0] == '#') continue;
     if (line.starts_with("domain ")) {
       Status status = ParseDomainLine(line, set);
       if (!status.ok()) return status;
+      continue;
+    }
+    if (line.starts_with("version ")) {
+      Status status = ParseVersionLine(line);
+      if (!status.ok()) return status;
+      continue;
+    }
+    if (line.starts_with("function ")) {
+      Status status = ParseFunctionLine(line, set);
+      if (!status.ok()) return status;
+      continue;
+    }
+    if (line.starts_with("constraint ")) {
+      StatusOr<FunctionalConstraint> constraint = ParseConstraintLine(line);
+      if (!constraint.ok()) return constraint.status();
+      pending_constraints.push_back(std::move(constraint).value());
       continue;
     }
     size_t open = line.find('(');
@@ -105,6 +188,10 @@ StatusOr<TemplateSet> ParseTemplateSet(std::string_view text) {
         std::move(name), std::move(params).value(), std::move(ops).value());
     if (!tmpl.ok()) return tmpl.status();
     Status added = set.Add(std::move(tmpl).value());
+    if (!added.ok()) return added;
+  }
+  for (FunctionalConstraint& constraint : pending_constraints) {
+    Status added = set.AddConstraint(std::move(constraint));
     if (!added.ok()) return added;
   }
   return set;

@@ -1,0 +1,323 @@
+#include "templates/predicate.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace mvrob {
+namespace {
+
+// Position inside one segment automaton: `off` is the index into a literal
+// segment's text, or for hole segments (param/wildcard/range, which all
+// generate nonempty digit runs) a 0/1 flag for "consumed at least one
+// digit".
+struct Pos {
+  size_t seg = 0;
+  size_t off = 0;
+  friend bool operator<(const Pos& a, const Pos& b) {
+    return a.seg != b.seg ? a.seg < b.seg : a.off < b.off;
+  }
+  friend bool operator==(const Pos&, const Pos&) = default;
+};
+
+bool IsHole(const PatternSegment& seg) {
+  return seg.kind != PatternSegment::Kind::kLiteral;
+}
+
+// Epsilon-closure: positions where the automaton can rest after completing
+// literals and optionally leaving satisfied holes.
+void Close(const std::vector<PatternSegment>& segs, Pos p,
+           std::vector<Pos>& out) {
+  if (p.seg >= segs.size()) {
+    out.push_back(p);
+    return;
+  }
+  const PatternSegment& seg = segs[p.seg];
+  if (!IsHole(seg) && p.off == seg.text.size()) {
+    Close(segs, Pos{p.seg + 1, 0}, out);
+    return;
+  }
+  out.push_back(p);
+  if (IsHole(seg) && p.off == 1) {
+    Close(segs, Pos{p.seg + 1, 0}, out);
+  }
+}
+
+}  // namespace
+
+bool PatternsMayOverlap(const std::vector<PatternSegment>& a,
+                        const std::vector<PatternSegment>& b) {
+  std::set<std::pair<Pos, Pos>> visited;
+  std::vector<std::pair<Pos, Pos>> frontier;
+  auto push = [&](Pos x, Pos y) {
+    std::vector<Pos> xs;
+    std::vector<Pos> ys;
+    Close(a, x, xs);
+    Close(b, y, ys);
+    for (const Pos& cx : xs) {
+      for (const Pos& cy : ys) {
+        if (visited.insert({cx, cy}).second) frontier.push_back({cx, cy});
+      }
+    }
+  };
+  push(Pos{0, 0}, Pos{0, 0});
+  while (!frontier.empty()) {
+    auto [x, y] = frontier.back();
+    frontier.pop_back();
+    bool x_done = x.seg >= a.size();
+    bool y_done = y.seg >= b.size();
+    if (x_done && y_done) return true;
+    if (x_done || y_done) continue;
+    const PatternSegment& sx = a[x.seg];
+    const PatternSegment& sy = b[y.seg];
+    if (!IsHole(sx) && !IsHole(sy)) {
+      if (sx.text[x.off] == sy.text[y.off]) {
+        push(Pos{x.seg, x.off + 1}, Pos{y.seg, y.off + 1});
+      }
+    } else if (!IsHole(sx)) {
+      if (std::isdigit(static_cast<unsigned char>(sx.text[x.off])) != 0) {
+        push(Pos{x.seg, x.off + 1}, Pos{y.seg, 1});
+      }
+    } else if (!IsHole(sy)) {
+      if (std::isdigit(static_cast<unsigned char>(sy.text[y.off])) != 0) {
+        push(Pos{x.seg, 1}, Pos{y.seg, y.off + 1});
+      }
+    } else {
+      push(Pos{x.seg, 1}, Pos{y.seg, 1});
+    }
+  }
+  return false;
+}
+
+namespace {
+
+using Assignment = std::vector<int>;
+
+std::string RenderAssignment(const TransactionTemplate& tmpl,
+                             const Assignment& values) {
+  std::vector<std::string> parts;
+  for (size_t p = 0; p < tmpl.params().size(); ++p) {
+    parts.push_back(StrCat(tmpl.params()[p].name, "=", values[p]));
+  }
+  return StrCat(tmpl.name(), "(", Join(parts, ", "), ")");
+}
+
+// Sorted object names of one (template, op, assignment); memoized.
+class ObjectCache {
+ public:
+  explicit ObjectCache(const TemplateSet& set) : set_(set) {}
+
+  const std::vector<std::string>& Get(size_t tmpl, int op,
+                                      const Assignment& values) {
+    auto key = std::make_pair(tmpl * 64 + static_cast<size_t>(op), values);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    std::vector<std::string> objects = ExpandTemplateOpObjects(
+        set_, set_.tmpl(tmpl), set_.tmpl(tmpl).ops()[op], values);
+    std::sort(objects.begin(), objects.end());
+    return cache_.emplace(std::move(key), std::move(objects)).first->second;
+  }
+
+ private:
+  const TemplateSet& set_;
+  std::map<std::pair<size_t, Assignment>, std::vector<std::string>> cache_;
+};
+
+// First common object of two sorted vectors, or nullptr.
+const std::string* FirstCommon(const std::vector<std::string>& a,
+                               const std::vector<std::string>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      return &a[i];
+    }
+  }
+  return nullptr;
+}
+
+struct Collision {
+  std::string key;
+  Assignment alpha;
+  Assignment beta;
+  std::string world;
+};
+
+// Does any assignment pair collide on this op pair? Assignments with
+// identical values still form a pair (two instance copies).
+bool FindCollision(ObjectCache& cache, size_t ta, int oa, size_t tb, int ob,
+                   const std::vector<Assignment>& assigns_a,
+                   const std::vector<Assignment>& assigns_b,
+                   const std::string& world, Collision* out) {
+  for (const Assignment& alpha : assigns_a) {
+    const std::vector<std::string>& objects_a = cache.Get(ta, oa, alpha);
+    if (objects_a.empty()) continue;
+    for (const Assignment& beta : assigns_b) {
+      const std::string* key =
+          FirstCommon(objects_a, cache.Get(tb, ob, beta));
+      if (key != nullptr) {
+        if (out != nullptr) *out = Collision{*key, alpha, beta, world};
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<std::vector<Assignment>> CollectAssignments(
+    const TemplateSet& set, const ConstraintIndex& index,
+    const FunctionWorld& world, bool distinct) {
+  std::vector<std::vector<Assignment>> per_template(set.size());
+  for (size_t t = 0; t < set.size(); ++t) {
+    ForEachAdmissibleAssignment(
+        set, t, index, world, distinct,
+        [&](const Assignment& values) { per_template[t].push_back(values); });
+  }
+  return per_template;
+}
+
+}  // namespace
+
+StatusOr<TemplateConflictAnalysis> AnalyzeTemplateConflicts(
+    const TemplateSet& set, const InstantiationOptions& options) {
+  StatusOr<std::vector<FunctionWorld>> worlds =
+      EnumerateFunctionWorlds(set, options.max_worlds);
+  if (!worlds.ok()) return worlds.status();
+  const bool distinct = options.distinct_same_domain_params;
+  ConstraintIndex full(set);
+  ConstraintIndex baseline(set, {});
+
+  std::vector<std::vector<std::vector<Assignment>>> refined;
+  refined.reserve(worlds->size());
+  for (const FunctionWorld& world : *worlds) {
+    refined.push_back(CollectAssignments(set, full, world, distinct));
+  }
+  std::vector<std::vector<Assignment>> base =
+      CollectAssignments(set, baseline, FunctionWorld{}, distinct);
+
+  // Budget: elementary assignment-pair tests across all op pairs/worlds.
+  uint64_t work = 0;
+  for (size_t ta = 0; ta < set.size(); ++ta) {
+    for (size_t tb = ta; tb < set.size(); ++tb) {
+      uint64_t pairs = static_cast<uint64_t>(base[ta].size()) *
+                       base[tb].size() * (worlds->size() + 1);
+      work += pairs * set.tmpl(ta).ops().size() * set.tmpl(tb).ops().size();
+    }
+  }
+  if (work > 5'000'000) {
+    return Status::ResourceExhausted(
+        StrCat("template-pair conflict analysis needs ", work,
+               " assignment-pair tests; shrink the canonical domains"));
+  }
+
+  ObjectCache cache(set);
+  TemplateConflictAnalysis analysis;
+  analysis.num_templates = set.size();
+  analysis.pair_conflicts = BitMatrix(set.size(), set.size());
+  analysis.baseline_pair_conflicts = BitMatrix(set.size(), set.size());
+
+  for (size_t ta = 0; ta < set.size(); ++ta) {
+    const TransactionTemplate& a = set.tmpl(ta);
+    for (size_t tb = ta; tb < set.size(); ++tb) {
+      const TransactionTemplate& b = set.tmpl(tb);
+      for (size_t oa = 0; oa < a.ops().size(); ++oa) {
+        for (size_t ob = 0; ob < b.ops().size(); ++ob) {
+          if (a.ops()[oa].type != OpType::kWrite &&
+              b.ops()[ob].type != OpType::kWrite) {
+            continue;
+          }
+          TemplateOpPairConflict pair;
+          pair.tmpl_a = ta;
+          pair.tmpl_b = tb;
+          pair.op_a = static_cast<int>(oa);
+          pair.op_b = static_cast<int>(ob);
+          pair.kind =
+              StrCat(a.ops()[oa].IsPredicate() ? "range" : "point", "-vs-",
+                     b.ops()[ob].IsPredicate() ? "range" : "point");
+          bool structurally_disjoint =
+              !PatternsMayOverlap(a.ops()[oa].segments, b.ops()[ob].segments);
+          if (!structurally_disjoint) {
+            pair.baseline_conflicts =
+                FindCollision(cache, ta, static_cast<int>(oa), tb,
+                              static_cast<int>(ob), base[ta], base[tb], "",
+                              nullptr);
+            Collision collision;
+            for (size_t w = 0; w < worlds->size() && !pair.conflicts; ++w) {
+              pair.conflicts = FindCollision(
+                  cache, ta, static_cast<int>(oa), tb, static_cast<int>(ob),
+                  refined[w][ta], refined[w][tb], (*worlds)[w].name,
+                  &collision);
+            }
+            if (pair.conflicts) {
+              pair.example =
+                  StrCat(collision.key, " via ",
+                         RenderAssignment(a, collision.alpha), ", ",
+                         RenderAssignment(b, collision.beta));
+              if (!collision.world.empty()) {
+                pair.example += StrCat(" [world ", collision.world, "]");
+              }
+            }
+          }
+          if (!pair.conflicts) {
+            if (structurally_disjoint) {
+              pair.discharged_by = "disjoint key patterns";
+            } else if (!pair.baseline_conflicts) {
+              pair.discharged_by = "distinct-parameter rule";
+            } else {
+              // Attribute the discharge to a single constraint when one
+              // suffices on its own.
+              pair.discharged_by = "the declared constraints (in combination)";
+              for (const FunctionalConstraint& c : set.constraints()) {
+                if (c.tmpl != a.name() && c.tmpl != b.name()) continue;
+                ConstraintIndex only(set, {c});
+                bool still_conflicts = false;
+                for (const FunctionWorld& world : *worlds) {
+                  std::vector<std::vector<Assignment>> under =
+                      CollectAssignments(set, only, world, distinct);
+                  if (FindCollision(cache, ta, static_cast<int>(oa), tb,
+                                    static_cast<int>(ob), under[ta],
+                                    under[tb], world.name, nullptr)) {
+                    still_conflicts = true;
+                    break;
+                  }
+                }
+                if (!still_conflicts) {
+                  pair.discharged_by = c.ToString();
+                  break;
+                }
+              }
+            }
+          }
+          if (pair.baseline_conflicts) {
+            analysis.baseline_pair_conflicts.Set(ta, tb);
+            analysis.baseline_pair_conflicts.Set(tb, ta);
+          }
+          if (pair.conflicts) {
+            analysis.pair_conflicts.Set(ta, tb);
+            analysis.pair_conflicts.Set(tb, ta);
+          }
+          analysis.op_pairs.push_back(std::move(pair));
+        }
+      }
+    }
+  }
+  for (size_t ta = 0; ta < set.size(); ++ta) {
+    for (size_t tb = ta; tb < set.size(); ++tb) {
+      if (analysis.pair_conflicts.Test(ta, tb)) ++analysis.conflicting_pairs;
+      if (analysis.baseline_pair_conflicts.Test(ta, tb)) {
+        ++analysis.baseline_conflicting_pairs;
+      }
+    }
+  }
+  return analysis;
+}
+
+}  // namespace mvrob

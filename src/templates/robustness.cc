@@ -1,7 +1,10 @@
 #include "templates/robustness.h"
 
+#include <memory>
+
 #include "common/string_util.h"
 #include "core/analyzer.h"
+#include "templates/predicate.h"
 
 namespace mvrob {
 namespace {
@@ -16,6 +19,62 @@ Allocation InstanceAllocation(const Instantiation& instantiation,
   return Allocation(std::move(instance_levels));
 }
 
+// Everything the world-quantified checks share: the per-world
+// instantiations, the refined template-pair conflict relation, and one
+// pruned analyzer per world. This is where the template-level precision
+// reaches the core kernels: the refined relation masks the analyzer's
+// pair scans, and every mixed-iso-graph built during witness recovery
+// shares the masked conflict matrix.
+struct TemplateAnalysis {
+  std::vector<WorldInstantiation> worlds;
+  std::optional<TemplateConflictAnalysis> conflicts;
+  std::vector<std::unique_ptr<RobustnessAnalyzer>> analyzers;
+};
+
+StatusOr<TemplateAnalysis> BuildTemplateAnalysis(
+    const TemplateSet& set, const InstantiationOptions& options) {
+  TemplateAnalysis analysis;
+  StatusOr<std::vector<WorldInstantiation>> worlds =
+      InstantiateAllWorlds(set, options);
+  if (!worlds.ok()) return worlds.status();
+  analysis.worlds = std::move(worlds).value();
+  // The refined relation is a pure accelerator here; if its enumeration
+  // budget is exceeded the analyzers simply run unpruned.
+  StatusOr<TemplateConflictAnalysis> conflicts =
+      AnalyzeTemplateConflicts(set, options);
+  if (conflicts.ok()) analysis.conflicts = std::move(conflicts).value();
+  for (const WorldInstantiation& world : analysis.worlds) {
+    ConflictPruner pruner;
+    if (analysis.conflicts.has_value()) {
+      pruner.group_conflicts = &analysis.conflicts->pair_conflicts;
+      pruner.group_of_txn = &world.instantiation.template_of_txn;
+    }
+    analysis.analyzers.push_back(std::make_unique<RobustnessAnalyzer>(
+        world.instantiation.txns, pruner, nullptr));
+  }
+  return analysis;
+}
+
+// True when `levels` keeps every world robust; otherwise reports the
+// first failing world.
+bool RobustInAllWorlds(const TemplateAnalysis& analysis,
+                       const TemplateAllocation& levels,
+                       uint64_t* robustness_checks,
+                       size_t* failing_world = nullptr,
+                       std::optional<CounterexampleChain>* chain = nullptr) {
+  for (size_t w = 0; w < analysis.worlds.size(); ++w) {
+    if (robustness_checks != nullptr) ++*robustness_checks;
+    RobustnessResult result = analysis.analyzers[w]->Check(
+        InstanceAllocation(analysis.worlds[w].instantiation, levels));
+    if (!result.robust) {
+      if (failing_world != nullptr) *failing_world = w;
+      if (chain != nullptr) *chain = std::move(result.counterexample);
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 StatusOr<TemplateRobustnessResult> CheckTemplateRobustness(
@@ -26,34 +85,40 @@ StatusOr<TemplateRobustnessResult> CheckTemplateRobustness(
         StrCat("allocation has ", levels.size(), " levels for ", set.size(),
                " templates"));
   }
-  StatusOr<Instantiation> instantiation = InstantiateTemplates(set, options);
-  if (!instantiation.ok()) return instantiation.status();
+  StatusOr<TemplateAnalysis> analysis = BuildTemplateAnalysis(set, options);
+  if (!analysis.ok()) return analysis.status();
 
   TemplateRobustnessResult result;
-  result.instantiation = std::move(instantiation).value();
-  RobustnessResult robustness = CheckRobustness(
-      result.instantiation.txns,
-      InstanceAllocation(result.instantiation, levels));
-  result.robust = robustness.robust;
-  result.counterexample = std::move(robustness.counterexample);
+  result.worlds_checked = analysis->worlds.size();
+  size_t failing_world = 0;
+  std::optional<CounterexampleChain> chain;
+  result.robust =
+      RobustInAllWorlds(*analysis, levels, nullptr, &failing_world, &chain);
+  if (result.robust) {
+    result.instantiation = std::move(analysis->worlds.front().instantiation);
+  } else {
+    result.counterexample = std::move(chain);
+    result.world = analysis->worlds[failing_world].world.name;
+    result.instantiation =
+        std::move(analysis->worlds[failing_world].instantiation);
+  }
   return result;
 }
 
 StatusOr<TemplateAllocationResult> ComputeOptimalTemplateAllocation(
     const TemplateSet& set, const InstantiationOptions& options) {
-  StatusOr<Instantiation> instantiation = InstantiateTemplates(set, options);
-  if (!instantiation.ok()) return instantiation.status();
+  StatusOr<TemplateAnalysis> analysis = BuildTemplateAnalysis(set, options);
+  if (!analysis.ok()) return analysis.status();
 
   TemplateAllocationResult result;
+  result.worlds = analysis->worlds.size();
   result.levels.assign(set.size(), IsolationLevel::kSSI);
-  RobustnessAnalyzer analyzer(instantiation->txns);
   for (size_t t = 0; t < set.size(); ++t) {
     for (IsolationLevel level : {IsolationLevel::kRC, IsolationLevel::kSI}) {
       TemplateAllocation candidate = result.levels;
       candidate[t] = level;
-      ++result.robustness_checks;
-      if (analyzer.Check(InstanceAllocation(*instantiation, candidate))
-              .robust) {
+      if (RobustInAllWorlds(*analysis, candidate,
+                            &result.robustness_checks)) {
         result.levels = candidate;
         break;
       }
@@ -64,28 +129,29 @@ StatusOr<TemplateAllocationResult> ComputeOptimalTemplateAllocation(
 
 StatusOr<RcSiTemplateAllocationResult> ComputeOptimalRcSiTemplateAllocation(
     const TemplateSet& set, const InstantiationOptions& options) {
-  StatusOr<Instantiation> instantiation = InstantiateTemplates(set, options);
-  if (!instantiation.ok()) return instantiation.status();
+  StatusOr<TemplateAnalysis> analysis = BuildTemplateAnalysis(set, options);
+  if (!analysis.ok()) return analysis.status();
 
   RcSiTemplateAllocationResult result;
-  result.instantiation = std::move(instantiation).value();
-  RobustnessAnalyzer analyzer(result.instantiation.txns);
-
   TemplateAllocation all_si(set.size(), IsolationLevel::kSI);
-  RobustnessResult at_si =
-      analyzer.Check(InstanceAllocation(result.instantiation, all_si));
-  if (!at_si.robust) {
+  size_t failing_world = 0;
+  std::optional<CounterexampleChain> chain;
+  if (!RobustInAllWorlds(*analysis, all_si, nullptr, &failing_world,
+                         &chain)) {
     result.allocatable = false;
-    result.counterexample = std::move(at_si.counterexample);
+    result.counterexample = std::move(chain);
+    result.world = analysis->worlds[failing_world].world.name;
+    result.instantiation =
+        std::move(analysis->worlds[failing_world].instantiation);
     return result;
   }
   result.allocatable = true;
+  result.instantiation = analysis->worlds.front().instantiation;
   TemplateAllocation levels = all_si;
   for (size_t t = 0; t < set.size(); ++t) {
     TemplateAllocation candidate = levels;
     candidate[t] = IsolationLevel::kRC;
-    if (analyzer.Check(InstanceAllocation(result.instantiation, candidate))
-            .robust) {
+    if (RobustInAllWorlds(*analysis, candidate, nullptr)) {
       levels = candidate;
     }
   }
@@ -102,8 +168,14 @@ std::string TemplateExplanation::ToString(const TemplateSet& set) const {
       out += "  (could be lowered: the allocation is not optimal)\n";
     }
     for (const TemplateObstacle::Entry& obstacle : entry.obstacles) {
-      out += StrCat("  not ", IsolationLevelToString(obstacle.attempted),
-                    ": ", obstacle.chain.ToString(instantiation.txns), "\n");
+      out += StrCat(
+          "  not ", IsolationLevelToString(obstacle.attempted), ": ",
+          obstacle.chain.ToString(
+              world_instantiations[obstacle.world_index].txns));
+      if (!obstacle.world.empty()) {
+        out += StrCat(" [world ", obstacle.world, "]");
+      }
+      out += "\n";
     }
   }
   return out;
@@ -115,16 +187,12 @@ StatusOr<TemplateExplanation> ExplainTemplateAllocation(
   if (levels.size() != set.size()) {
     return Status::InvalidArgument("allocation size mismatch");
   }
-  StatusOr<Instantiation> instantiation = InstantiateTemplates(set, options);
-  if (!instantiation.ok()) return instantiation.status();
+  StatusOr<TemplateAnalysis> analysis = BuildTemplateAnalysis(set, options);
+  if (!analysis.ok()) return analysis.status();
 
   TemplateExplanation explanation;
   explanation.levels = levels;
-  explanation.instantiation = std::move(instantiation).value();
-  RobustnessAnalyzer analyzer(explanation.instantiation.txns);
-  if (!analyzer
-           .Check(InstanceAllocation(explanation.instantiation, levels))
-           .robust) {
+  if (!RobustInAllWorlds(*analysis, levels, nullptr)) {
     return Status::FailedPrecondition(
         "the template allocation is not robust; nothing to explain");
   }
@@ -136,16 +204,22 @@ StatusOr<TemplateExplanation> ExplainTemplateAllocation(
       if (!(lower < entry.assigned)) continue;
       TemplateAllocation candidate = levels;
       candidate[t] = lower;
-      RobustnessResult result = analyzer.Check(
-          InstanceAllocation(explanation.instantiation, candidate));
-      if (!result.robust) {
-        entry.obstacles.push_back(
-            TemplateObstacle::Entry{lower,
-                                    std::move(*result.counterexample)});
+      size_t failing_world = 0;
+      std::optional<CounterexampleChain> chain;
+      if (!RobustInAllWorlds(*analysis, candidate, nullptr, &failing_world,
+                             &chain)) {
+        entry.obstacles.push_back(TemplateObstacle::Entry{
+            lower, std::move(*chain), failing_world,
+            analysis->worlds[failing_world].world.name});
       }
     }
     explanation.per_template.push_back(std::move(entry));
   }
+  for (WorldInstantiation& world : analysis->worlds) {
+    explanation.world_instantiations.push_back(
+        std::move(world.instantiation));
+  }
+  explanation.instantiation = explanation.world_instantiations.front();
   return explanation;
 }
 

@@ -22,14 +22,26 @@ struct TemplateRobustnessResult {
   /// When not robust: the counterexample over the canonical instantiation
   /// (kept alongside so the chain's TxnIds resolve).
   std::optional<CounterexampleChain> counterexample;
+  /// The failing world's instantiation, or the first world's when robust.
   Instantiation instantiation;
+  /// Label of the function world the counterexample lives in (empty
+  /// without function constraints).
+  std::string world;
+  /// Worlds examined (1 without function constraints). Robustness
+  /// quantifies over every world: declared functional dependencies hold
+  /// for *some unknown* function, so the set is robust iff every
+  /// interpretation's instantiation is.
+  size_t worlds_checked = 0;
 };
 
 /// Decides whether the canonical instantiation of `set` is robust when
-/// every instance of template i runs at `levels[i]`. With default options
-/// the instantiation covers every assignment twice, which the template
-/// property tests validate to be saturating (growing domains or copies
-/// does not change the answer on the shipped workloads).
+/// every instance of template i runs at `levels[i]`, under the declared
+/// predicates and functional constraints and quantified over every
+/// function world. With default options the instantiation covers every
+/// admissible assignment twice, which the template property tests
+/// validate to be saturating (growing domains or copies does not change
+/// the answer on the shipped workloads). The per-world analyzers are
+/// pruned by the refined template-pair conflict relation (predicate.h).
 StatusOr<TemplateRobustnessResult> CheckTemplateRobustness(
     const TemplateSet& set, const TemplateAllocation& levels,
     const InstantiationOptions& options = {});
@@ -38,30 +50,34 @@ StatusOr<TemplateRobustnessResult> CheckTemplateRobustness(
 struct TemplateAllocationResult {
   TemplateAllocation levels;
   uint64_t robustness_checks = 0;
+  size_t worlds = 1;
 };
 
 /// Computes the optimal robust per-template allocation over {RC, SI, SSI}
 /// by the Algorithm 2 schema lifted to template granularity: start from
-/// all-SSI and lower each template to the least level that keeps the
-/// instantiation robust.
+/// all-SSI and lower each template to the least level that keeps every
+/// world's instantiation robust.
 ///
 /// Uniqueness carries over from Proposition 4.1(2): exchanging *all*
 /// instances of one template between two robust allocations is a sequence
 /// of single-transaction exchanges, each of which preserves robustness, so
-/// the pointwise minimum is again robust and is the unique optimum.
+/// the pointwise minimum is again robust and is the unique optimum; the
+/// argument applies in each world separately.
 StatusOr<TemplateAllocationResult> ComputeOptimalTemplateAllocation(
     const TemplateSet& set, const InstantiationOptions& options = {});
 
 /// Result of the template-level {RC, SI} allocation problem — Section 5
 /// lifted to program granularity (the Oracle setting).
 struct RcSiTemplateAllocationResult {
-  /// Per Proposition 5.4 lifted to templates: allocatable iff the
-  /// instantiation is robust with every program at SI.
+  /// Per Proposition 5.4 lifted to templates: allocatable iff every
+  /// world's instantiation is robust with every program at SI.
   bool allocatable = false;
   std::optional<TemplateAllocation> levels;
-  /// When not allocatable: the counterexample over the instantiation.
+  /// When not allocatable: the counterexample over `instantiation`.
   std::optional<CounterexampleChain> counterexample;
   Instantiation instantiation;
+  /// World of the counterexample (empty without function constraints).
+  std::string world;
 };
 
 /// Decides whether the template set admits any robust per-program
@@ -71,15 +87,17 @@ StatusOr<RcSiTemplateAllocationResult> ComputeOptimalRcSiTemplateAllocation(
     const TemplateSet& set, const InstantiationOptions& options = {});
 
 /// Why each template cannot run lower: for every level below its assigned
-/// one, a counterexample chain over the canonical instantiation that the
-/// lowering would enable. Analogous to core/explain.h at program
+/// one, a counterexample chain over some world's canonical instantiation
+/// that the lowering would enable. Analogous to core/explain.h at program
 /// granularity.
 struct TemplateObstacle {
   size_t tmpl = 0;
   IsolationLevel assigned = IsolationLevel::kRC;
   struct Entry {
     IsolationLevel attempted = IsolationLevel::kRC;
-    CounterexampleChain chain;  // Over `instantiation`.
+    CounterexampleChain chain;  // Over world_instantiations[world_index].
+    size_t world_index = 0;
+    std::string world;  // Label (empty without function constraints).
   };
   std::vector<Entry> obstacles;
 };
@@ -87,6 +105,10 @@ struct TemplateObstacle {
 struct TemplateExplanation {
   TemplateAllocation levels;
   std::vector<TemplateObstacle> per_template;
+  /// One instantiation per function world; obstacle chains resolve
+  /// against their entry's world_index.
+  std::vector<Instantiation> world_instantiations;
+  /// The first world's instantiation (compatibility alias).
   Instantiation instantiation;
 
   /// Multi-line report naming the instance transactions involved.
@@ -94,7 +116,7 @@ struct TemplateExplanation {
 };
 
 /// Explains a robust template allocation; FailedPrecondition if it is not
-/// robust over the canonical instantiation.
+/// robust over the canonical instantiations.
 StatusOr<TemplateExplanation> ExplainTemplateAllocation(
     const TemplateSet& set, const TemplateAllocation& levels,
     const InstantiationOptions& options = {});

@@ -11,10 +11,10 @@ bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
-// Extracts the parameter name starting at pattern[pos] (after the '$');
-// parameter names are maximal runs of alphanumerics (no underscore, so
-// patterns like "stock_$w_$i" parse as intended).
-std::string ParamAt(const std::string& pattern, size_t pos) {
+// Extracts the parameter (or domain) name starting at pattern[pos] (after
+// the '$' or '*'); names are maximal runs of alphanumerics (no underscore,
+// so patterns like "stock_$w_$i" parse as intended).
+std::string NameAt(const std::string& pattern, size_t pos) {
   size_t end = pos;
   while (end < pattern.size() &&
          std::isalnum(static_cast<unsigned char>(pattern[end]))) {
@@ -24,6 +24,36 @@ std::string ParamAt(const std::string& pattern, size_t pos) {
 }
 
 }  // namespace
+
+bool TemplateOp::IsPredicate() const {
+  for (const PatternSegment& seg : segments) {
+    if (seg.kind == PatternSegment::Kind::kWildcard ||
+        seg.kind == PatternSegment::Kind::kRange) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FunctionDecl::ToString() const {
+  std::string out = StrCat("function ", name, " ", arg_domain, " ",
+                           result_domain);
+  if (injective) out += " injective";
+  return out;
+}
+
+std::string FunctionalConstraint::ToString() const {
+  switch (kind) {
+    case Kind::kEquality:
+      return StrCat("constraint ", tmpl, ": ", left, " == ", right);
+    case Kind::kDisjointness:
+      return StrCat("constraint ", tmpl, ": ", left, " != ", right);
+    case Kind::kFunction:
+      return StrCat("constraint ", tmpl, ": ", left, " = ", func, "(", right,
+                    ")");
+  }
+  return "";
+}
 
 StatusOr<TransactionTemplate> TransactionTemplate::Create(
     std::string name, std::vector<ParamDecl> params,
@@ -42,7 +72,7 @@ StatusOr<TransactionTemplate> TransactionTemplate::Create(
       }
     }
   }
-  for (const TemplateOp& op : tmpl.ops_) {
+  for (TemplateOp& op : tmpl.ops_) {
     if (op.type == OpType::kCommit) {
       return Status::InvalidArgument(
           StrCat(tmpl.name_, ": commits are implicit in templates"));
@@ -51,32 +81,110 @@ StatusOr<TransactionTemplate> TransactionTemplate::Create(
     if (pattern.empty()) {
       return Status::InvalidArgument(StrCat(tmpl.name_, ": empty pattern"));
     }
+    std::vector<PatternSegment> segments;
+    std::string literal;
+    auto flush = [&] {
+      if (!literal.empty()) {
+        segments.push_back({PatternSegment::Kind::kLiteral, literal, "", ""});
+        literal.clear();
+      }
+    };
+    auto find_param = [&](const std::string& p) -> const ParamDecl* {
+      for (const ParamDecl& decl : tmpl.params_) {
+        if (decl.name == p) return &decl;
+      }
+      return nullptr;
+    };
     for (size_t i = 0; i < pattern.size(); ++i) {
-      if (pattern[i] != '$') {
-        if (!IsIdentChar(pattern[i])) {
+      char c = pattern[i];
+      if (c == '$') {
+        std::string param = NameAt(pattern, i + 1);
+        if (param.empty()) {
           return Status::InvalidArgument(
-              StrCat(tmpl.name_, ": bad character in pattern ", pattern));
+              StrCat(tmpl.name_, ": dangling $ in pattern ", pattern));
+        }
+        const ParamDecl* decl = find_param(param);
+        if (decl == nullptr) {
+          return Status::InvalidArgument(
+              StrCat(tmpl.name_, ": undeclared parameter $", param, " in ",
+                     pattern));
+        }
+        size_t after = i + 1 + param.size();
+        if (pattern.compare(after, 2, "..") == 0) {
+          // Range segment "$lo..$hi".
+          if (after + 2 >= pattern.size() || pattern[after + 2] != '$') {
+            return Status::InvalidArgument(
+                StrCat(tmpl.name_, ": malformed range in pattern ", pattern,
+                       " (expected $lo..$hi)"));
+          }
+          std::string hi = NameAt(pattern, after + 3);
+          if (hi.empty()) {
+            return Status::InvalidArgument(
+                StrCat(tmpl.name_, ": malformed range in pattern ", pattern,
+                       " (expected $lo..$hi)"));
+          }
+          const ParamDecl* hi_decl = find_param(hi);
+          if (hi_decl == nullptr) {
+            return Status::InvalidArgument(
+                StrCat(tmpl.name_, ": undeclared parameter $", hi, " in ",
+                       pattern));
+          }
+          if (decl->domain != hi_decl->domain) {
+            return Status::InvalidArgument(
+                StrCat(tmpl.name_, ": range bounds $", param, "..$", hi,
+                       " must share a domain in ", pattern));
+          }
+          flush();
+          segments.push_back(
+              {PatternSegment::Kind::kRange, "", param, hi});
+          i = after + 2 + hi.size();
+        } else {
+          flush();
+          segments.push_back({PatternSegment::Kind::kParam, param, "", ""});
+          i += param.size();
         }
         continue;
       }
-      std::string param = ParamAt(pattern, i + 1);
-      if (param.empty()) {
+      if (c == '*') {
+        std::string domain = NameAt(pattern, i + 1);
+        if (domain.empty()) {
+          return Status::InvalidArgument(
+              StrCat(tmpl.name_, ": dangling * in pattern ", pattern));
+        }
+        flush();
+        segments.push_back({PatternSegment::Kind::kWildcard, domain, "", ""});
+        i += domain.size();
+        continue;
+      }
+      if (!IsIdentChar(c)) {
         return Status::InvalidArgument(
-            StrCat(tmpl.name_, ": dangling $ in pattern ", pattern));
+            StrCat(tmpl.name_, ": bad character in pattern ", pattern));
       }
-      bool declared = false;
-      for (const ParamDecl& decl : tmpl.params_) {
-        if (decl.name == param) declared = true;
-      }
-      if (!declared) {
-        return Status::InvalidArgument(
-            StrCat(tmpl.name_, ": undeclared parameter $", param, " in ",
-                   pattern));
-      }
-      i += param.size();
+      literal.push_back(c);
+    }
+    flush();
+    op.segments = std::move(segments);
+    if (op.type == OpType::kWrite && op.IsPredicate()) {
+      return Status::InvalidArgument(
+          StrCat(tmpl.name_, ": predicate writes are not supported (pattern ",
+                 pattern, ")"));
     }
   }
   return tmpl;
+}
+
+int TransactionTemplate::FindParam(const std::string& name) const {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool TransactionTemplate::HasPredicateReads() const {
+  for (const TemplateOp& op : ops_) {
+    if (op.IsPredicate()) return true;
+  }
+  return false;
 }
 
 std::string TransactionTemplate::Substitute(
@@ -88,7 +196,7 @@ std::string TransactionTemplate::Substitute(
       result.push_back(pattern[i]);
       continue;
     }
-    std::string param = ParamAt(pattern, i + 1);
+    std::string param = NameAt(pattern, i + 1);
     auto it = assignment.find(param);
     result += it == assignment.end() ? StrCat("$", param) : it->second;
     i += param.size();
@@ -117,6 +225,41 @@ int TemplateSet::DomainSize(const std::string& name) const {
   return it == domains_.end() ? 0 : it->second;
 }
 
+Status TemplateSet::DeclareFunction(FunctionDecl decl) {
+  if (DomainSize(decl.arg_domain) <= 0) {
+    return Status::InvalidArgument(
+        StrCat("function ", decl.name, ": undeclared domain ",
+               decl.arg_domain));
+  }
+  if (DomainSize(decl.result_domain) <= 0) {
+    return Status::InvalidArgument(
+        StrCat("function ", decl.name, ": undeclared domain ",
+               decl.result_domain));
+  }
+  int existing = FindFunction(decl.name);
+  if (existing >= 0) {
+    if (functions_[existing] == decl) return Status::Ok();
+    return Status::InvalidArgument(
+        StrCat("duplicate function ", decl.name,
+               " with a different signature"));
+  }
+  if (decl.injective &&
+      DomainSize(decl.result_domain) < DomainSize(decl.arg_domain)) {
+    return Status::InvalidArgument(
+        StrCat("injective function ", decl.name, " needs |",
+               decl.result_domain, "| >= |", decl.arg_domain, "|"));
+  }
+  functions_.push_back(std::move(decl));
+  return Status::Ok();
+}
+
+int TemplateSet::FindFunction(const std::string& name) const {
+  for (size_t i = 0; i < functions_.size(); ++i) {
+    if (functions_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
 Status TemplateSet::Add(TransactionTemplate tmpl) {
   if (FindTemplate(tmpl.name()) >= 0) {
     return Status::InvalidArgument(
@@ -128,8 +271,143 @@ Status TemplateSet::Add(TransactionTemplate tmpl) {
           StrCat(tmpl.name(), ": undeclared domain ", param.domain));
     }
   }
+  for (const TemplateOp& op : tmpl.ops()) {
+    for (const PatternSegment& seg : op.segments) {
+      if (seg.kind == PatternSegment::Kind::kWildcard &&
+          DomainSize(seg.text) <= 0) {
+        return Status::InvalidArgument(
+            StrCat(tmpl.name(), ": undeclared domain *", seg.text, " in ",
+                   op.object_pattern));
+      }
+    }
+  }
   templates_.push_back(std::move(tmpl));
   return Status::Ok();
+}
+
+Status TemplateSet::AddConstraint(FunctionalConstraint constraint) {
+  int t = FindTemplate(constraint.tmpl);
+  if (t < 0) {
+    return Status::InvalidArgument(
+        StrCat("constraint references unknown template ", constraint.tmpl));
+  }
+  const TransactionTemplate& tmpl = templates_[t];
+  int left = tmpl.FindParam(constraint.left);
+  if (left < 0) {
+    return Status::InvalidArgument(
+        StrCat("constraint on ", constraint.tmpl,
+               " references unknown parameter ", constraint.left));
+  }
+  int right = tmpl.FindParam(constraint.right);
+  if (right < 0) {
+    return Status::InvalidArgument(
+        StrCat("constraint on ", constraint.tmpl,
+               " references unknown parameter ", constraint.right));
+  }
+  if (constraint.kind == FunctionalConstraint::Kind::kFunction) {
+    if (left == right) {
+      return Status::InvalidArgument(
+          StrCat("function constraint on ", constraint.tmpl,
+                 " must not determine parameter ", constraint.left,
+                 " from itself"));
+    }
+    std::string arg_domain = tmpl.params()[right].domain;
+    std::string result_domain = tmpl.params()[left].domain;
+    int f = FindFunction(constraint.func);
+    if (f < 0) {
+      Status declared = DeclareFunction(
+          FunctionDecl{constraint.func, arg_domain, result_domain, false});
+      if (!declared.ok()) return declared;
+    } else if (functions_[f].arg_domain != arg_domain ||
+               functions_[f].result_domain != result_domain) {
+      return Status::InvalidArgument(StrCat(
+          "constraint on ", constraint.tmpl, ": function ", constraint.func,
+          " is declared ", functions_[f].arg_domain, " -> ",
+          functions_[f].result_domain, " but is used as ", arg_domain,
+          " -> ", result_domain));
+    }
+  } else if (left == right) {
+    return Status::InvalidArgument(
+        StrCat("constraint on ", constraint.tmpl, " relates parameter ",
+               constraint.left, " to itself"));
+  }
+
+  // Contradiction check: close the template's equalities (explicit ones
+  // plus equalities forced by shared functional dependencies) under
+  // union-find, then verify no disjointness connects one class.
+  std::vector<FunctionalConstraint> all = ConstraintsFor(t);
+  all.push_back(constraint);
+  const size_t n = tmpl.params().size();
+  std::vector<int> parent(n);
+  for (size_t i = 0; i < n; ++i) parent[i] = static_cast<int>(i);
+  auto find = [&](int x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  auto merge = [&](int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent[a] = b;
+    return true;
+  };
+  for (const FunctionalConstraint& c : all) {
+    if (c.kind == FunctionalConstraint::Kind::kEquality) {
+      merge(tmpl.FindParam(c.left), tmpl.FindParam(c.right));
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (all[i].kind != FunctionalConstraint::Kind::kFunction) continue;
+      for (size_t j = i + 1; j < all.size(); ++j) {
+        if (all[j].kind != FunctionalConstraint::Kind::kFunction) continue;
+        if (all[i].func != all[j].func) continue;
+        if (find(tmpl.FindParam(all[i].right)) !=
+            find(tmpl.FindParam(all[j].right))) {
+          continue;
+        }
+        changed |= merge(tmpl.FindParam(all[i].left),
+                         tmpl.FindParam(all[j].left));
+      }
+    }
+  }
+  for (const FunctionalConstraint& c : all) {
+    if (c.kind != FunctionalConstraint::Kind::kDisjointness) continue;
+    if (find(tmpl.FindParam(c.left)) == find(tmpl.FindParam(c.right))) {
+      return Status::InvalidArgument(
+          StrCat("contradictory constraints on ", constraint.tmpl,
+                 ": parameters ", c.left, " and ", c.right,
+                 " are equated and required distinct"));
+    }
+  }
+  constraints_.push_back(std::move(constraint));
+  return Status::Ok();
+}
+
+std::vector<FunctionalConstraint> TemplateSet::ConstraintsFor(
+    size_t index) const {
+  std::vector<FunctionalConstraint> out;
+  for (const FunctionalConstraint& c : constraints_) {
+    if (c.tmpl == templates_[index].name()) out.push_back(c);
+  }
+  return out;
+}
+
+bool TemplateSet::UsesV2Features() const {
+  if (!constraints_.empty() || !functions_.empty()) return true;
+  for (const TransactionTemplate& tmpl : templates_) {
+    if (tmpl.HasPredicateReads()) return true;
+  }
+  return false;
+}
+
+TemplateSet TemplateSet::WithoutConstraints() const {
+  TemplateSet plain = *this;
+  plain.functions_.clear();
+  plain.constraints_.clear();
+  return plain;
 }
 
 int TemplateSet::FindTemplate(const std::string& name) const {
@@ -144,8 +422,16 @@ std::string TemplateSet::ToString() const {
   for (const auto& [name, size] : domains_) {
     out += StrCat("domain ", name, " ", size, "\n");
   }
+  for (const FunctionDecl& func : functions_) {
+    out += func.ToString();
+    out += "\n";
+  }
   for (const TransactionTemplate& tmpl : templates_) {
     out += tmpl.ToString();
+    out += "\n";
+  }
+  for (const FunctionalConstraint& constraint : constraints_) {
+    out += constraint.ToString();
     out += "\n";
   }
   return out;

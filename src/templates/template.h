@@ -10,12 +10,40 @@
 
 namespace mvrob {
 
+/// One piece of a parsed object pattern. A *point* pattern is a sequence of
+/// literal and parameter segments ("stock_$w_$i"); *predicate reads*
+/// (v2 of the DSL, after arXiv 2302.08789) additionally use
+///  - wildcard segments "*D": every value of domain D (an attribute
+///    predicate / secondary-index scan), and
+///  - range segments "$lo..$hi": every value between two parameters of the
+///    same domain, inclusive on both ends and empty when lo > hi
+///    (a WHERE key BETWEEN lo AND hi scan).
+struct PatternSegment {
+  enum class Kind { kLiteral, kParam, kWildcard, kRange };
+  Kind kind = Kind::kLiteral;
+  /// Literal text (kLiteral), parameter name (kParam), or domain name
+  /// (kWildcard).
+  std::string text;
+  /// Bound parameter names (kRange).
+  std::string lo;
+  std::string hi;
+
+  friend bool operator==(const PatternSegment&, const PatternSegment&) =
+      default;
+};
+
 /// A read/write step of a transaction template. The object is a *pattern*
 /// over the template's parameters: "stock_$w_$i" names a different concrete
-/// object for every assignment of $w and $i.
+/// object for every assignment of $w and $i. Reads may carry predicate
+/// segments (see PatternSegment); writes must be point patterns.
 struct TemplateOp {
   OpType type = OpType::kRead;
   std::string object_pattern;
+  /// Parsed form of object_pattern, filled by TransactionTemplate::Create.
+  std::vector<PatternSegment> segments;
+
+  /// True when the op is a predicate read (any wildcard/range segment).
+  bool IsPredicate() const;
 
   friend bool operator==(const TemplateOp&, const TemplateOp&) = default;
 };
@@ -28,6 +56,49 @@ struct ParamDecl {
   friend bool operator==(const ParamDecl&, const ParamDecl&) = default;
 };
 
+/// A declared function symbol usable in functional constraints
+/// (arXiv 2201.05021): a total function from `arg_domain` to
+/// `result_domain`. When `injective`, canonical instantiation only
+/// considers injective interpretations (the foreign-key reading: distinct
+/// arguments map to distinct results).
+struct FunctionDecl {
+  std::string name;
+  std::string arg_domain;
+  std::string result_domain;
+  bool injective = false;
+
+  /// "function f A B injective".
+  std::string ToString() const;
+
+  friend bool operator==(const FunctionDecl&, const FunctionDecl&) = default;
+};
+
+/// A functional constraint on one template's parameters
+/// (arXiv 2201.05021): an equality "a == b", a disjointness assertion
+/// "a != b", or a functional dependency "b = f(a)". Constraints restrict
+/// which parameter assignments are admissible and thereby prune
+/// template-pair conflicts. An explicit equality overrides the implicit
+/// distinct-same-domain rule for that pair.
+struct FunctionalConstraint {
+  enum class Kind { kEquality, kDisjointness, kFunction };
+  Kind kind = Kind::kEquality;
+  /// Name of the constrained template.
+  std::string tmpl;
+  /// Left parameter; for kFunction this is the *determined* parameter.
+  std::string left;
+  /// Right parameter; for kFunction this is the function argument.
+  std::string right;
+  /// Function symbol (kFunction only).
+  std::string func;
+
+  /// "constraint T: a == b" | "constraint T: a != b" |
+  /// "constraint T: b = f(a)".
+  std::string ToString() const;
+
+  friend bool operator==(const FunctionalConstraint&,
+                         const FunctionalConstraint&) = default;
+};
+
 /// A transaction template (Section 6.3.1 of the paper): a parameterized
 /// transaction program from which infinitely many concrete transactions can
 /// be instantiated — the form in which real workloads such as TPC-C are
@@ -36,7 +107,8 @@ struct ParamDecl {
 /// checking template robustness through canonical finite instantiations.
 class TransactionTemplate {
  public:
-  /// Validates that every $param used in an object pattern is declared.
+  /// Validates that every $param used in an object pattern is declared,
+  /// parses patterns into segments, and rejects predicate writes.
   static StatusOr<TransactionTemplate> Create(std::string name,
                                               std::vector<ParamDecl> params,
                                               std::vector<TemplateOp> ops);
@@ -44,6 +116,12 @@ class TransactionTemplate {
   const std::string& name() const { return name_; }
   const std::vector<ParamDecl>& params() const { return params_; }
   const std::vector<TemplateOp>& ops() const { return ops_; }
+
+  /// Index of the named parameter, or -1.
+  int FindParam(const std::string& name) const;
+
+  /// True when any op is a predicate read.
+  bool HasPredicateReads() const;
 
   /// Substitutes an assignment (parameter name -> value token) into a
   /// pattern: "stock_$w" with {w -> "1"} becomes "stock_1".
@@ -62,9 +140,11 @@ class TransactionTemplate {
   std::vector<TemplateOp> ops_;
 };
 
-/// A set of templates plus the domains their parameters range over. The
-/// domain sizes recorded here bound *canonical* instantiation (see
-/// instantiate.h); conceptually each domain is unbounded.
+/// A set of templates plus the domains their parameters range over, the
+/// function symbols usable in constraints, and the declared functional
+/// constraints. The domain sizes recorded here bound *canonical*
+/// instantiation (see instantiate.h); conceptually each domain is
+/// unbounded.
 class TemplateSet {
  public:
   /// Declares (or resizes) a domain.
@@ -73,9 +153,41 @@ class TemplateSet {
   int DomainSize(const std::string& name) const;
   const std::map<std::string, int>& domains() const { return domains_; }
 
-  /// Adds a template; every parameter's domain must be declared and all
-  /// template names must be unique.
+  /// Declares a function symbol. Both domains must be declared; injective
+  /// functions need |result_domain| >= |arg_domain| over the canonical
+  /// sizes.
+  Status DeclareFunction(FunctionDecl decl);
+  /// Index of the named function, or -1.
+  int FindFunction(const std::string& name) const;
+  const std::vector<FunctionDecl>& functions() const { return functions_; }
+
+  /// Adds a template; every parameter's domain must be declared, every
+  /// wildcard/range domain must be declared, and all template names must
+  /// be unique.
   Status Add(TransactionTemplate tmpl);
+
+  /// Adds a functional constraint. The template and its parameters must
+  /// exist; function constraints auto-declare an (non-injective) function
+  /// symbol on first use and must agree with the declared signature
+  /// otherwise. Contradictory combinations (parameters both equated and
+  /// required distinct, directly or through shared functional
+  /// dependencies) are rejected here; deeper unsatisfiability surfaces as
+  /// an empty instantiation.
+  Status AddConstraint(FunctionalConstraint constraint);
+  const std::vector<FunctionalConstraint>& constraints() const {
+    return constraints_;
+  }
+  /// The constraints declared on template `index`.
+  std::vector<FunctionalConstraint> ConstraintsFor(size_t index) const;
+
+  /// True when any template has a predicate read or any constraint or
+  /// function is declared (the v2 features of the text format).
+  bool UsesV2Features() const;
+
+  /// A copy of this set with every constraint and function dropped: the
+  /// plain distinct-parameter-rule reading, used as the comparison
+  /// baseline.
+  TemplateSet WithoutConstraints() const;
 
   size_t size() const { return templates_.size(); }
   const TransactionTemplate& tmpl(size_t index) const {
@@ -93,6 +205,8 @@ class TemplateSet {
  private:
   std::vector<TransactionTemplate> templates_;
   std::map<std::string, int> domains_;
+  std::vector<FunctionDecl> functions_;
+  std::vector<FunctionalConstraint> constraints_;
 };
 
 }  // namespace mvrob

@@ -131,6 +131,7 @@ StatusOr<Workload> MakeNamedWorkload(std::string_view text) {
         reader.Get("c", params.customers_per_district);
     params.items = reader.Get("i", params.items);
     params.rounds = reader.Get("r", params.rounds);
+    params.stock_level_scan = reader.Get("sl", params.stock_level_scan);
     Status leftovers = reader.CheckNoLeftovers();
     if (!leftovers.ok()) return leftovers;
     return MakeTpcc(params);
@@ -161,17 +162,21 @@ StatusOr<Workload> MakeNamedWorkload(std::string_view text) {
         params = YcsbParams::MixB();
       } else if (mix == "c") {
         params = YcsbParams::MixC();
+      } else if (mix == "e") {
+        params = YcsbParams::MixE();
       } else if (mix == "f") {
         params = YcsbParams::MixF();
       } else {
         return Status::InvalidArgument(
-            StrCat("unknown ycsb mix '", mix, "' (a, b, c or f)"));
+            StrCat("unknown ycsb mix '", mix, "' (a, b, c, e or f)"));
       }
     }
     params.num_txns = reader.Get("n", params.num_txns);
     params.num_keys = reader.Get("k", params.num_keys);
     params.keys_per_txn = reader.Get("kpt", params.keys_per_txn);
     params.zipf_theta = reader.GetDouble("theta", params.zipf_theta);
+    params.scan_fraction = reader.GetDouble("scan", params.scan_fraction);
+    params.scan_length = reader.Get("slen", params.scan_length);
     params.seed = static_cast<uint64_t>(reader.Get("seed", 0));
     Status leftovers = reader.CheckNoLeftovers();
     if (!leftovers.ok()) return leftovers;

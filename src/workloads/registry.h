@@ -14,11 +14,13 @@ namespace mvrob {
 ///
 ///   tpcc                       defaults
 ///   tpcc:w=2,d=3,c=2,i=3,r=2   warehouses/districts/customers/items/rounds
+///   tpcc:sl=3                  StockLevel range-scans the first 3 items
 ///   smallbank:c=4,r=2          customers/rounds
 ///   auction:i=2,b=3,e=2        items/bidders/edits
-///   ycsb:a  ycsb:b  ycsb:c  ycsb:f     the standard mixes
+///   ycsb:a  ycsb:b  ycsb:c  ycsb:e  ycsb:f   the standard mixes
 ///   voter:c=3,p=2,v=1          contestants/callers/votes
 ///   ycsb:a,n=40,k=32,seed=7    mix plus overrides (txns/keys/seed)
+///   ycsb:e,scan=0.9,slen=4     scan fraction / scan length (range reads)
 ///   synthetic:n=10,o=8,ops=4,w=40,h=30,seed=3
 ///       txns/objects/max-ops/write-%/hotspot-%/seed
 ///

@@ -1,5 +1,6 @@
 #include "workloads/tpcc.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/string_util.h"
@@ -100,14 +101,25 @@ Workload MakeTpcc(const TpccParams& params) {
               Operation::Read(order_lines), Operation::Write(order_lines),
               Operation::Read(c_balance), Operation::Write(c_balance)});
 
-        // StockLevel: read-only scan of recently ordered items' stock.
+        // StockLevel: read-only scan of recently ordered items' stock —
+        // or, with stock_level_scan > 0, a range scan over the first
+        // stock_level_scan item keys (every order's items fall in range,
+        // so the scan rw-conflicts with every same-warehouse NewOrder).
         {
           std::vector<Operation> ops{Operation::Read(d_next),
                                      Operation::Read(order_lines)};
-          for (int k = 0; k < p.items_per_order; ++k) {
-            int item = (d + r + k) % p.items;
-            ops.push_back(
-                Operation::Read(obj(StrCat("s_qty_", w, "_", item))));
+          if (p.stock_level_scan > 0) {
+            int scan = std::min(p.stock_level_scan, p.items);
+            for (int item = 0; item < scan; ++item) {
+              ops.push_back(
+                  Operation::Read(obj(StrCat("s_qty_", w, "_", item))));
+            }
+          } else {
+            for (int k = 0; k < p.items_per_order; ++k) {
+              int item = (d + r + k) % p.items;
+              ops.push_back(
+                  Operation::Read(obj(StrCat("s_qty_", w, "_", item))));
+            }
           }
           Emit(set, StrCat("StockLevel_", wd, "_r", r), std::move(ops));
         }

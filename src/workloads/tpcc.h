@@ -21,6 +21,13 @@ struct TpccParams {
   int items_per_order = 2;
   /// How many instances of each program to emit per district.
   int rounds = 1;
+  /// When > 0, StockLevel performs a genuine range read: it scans the
+  /// stock quantities of this many *consecutive* items starting at item 0
+  /// (clamped to `items`) — the "all items under the threshold" secondary-
+  /// index scan of the real benchmark — instead of only the items the
+  /// round's NewOrder touched. Mirrors the template DSL's predicate read
+  /// R[sqty_$lo..$hi] (templates/library.h TpccScanTemplates).
+  int stock_level_scan = 0;
   uint64_t seed = 42;
 };
 

@@ -1,5 +1,6 @@
 #include "workloads/ycsb.h"
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 #include <vector>
@@ -52,6 +53,11 @@ Workload MakeYcsb(const YcsbParams& params) {
       StrCat("YCSB-style: ", params.num_txns, " txns over ", params.num_keys,
              " keys, ", static_cast<int>(params.read_only_fraction * 100),
              "% read-only, theta=", params.zipf_theta);
+  if (params.scan_fraction > 0) {
+    workload.description +=
+        StrCat(", ", static_cast<int>(params.scan_fraction * 100),
+               "% scans of length ", params.scan_length);
+  }
   TransactionSet& set = workload.txns;
 
   std::vector<ObjectId> keys;
@@ -64,23 +70,42 @@ Workload MakeYcsb(const YcsbParams& params) {
   ZipfSampler sampler(params.num_keys, params.zipf_theta);
   int keys_per_txn = std::min(params.keys_per_txn, params.num_keys);
 
+  int scan_length = std::min(std::max(params.scan_length, 1),
+                             params.num_keys);
+
   for (int t = 0; t < params.num_txns; ++t) {
     bool read_only = rng.Bernoulli(params.read_only_fraction);
-    std::set<int> chosen;
-    while (static_cast<int>(chosen.size()) < keys_per_txn) {
-      chosen.insert(sampler.Sample(rng));
-    }
+    bool scan = rng.Bernoulli(params.scan_fraction);
     std::vector<Operation> ops;
-    for (int k : chosen) {
-      ops.push_back(Operation::Read(keys[static_cast<size_t>(k)]));
-    }
-    if (!read_only) {
-      for (int k : chosen) {
-        ops.push_back(Operation::Write(keys[static_cast<size_t>(k)]));
+    std::string kind;
+    if (scan) {
+      // Workload E: read `scan_length` consecutive keys from a sampled
+      // start, clamped so the scan stays inside the keyspace.
+      int start = std::min(sampler.Sample(rng), params.num_keys - scan_length);
+      for (int k = start; k < start + scan_length; ++k) {
+        ops.push_back(Operation::Read(keys[static_cast<size_t>(k)]));
       }
+      if (!read_only) {
+        ops.push_back(Operation::Write(keys[static_cast<size_t>(start)]));
+      }
+      kind = read_only ? "Scan" : "ScanUpdate";
+    } else {
+      std::set<int> chosen;
+      while (static_cast<int>(chosen.size()) < keys_per_txn) {
+        chosen.insert(sampler.Sample(rng));
+      }
+      for (int k : chosen) {
+        ops.push_back(Operation::Read(keys[static_cast<size_t>(k)]));
+      }
+      if (!read_only) {
+        for (int k : chosen) {
+          ops.push_back(Operation::Write(keys[static_cast<size_t>(k)]));
+        }
+      }
+      kind = read_only ? "Read" : "Update";
     }
-    StatusOr<TxnId> id = set.AddTransaction(
-        StrCat(read_only ? "Read" : "Update", "_", t), std::move(ops));
+    StatusOr<TxnId> id =
+        set.AddTransaction(StrCat(kind, "_", t), std::move(ops));
     (void)id;
   }
   return workload;

@@ -12,6 +12,7 @@ namespace mvrob {
 ///   A: 50% reads / 50% read-modify-writes (update heavy)
 ///   B: 95% reads / 5% read-modify-writes (read heavy)
 ///   C: 100% reads
+///   E: short range scans / inserts-modeled-as-RMW (scan heavy)
 ///   F: read-modify-write dominated
 struct YcsbParams {
   int num_txns = 20;
@@ -23,6 +24,12 @@ struct YcsbParams {
   double read_only_fraction = 0.5;
   /// Zipfian skew exponent: 0 = uniform, ~0.99 = classic YCSB hotspots.
   double zipf_theta = 0.99;
+  /// Fraction of transactions that range-scan: read `scan_length`
+  /// consecutive keys from a Zipf-sampled start (clamped at the keyspace
+  /// end) — workload E's SCAN operation. Scanners that are not read-only
+  /// additionally read-modify-write the start key.
+  double scan_fraction = 0.0;
+  int scan_length = 4;
   uint64_t seed = 0;
 
   static YcsbParams MixA() { return YcsbParams{}; }
@@ -34,6 +41,12 @@ struct YcsbParams {
   static YcsbParams MixC() {
     YcsbParams params;
     params.read_only_fraction = 1.0;
+    return params;
+  }
+  static YcsbParams MixE() {
+    YcsbParams params;
+    params.read_only_fraction = 0.95;
+    params.scan_fraction = 0.95;
     return params;
   }
   static YcsbParams MixF() {

@@ -301,5 +301,187 @@ TEST(TemplateSetTest, ToStringRoundTrips) {
   EXPECT_EQ(reparsed->ToString(), bank.ToString());
 }
 
+// Parsing a v2 construct must fail with a message naming the offending
+// pattern or constraint; these assert the exact phrasing documented in
+// docs/templates.md.
+void ExpectParseError(const std::string& text, std::string_view needle) {
+  StatusOr<TemplateSet> set = ParseTemplateSet(text);
+  ASSERT_FALSE(set.ok()) << "parsed unexpectedly:\n" << text;
+  EXPECT_NE(std::string(set.status().message()).find(needle),
+            std::string::npos)
+      << set.status() << "\nexpected substring: " << needle;
+}
+
+TEST(TemplateV2ParserTest, RejectsBadPredicatePatterns) {
+  ExpectParseError("domain I 2\nT(i:I): R[x_$]", "dangling $ in pattern x_$");
+  ExpectParseError("domain I 2\nT(i:I): R[x_*]", "dangling * in pattern x_*");
+  ExpectParseError("domain I 2\nT(lo:I, hi:I): R[s_$lo..]",
+                   "malformed range in pattern s_$lo.. (expected $lo..$hi)");
+  ExpectParseError("domain I 2\nT(lo:I, hi:I): R[s_$lo..hi]",
+                   "malformed range in pattern s_$lo..hi (expected $lo..$hi)");
+  ExpectParseError("domain A 2\ndomain B 2\nT(lo:A, hi:B): R[s_$lo..$hi]",
+                   "range bounds $lo..$hi must share a domain in s_$lo..$hi");
+  ExpectParseError("domain I 2\nT(lo:I, hi:I): W[s_$lo..$hi]",
+                   "predicate writes are not supported (pattern s_$lo..$hi)");
+  ExpectParseError("domain I 2\nT(): W[s_*I]",
+                   "predicate writes are not supported (pattern s_*I)");
+  ExpectParseError("domain I 2\nT(i:I): R[x_*Q]",
+                   "undeclared domain *Q in x_*Q");
+  ExpectParseError("domain I 2\nT(i:I): R[s_$lo..$hi]",
+                   "undeclared parameter $lo");
+}
+
+TEST(TemplateV2ParserTest, RejectsBadFunctionsAndVersions) {
+  ExpectParseError("version 3", "unsupported template format version");
+  ExpectParseError("domain A 2\nfunction f A",
+                   "malformed function declaration");
+  ExpectParseError("domain A 2\nfunction f A B",
+                   "function f: undeclared domain B");
+  ExpectParseError("domain A 3\ndomain B 2\nfunction f A B injective",
+                   "injective function f needs |B| >= |A|");
+  ExpectParseError("domain A 2\ndomain B 2\nfunction f A B\nfunction f A A",
+                   "duplicate function f with a different signature");
+}
+
+TEST(TemplateV2ParserTest, RejectsBadConstraints) {
+  const std::string base = "domain A 2\nT(x:A, y:A): R[k_$x] W[m_$y]\n";
+  ExpectParseError(base + "constraint T x y", "malformed constraint");
+  ExpectParseError(base + "constraint T: x ~ y", "malformed constraint");
+  ExpectParseError(base + "constraint U: x == y",
+                   "constraint references unknown template U");
+  ExpectParseError(base + "constraint T: q == y",
+                   "references unknown parameter q");
+  ExpectParseError(base + "constraint T: x == x",
+                   "relates parameter x to itself");
+  ExpectParseError(base + "constraint T: x = f(x)",
+                   "must not determine parameter x from itself");
+  ExpectParseError(base + "constraint T: x == y\nconstraint T: x != y",
+                   "contradictory constraints on T: parameters x and y are "
+                   "equated and required distinct");
+  ExpectParseError(
+      "domain A 2\ndomain B 2\nfunction f A B\n"
+      "T(x:A, y:A): R[k_$x] W[m_$y]\nconstraint T: y = f(x)",
+      "function f is declared A -> B but is used as A -> A");
+}
+
+TEST(TemplateV2ParserTest, DetectsContradictionThroughSharedDependencies) {
+  // a = f(c) and b = f(c) force a == b in every world, so a != b is
+  // unsatisfiable even though no explicit equality was declared.
+  ExpectParseError(
+      "domain A 2\n"
+      "T(a:A, b:A, c:A): R[k_$a] R[m_$b] W[n_$c]\n"
+      "constraint T: a = f(c)\n"
+      "constraint T: b = f(c)\n"
+      "constraint T: a != b",
+      "contradictory constraints on T: parameters a and b are equated and "
+      "required distinct");
+}
+
+TEST(TemplateV2ParserTest, ParsesVersionedV2Sets) {
+  StatusOr<TemplateSet> set = ParseTemplateSet(R"(
+    version 2
+    domain I 3
+    function next I I injective
+    Scan(lo:I, hi:I): R[s_$lo..$hi]
+    Sweep(): R[s_*I]
+    Touch(i:I, j:I): R[s_$i] W[s_$j]
+    constraint Touch: j = next(i)
+  )");
+  ASSERT_TRUE(set.ok()) << set.status();
+  EXPECT_TRUE(set->UsesV2Features());
+  EXPECT_TRUE(set->tmpl(0).HasPredicateReads());
+  EXPECT_TRUE(set->tmpl(1).HasPredicateReads());
+  EXPECT_FALSE(set->tmpl(2).HasPredicateReads());
+  EXPECT_EQ(set->functions().size(), 1u);
+  EXPECT_EQ(set->constraints().size(), 1u);
+
+  // Stripping constraints keeps the predicate reads: the set still needs
+  // the v2 machinery, but no function worlds.
+  TemplateSet plain = set->WithoutConstraints();
+  EXPECT_TRUE(plain.constraints().empty());
+  EXPECT_TRUE(plain.functions().empty());
+  EXPECT_TRUE(plain.UsesV2Features());
+
+  EXPECT_FALSE(SmallBankTemplates().UsesV2Features());
+  EXPECT_TRUE(TpccScanTemplates().UsesV2Features());
+
+  StatusOr<TemplateSet> reparsed = ParseTemplateSet(set->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->ToString(), set->ToString());
+}
+
+TEST(TemplateV2InstantiateTest, RangeAndWildcardExpansion) {
+  StatusOr<TemplateSet> parsed = ParseTemplateSet(R"(
+    domain I 3
+    Scan(lo:I, hi:I): R[s_$lo..$hi]
+    Sweep(): R[s_*I] W[log]
+  )");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const TemplateSet& set = *parsed;
+
+  EXPECT_EQ(ExpandTemplateOpObjects(set, set.tmpl(0), set.tmpl(0).ops()[0],
+                                    {0, 2}),
+            (std::vector<std::string>{"s_0", "s_1", "s_2"}));
+  // Inverted bounds denote the empty range: the instance reads nothing.
+  EXPECT_TRUE(ExpandTemplateOpObjects(set, set.tmpl(0), set.tmpl(0).ops()[0],
+                                      {2, 0})
+                  .empty());
+  EXPECT_EQ(
+      ExpandTemplateOpObjects(set, set.tmpl(1), set.tmpl(1).ops()[0], {}),
+      (std::vector<std::string>{"s_0", "s_1", "s_2"}));
+
+  InstantiationOptions options;
+  options.copies_per_assignment = 1;
+  StatusOr<Instantiation> inst = InstantiateTemplates(set, options);
+  ASSERT_TRUE(inst.ok()) << inst.status();
+  // Scan: 6 ordered (lo, hi) pairs with lo != hi; Sweep: one instance.
+  EXPECT_EQ(inst->txns.size(), 7u);
+  // Every expanded point read maps back to the range op it came from.
+  for (size_t k = 0; k < inst->txns.size(); ++k) {
+    if (inst->template_of_txn[k] != 0) continue;
+    for (int tmpl_op : inst->template_op_of_op[k]) EXPECT_EQ(tmpl_op, 0);
+  }
+}
+
+TEST(TemplateV2InstantiateTest, EqualityConstraintExemptsDistinctRule) {
+  StatusOr<TemplateSet> set = ParseTemplateSet(R"(
+    domain D 2
+    Move(s:D, d:D): R[i_$s] W[i_$d]
+    constraint Move: s == d
+  )");
+  ASSERT_TRUE(set.ok()) << set.status();
+  InstantiationOptions options;
+  options.copies_per_assignment = 1;
+  StatusOr<Instantiation> inst = InstantiateTemplates(*set, options);
+  ASSERT_TRUE(inst.ok()) << inst.status();
+  // The equality overrides the implicit distinct-parameter rule for the
+  // equated pair: exactly Move(0,0) and Move(1,1) are admissible.
+  ASSERT_EQ(inst->txns.size(), 2u);
+  EXPECT_EQ(inst->txns.txn(0).name(), "Move_s0_d0#1");
+  EXPECT_EQ(inst->txns.txn(1).name(), "Move_s1_d1#1");
+}
+
+TEST(TemplateV2InstantiateTest, WorldBudgetIsEnforced) {
+  // f: A -> A over |A| = 4 has 256 interpretations, past the default
+  // 64-world budget.
+  StatusOr<TemplateSet> set = ParseTemplateSet(R"(
+    domain A 4
+    T(x:A, y:A): R[k_$x] W[m_$y]
+    constraint T: y = f(x)
+  )");
+  ASSERT_TRUE(set.ok()) << set.status();
+  StatusOr<std::vector<WorldInstantiation>> worlds =
+      InstantiateAllWorlds(*set);
+  ASSERT_FALSE(worlds.ok());
+  EXPECT_EQ(worlds.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(std::string(worlds.status().message()).find("worlds"),
+            std::string::npos);
+
+  // The single-world convenience overload refuses function sets outright.
+  StatusOr<Instantiation> single = InstantiateTemplates(*set);
+  ASSERT_FALSE(single.ok());
+  EXPECT_EQ(single.status().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace mvrob

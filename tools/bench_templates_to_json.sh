@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the template-subsystem benchmarks and emits BENCH_templates.json
+# (Google Benchmark's JSON format). The BM_Template_ConstraintShowcase row
+# carries the machine-INDEPENDENT outcome of the documented predicate/
+# constraint showcase as counters (before_weighted under the
+# distinct-parameter rule, after_weighted under the declared constraint,
+# promotions from the template-granularity promotion search);
+# tools/bench_compare.py checks those exactly, so a changed allocation
+# cost fails the gate as a behavior change rather than hiding inside
+# timing noise. The instantiation/analysis rows are gated on cpu_time.
+#
+# usage: tools/bench_templates_to_json.sh [build-dir] [output.json]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_templates.json}"
+BIN="$BUILD_DIR/bench/bench_templates"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found — build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+"$BIN" \
+  --benchmark_filter='BM_Template_' \
+  --benchmark_format=json \
+  --benchmark_out_format=json \
+  --benchmark_out="$OUT" \
+  --benchmark_min_time=0.05 >/dev/null
+
+echo "wrote $OUT"

@@ -411,6 +411,59 @@ PY
   rm -f "$PROMOTE_OUT"
 done
 
+echo "==== template smoke (predicate reads, constraints, witness JSON) ===="
+# The template subsystem end to end on the documented showcase: the
+# declared constraint must buy a strictly cheaper allocation than the
+# distinct-parameter baseline, the witness JSON must name what discharged
+# or witnessed each template-pair conflict, and the engine must certify
+# the allocation over recorded runs (exit 2 on any disagreement).
+TEMPLATE_TPL="$(mktemp)"
+TEMPLATE_OUT="$(mktemp)"
+TEMPLATE_JSON="$(mktemp)"
+cat >"$TEMPLATE_TPL" <<'TPL'
+version 2
+domain D 3
+Audit(lo:D, hi:D): R[item_$lo..$hi]
+Move(src:D, dst:D): R[item_$src] W[item_$dst]
+constraint Move: src == dst
+TPL
+build/tools/mvrob templates --templates "@$TEMPLATE_TPL" \
+  --witness-json "$TEMPLATE_JSON" --validate-runs 25 --seed 7 \
+  >"$TEMPLATE_OUT"
+grep -q "Audit=SI Move=SI" "$TEMPLATE_OUT" || {
+  echo "error: constrained showcase must allocate all-SI" >&2
+  cat "$TEMPLATE_OUT" >&2
+  exit 1
+}
+build/tools/mvrob templates --templates "@$TEMPLATE_TPL" --no-constraints \
+  >"$TEMPLATE_OUT"
+grep -q "Audit=SSI Move=SSI" "$TEMPLATE_OUT" || {
+  echo "error: distinct-parameter baseline must need all-SSI" >&2
+  cat "$TEMPLATE_OUT" >&2
+  exit 1
+}
+python3 - "$TEMPLATE_JSON" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    witness = json.load(f)
+assert witness["format"] == "mvrob-template-witness-v1", witness.get("format")
+levels = {entry["template"]: entry["level"]
+          for entry in witness["allocation"]}
+assert levels == {"Audit": "SI", "Move": "SI"}, levels
+pairs = witness["conflicts"]["op_pairs"]
+kinds = {pair["kind"] for pair in pairs}
+assert "range-vs-point" in kinds or "point-vs-range" in kinds, kinds
+for pair in pairs:
+    # Every pair either conflicts with a witness example or names the
+    # predicate/constraint rule that discharged it.
+    assert pair["conflicts"] == ("example" in pair), pair
+    assert pair["conflicts"] != ("discharged_by" in pair), pair
+print(f"template smoke OK: {len(pairs)} op pairs, "
+      f"allocation {levels}, engine-certified")
+PY
+rm -f "$TEMPLATE_TPL" "$TEMPLATE_OUT" "$TEMPLATE_JSON"
+
 echo "==== docs gate (flags + links + tutorial smoke) ===="
 # Documentation must stay true: every flag in docs/cli.md exists in
 # `mvrob --help`, every relative markdown link resolves, and every
@@ -487,6 +540,26 @@ else
   python3 tools/bench_compare.py "$FRESH_PROMO" "$PROMO_BASELINE"
 fi
 rm -f "$FRESH_PROMO"
+
+echo "==== template bench gate ===="
+# Same machinery for the template benchmarks; the
+# BM_Template_ConstraintShowcase outcome counters (weighted cost under
+# the distinct-parameter rule vs the declared constraints, promotion
+# count) are machine-independent and compared exactly.
+TEMPLATES_BASELINE="bench/baselines/BENCH_templates.baseline.json"
+FRESH_TEMPLATES="$(mktemp)"
+tools/bench_templates_to_json.sh build "$FRESH_TEMPLATES"
+if [[ ! -f "$TEMPLATES_BASELINE" ]]; then
+  echo "no baseline at $TEMPLATES_BASELINE — seeding from this run"
+  python3 tools/bench_compare.py "$FRESH_TEMPLATES" "$TEMPLATES_BASELINE" \
+    --update
+elif [[ "${MVROB_BENCH_GATE:-fail}" == "warn" ]]; then
+  python3 tools/bench_compare.py "$FRESH_TEMPLATES" "$TEMPLATES_BASELINE" \
+    --warn-only
+else
+  python3 tools/bench_compare.py "$FRESH_TEMPLATES" "$TEMPLATES_BASELINE"
+fi
+rm -f "$FRESH_TEMPLATES"
 
 echo "==== TSan build (MVROB_SANITIZE=thread) ===="
 cmake -B build-tsan -S . -DMVROB_SANITIZE=thread >/dev/null
